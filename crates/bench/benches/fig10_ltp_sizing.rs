@@ -1,0 +1,42 @@
+//! Figure 10 bench: the practical LTP design at the paper's chosen point
+//! (128 entries, 4 ports) and at the sweep extremes, against the baseline and
+//! the no-LTP shrunk core. The full sweep with ED²P is produced by
+//! `experiments fig10`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltp_bench::bench_options;
+use ltp_core::LtpConfig;
+use ltp_experiments::runner::run_point;
+use ltp_pipeline::PipelineConfig;
+use ltp_workloads::WorkloadKind;
+
+fn fig10(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("fig10_ltp_sizing");
+    group.sample_size(10);
+
+    let mut configs: Vec<(String, PipelineConfig)> = vec![
+        ("baseline_iq64_rf128".into(), PipelineConfig::micro2015_baseline()),
+        ("no_ltp_iq32_rf96".into(), PipelineConfig::small_no_ltp()),
+    ];
+    for (entries, ports) in [(128usize, 4usize), (16, 1), (128, 8)] {
+        configs.push((
+            format!("ltp_{entries}e_{ports}p"),
+            PipelineConfig::ltp_proposed().with_ltp(
+                LtpConfig::nu_only_128x4()
+                    .with_entries(entries)
+                    .with_ports(ports),
+            ),
+        ));
+    }
+
+    for (label, cfg) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| run_point(WorkloadKind::IndirectStream, *cfg, &opts).cpi())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

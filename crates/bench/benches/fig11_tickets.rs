@@ -1,0 +1,34 @@
+//! Figure 11 bench: the NR+NU design across ticket-file sizes. The full
+//! figure is produced by `experiments fig11`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltp_bench::bench_options;
+use ltp_core::{LtpConfig, LtpMode};
+use ltp_experiments::runner::run_point;
+use ltp_pipeline::PipelineConfig;
+use ltp_workloads::WorkloadKind;
+
+fn fig11(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("fig11_tickets");
+    group.sample_size(10);
+
+    for tickets in [4usize, 16, 64, 128] {
+        let cfg = PipelineConfig::ltp_proposed().with_ltp(
+            LtpConfig {
+                mode: LtpMode::Both,
+                ..LtpConfig::nu_only_128x4()
+            }
+            .with_tickets(tickets),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{tickets}_tickets")),
+            &cfg,
+            |b, cfg| b.iter(|| run_point(WorkloadKind::GatherFp, *cfg, &opts).cpi()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 1 bench: simulation of the three window configurations the figure
+//! compares (IQ 32, IQ 32 + LTP, IQ 256) on an MLP-sensitive and an
+//! MLP-insensitive kernel.
+//!
+//! The full figure (all workloads, grouping, occupancy columns) is produced
+//! by `cargo run --release -p ltp-experiments --bin experiments -- fig1`; the
+//! bench regenerates its per-point simulations at a reduced instruction
+//! budget so Criterion can time them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltp_bench::bench_options;
+use ltp_core::LtpMode;
+use ltp_experiments::runner::{limit_study_config, run_point};
+use ltp_pipeline::PipelineConfig;
+use ltp_workloads::WorkloadKind;
+
+fn fig1(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+
+    let configs: [(&str, PipelineConfig); 3] = [
+        ("iq32", PipelineConfig::limit_study_unlimited().with_iq(32)),
+        ("iq32_ltp", limit_study_config(LtpMode::Both).with_iq(32)),
+        ("iq256", PipelineConfig::limit_study_unlimited().with_iq(256)),
+    ];
+    for kind in [WorkloadKind::IndirectStream, WorkloadKind::ComputeBound] {
+        for (label, cfg) in configs {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), label),
+                &cfg,
+                |b, cfg| b.iter(|| run_point(kind, *cfg, &opts).cpi()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

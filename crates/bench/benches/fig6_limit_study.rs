@@ -1,0 +1,41 @@
+//! Figure 6 bench: one simulation point per resource/mode combination of the
+//! limit study (ideal LTP, oracle classification), at the baseline-adjacent
+//! sizes where the paper's headline claims live (IQ 32, 96 registers).
+//!
+//! The full sweep (all sizes, all workloads, group averages) is produced by
+//! `experiments fig6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltp_bench::bench_options;
+use ltp_core::LtpMode;
+use ltp_experiments::fig6::SweptResource;
+use ltp_experiments::runner::{limit_study_config, run_point};
+use ltp_workloads::WorkloadKind;
+
+fn fig6(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("fig6_limit_study");
+    group.sample_size(10);
+
+    let points = [
+        (SweptResource::Iq, 32usize),
+        (SweptResource::RegisterFile, 96usize),
+        (SweptResource::LoadQueue, 32usize),
+        (SweptResource::StoreQueue, 16usize),
+    ];
+    let modes = [LtpMode::Off, LtpMode::NonUrgentOnly, LtpMode::Both];
+
+    for (resource, size) in points {
+        for mode in modes {
+            let cfg = resource.apply(limit_study_config(mode), size);
+            let id = format!("{}{}/{}", resource.label(), size, mode.label());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &cfg, |b, cfg| {
+                b.iter(|| run_point(WorkloadKind::IndirectStream, *cfg, &opts).cpi())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 7 bench: LTP utilisation runs (IQ 32 / 96 registers, ideal LTP)
+//! for each parking variant on an MLP-sensitive and an MLP-insensitive
+//! kernel. The full figure is produced by `experiments fig7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltp_bench::bench_options;
+use ltp_core::LtpMode;
+use ltp_experiments::runner::{limit_study_config, run_point};
+use ltp_workloads::WorkloadKind;
+
+fn fig7(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("fig7_utilization");
+    group.sample_size(10);
+
+    for kind in [WorkloadKind::GatherFp, WorkloadKind::ComputeBound] {
+        for mode in [LtpMode::NonReadyOnly, LtpMode::NonUrgentOnly, LtpMode::Both] {
+            let cfg = limit_study_config(mode).with_iq(32).with_regs(96);
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), mode.label()),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        let r = run_point(kind, *cfg, &opts);
+                        (r.occupancy.ltp.mean(), r.ltp_enabled_fraction)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! # ltp-bench
+//!
+//! Criterion benchmark harnesses for the LTP reproduction. Each bench target
+//! regenerates one figure of the paper (by driving the corresponding
+//! `ltp-experiments` harness with a small instruction budget) and, for the
+//! substrate micro-benchmarks, measures the raw simulation components.
+//!
+//! The library itself only hosts shared helpers for the bench targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ltp_experiments::RunOptions;
+
+/// The instruction budget used inside Criterion iterations: small enough for
+/// statistically meaningful repetition, large enough to exercise steady-state
+/// behaviour.
+#[must_use]
+pub fn bench_options() -> RunOptions {
+    RunOptions {
+        detail_insts: 4_000,
+        warm_insts: 2_000,
+        seed: 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_options_are_small() {
+        let o = super::bench_options();
+        assert!(o.detail_insts <= 10_000);
+    }
+}

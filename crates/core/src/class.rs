@@ -1,0 +1,143 @@
+//! Instruction criticality classification (§2 of the paper).
+
+/// The two-axis criticality of an instruction.
+///
+/// * `urgent` — the instruction is an ancestor of a long-latency instruction:
+///   a long-latency instruction (directly or transitively) consumes its
+///   result, so delaying it delays the discovery of MLP.
+/// * `ready` — the instruction does **not** depend on any in-flight
+///   long-latency instruction, so once given an IQ entry it will execute
+///   promptly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Criticality {
+    /// Ancestor of a long-latency instruction.
+    pub urgent: bool,
+    /// Independent of all in-flight long-latency instructions.
+    pub ready: bool,
+}
+
+impl Criticality {
+    /// Urgent and Ready: issue to the IQ immediately (address generation for
+    /// a missing load is the canonical example).
+    pub const URGENT_READY: Criticality = Criticality { urgent: true, ready: true };
+    /// Urgent but Non-Ready: pointer-chasing loads that miss.
+    pub const URGENT_NON_READY: Criticality = Criticality { urgent: true, ready: false };
+    /// Non-Urgent and Ready: loop counters, predictable branches.
+    pub const NON_URGENT_READY: Criticality = Criticality { urgent: false, ready: true };
+    /// Non-Urgent and Non-Ready: stores of miss results, the paper's `F`/`H`.
+    pub const NON_URGENT_NON_READY: Criticality = Criticality { urgent: false, ready: false };
+
+    /// The four-way class of this criticality.
+    #[must_use]
+    pub fn class(self) -> InstClass {
+        match (self.urgent, self.ready) {
+            (true, true) => InstClass::UrgentReady,
+            (true, false) => InstClass::UrgentNonReady,
+            (false, true) => InstClass::NonUrgentReady,
+            (false, false) => InstClass::NonUrgentNonReady,
+        }
+    }
+
+    /// Whether the instruction is Non-Urgent.
+    #[must_use]
+    pub fn non_urgent(self) -> bool {
+        !self.urgent
+    }
+
+    /// Whether the instruction is Non-Ready.
+    #[must_use]
+    pub fn non_ready(self) -> bool {
+        !self.ready
+    }
+}
+
+impl std::fmt::Display for Criticality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.class())
+    }
+}
+
+/// The four instruction classes of §2, in the paper's `U/NU × R/NR` notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// `U+R` — urgent and ready.
+    UrgentReady,
+    /// `U+NR` — urgent but not ready.
+    UrgentNonReady,
+    /// `NU+R` — non-urgent and ready.
+    NonUrgentReady,
+    /// `NU+NR` — non-urgent and not ready.
+    NonUrgentNonReady,
+}
+
+impl InstClass {
+    /// All four classes, in a stable order (useful for per-class tables).
+    pub const ALL: [InstClass; 4] = [
+        InstClass::UrgentReady,
+        InstClass::UrgentNonReady,
+        InstClass::NonUrgentReady,
+        InstClass::NonUrgentNonReady,
+    ];
+
+    /// The `(urgent, ready)` pair of this class.
+    #[must_use]
+    pub fn criticality(self) -> Criticality {
+        match self {
+            InstClass::UrgentReady => Criticality::URGENT_READY,
+            InstClass::UrgentNonReady => Criticality::URGENT_NON_READY,
+            InstClass::NonUrgentReady => Criticality::NON_URGENT_READY,
+            InstClass::NonUrgentNonReady => Criticality::NON_URGENT_NON_READY,
+        }
+    }
+
+    /// The paper's short notation for the class.
+    #[must_use]
+    pub fn notation(self) -> &'static str {
+        match self {
+            InstClass::UrgentReady => "U+R",
+            InstClass::UrgentNonReady => "U+NR",
+            InstClass::NonUrgentReady => "NU+R",
+            InstClass::NonUrgentNonReady => "NU+NR",
+        }
+    }
+}
+
+impl std::fmt::Display for InstClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.notation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_round_trips_with_criticality() {
+        for class in InstClass::ALL {
+            assert_eq!(class.criticality().class(), class);
+        }
+    }
+
+    #[test]
+    fn constants_have_expected_flags() {
+        assert!(Criticality::URGENT_READY.urgent && Criticality::URGENT_READY.ready);
+        assert!(Criticality::NON_URGENT_NON_READY.non_urgent());
+        assert!(Criticality::NON_URGENT_NON_READY.non_ready());
+        assert!(Criticality::URGENT_NON_READY.urgent);
+        assert!(Criticality::URGENT_NON_READY.non_ready());
+    }
+
+    #[test]
+    fn notation_matches_paper() {
+        assert_eq!(InstClass::UrgentReady.to_string(), "U+R");
+        assert_eq!(InstClass::NonUrgentNonReady.to_string(), "NU+NR");
+        assert_eq!(Criticality::NON_URGENT_READY.to_string(), "NU+R");
+    }
+
+    #[test]
+    fn all_classes_are_distinct() {
+        let set: std::collections::HashSet<_> = InstClass::ALL.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+}

@@ -1,0 +1,238 @@
+//! LTP configuration.
+
+/// Which instruction classes LTP parks.
+///
+/// The limit study (Figure 6) compares parking only Non-Ready instructions,
+/// only Non-Urgent instructions, or both; the recommended implementation
+/// (§4.3/§5) parks Non-Urgent instructions only, which permits a plain FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LtpMode {
+    /// LTP disabled: every instruction dispatches normally (the baseline).
+    Off,
+    /// Park Non-Urgent instructions only (the paper's proposed design).
+    NonUrgentOnly,
+    /// Park Non-Ready instructions only (limit-study variant "LTP (NR)").
+    NonReadyOnly,
+    /// Park instructions that are Non-Urgent or Non-Ready ("LTP (NR+NU)").
+    Both,
+}
+
+impl LtpMode {
+    /// Whether this mode parks Non-Urgent instructions.
+    #[must_use]
+    pub fn parks_non_urgent(self) -> bool {
+        matches!(self, LtpMode::NonUrgentOnly | LtpMode::Both)
+    }
+
+    /// Whether this mode parks Non-Ready instructions.
+    #[must_use]
+    pub fn parks_non_ready(self) -> bool {
+        matches!(self, LtpMode::NonReadyOnly | LtpMode::Both)
+    }
+
+    /// Whether LTP is active at all.
+    #[must_use]
+    pub fn is_enabled(self) -> bool {
+        self != LtpMode::Off
+    }
+
+    /// Label used in figures ("No LTP", "LTP (NR)", "LTP (NU)", "LTP (NR+NU)").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LtpMode::Off => "No LTP",
+            LtpMode::NonUrgentOnly => "LTP (NU)",
+            LtpMode::NonReadyOnly => "LTP (NR)",
+            LtpMode::Both => "LTP (NR+NU)",
+        }
+    }
+}
+
+impl std::fmt::Display for LtpMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration of the LTP unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LtpConfig {
+    /// Which classes are parked.
+    pub mode: LtpMode,
+    /// Number of LTP queue entries. `usize::MAX` models the infinite LTP of
+    /// the limit study.
+    pub entries: usize,
+    /// Enqueue/dequeue bandwidth in instructions per cycle (the number of
+    /// LTP ports; Figure 10 sweeps 1/2/4/8).
+    pub ports: usize,
+    /// Number of Urgent Instruction Table entries. `usize::MAX` models an
+    /// unlimited UIT (the paper found 256 sufficient, §5.6).
+    pub uit_entries: usize,
+    /// Number of tickets available for Non-Ready parking (Figure 11 sweeps
+    /// 4..128). Irrelevant in `NonUrgentOnly` mode.
+    pub num_tickets: usize,
+    /// Whether the DRAM-timer monitor is used to disable LTP during phases
+    /// with no long-latency loads (§5.2). When `false`, LTP is always on.
+    pub use_monitor: bool,
+}
+
+impl LtpConfig {
+    /// LTP disabled (baseline processor).
+    #[must_use]
+    pub fn disabled() -> LtpConfig {
+        LtpConfig {
+            mode: LtpMode::Off,
+            entries: 0,
+            ports: 0,
+            uit_entries: 1,
+            num_tickets: 1,
+            use_monitor: false,
+        }
+    }
+
+    /// The paper's proposed implementation: Non-Urgent-only parking in a
+    /// 128-entry, 4-port queue with a 256-entry UIT and the DRAM-timer
+    /// monitor enabled (§5.6/§5.7).
+    #[must_use]
+    pub fn nu_only_128x4() -> LtpConfig {
+        LtpConfig {
+            mode: LtpMode::NonUrgentOnly,
+            entries: 128,
+            ports: 4,
+            uit_entries: 256,
+            num_tickets: 32,
+            use_monitor: true,
+        }
+    }
+
+    /// The ideal LTP of the limit study: unlimited entries, ports, UIT and
+    /// tickets, in the given mode.
+    #[must_use]
+    pub fn ideal(mode: LtpMode) -> LtpConfig {
+        LtpConfig {
+            mode,
+            entries: usize::MAX,
+            ports: usize::MAX,
+            uit_entries: usize::MAX,
+            num_tickets: usize::MAX,
+            use_monitor: true,
+        }
+    }
+
+    /// Returns a copy with a different number of LTP entries.
+    #[must_use]
+    pub fn with_entries(mut self, entries: usize) -> LtpConfig {
+        self.entries = entries;
+        self
+    }
+
+    /// Returns a copy with a different number of ports.
+    #[must_use]
+    pub fn with_ports(mut self, ports: usize) -> LtpConfig {
+        self.ports = ports;
+        self
+    }
+
+    /// Returns a copy with a different UIT size.
+    #[must_use]
+    pub fn with_uit_entries(mut self, uit_entries: usize) -> LtpConfig {
+        self.uit_entries = uit_entries;
+        self
+    }
+
+    /// Returns a copy with a different number of tickets.
+    #[must_use]
+    pub fn with_tickets(mut self, num_tickets: usize) -> LtpConfig {
+        self.num_tickets = num_tickets;
+        self
+    }
+
+    /// Returns a copy with the monitor enabled or disabled.
+    #[must_use]
+    pub fn with_monitor(mut self, use_monitor: bool) -> LtpConfig {
+        self.use_monitor = use_monitor;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an enabled mode has zero entries or zero ports.
+    pub fn validate(&self) {
+        if self.mode.is_enabled() {
+            assert!(self.entries > 0, "an enabled LTP needs at least one entry");
+            assert!(self.ports > 0, "an enabled LTP needs at least one port");
+            assert!(self.uit_entries > 0, "an enabled LTP needs a UIT");
+            if self.mode.parks_non_ready() {
+                assert!(self.num_tickets > 0, "Non-Ready parking needs tickets");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_predicates() {
+        assert!(LtpMode::NonUrgentOnly.parks_non_urgent());
+        assert!(!LtpMode::NonUrgentOnly.parks_non_ready());
+        assert!(LtpMode::NonReadyOnly.parks_non_ready());
+        assert!(!LtpMode::NonReadyOnly.parks_non_urgent());
+        assert!(LtpMode::Both.parks_non_urgent() && LtpMode::Both.parks_non_ready());
+        assert!(!LtpMode::Off.is_enabled());
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(LtpMode::Off.label(), "No LTP");
+        assert_eq!(LtpMode::Both.to_string(), "LTP (NR+NU)");
+    }
+
+    #[test]
+    fn proposed_design_matches_paper() {
+        let cfg = LtpConfig::nu_only_128x4();
+        assert_eq!(cfg.mode, LtpMode::NonUrgentOnly);
+        assert_eq!(cfg.entries, 128);
+        assert_eq!(cfg.ports, 4);
+        assert_eq!(cfg.uit_entries, 256);
+        assert!(cfg.use_monitor);
+        cfg.validate();
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let cfg = LtpConfig::nu_only_128x4()
+            .with_entries(64)
+            .with_ports(2)
+            .with_uit_entries(128)
+            .with_tickets(16)
+            .with_monitor(false);
+        assert_eq!(cfg.entries, 64);
+        assert_eq!(cfg.ports, 2);
+        assert_eq!(cfg.uit_entries, 128);
+        assert_eq!(cfg.num_tickets, 16);
+        assert!(!cfg.use_monitor);
+    }
+
+    #[test]
+    fn ideal_is_unlimited() {
+        let cfg = LtpConfig::ideal(LtpMode::Both);
+        assert_eq!(cfg.entries, usize::MAX);
+        assert_eq!(cfg.uit_entries, usize::MAX);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn enabled_with_zero_entries_panics() {
+        LtpConfig::nu_only_128x4().with_entries(0).validate();
+    }
+
+    #[test]
+    fn disabled_validates() {
+        LtpConfig::disabled().validate();
+    }
+}

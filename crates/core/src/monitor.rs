@@ -1,0 +1,192 @@
+//! The DRAM-timer monitor that power-gates LTP (§5.2).
+//!
+//! In compute-bound phases there are no long-latency loads, so every
+//! instruction misses in the UIT and would be classified Non-Urgent; parking
+//! everything wastes energy for no benefit. The paper re-uses the timer-based
+//! DRAM monitor of Kora et al. [4]: on every demand access that misses in the
+//! L3, a timer set to the DRAM latency is (re)started and LTP is enabled; if
+//! the timer expires without further long-latency activity, LTP is turned off
+//! (power gated).
+
+use crate::Cycle;
+
+/// Timer-based monitor deciding whether LTP is currently enabled.
+#[derive(Debug, Clone)]
+pub struct DramTimerMonitor {
+    timeout: u64,
+    /// Cycle until which LTP stays enabled (exclusive); `None` = never armed.
+    enabled_until: Option<Cycle>,
+    /// Accounting of enabled time for the Figure 7 "Enabled (Powered On)" row.
+    enabled_cycles: u64,
+    last_observed: Cycle,
+    was_enabled: bool,
+    activations: u64,
+}
+
+impl DramTimerMonitor {
+    /// Creates a monitor whose timer is set to `timeout` cycles (the paper
+    /// sets it to the DRAM latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    #[must_use]
+    pub fn new(timeout: u64) -> DramTimerMonitor {
+        assert!(timeout > 0, "monitor timeout must be positive");
+        DramTimerMonitor {
+            timeout,
+            enabled_until: None,
+            enabled_cycles: 0,
+            last_observed: 0,
+            was_enabled: false,
+            activations: 0,
+        }
+    }
+
+    /// Notes a demand access that missed in the L3 at cycle `now`: the timer
+    /// is restarted and LTP is enabled.
+    pub fn note_llc_miss(&mut self, now: Cycle) {
+        self.advance(now);
+        if !self.was_enabled {
+            self.activations += 1;
+        }
+        self.enabled_until = Some(now + self.timeout);
+        self.was_enabled = true;
+    }
+
+    /// Whether LTP is enabled at cycle `now`.
+    pub fn enabled(&mut self, now: Cycle) -> bool {
+        self.advance(now);
+        self.was_enabled
+    }
+
+    /// Read-only check without advancing accounting.
+    #[must_use]
+    pub fn is_enabled_at(&self, now: Cycle) -> bool {
+        matches!(self.enabled_until, Some(t) if now < t)
+    }
+
+    fn advance(&mut self, now: Cycle) {
+        if now < self.last_observed {
+            return;
+        }
+        // Account enabled time between the last observation and `now`.
+        if let Some(until) = self.enabled_until {
+            let end = until.min(now);
+            if end > self.last_observed {
+                self.enabled_cycles += end - self.last_observed;
+            }
+            if now >= until {
+                self.was_enabled = false;
+            } else {
+                self.was_enabled = true;
+            }
+        }
+        self.last_observed = now;
+    }
+
+    /// Total cycles during which LTP has been enabled so far.
+    #[must_use]
+    pub fn enabled_cycles(&self) -> u64 {
+        self.enabled_cycles
+    }
+
+    /// Fraction of the observed time LTP was enabled.
+    #[must_use]
+    pub fn enabled_fraction(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.enabled_cycles as f64 / total_cycles as f64
+        }
+    }
+
+    /// Number of off→on transitions.
+    #[must_use]
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// The timer value in cycles.
+    #[must_use]
+    pub fn timeout(&self) -> u64 {
+        self.timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_until_first_llc_miss() {
+        let mut m = DramTimerMonitor::new(200);
+        assert!(!m.enabled(0));
+        assert!(!m.enabled(1000));
+        m.note_llc_miss(1000);
+        assert!(m.enabled(1001));
+        assert_eq!(m.activations(), 1);
+    }
+
+    #[test]
+    fn timer_expires_without_activity() {
+        let mut m = DramTimerMonitor::new(200);
+        m.note_llc_miss(100);
+        assert!(m.enabled(250));
+        assert!(!m.enabled(301));
+        assert!(m.is_enabled_at(299));
+        assert!(!m.is_enabled_at(300));
+    }
+
+    #[test]
+    fn repeated_misses_keep_it_enabled() {
+        let mut m = DramTimerMonitor::new(200);
+        for t in (0..2000).step_by(100) {
+            m.note_llc_miss(t);
+        }
+        assert!(m.enabled(2050));
+        assert_eq!(m.activations(), 1, "never turned off, so only one activation");
+    }
+
+    #[test]
+    fn enabled_cycles_accumulate() {
+        let mut m = DramTimerMonitor::new(100);
+        m.note_llc_miss(0);
+        // Observe well past expiry.
+        assert!(!m.enabled(500));
+        assert_eq!(m.enabled_cycles(), 100);
+        assert!((m.enabled_fraction(500) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reactivation_counts() {
+        let mut m = DramTimerMonitor::new(50);
+        m.note_llc_miss(0);
+        assert!(!m.enabled(100));
+        m.note_llc_miss(200);
+        assert!(m.enabled(210));
+        assert_eq!(m.activations(), 2);
+    }
+
+    #[test]
+    fn out_of_order_observation_is_ignored() {
+        let mut m = DramTimerMonitor::new(50);
+        m.note_llc_miss(100);
+        assert!(m.enabled(120));
+        // An observation earlier than the last one must not corrupt state.
+        assert!(m.enabled(110));
+        assert!(m.enabled(120));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_timeout_panics() {
+        let _ = DramTimerMonitor::new(0);
+    }
+
+    #[test]
+    fn enabled_fraction_of_zero_cycles() {
+        let m = DramTimerMonitor::new(10);
+        assert_eq!(m.enabled_fraction(0), 0.0);
+    }
+}

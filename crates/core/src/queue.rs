@@ -1,0 +1,432 @@
+//! The Long Term Parking queue itself (Figure 9c).
+//!
+//! For the recommended Non-Urgent-only design the LTP is a plain FIFO:
+//! instructions enter at the tail in program order and leave from the head in
+//! program order when the ROB-proximity wakeup condition is met. The extended
+//! design that also parks Non-Ready instructions additionally allows
+//! out-of-order release of entries whose ticket set has become empty (a CAM /
+//! bit-matrix in hardware; here a scan).
+//!
+//! Bandwidth is limited by the number of LTP ports: at most `ports`
+//! instructions can enter *and* at most `ports` can leave per cycle
+//! (Figure 10 sweeps 1/2/4/8 ports).
+
+use crate::class::Criticality;
+use crate::tickets::{Ticket, TicketSet};
+use crate::Cycle;
+use ltp_isa::SeqNum;
+use std::collections::VecDeque;
+
+/// One instruction parked in LTP.
+#[derive(Debug, Clone)]
+pub struct ParkedInst {
+    /// Dynamic sequence number of the parked instruction.
+    pub seq: SeqNum,
+    /// Its criticality at the time it was parked.
+    pub class: Criticality,
+    /// Tickets it waits on (empty for Non-Urgent-only parking).
+    pub tickets: TicketSet,
+    /// Cycle at which it entered the LTP (for residency statistics).
+    pub parked_at: Cycle,
+    /// Whether the instruction writes a register (it will need one when it
+    /// leaves LTP; used for the Figure 7 "registers in LTP" statistic).
+    pub writes_reg: bool,
+    /// Whether it is a load / store (Figure 7 loads/stores in LTP).
+    pub is_load: bool,
+    /// Whether it is a store.
+    pub is_store: bool,
+}
+
+/// The parking FIFO with port-limited enqueue/dequeue bandwidth.
+#[derive(Debug, Clone)]
+pub struct LtpQueue {
+    capacity: usize,
+    ports: usize,
+    entries: VecDeque<ParkedInst>,
+    enqueued_this_cycle: usize,
+    dequeued_this_cycle: usize,
+    current_cycle: Cycle,
+    total_parked: u64,
+    total_released: u64,
+    full_rejections: u64,
+    port_rejections: u64,
+}
+
+impl LtpQueue {
+    /// Creates an empty LTP queue with `capacity` entries and `ports`
+    /// enqueue/dequeue slots per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `ports` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, ports: usize) -> LtpQueue {
+        assert!(capacity > 0, "LTP queue needs at least one entry");
+        assert!(ports > 0, "LTP queue needs at least one port");
+        LtpQueue {
+            capacity,
+            ports,
+            entries: VecDeque::new(),
+            enqueued_this_cycle: 0,
+            dequeued_this_cycle: 0,
+            current_cycle: 0,
+            total_parked: 0,
+            total_released: 0,
+            full_rejections: 0,
+            port_rejections: 0,
+        }
+    }
+
+    fn roll_cycle(&mut self, now: Cycle) {
+        if now != self.current_cycle {
+            self.current_cycle = now;
+            self.enqueued_this_cycle = 0;
+            self.dequeued_this_cycle = 0;
+        }
+    }
+
+    /// Number of instructions currently parked.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue holds no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether an instruction can be parked at cycle `now` (space available
+    /// and an enqueue port free this cycle).
+    pub fn can_park(&mut self, now: Cycle) -> bool {
+        self.roll_cycle(now);
+        self.entries.len() < self.capacity && self.enqueued_this_cycle < self.ports
+    }
+
+    /// Parks an instruction at cycle `now`. Returns `false` (and counts the
+    /// rejection) if the queue is full or out of enqueue bandwidth this
+    /// cycle, in which case the caller must dispatch the instruction
+    /// normally.
+    pub fn park(&mut self, inst: ParkedInst, now: Cycle) -> bool {
+        self.roll_cycle(now);
+        if self.entries.len() >= self.capacity {
+            self.full_rejections += 1;
+            return false;
+        }
+        if self.enqueued_this_cycle >= self.ports {
+            self.port_rejections += 1;
+            return false;
+        }
+        debug_assert!(
+            self.entries.back().map_or(true, |b| b.seq < inst.seq),
+            "LTP must be filled in program order"
+        );
+        self.entries.push_back(inst);
+        self.enqueued_this_cycle += 1;
+        self.total_parked += 1;
+        true
+    }
+
+    /// Sequence number of the oldest parked instruction, if any.
+    #[must_use]
+    pub fn oldest(&self) -> Option<SeqNum> {
+        self.entries.front().map(|e| e.seq)
+    }
+
+    /// Releases up to `max` instructions in program order whose sequence
+    /// number is strictly older than `wake_before` **and** whose ticket set is
+    /// empty. This implements the ROB-proximity wakeup of Non-Urgent
+    /// instructions: the pipeline passes the sequence number of the next
+    /// long-latency instruction in the ROB (or the ROB tail), and everything
+    /// older than it wakes, oldest first.
+    pub fn release_in_order(
+        &mut self,
+        wake_before: SeqNum,
+        max: usize,
+        now: Cycle,
+    ) -> Vec<ParkedInst> {
+        self.roll_cycle(now);
+        let mut out = Vec::new();
+        while out.len() < max && self.dequeued_this_cycle < self.ports {
+            match self.entries.front() {
+                Some(front)
+                    if front.seq.is_older_than(wake_before) && front.tickets.is_empty() =>
+                {
+                    let inst = self.entries.pop_front().expect("front exists");
+                    self.dequeued_this_cycle += 1;
+                    self.total_released += 1;
+                    out.push(inst);
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Forces the release of the oldest parked instruction regardless of the
+    /// wakeup condition (deadlock avoidance, §5.4: "Whenever we start to run
+    /// out of pipeline resources, we always pick an instruction from LTP").
+    pub fn force_release_oldest(&mut self, now: Cycle) -> Option<ParkedInst> {
+        self.roll_cycle(now);
+        if self.dequeued_this_cycle >= self.ports {
+            return None;
+        }
+        let inst = self.entries.pop_front()?;
+        self.dequeued_this_cycle += 1;
+        self.total_released += 1;
+        Some(inst)
+    }
+
+    /// Releases up to `max` instructions *out of order* whose ticket sets are
+    /// empty (used for Urgent + Non-Ready instructions, which must issue to
+    /// the IQ as soon as their data is about to arrive, appendix A).
+    pub fn release_ready_out_of_order(&mut self, max: usize, now: Cycle) -> Vec<ParkedInst> {
+        self.roll_cycle(now);
+        let mut out = Vec::new();
+        let mut idx = 0;
+        while idx < self.entries.len() {
+            if out.len() >= max || self.dequeued_this_cycle >= self.ports {
+                break;
+            }
+            if self.entries[idx].tickets.is_empty() && self.entries[idx].class.urgent {
+                let inst = self.entries.remove(idx).expect("index is valid");
+                self.dequeued_this_cycle += 1;
+                self.total_released += 1;
+                out.push(inst);
+            } else {
+                idx += 1;
+            }
+        }
+        out
+    }
+
+    /// Broadcasts the completion of a long-latency instruction: removes
+    /// `ticket` from every parked instruction's ticket set. Returns the number
+    /// of entries whose ticket set became empty as a result.
+    pub fn clear_ticket(&mut self, ticket: Ticket) -> usize {
+        let mut became_ready = 0;
+        for e in &mut self.entries {
+            if e.tickets.clear_ticket(ticket) && e.tickets.is_empty() {
+                became_ready += 1;
+            }
+        }
+        became_ready
+    }
+
+    /// Iterates over the parked instructions from oldest to youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &ParkedInst> {
+        self.entries.iter()
+    }
+
+    /// Number of parked instructions that will need a destination register.
+    #[must_use]
+    pub fn parked_writers(&self) -> usize {
+        self.entries.iter().filter(|e| e.writes_reg).count()
+    }
+
+    /// Number of parked loads.
+    #[must_use]
+    pub fn parked_loads(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_load).count()
+    }
+
+    /// Number of parked stores.
+    #[must_use]
+    pub fn parked_stores(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_store).count()
+    }
+
+    /// Total instructions ever parked.
+    #[must_use]
+    pub fn total_parked(&self) -> u64 {
+        self.total_parked
+    }
+
+    /// Total instructions ever released.
+    #[must_use]
+    pub fn total_released(&self) -> u64 {
+        self.total_released
+    }
+
+    /// Number of park attempts rejected because the queue was full.
+    #[must_use]
+    pub fn full_rejections(&self) -> u64 {
+        self.full_rejections
+    }
+
+    /// Number of park attempts rejected because enqueue bandwidth ran out.
+    #[must_use]
+    pub fn port_rejections(&self) -> u64 {
+        self.port_rejections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parked(seq: u64) -> ParkedInst {
+        ParkedInst {
+            seq: SeqNum(seq),
+            class: Criticality::NON_URGENT_READY,
+            tickets: TicketSet::new(),
+            parked_at: 0,
+            writes_reg: true,
+            is_load: false,
+            is_store: false,
+        }
+    }
+
+    fn parked_with_ticket(seq: u64, t: Ticket) -> ParkedInst {
+        ParkedInst {
+            seq: SeqNum(seq),
+            class: Criticality::URGENT_NON_READY,
+            tickets: [t].into_iter().collect(),
+            parked_at: 0,
+            writes_reg: true,
+            is_load: false,
+            is_store: false,
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = LtpQueue::new(8, 8);
+        for s in 0..5u64 {
+            assert!(q.park(parked(s), 0));
+        }
+        let released = q.release_in_order(SeqNum(100), 10, 1);
+        let seqs: Vec<u64> = released.iter().map(|p| p.seq.0).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_limit_rejects() {
+        let mut q = LtpQueue::new(2, 8);
+        assert!(q.park(parked(0), 0));
+        assert!(q.park(parked(1), 0));
+        assert!(!q.park(parked(2), 0));
+        assert_eq!(q.full_rejections(), 1);
+        assert_eq!(q.occupancy(), 2);
+    }
+
+    #[test]
+    fn port_limit_applies_per_cycle() {
+        let mut q = LtpQueue::new(16, 2);
+        assert!(q.park(parked(0), 5));
+        assert!(q.park(parked(1), 5));
+        assert!(!q.park(parked(2), 5));
+        assert_eq!(q.port_rejections(), 1);
+        // Next cycle the port budget resets.
+        assert!(q.park(parked(2), 6));
+    }
+
+    #[test]
+    fn release_respects_wake_boundary() {
+        let mut q = LtpQueue::new(8, 8);
+        for s in 0..6u64 {
+            q.park(parked(s), 0);
+        }
+        let released = q.release_in_order(SeqNum(3), 10, 1);
+        assert_eq!(released.len(), 3);
+        assert_eq!(q.occupancy(), 3);
+        assert_eq!(q.oldest(), Some(SeqNum(3)));
+    }
+
+    #[test]
+    fn release_respects_ports_and_max() {
+        let mut q = LtpQueue::new(8, 2);
+        // With 2 ports, parking 6 instructions takes 3 cycles.
+        for s in 0..6u64 {
+            assert!(q.park(parked(s), s / 2));
+        }
+        let released = q.release_in_order(SeqNum(100), 10, 10);
+        assert_eq!(released.len(), 2, "dequeue bandwidth is 2 per cycle");
+        let released = q.release_in_order(SeqNum(100), 1, 11);
+        assert_eq!(released.len(), 1, "caller max applies");
+    }
+
+    #[test]
+    fn non_empty_ticket_blocks_in_order_release() {
+        let mut q = LtpQueue::new(8, 8);
+        q.park(parked_with_ticket(0, Ticket(7)), 0);
+        q.park(parked(1), 0);
+        // Head is waiting on a ticket: nothing older can be skipped in the
+        // in-order release path.
+        assert!(q.release_in_order(SeqNum(100), 10, 1).is_empty());
+        assert_eq!(q.clear_ticket(Ticket(7)), 1);
+        let released = q.release_in_order(SeqNum(100), 10, 2);
+        assert_eq!(released.len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_release_skips_waiting_head() {
+        let mut q = LtpQueue::new(8, 8);
+        q.park(parked_with_ticket(0, Ticket(1)), 0);
+        let mut urgent_ready = parked_with_ticket(1, Ticket(2));
+        urgent_ready.tickets = TicketSet::new();
+        q.park(urgent_ready, 0);
+        let released = q.release_ready_out_of_order(10, 1);
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].seq, SeqNum(1));
+        assert_eq!(q.occupancy(), 1);
+        assert_eq!(q.oldest(), Some(SeqNum(0)));
+    }
+
+    #[test]
+    fn force_release_ignores_conditions() {
+        let mut q = LtpQueue::new(8, 8);
+        q.park(parked_with_ticket(0, Ticket(1)), 0);
+        let released = q.force_release_oldest(1).unwrap();
+        assert_eq!(released.seq, SeqNum(0));
+        assert!(q.is_empty());
+        assert!(q.force_release_oldest(1).is_none());
+    }
+
+    #[test]
+    fn composition_statistics() {
+        let mut q = LtpQueue::new(8, 8);
+        q.park(
+            ParkedInst {
+                seq: SeqNum(0),
+                class: Criticality::NON_URGENT_NON_READY,
+                tickets: TicketSet::new(),
+                parked_at: 0,
+                writes_reg: false,
+                is_load: false,
+                is_store: true,
+            },
+            0,
+        );
+        q.park(
+            ParkedInst {
+                seq: SeqNum(1),
+                class: Criticality::NON_URGENT_READY,
+                tickets: TicketSet::new(),
+                parked_at: 0,
+                writes_reg: true,
+                is_load: true,
+                is_store: false,
+            },
+            0,
+        );
+        assert_eq!(q.parked_stores(), 1);
+        assert_eq!(q.parked_loads(), 1);
+        assert_eq!(q.parked_writers(), 1);
+        assert_eq!(q.total_parked(), 2);
+        assert_eq!(q.iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = LtpQueue::new(0, 1);
+    }
+}

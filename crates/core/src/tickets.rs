@@ -1,0 +1,252 @@
+//! Tickets for waking Non-Ready instructions (appendix A of the paper).
+//!
+//! When a load (or divide/sqrt) is predicted to be long-latency, it is
+//! assigned a *ticket*. The ticket is recorded in the RAT extension on the
+//! instruction's destination register, and every descendant inherits the
+//! union of its sources' tickets. A descendant with a non-empty ticket set is
+//! Non-Ready. When the long-latency instruction is about to complete, its
+//! ticket is broadcast to the LTP, clearing that ticket from every parked
+//! instruction; an instruction whose ticket set becomes empty is ready to be
+//! released (out of order).
+//!
+//! The number of tickets is a hardware resource (Figure 11 sweeps 4..128):
+//! when no ticket is free, the long-latency instruction simply is not tracked
+//! and its descendants are conservatively treated as Ready.
+
+use std::collections::BTreeSet;
+
+/// A ticket identifying one in-flight long-latency instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(pub u32);
+
+impl std::fmt::Display for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A set of tickets an instruction is waiting on.
+///
+/// The paper notes "the Tickets field is a vector of tickets containing all
+/// the tickets that the instruction needs to wait for since an instruction
+/// can depend on several long latency instructions".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TicketSet {
+    tickets: BTreeSet<Ticket>,
+}
+
+impl TicketSet {
+    /// Creates an empty ticket set.
+    #[must_use]
+    pub fn new() -> TicketSet {
+        TicketSet::default()
+    }
+
+    /// Adds a ticket to the set.
+    pub fn insert(&mut self, t: Ticket) {
+        self.tickets.insert(t);
+    }
+
+    /// Removes a ticket; returns whether it was present.
+    pub fn clear_ticket(&mut self, t: Ticket) -> bool {
+        self.tickets.remove(&t)
+    }
+
+    /// Merges another ticket set into this one (ticket inheritance).
+    pub fn union_with(&mut self, other: &TicketSet) {
+        self.tickets.extend(other.tickets.iter().copied());
+    }
+
+    /// Whether no tickets remain (the instruction is ready to wake).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tickets.is_empty()
+    }
+
+    /// Number of distinct tickets being waited on.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// Whether the set contains `t`.
+    #[must_use]
+    pub fn contains(&self, t: Ticket) -> bool {
+        self.tickets.contains(&t)
+    }
+
+    /// Iterates over the tickets in the set.
+    pub fn iter(&self) -> impl Iterator<Item = Ticket> + '_ {
+        self.tickets.iter().copied()
+    }
+}
+
+impl FromIterator<Ticket> for TicketSet {
+    fn from_iter<I: IntoIterator<Item = Ticket>>(iter: I) -> Self {
+        TicketSet {
+            tickets: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The pool of hardware tickets.
+#[derive(Debug, Clone)]
+pub struct TicketFile {
+    capacity: usize,
+    free: Vec<Ticket>,
+    next_unallocated: u32,
+    in_flight: BTreeSet<Ticket>,
+    exhausted_allocations: u64,
+}
+
+impl TicketFile {
+    /// Creates a ticket file with `capacity` tickets (`usize::MAX` =
+    /// effectively unlimited, used in the limit study).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> TicketFile {
+        assert!(capacity > 0, "ticket file needs at least one ticket");
+        TicketFile {
+            capacity,
+            free: Vec::new(),
+            next_unallocated: 0,
+            in_flight: BTreeSet::new(),
+            exhausted_allocations: 0,
+        }
+    }
+
+    /// Number of tickets currently assigned to in-flight long-latency
+    /// instructions.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Total capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of allocation attempts that failed because no ticket was free.
+    #[must_use]
+    pub fn exhausted_allocations(&self) -> u64 {
+        self.exhausted_allocations
+    }
+
+    /// Allocates a ticket for a newly predicted long-latency instruction.
+    /// Returns `None` when all tickets are in flight (the instruction is then
+    /// simply not tracked).
+    pub fn allocate(&mut self) -> Option<Ticket> {
+        if self.in_flight.len() >= self.capacity {
+            self.exhausted_allocations += 1;
+            return None;
+        }
+        let t = match self.free.pop() {
+            Some(t) => t,
+            None => {
+                let t = Ticket(self.next_unallocated);
+                self.next_unallocated += 1;
+                t
+            }
+        };
+        self.in_flight.insert(t);
+        Some(t)
+    }
+
+    /// Releases a ticket when its long-latency instruction completes and the
+    /// clear has been broadcast. Releasing a ticket that is not in flight is
+    /// a no-op (this can happen when the monitor turned LTP off mid-flight).
+    pub fn release(&mut self, t: Ticket) {
+        if self.in_flight.remove(&t) {
+            self.free.push(t);
+        }
+    }
+
+    /// Whether `t` is currently in flight.
+    #[must_use]
+    pub fn is_in_flight(&self, t: Ticket) -> bool {
+        self.in_flight.contains(&t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_set_union_and_clear() {
+        let mut a: TicketSet = [Ticket(1), Ticket(2)].into_iter().collect();
+        let b: TicketSet = [Ticket(2), Ticket(3)].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(Ticket(3)));
+        assert!(a.clear_ticket(Ticket(2)));
+        assert!(!a.clear_ticket(Ticket(2)));
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        a.clear_ticket(Ticket(1));
+        a.clear_ticket(Ticket(3));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn allocate_release_cycle() {
+        let mut f = TicketFile::new(2);
+        let t1 = f.allocate().unwrap();
+        let t2 = f.allocate().unwrap();
+        assert_ne!(t1, t2);
+        assert_eq!(f.in_flight(), 2);
+        assert!(f.allocate().is_none());
+        assert_eq!(f.exhausted_allocations(), 1);
+        f.release(t1);
+        assert_eq!(f.in_flight(), 1);
+        let t3 = f.allocate().unwrap();
+        assert!(f.is_in_flight(t3));
+    }
+
+    #[test]
+    fn released_tickets_are_reused() {
+        let mut f = TicketFile::new(1);
+        let t1 = f.allocate().unwrap();
+        f.release(t1);
+        let t2 = f.allocate().unwrap();
+        assert_eq!(t1, t2, "the freed ticket should be recycled");
+    }
+
+    #[test]
+    fn double_release_is_harmless() {
+        let mut f = TicketFile::new(2);
+        let t = f.allocate().unwrap();
+        f.release(t);
+        f.release(t);
+        assert_eq!(f.in_flight(), 0);
+        // Capacity is not corrupted by the double release.
+        assert!(f.allocate().is_some());
+        assert!(f.allocate().is_some());
+        assert!(f.allocate().is_none());
+    }
+
+    #[test]
+    fn unlimited_file_keeps_allocating() {
+        let mut f = TicketFile::new(usize::MAX);
+        for _ in 0..1000 {
+            assert!(f.allocate().is_some());
+        }
+        assert_eq!(f.in_flight(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ticket")]
+    fn zero_capacity_panics() {
+        let _ = TicketFile::new(0);
+    }
+
+    #[test]
+    fn ticket_display() {
+        assert_eq!(Ticket(7).to_string(), "t7");
+    }
+}

@@ -1,0 +1,56 @@
+//! # ltp-energy
+//!
+//! First-order energy and ED²P model for the IQ, register file and LTP queue.
+//!
+//! The paper evaluates energy with McPAT/CACTI and reports the *relative*
+//! IQ+RF ED²P of the LTP design versus the baseline (Figure 10): "Energy has
+//! been calculated by using the McPAT/Cacti models for the baseline RF and
+//! IQ, scaling them for the LTP design. Results include the overhead of the
+//! LTP support structures." We cannot ship McPAT, so this crate provides the
+//! same first-order scaling laws the paper's argument relies on:
+//!
+//! * the IQ is a CAM whose per-access energy grows with
+//!   `entries × issue width` (one comparator per entry and per issue slot),
+//!   and which is searched every cycle by wakeup;
+//! * the register file is a multi-ported RAM whose per-access energy grows
+//!   with `entries × ports`;
+//! * the LTP is a single queue (RAM, few ports): per-entry cost is a small
+//!   fraction of an IQ entry;
+//! * the UIT and RAT extensions contribute a fixed small overhead.
+//!
+//! Absolute joules are meaningless here; every experiment reports energy and
+//! ED²P *relative to the baseline configuration*, which is exactly how the
+//! paper presents Figure 10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod model;
+
+pub use model::{EnergyBreakdown, EnergyModel, EnergyParams, StructureActivity};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_iq_costs_less() {
+        let model = EnergyModel::new(EnergyParams::default());
+        let activity = StructureActivity {
+            cycles: 1_000,
+            iq_writes: 800,
+            iq_issues: 600,
+            iq_occupancy: 40.0,
+            rf_reads: 1200,
+            rf_writes: 700,
+            rf_occupancy: 100.0,
+            ltp_writes: 0,
+            ltp_reads: 0,
+            ltp_occupancy: 0.0,
+        };
+        let big = model.energy(64, 128, 0, 1, &activity);
+        let small = model.energy(32, 96, 0, 1, &activity);
+        assert!(small.total() < big.total());
+    }
+}

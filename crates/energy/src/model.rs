@@ -1,0 +1,288 @@
+//! The parametric energy model and the ED²P metric.
+
+/// Tunable per-event energy coefficients (arbitrary units).
+///
+/// The defaults are chosen so that the *ratios* between structures follow the
+/// first-order hardware arguments of §5.5 of the paper:
+///
+/// * an IQ entry costs far more than a queue entry of the same width because
+///   of its comparators and the wakeup broadcast;
+/// * register file access energy scales with the port count;
+/// * the LTP queue has few ports and no associative search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Energy of writing one instruction into the IQ, per IQ entry of
+    /// capacity (CAM write: grows with the number of entries).
+    pub iq_write_per_entry: f64,
+    /// Energy of the wakeup broadcast per cycle, per entry × issue-width
+    /// comparator.
+    pub iq_wakeup_per_comparator: f64,
+    /// Energy of selecting and reading out one issued instruction.
+    pub iq_issue: f64,
+    /// Static/leakage energy per IQ entry per cycle.
+    pub iq_leak_per_entry: f64,
+    /// Energy per register file read port access.
+    pub rf_read: f64,
+    /// Energy per register file write port access.
+    pub rf_write: f64,
+    /// Static/leakage energy per physical register per cycle.
+    pub rf_leak_per_entry: f64,
+    /// Energy per LTP enqueue or dequeue (simple RAM access).
+    pub ltp_access: f64,
+    /// Static/leakage energy per LTP entry per cycle (queue cells are far
+    /// denser than IQ CAM cells).
+    pub ltp_leak_per_entry: f64,
+    /// Fixed per-cycle overhead of the LTP support structures (UIT, RAT
+    /// extension, second RAT) when LTP is present.
+    pub ltp_support_per_cycle: f64,
+    /// Issue width used for the wakeup comparator count.
+    pub issue_width: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            iq_write_per_entry: 0.010,
+            iq_wakeup_per_comparator: 0.004,
+            iq_issue: 0.6,
+            iq_leak_per_entry: 0.012,
+            rf_read: 0.5,
+            rf_write: 0.7,
+            rf_leak_per_entry: 0.010,
+            ltp_access: 0.15,
+            ltp_leak_per_entry: 0.002,
+            ltp_support_per_cycle: 0.25,
+            issue_width: 6.0,
+        }
+    }
+}
+
+/// Activity counters gathered from a simulation run, fed to the model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StructureActivity {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Instructions written into the IQ.
+    pub iq_writes: u64,
+    /// Instructions issued from the IQ.
+    pub iq_issues: u64,
+    /// Average IQ occupancy (entries valid per cycle), for the wakeup
+    /// broadcast term.
+    pub iq_occupancy: f64,
+    /// Register file read-port accesses.
+    pub rf_reads: u64,
+    /// Register file write-port accesses.
+    pub rf_writes: u64,
+    /// Average number of allocated physical registers.
+    pub rf_occupancy: f64,
+    /// Instructions parked into the LTP.
+    pub ltp_writes: u64,
+    /// Instructions released from the LTP.
+    pub ltp_reads: u64,
+    /// Average LTP occupancy.
+    pub ltp_occupancy: f64,
+}
+
+/// Energy broken down by structure (arbitrary units).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Instruction queue dynamic + static energy.
+    pub iq: f64,
+    /// Register file dynamic + static energy.
+    pub rf: f64,
+    /// LTP queue plus its support structures.
+    pub ltp: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy across the modelled structures.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.iq + self.rf + self.ltp
+    }
+}
+
+/// The first-order energy model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyModel {
+    params: EnergyParams,
+}
+
+impl EnergyModel {
+    /// Creates a model with the given coefficients.
+    #[must_use]
+    pub fn new(params: EnergyParams) -> EnergyModel {
+        EnergyModel { params }
+    }
+
+    /// The coefficients of this model.
+    #[must_use]
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Computes the IQ/RF/LTP energy of a run.
+    ///
+    /// * `iq_entries`, `rf_entries` — structure sizes of the configuration;
+    /// * `ltp_entries`, `ltp_ports` — LTP size (0 entries = no LTP present);
+    /// * `activity` — event counts from the run.
+    #[must_use]
+    pub fn energy(
+        &self,
+        iq_entries: usize,
+        rf_entries: usize,
+        ltp_entries: usize,
+        ltp_ports: usize,
+        activity: &StructureActivity,
+    ) -> EnergyBreakdown {
+        let p = &self.params;
+        let cycles = activity.cycles as f64;
+
+        // IQ: writes scale with the CAM size, wakeup broadcast scales with
+        // (valid entries × issue width) every cycle, issue is per event,
+        // leakage scales with capacity.
+        let iq_dynamic = activity.iq_writes as f64 * p.iq_write_per_entry * iq_entries as f64
+            + cycles * activity.iq_occupancy * p.issue_width * p.iq_wakeup_per_comparator
+            + activity.iq_issues as f64 * p.iq_issue;
+        let iq_static = cycles * iq_entries as f64 * p.iq_leak_per_entry;
+
+        // RF: per-port access energy grows with the number of entries
+        // (longer bit lines); model it as sqrt(entries) scaling, the usual
+        // first-order RAM access scaling.
+        let rf_scale = (rf_entries as f64).sqrt() / (128f64).sqrt();
+        let rf_dynamic = (activity.rf_reads as f64 * p.rf_read
+            + activity.rf_writes as f64 * p.rf_write)
+            * rf_scale;
+        let rf_static = cycles * rf_entries as f64 * p.rf_leak_per_entry;
+
+        // LTP: plain RAM accesses plus leakage plus fixed support overhead.
+        let ltp = if ltp_entries == 0 {
+            0.0
+        } else {
+            let port_scale = 0.75 + 0.25 * ltp_ports as f64 / 4.0;
+            (activity.ltp_writes + activity.ltp_reads) as f64 * p.ltp_access * port_scale
+                + cycles * ltp_entries as f64 * p.ltp_leak_per_entry
+                + cycles * p.ltp_support_per_cycle
+        };
+
+        EnergyBreakdown {
+            iq: iq_dynamic + iq_static,
+            rf: rf_dynamic + rf_static,
+            ltp,
+        }
+    }
+
+    /// Energy × delay² product, the paper's efficiency metric. `delay` is the
+    /// run's execution time in cycles.
+    #[must_use]
+    pub fn ed2p(energy: f64, delay_cycles: u64) -> f64 {
+        energy * (delay_cycles as f64) * (delay_cycles as f64)
+    }
+
+    /// Relative change of ED²P versus a baseline, in percent
+    /// (negative = better than baseline), matching the y-axis of Figure 10.
+    #[must_use]
+    pub fn ed2p_delta_percent(candidate: f64, baseline: f64) -> f64 {
+        assert!(baseline > 0.0, "baseline ED2P must be positive");
+        (candidate / baseline - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activity() -> StructureActivity {
+        StructureActivity {
+            cycles: 10_000,
+            iq_writes: 8_000,
+            iq_issues: 7_500,
+            iq_occupancy: 40.0,
+            rf_reads: 12_000,
+            rf_writes: 7_000,
+            rf_occupancy: 100.0,
+            ltp_writes: 3_000,
+            ltp_reads: 3_000,
+            ltp_occupancy: 50.0,
+        }
+    }
+
+    #[test]
+    fn iq_energy_scales_with_entries() {
+        let m = EnergyModel::default();
+        let a = activity();
+        let e64 = m.energy(64, 128, 0, 1, &a);
+        let e32 = m.energy(32, 128, 0, 1, &a);
+        assert!(e32.iq < e64.iq);
+        assert!((e32.rf - e64.rf).abs() < 1e-9, "RF energy unchanged");
+    }
+
+    #[test]
+    fn rf_energy_scales_with_entries() {
+        let m = EnergyModel::default();
+        let a = activity();
+        let e128 = m.energy(64, 128, 0, 1, &a);
+        let e96 = m.energy(64, 96, 0, 1, &a);
+        assert!(e96.rf < e128.rf);
+    }
+
+    #[test]
+    fn ltp_adds_overhead_but_less_than_iq_savings() {
+        let m = EnergyModel::default();
+        let a = activity();
+        let baseline = m.energy(64, 128, 0, 1, &a);
+        let ltp_design = m.energy(32, 96, 128, 4, &a);
+        assert!(ltp_design.ltp > 0.0);
+        assert!(
+            ltp_design.total() < baseline.total(),
+            "the 32/96+LTP design should cost less energy than the 64/128 baseline \
+             ({} vs {})",
+            ltp_design.total(),
+            baseline.total()
+        );
+    }
+
+    #[test]
+    fn no_ltp_means_zero_ltp_energy() {
+        let m = EnergyModel::default();
+        let e = m.energy(32, 96, 0, 1, &activity());
+        assert_eq!(e.ltp, 0.0);
+    }
+
+    #[test]
+    fn more_ltp_ports_cost_more() {
+        let m = EnergyModel::default();
+        let a = activity();
+        let p1 = m.energy(32, 96, 128, 1, &a);
+        let p8 = m.energy(32, 96, 128, 8, &a);
+        assert!(p8.ltp > p1.ltp);
+    }
+
+    #[test]
+    fn ed2p_penalises_slowdowns_quadratically() {
+        let e = 100.0;
+        let fast = EnergyModel::ed2p(e, 1_000);
+        let slow = EnergyModel::ed2p(e, 2_000);
+        assert!((slow / fast - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ed2p_delta_sign_convention() {
+        assert!(EnergyModel::ed2p_delta_percent(60.0, 100.0) < 0.0);
+        assert!(EnergyModel::ed2p_delta_percent(120.0, 100.0) > 0.0);
+        assert!((EnergyModel::ed2p_delta_percent(100.0, 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn ed2p_delta_rejects_zero_baseline() {
+        let _ = EnergyModel::ed2p_delta_percent(1.0, 0.0);
+    }
+
+    #[test]
+    fn breakdown_total_sums_parts() {
+        let m = EnergyModel::default();
+        let e = m.energy(32, 96, 128, 4, &activity());
+        assert!((e.total() - (e.iq + e.rf + e.ltp)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,178 @@
+//! Ablations of the design choices called out in `DESIGN.md`:
+//!
+//! 1. **Prefetcher** — the paper runs every experiment with the L2 stride
+//!    prefetcher enabled and notes that "applications with regular access
+//!    patterns are unlikely to be classified as MLP-sensitive" because of it.
+//!    The ablation disables the prefetcher and shows how the streaming kernel
+//!    changes class and how much every kernel slows down.
+//! 2. **DRAM-timer monitor (§5.2)** — comparing the proposed design with the
+//!    monitor against an always-on LTP shows that performance is unaffected
+//!    but the parking activity (and therefore LTP energy) on compute-bound
+//!    code differs dramatically.
+//! 3. **Resource reserve (§5.4)** — the number of registers held back for
+//!    instructions leaving the LTP trades deadlock-avoidance margin against
+//!    dispatch capacity.
+
+use crate::parallel::par_map;
+use crate::runner::{run_point, RunOptions};
+use ltp_core::LtpConfig;
+use ltp_pipeline::PipelineConfig;
+use ltp_stats::TextTable;
+use ltp_workloads::WorkloadKind;
+use std::collections::HashMap;
+
+/// Runs all three ablations and renders the report.
+#[must_use]
+pub fn run(opts: &RunOptions) -> String {
+    let mut out = String::new();
+    out.push_str(&prefetcher_ablation(opts));
+    out.push('\n');
+    out.push_str(&monitor_ablation(opts));
+    out.push('\n');
+    out.push_str(&reserve_ablation(opts));
+    out
+}
+
+fn prefetcher_ablation(opts: &RunOptions) -> String {
+    let l2_latency = PipelineConfig::micro2015_baseline().mem.l2.latency;
+    let mut configs = Vec::new();
+    for with_pf in [true, false] {
+        for iq in [32usize, 256] {
+            let mut cfg = PipelineConfig::limit_study_unlimited().with_iq(iq);
+            if !with_pf {
+                cfg = cfg.with_mem(cfg.mem.without_prefetcher());
+            }
+            configs.push((with_pf, iq, cfg));
+        }
+    }
+
+    let jobs: Vec<(bool, usize, PipelineConfig, WorkloadKind)> = configs
+        .iter()
+        .flat_map(|&(pf, iq, cfg)| WorkloadKind::ALL.iter().map(move |&k| (pf, iq, cfg, k)))
+        .collect();
+    let results = par_map(jobs.clone(), |&(_, _, cfg, kind)| run_point(kind, cfg, opts));
+    let by_job: HashMap<(bool, usize, WorkloadKind), ltp_pipeline::RunResult> = jobs
+        .into_iter()
+        .map(|(pf, iq, _, k)| (pf, iq, k))
+        .zip(results)
+        .collect();
+
+    let mut table = TextTable::with_columns(&[
+        "workload",
+        "CPI pf-on IQ32",
+        "CPI pf-off IQ32",
+        "MLP-sensitive (pf on)",
+        "MLP-sensitive (pf off)",
+    ]);
+    for kind in WorkloadKind::ALL {
+        let sens = |pf: bool| {
+            let small = &by_job[&(pf, 32, kind)];
+            let large = &by_job[&(pf, 256, kind)];
+            large.is_mlp_sensitive_vs(small, l2_latency)
+        };
+        table.add_row(vec![
+            kind.name().to_string(),
+            format!("{:.3}", by_job[&(true, 32, kind)].cpi()),
+            format!("{:.3}", by_job[&(false, 32, kind)].cpi()),
+            if sens(true) { "yes".into() } else { "no".into() },
+            if sens(false) { "yes".into() } else { "no".into() },
+        ]);
+    }
+    let mut out = String::new();
+    out.push_str("Ablation 1: L2 stride prefetcher on/off (limit-study machine)\n");
+    out.push_str(&table.render());
+    out.push_str(
+        "Expectation: regular (streaming) kernels slow down and may become MLP-sensitive\n\
+         once the prefetcher no longer hides their misses, which is why the paper keeps the\n\
+         prefetcher on for all classification.\n",
+    );
+    out
+}
+
+fn monitor_ablation(opts: &RunOptions) -> String {
+    let with_monitor = PipelineConfig::ltp_proposed();
+    let without_monitor =
+        PipelineConfig::ltp_proposed().with_ltp(LtpConfig::nu_only_128x4().with_monitor(false));
+
+    let kinds = [
+        WorkloadKind::ComputeBound,
+        WorkloadKind::StencilStream,
+        WorkloadKind::IndirectStream,
+        WorkloadKind::MixedPhases,
+    ];
+    let jobs: Vec<(bool, WorkloadKind)> = [true, false]
+        .iter()
+        .flat_map(|&m| kinds.iter().map(move |&k| (m, k)))
+        .collect();
+    let results = par_map(jobs.clone(), |&(monitored, kind)| {
+        let cfg = if monitored { with_monitor } else { without_monitor };
+        run_point(kind, cfg, opts)
+    });
+    let by_job: HashMap<(bool, WorkloadKind), ltp_pipeline::RunResult> =
+        jobs.into_iter().zip(results).collect();
+
+    let mut table = TextTable::with_columns(&[
+        "workload",
+        "CPI monitor",
+        "CPI always-on",
+        "parked % monitor",
+        "parked % always-on",
+        "enabled % monitor",
+    ]);
+    for kind in kinds {
+        let m = &by_job[&(true, kind)];
+        let a = &by_job[&(false, kind)];
+        table.add_row(vec![
+            kind.name().to_string(),
+            format!("{:.3}", m.cpi()),
+            format!("{:.3}", a.cpi()),
+            format!("{:.0}", m.ltp.park_fraction() * 100.0),
+            format!("{:.0}", a.ltp.park_fraction() * 100.0),
+            format!("{:.0}", m.ltp_enabled_fraction * 100.0),
+        ]);
+    }
+    let mut out = String::new();
+    out.push_str("Ablation 2: DRAM-timer monitor (§5.2) vs. always-on LTP (proposed design)\n");
+    out.push_str(&table.render());
+    out.push_str(
+        "Expectation: performance barely changes, but without the monitor compute-bound code\n\
+         parks nearly every instruction for no benefit (wasting LTP energy), which is exactly\n\
+         why the monitor exists.\n",
+    );
+    out
+}
+
+fn reserve_ablation(opts: &RunOptions) -> String {
+    let reserves = [2usize, 8, 16, 32];
+    let jobs: Vec<(usize, WorkloadKind)> = reserves
+        .iter()
+        .flat_map(|&r| {
+            [WorkloadKind::IndirectStream, WorkloadKind::GatherFp]
+                .into_iter()
+                .map(move |k| (r, k))
+        })
+        .collect();
+    let results = par_map(jobs.clone(), |&(reserve, kind)| {
+        let mut cfg = PipelineConfig::ltp_proposed();
+        cfg.ltp_reserve = reserve;
+        run_point(kind, cfg, opts).cpi()
+    });
+    let by_job: HashMap<(usize, WorkloadKind), f64> = jobs.into_iter().zip(results).collect();
+
+    let mut table = TextTable::with_columns(&["reserve", "indirect_stream CPI", "gather_fp CPI"]);
+    for r in reserves {
+        table.add_row(vec![
+            r.to_string(),
+            format!("{:.3}", by_job[&(r, WorkloadKind::IndirectStream)]),
+            format!("{:.3}", by_job[&(r, WorkloadKind::GatherFp)]),
+        ]);
+    }
+    let mut out = String::new();
+    out.push_str("Ablation 3: size of the §5.4 release reserve (proposed design)\n");
+    out.push_str(&table.render());
+    out.push_str(
+        "Expectation: a small reserve is enough; very large reserves start to steal dispatch\n\
+         capacity from the front end.\n",
+    );
+    out
+}

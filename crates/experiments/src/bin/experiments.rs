@@ -1,0 +1,82 @@
+//! Command-line driver regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments [EXPERIMENT ...] [--quick] [--insts N] [--seed S] [--out DIR]
+//!
+//! EXPERIMENT: all | table1 | fig1 | fig2 | fig6 | fig7 | fig10 | fig11 | uit
+//! ```
+//!
+//! Reports are printed to stdout and written to `<out>/<experiment>.txt`
+//! (default `results/`). Run with `--release`; the debug build is an order of
+//! magnitude slower.
+
+use ltp_experiments::{Experiment, RunOptions};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiments: Vec<Experiment> = Vec::new();
+    let mut opts = RunOptions::default();
+    let mut out_dir = String::from("results");
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts = RunOptions::quick(),
+            "--insts" => {
+                i += 1;
+                opts.detail_insts = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--insts needs a number"));
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).cloned().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "all" => experiments.extend(Experiment::ALL),
+            "--help" | "-h" => usage(""),
+            name => match Experiment::from_name(name) {
+                Some(e) => experiments.push(e),
+                None => usage(&format!("unknown experiment '{name}'")),
+            },
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        experiments.extend(Experiment::ALL);
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("cannot create the output directory");
+
+    for experiment in experiments {
+        let started = std::time::Instant::now();
+        eprintln!("== running {} ...", experiment.name());
+        let report = experiment.run(&opts);
+        let elapsed = started.elapsed();
+        println!("{report}");
+        println!("[{} finished in {:.1}s]\n", experiment.name(), elapsed.as_secs_f64());
+        let path = format!("{out_dir}/{}.txt", experiment.name());
+        let mut file = std::fs::File::create(&path).expect("cannot create the report file");
+        file.write_all(report.as_bytes())
+            .expect("cannot write the report file");
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: experiments [all|table1|fig1|fig2|fig6|fig7|fig10|fig11|uit|ablation ...] \
+         [--quick] [--insts N] [--seed S] [--out DIR]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,228 @@
+//! Figure 6: the limit study.
+//!
+//! For each of the four resources LTP addresses (IQ, registers, LQ, SQ) the
+//! resource is swept while everything else is unlimited; four LTP variants
+//! are compared (no LTP, ideal LTP parking Non-Ready only, Non-Urgent only,
+//! and both), using an infinite LTP with oracle classification — exactly the
+//! setup of §4. Results are reported as performance relative to the baseline
+//! size of the resource (IQ 64, 128 registers, LQ 64, SQ 32) with no LTP,
+//! for the astar-like point (`indirect_stream`), the milc-like point
+//! (`gather_fp`), and the MLP-sensitive / MLP-insensitive group averages.
+
+use crate::parallel::par_map;
+use crate::runner::{group_mean, limit_study_config, run_point, MlpGrouping, RunOptions};
+use ltp_core::LtpMode;
+use ltp_pipeline::PipelineConfig;
+use ltp_stats::TextTable;
+use ltp_workloads::WorkloadKind;
+use std::collections::HashMap;
+
+/// The resource being swept in one row of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweptResource {
+    /// Instruction queue entries (row 1).
+    Iq,
+    /// Available physical registers (row 2).
+    RegisterFile,
+    /// Load queue entries (row 3).
+    LoadQueue,
+    /// Store queue entries (row 4).
+    StoreQueue,
+}
+
+impl SweptResource {
+    /// The four rows of Figure 6.
+    pub const ALL: [SweptResource; 4] = [
+        SweptResource::Iq,
+        SweptResource::RegisterFile,
+        SweptResource::LoadQueue,
+        SweptResource::StoreQueue,
+    ];
+
+    /// Row label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SweptResource::Iq => "IQ",
+            SweptResource::RegisterFile => "RF",
+            SweptResource::LoadQueue => "LQ",
+            SweptResource::StoreQueue => "SQ",
+        }
+    }
+
+    /// The sizes swept in the paper (the `usize::MAX` entry is the "infinite"
+    /// point of the x-axis).
+    #[must_use]
+    pub fn sizes(self) -> Vec<usize> {
+        match self {
+            SweptResource::Iq => vec![usize::MAX, 128, 64, 32, 16],
+            SweptResource::RegisterFile => vec![usize::MAX, 128, 96, 64, 32],
+            SweptResource::LoadQueue => vec![usize::MAX, 64, 32, 16, 8],
+            SweptResource::StoreQueue => vec![usize::MAX, 64, 32, 16, 8],
+        }
+    }
+
+    /// The baseline size of the resource (the underlined x-axis value the
+    /// curves are normalised to).
+    #[must_use]
+    pub fn baseline_size(self) -> usize {
+        match self {
+            SweptResource::Iq => 64,
+            SweptResource::RegisterFile => 128,
+            SweptResource::LoadQueue => 64,
+            SweptResource::StoreQueue => 32,
+        }
+    }
+
+    /// Applies the size to a limit-study configuration.
+    #[must_use]
+    pub fn apply(self, cfg: PipelineConfig, size: usize) -> PipelineConfig {
+        match self {
+            SweptResource::Iq => cfg.with_iq(size),
+            SweptResource::RegisterFile => cfg.with_regs(size),
+            SweptResource::LoadQueue => {
+                let mut c = cfg.with_lq(size);
+                c.delay_lsq_alloc = true;
+                c
+            }
+            SweptResource::StoreQueue => {
+                let mut c = cfg.with_sq(size);
+                c.delay_lsq_alloc = true;
+                c
+            }
+        }
+    }
+
+    /// Formats a size for the report (`inf` for the unlimited point).
+    #[must_use]
+    pub fn fmt_size(size: usize) -> String {
+        if size == usize::MAX {
+            "inf".to_string()
+        } else {
+            size.to_string()
+        }
+    }
+}
+
+/// The LTP variants compared in each plot.
+pub const MODES: [LtpMode; 4] = [
+    LtpMode::Off,
+    LtpMode::NonReadyOnly,
+    LtpMode::NonUrgentOnly,
+    LtpMode::Both,
+];
+
+/// Runs the full limit study and renders the report.
+#[must_use]
+pub fn run(opts: &RunOptions) -> String {
+    run_resources(opts, &SweptResource::ALL)
+}
+
+/// Runs the limit study for a subset of resources (used by the benches to
+/// regenerate a single row of Figure 6).
+#[must_use]
+pub fn run_resources(opts: &RunOptions, resources: &[SweptResource]) -> String {
+    let grouping = MlpGrouping::derive(opts);
+
+    let mut points: Vec<(SweptResource, LtpMode, usize, WorkloadKind)> = Vec::new();
+    for &res in resources {
+        for mode in MODES {
+            for size in res.sizes() {
+                for kind in WorkloadKind::ALL {
+                    points.push((res, mode, size, kind));
+                }
+            }
+        }
+    }
+    let cpis = par_map(points.clone(), |&(res, mode, size, kind)| {
+        let cfg = res.apply(limit_study_config(mode), size);
+        run_point(kind, cfg, opts).cpi()
+    });
+    let cpi: HashMap<(SweptResource, LtpMode, usize, WorkloadKind), f64> =
+        points.into_iter().zip(cpis).collect();
+
+    let mut out = String::new();
+    out.push_str("Figure 6: limit study — performance vs. resource size, relative to the\n");
+    out.push_str("baseline size of each resource with no LTP (ideal LTP, oracle classification)\n\n");
+    out.push_str(&format!(
+        "MLP-sensitive: {}   MLP-insensitive: {}\n\n",
+        grouping
+            .sensitive
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        grouping
+            .insensitive
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+
+    let columns = [
+        ("astar-like (indirect_stream)", None),
+        ("milc-like (gather_fp)", None),
+        ("mlp_sensitive (avg)", Some(true)),
+        ("mlp_insensitive (avg)", Some(false)),
+    ];
+
+    for &res in resources {
+        out.push_str(&format!(
+            "--- {} sweep (baseline {} = {}) ---\n",
+            res.label(),
+            res.label(),
+            res.baseline_size()
+        ));
+        let mut table = TextTable::with_columns(&[
+            "size",
+            "variant",
+            "astar-like %",
+            "milc-like %",
+            "mlp-sens %",
+            "mlp-insens %",
+        ]);
+        for size in res.sizes() {
+            for mode in MODES {
+                let mut row = vec![SweptResource::fmt_size(size), mode.label().to_string()];
+                for (_, group_sel) in columns {
+                    let value = match group_sel {
+                        None => {
+                            // Individual workload column.
+                            let kind = if row.len() == 2 {
+                                WorkloadKind::IndirectStream
+                            } else {
+                                WorkloadKind::GatherFp
+                            };
+                            let base =
+                                cpi[&(res, LtpMode::Off, res.baseline_size(), kind)];
+                            (base / cpi[&(res, mode, size, kind)] - 1.0) * 100.0
+                        }
+                        Some(sensitive) => {
+                            let group = if sensitive {
+                                &grouping.sensitive
+                            } else {
+                                &grouping.insensitive
+                            };
+                            if group.is_empty() {
+                                0.0
+                            } else {
+                                let base = group_mean(group, |k| {
+                                    cpi[&(res, LtpMode::Off, res.baseline_size(), k)]
+                                });
+                                let this =
+                                    group_mean(group, |k| cpi[&(res, mode, size, k)]);
+                                (base / this - 1.0) * 100.0
+                            }
+                        }
+                    };
+                    row.push(format!("{value:+.1}"));
+                }
+                table.add_row(row);
+            }
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}

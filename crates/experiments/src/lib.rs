@@ -1,0 +1,124 @@
+//! # ltp-experiments
+//!
+//! Experiment harnesses that regenerate every table and figure of the LTP
+//! paper's evaluation (see `DESIGN.md` §5 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured numbers).
+//!
+//! Each figure module exposes a `run(&RunOptions) -> String` function that
+//! performs the simulations (fanning independent simulation points out over
+//! the available cores) and renders an aligned text report. The
+//! `experiments` binary dispatches on the experiment name and also writes
+//! the reports under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+pub mod classification;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig6;
+pub mod fig7;
+pub mod parallel;
+pub mod runner;
+pub mod table1;
+pub mod uit_sweep;
+
+pub use runner::{run_point, MlpGrouping, RunOptions};
+
+/// The experiments that can be run from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Experiment {
+    /// Table 1: configurations.
+    Table1,
+    /// Figure 1: IQ size vs. MLP.
+    Fig1,
+    /// Figures 2/3/5: classification and occupancy of the example loop.
+    Classification,
+    /// Figure 6: the limit study.
+    Fig6,
+    /// Figure 7: LTP utilisation.
+    Fig7,
+    /// Figure 10: LTP size/ports, performance and ED²P.
+    Fig10,
+    /// Figure 11: ticket count sweep.
+    Fig11,
+    /// §5.6: UIT size sweep.
+    UitSweep,
+    /// Ablations of design choices (prefetcher, monitor, release reserve).
+    Ablation,
+}
+
+impl Experiment {
+    /// All experiments in report order.
+    pub const ALL: [Experiment; 9] = [
+        Experiment::Table1,
+        Experiment::Fig1,
+        Experiment::Classification,
+        Experiment::Fig6,
+        Experiment::Fig7,
+        Experiment::Fig10,
+        Experiment::Fig11,
+        Experiment::UitSweep,
+        Experiment::Ablation,
+    ];
+
+    /// Command-line name of the experiment.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Experiment::Table1 => "table1",
+            Experiment::Fig1 => "fig1",
+            Experiment::Classification => "fig2",
+            Experiment::Fig6 => "fig6",
+            Experiment::Fig7 => "fig7",
+            Experiment::Fig10 => "fig10",
+            Experiment::Fig11 => "fig11",
+            Experiment::UitSweep => "uit",
+            Experiment::Ablation => "ablation",
+        }
+    }
+
+    /// Parses a command-line name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Experiment> {
+        Experiment::ALL.iter().copied().find(|e| e.name() == name)
+    }
+
+    /// Runs the experiment and returns its report.
+    #[must_use]
+    pub fn run(self, opts: &RunOptions) -> String {
+        match self {
+            Experiment::Table1 => table1::run(),
+            Experiment::Fig1 => fig1::run(opts),
+            Experiment::Classification => classification::run(opts),
+            Experiment::Fig6 => fig6::run(opts),
+            Experiment::Fig7 => fig7::run(opts),
+            Experiment::Fig10 => fig10::run(opts),
+            Experiment::Fig11 => fig11::run(opts),
+            Experiment::UitSweep => uit_sweep::run(opts),
+            Experiment::Ablation => ablation::run(opts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_names_round_trip() {
+        for e in Experiment::ALL {
+            assert_eq!(Experiment::from_name(e.name()), Some(e));
+        }
+        assert_eq!(Experiment::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn table1_runs_without_simulation() {
+        let report = Experiment::Table1.run(&RunOptions::quick());
+        assert!(report.contains("Table 1"));
+    }
+}

@@ -1,0 +1,78 @@
+//! A tiny scoped-thread work distributor for independent simulation points.
+//!
+//! Every experiment consists of many completely independent simulations; this
+//! helper fans them out over the available cores using only `std::thread`.
+
+/// Applies `f` to every item, in parallel, preserving order.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4)
+        .min(n);
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        let items_ref = &items;
+        let f_ref = &f;
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                let mut i = t;
+                while i < n {
+                    out.push((i, f_ref(&items_ref[i])));
+                    i += threads;
+                }
+                out
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("worker thread panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot is filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(items, |&x| x * 2);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = par_map(Vec::<u64>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let out = par_map(vec![41], |&x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+}

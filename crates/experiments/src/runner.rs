@@ -1,0 +1,186 @@
+//! Shared machinery for running workloads through simulator configurations.
+
+use ltp_core::{LtpConfig, LtpMode, OracleAnalysis};
+use ltp_pipeline::{PipelineConfig, Processor, RunResult};
+use ltp_stats::MeanAccumulator;
+use ltp_workloads::{replay, trace, WorkloadKind};
+
+/// How many instructions each simulation point runs in detail by default.
+pub const DEFAULT_DETAIL_INSTS: u64 = 30_000;
+/// How many instructions are used to warm the caches before detailed
+/// simulation (the paper warms for 250 M instructions on real SPEC; the
+/// synthetic kernels reach steady state much sooner).
+pub const DEFAULT_WARM_INSTS: usize = 20_000;
+
+/// Options controlling a batch of experiment runs.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Detailed instructions per simulation point.
+    pub detail_insts: u64,
+    /// Cache-warming instructions per simulation point.
+    pub warm_insts: usize,
+    /// Seed for the workload generators.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            detail_insts: DEFAULT_DETAIL_INSTS,
+            warm_insts: DEFAULT_WARM_INSTS,
+            seed: 2015,
+        }
+    }
+}
+
+impl RunOptions {
+    /// A faster variant for smoke tests (about 5x fewer instructions).
+    #[must_use]
+    pub fn quick() -> RunOptions {
+        RunOptions {
+            detail_insts: 6_000,
+            warm_insts: 4_000,
+            seed: 2015,
+        }
+    }
+}
+
+/// Runs one workload on one configuration, optionally with the oracle
+/// classifier (required by the limit study).
+///
+/// The same dynamic trace is used for cache warming, oracle analysis and the
+/// detailed run so that the oracle's view matches what the pipeline executes.
+#[must_use]
+pub fn run_point(kind: WorkloadKind, cfg: PipelineConfig, opts: &RunOptions) -> RunResult {
+    let warm = trace(kind, opts.seed, opts.warm_insts);
+    let detail = trace(kind, opts.seed.wrapping_add(1), opts.detail_insts as usize);
+
+    let mut cpu = Processor::new(cfg);
+    cpu.warm_caches(&warm);
+    if cfg.use_oracle {
+        let oracle = OracleAnalysis::new(cfg.rob_size.min(4096) as u64).analyze(&detail, &cfg.mem);
+        cpu.set_oracle(oracle);
+    }
+    cpu.run(replay(kind.name(), detail), opts.detail_insts)
+}
+
+/// The outcome of grouping the workload suite with the paper's §4.1
+/// MLP-sensitivity criterion (small vs. large instruction window).
+#[derive(Debug, Clone)]
+pub struct MlpGrouping {
+    /// Workloads classified MLP-sensitive.
+    pub sensitive: Vec<WorkloadKind>,
+    /// Workloads classified MLP-insensitive.
+    pub insensitive: Vec<WorkloadKind>,
+}
+
+impl MlpGrouping {
+    /// Applies the paper's criterion: compare each workload on a 32-entry IQ
+    /// versus a 256-entry IQ (everything else unlimited, prefetcher on) and
+    /// require >5 % speed-up, >10 % more outstanding requests, and an average
+    /// memory latency above the L2 latency.
+    #[must_use]
+    pub fn derive(opts: &RunOptions) -> MlpGrouping {
+        let mut sensitive = Vec::new();
+        let mut insensitive = Vec::new();
+        for kind in WorkloadKind::ALL {
+            let small = run_point(
+                kind,
+                PipelineConfig::limit_study_unlimited().with_iq(32),
+                opts,
+            );
+            let large = run_point(
+                kind,
+                PipelineConfig::limit_study_unlimited().with_iq(256),
+                opts,
+            );
+            let l2_latency = PipelineConfig::micro2015_baseline().mem.l2.latency;
+            if large.is_mlp_sensitive_vs(&small, l2_latency) {
+                sensitive.push(kind);
+            } else {
+                insensitive.push(kind);
+            }
+        }
+        MlpGrouping {
+            sensitive,
+            insensitive,
+        }
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn is_sensitive(&self, kind: WorkloadKind) -> bool {
+        self.sensitive.contains(&kind)
+    }
+}
+
+/// Average of a per-workload metric over a group of workloads.
+#[must_use]
+pub fn group_mean<F>(group: &[WorkloadKind], mut metric: F) -> f64
+where
+    F: FnMut(WorkloadKind) -> f64,
+{
+    let mut acc = MeanAccumulator::new();
+    for &k in group {
+        acc.add(metric(k));
+    }
+    acc.mean()
+}
+
+/// Builds the limit-study configuration for a given LTP mode: unlimited
+/// resources, oracle classification, ideal LTP of that mode.
+#[must_use]
+pub fn limit_study_config(mode: LtpMode) -> PipelineConfig {
+    let base = PipelineConfig::limit_study_unlimited();
+    match mode {
+        LtpMode::Off => base.with_ltp(LtpConfig::disabled()),
+        m => base.with_ltp(LtpConfig::ideal(m)).with_oracle(true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_point_commits_requested_instructions() {
+        let opts = RunOptions {
+            detail_insts: 2_000,
+            warm_insts: 500,
+            seed: 7,
+        };
+        let r = run_point(
+            WorkloadKind::ComputeBound,
+            PipelineConfig::micro2015_baseline(),
+            &opts,
+        );
+        assert_eq!(r.instructions, 2_000);
+        assert!(r.cpi() > 0.1);
+    }
+
+    #[test]
+    fn oracle_runs_work_on_limit_config() {
+        let opts = RunOptions {
+            detail_insts: 2_000,
+            warm_insts: 500,
+            seed: 7,
+        };
+        let cfg = limit_study_config(LtpMode::NonUrgentOnly).with_iq(32);
+        let r = run_point(WorkloadKind::IndirectStream, cfg, &opts);
+        assert_eq!(r.instructions, 2_000);
+        assert!(r.ltp.total_parked() > 0);
+    }
+
+    #[test]
+    fn group_mean_averages() {
+        let group = [WorkloadKind::ComputeBound, WorkloadKind::StencilStream];
+        let mean = group_mean(&group, |k| if k == WorkloadKind::ComputeBound { 1.0 } else { 3.0 });
+        assert!((mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn limit_config_modes() {
+        assert!(!limit_study_config(LtpMode::Off).ltp.mode.is_enabled());
+        assert!(limit_study_config(LtpMode::Both).use_oracle);
+    }
+}

@@ -1,0 +1,412 @@
+//! Static and dynamic instruction representations.
+
+use crate::{ArchReg, MemAccess, OpClass, Pc};
+
+/// Maximum number of source registers a micro-op may name.
+pub const MAX_SRCS: usize = 3;
+
+/// Dynamic sequence number: the position of a dynamic instruction in program
+/// (fetch) order. Sequence numbers are dense and strictly increasing along
+/// the trace, which the ROB and the LTP wakeup logic rely on for age
+/// comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    /// The next sequence number in program order.
+    #[must_use]
+    pub fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+
+    /// Whether `self` is older (earlier in program order) than `other`.
+    #[must_use]
+    pub fn is_older_than(self, other: SeqNum) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl std::fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A static instruction: the per-PC information the front end sees.
+///
+/// Built with a lightweight builder style:
+///
+/// ```
+/// use ltp_isa::{ArchReg, OpClass, Pc, StaticInst};
+/// let i = StaticInst::new(Pc(0x10), OpClass::Load)
+///     .with_dst(ArchReg::int(4))
+///     .with_src(ArchReg::int(1));
+/// assert_eq!(i.srcs().len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StaticInst {
+    pc: Pc,
+    op: OpClass,
+    dst: Option<ArchReg>,
+    srcs: [Option<ArchReg>; MAX_SRCS],
+    n_srcs: u8,
+    zero_idiom: bool,
+}
+
+impl StaticInst {
+    /// Creates a new static instruction with no destination and no sources.
+    #[must_use]
+    pub fn new(pc: Pc, op: OpClass) -> StaticInst {
+        StaticInst {
+            pc,
+            op,
+            dst: None,
+            srcs: [None; MAX_SRCS],
+            n_srcs: 0,
+            zero_idiom: false,
+        }
+    }
+
+    /// Sets the destination register.
+    #[must_use]
+    pub fn with_dst(mut self, dst: ArchReg) -> StaticInst {
+        self.dst = Some(dst);
+        self
+    }
+
+    /// Appends a source register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_SRCS`] sources are added.
+    #[must_use]
+    pub fn with_src(mut self, src: ArchReg) -> StaticInst {
+        let n = self.n_srcs as usize;
+        assert!(n < MAX_SRCS, "at most {MAX_SRCS} sources are supported");
+        self.srcs[n] = Some(src);
+        self.n_srcs += 1;
+        self
+    }
+
+    /// Marks this instruction as a *zero idiom* (e.g. `xor r, r, r` on x86):
+    /// its result does not actually depend on its sources. The rename stage
+    /// breaks the dependency, and §5.2 of the paper notes that such artificial
+    /// dependencies must be broken to avoid propagating a false Parked bit.
+    #[must_use]
+    pub fn with_zero_idiom(mut self) -> StaticInst {
+        self.zero_idiom = true;
+        self
+    }
+
+    /// Program counter of this instruction.
+    #[must_use]
+    pub fn pc(&self) -> Pc {
+        self.pc
+    }
+
+    /// Operation class.
+    #[must_use]
+    pub fn op(&self) -> OpClass {
+        self.op
+    }
+
+    /// Destination architectural register, if the instruction writes one.
+    #[must_use]
+    pub fn dst(&self) -> Option<ArchReg> {
+        self.dst
+    }
+
+    /// Source architectural registers actually used by the instruction.
+    ///
+    /// For zero idioms this returns an empty slice: the dataflow sources are
+    /// architectural only and carry no dependency.
+    #[must_use]
+    pub fn srcs(&self) -> &[Option<ArchReg>] {
+        if self.zero_idiom {
+            &[]
+        } else {
+            &self.srcs[..self.n_srcs as usize]
+        }
+    }
+
+    /// Source registers as written, including those of zero idioms.
+    #[must_use]
+    pub fn raw_srcs(&self) -> &[Option<ArchReg>] {
+        &self.srcs[..self.n_srcs as usize]
+    }
+
+    /// Iterates over the (non-zero-register) dataflow source registers.
+    pub fn dataflow_srcs(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.srcs()
+            .iter()
+            .filter_map(|s| *s)
+            .filter(|r| !r.is_zero())
+    }
+
+    /// Whether this instruction is a zero idiom (dependency-breaking).
+    #[must_use]
+    pub fn is_zero_idiom(&self) -> bool {
+        self.zero_idiom
+    }
+
+    /// Whether this instruction writes a register that must be renamed
+    /// (i.e. it has a destination other than the zero register).
+    #[must_use]
+    pub fn writes_reg(&self) -> bool {
+        matches!(self.dst, Some(d) if !d.is_zero())
+    }
+}
+
+impl std::fmt::Display for StaticInst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.pc, self.op.mnemonic())?;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        for s in self.raw_srcs().iter().flatten() {
+            write!(f, ", {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a dynamic branch, produced by the workload's functional
+/// execution and consumed by the branch predictor model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// The target PC when taken (fall-through PC otherwise).
+    pub target: Pc,
+}
+
+/// One dynamic instance of a static instruction.
+///
+/// Carries the information that only exists at run time: the sequence number,
+/// the effective memory address (for loads/stores) and the branch outcome
+/// (for branches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynInst {
+    seq: SeqNum,
+    sinst: StaticInst,
+    mem: Option<MemAccess>,
+    branch: Option<BranchInfo>,
+}
+
+impl DynInst {
+    /// Creates a dynamic instance of `sinst` with sequence number `seq`.
+    #[must_use]
+    pub fn new(seq: u64, sinst: StaticInst) -> DynInst {
+        DynInst {
+            seq: SeqNum(seq),
+            sinst,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// Attaches an effective memory access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction is not a load or store.
+    #[must_use]
+    pub fn with_mem(mut self, mem: MemAccess) -> DynInst {
+        assert!(
+            self.sinst.op().is_mem(),
+            "memory access attached to non-memory op {}",
+            self.sinst.op()
+        );
+        self.mem = Some(mem);
+        self
+    }
+
+    /// Attaches a branch outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction is not a branch.
+    #[must_use]
+    pub fn with_branch(mut self, branch: BranchInfo) -> DynInst {
+        assert!(
+            self.sinst.op().is_branch(),
+            "branch outcome attached to non-branch op {}",
+            self.sinst.op()
+        );
+        self.branch = Some(branch);
+        self
+    }
+
+    /// Replaces the sequence number (used by stream adapters that renumber).
+    #[must_use]
+    pub fn with_seq(mut self, seq: u64) -> DynInst {
+        self.seq = SeqNum(seq);
+        self
+    }
+
+    /// Sequence number (program order position).
+    #[must_use]
+    pub fn seq(&self) -> SeqNum {
+        self.seq
+    }
+
+    /// The static instruction this is an instance of.
+    #[must_use]
+    pub fn static_inst(&self) -> &StaticInst {
+        &self.sinst
+    }
+
+    /// Program counter (shorthand for `static_inst().pc()`).
+    #[must_use]
+    pub fn pc(&self) -> Pc {
+        self.sinst.pc()
+    }
+
+    /// Operation class (shorthand for `static_inst().op()`).
+    #[must_use]
+    pub fn op(&self) -> OpClass {
+        self.sinst.op()
+    }
+
+    /// Effective memory access, if this is a load or store.
+    #[must_use]
+    pub fn mem_access(&self) -> Option<MemAccess> {
+        self.mem
+    }
+
+    /// Branch outcome, if this is a branch.
+    #[must_use]
+    pub fn branch_info(&self) -> Option<BranchInfo> {
+        self.branch
+    }
+}
+
+impl std::fmt::Display for DynInst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.seq, self.sinst)?;
+        if let Some(m) = self.mem {
+            write!(f, " {m}")?;
+        }
+        if let Some(b) = self.branch {
+            write!(f, " {}", if b.taken { "T" } else { "NT" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RegClass;
+
+    fn sample_load() -> StaticInst {
+        StaticInst::new(Pc(0x100), OpClass::Load)
+            .with_dst(ArchReg::int(2))
+            .with_src(ArchReg::int(1))
+    }
+
+    #[test]
+    fn seqnum_ordering() {
+        assert!(SeqNum(3).is_older_than(SeqNum(4)));
+        assert!(!SeqNum(4).is_older_than(SeqNum(4)));
+        assert_eq!(SeqNum(7).next(), SeqNum(8));
+    }
+
+    #[test]
+    fn builder_accumulates_sources() {
+        let i = StaticInst::new(Pc(0), OpClass::IntAlu)
+            .with_src(ArchReg::int(1))
+            .with_src(ArchReg::int(2))
+            .with_src(ArchReg::int(3));
+        assert_eq!(i.srcs().len(), 3);
+        assert_eq!(i.srcs()[1], Some(ArchReg::int(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_sources_panics() {
+        let _ = StaticInst::new(Pc(0), OpClass::IntAlu)
+            .with_src(ArchReg::int(1))
+            .with_src(ArchReg::int(2))
+            .with_src(ArchReg::int(3))
+            .with_src(ArchReg::int(4));
+    }
+
+    #[test]
+    fn zero_idiom_hides_dataflow_sources() {
+        let i = StaticInst::new(Pc(0), OpClass::IntAlu)
+            .with_dst(ArchReg::int(5))
+            .with_src(ArchReg::int(5))
+            .with_src(ArchReg::int(5))
+            .with_zero_idiom();
+        assert!(i.is_zero_idiom());
+        assert!(i.srcs().is_empty());
+        assert_eq!(i.raw_srcs().len(), 2);
+        assert_eq!(i.dataflow_srcs().count(), 0);
+    }
+
+    #[test]
+    fn dataflow_srcs_skip_zero_register() {
+        let i = StaticInst::new(Pc(0), OpClass::IntAlu)
+            .with_dst(ArchReg::int(5))
+            .with_src(ArchReg::ZERO)
+            .with_src(ArchReg::int(7));
+        let srcs: Vec<ArchReg> = i.dataflow_srcs().collect();
+        assert_eq!(srcs, vec![ArchReg::int(7)]);
+    }
+
+    #[test]
+    fn writes_reg_ignores_zero_destination() {
+        let to_zero = StaticInst::new(Pc(0), OpClass::IntAlu).with_dst(ArchReg::ZERO);
+        assert!(!to_zero.writes_reg());
+        assert!(sample_load().writes_reg());
+        let store = StaticInst::new(Pc(4), OpClass::Store).with_src(ArchReg::int(1));
+        assert!(!store.writes_reg());
+    }
+
+    #[test]
+    fn dyninst_mem_attachment() {
+        let d = DynInst::new(9, sample_load()).with_mem(MemAccess::qword(0x4000));
+        assert_eq!(d.seq(), SeqNum(9));
+        assert_eq!(d.mem_access().unwrap().addr(), 0x4000);
+        assert_eq!(d.op(), OpClass::Load);
+        assert_eq!(d.pc(), Pc(0x100));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-memory")]
+    fn mem_on_alu_panics() {
+        let alu = StaticInst::new(Pc(0), OpClass::IntAlu).with_dst(ArchReg::int(1));
+        let _ = DynInst::new(0, alu).with_mem(MemAccess::qword(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-branch")]
+    fn branch_info_on_load_panics() {
+        let _ = DynInst::new(0, sample_load()).with_branch(BranchInfo {
+            taken: true,
+            target: Pc(0),
+        });
+    }
+
+    #[test]
+    fn branch_attachment_and_renumber() {
+        let br = StaticInst::new(Pc(0x20), OpClass::Branch).with_src(ArchReg::int(1));
+        let d = DynInst::new(1, br)
+            .with_branch(BranchInfo {
+                taken: true,
+                target: Pc(0x0),
+            })
+            .with_seq(42);
+        assert_eq!(d.seq(), SeqNum(42));
+        assert!(d.branch_info().unwrap().taken);
+    }
+
+    #[test]
+    fn display_contains_mnemonic_and_regs() {
+        let s = sample_load().to_string();
+        assert!(s.contains("load"));
+        assert!(s.contains("r2"));
+        assert_eq!(ArchReg::int(2).class(), RegClass::Int);
+    }
+}

@@ -1,0 +1,98 @@
+//! Effective memory accesses attached to dynamic load/store instructions.
+
+/// The effective address and size of a dynamic memory access.
+///
+/// Workload generators execute their kernels functionally and attach the
+/// resulting effective address to each dynamic load/store; the pipeline model
+/// then replays the access against the cache hierarchy to obtain its latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    addr: u64,
+    size: u8,
+}
+
+impl MemAccess {
+    /// Creates a memory access at `addr` of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or larger than 64 bytes (one cache line).
+    #[must_use]
+    pub fn new(addr: u64, size: u8) -> MemAccess {
+        assert!(size > 0 && size <= 64, "access size {size} must be in 1..=64");
+        MemAccess { addr, size }
+    }
+
+    /// Creates an 8-byte access, the common case in the synthetic kernels.
+    #[must_use]
+    pub fn qword(addr: u64) -> MemAccess {
+        MemAccess::new(addr, 8)
+    }
+
+    /// Effective byte address.
+    #[must_use]
+    pub fn addr(self) -> u64 {
+        self.addr
+    }
+
+    /// Access size in bytes.
+    #[must_use]
+    pub fn size(self) -> u8 {
+        self.size
+    }
+
+    /// The 64-byte cache line address (address with the low 6 bits cleared).
+    #[must_use]
+    pub fn line_addr(self) -> u64 {
+        self.addr & !0x3f
+    }
+
+    /// Whether this access crosses a 64-byte cache-line boundary.
+    #[must_use]
+    pub fn crosses_line(self) -> bool {
+        let last = self.addr + u64::from(self.size) - 1;
+        (last & !0x3f) != self.line_addr()
+    }
+}
+
+impl std::fmt::Display for MemAccess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:#x}+{}]", self.addr, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_addr_masks_low_bits() {
+        assert_eq!(MemAccess::new(0x1234, 4).line_addr(), 0x1200);
+        assert_eq!(MemAccess::new(0x1240, 4).line_addr(), 0x1240);
+    }
+
+    #[test]
+    fn qword_is_eight_bytes() {
+        let a = MemAccess::qword(0x100);
+        assert_eq!(a.size(), 8);
+        assert_eq!(a.addr(), 0x100);
+    }
+
+    #[test]
+    fn crossing_detection() {
+        assert!(!MemAccess::new(0x100, 8).crosses_line());
+        assert!(MemAccess::new(0x13c, 8).crosses_line());
+        assert!(!MemAccess::new(0x138, 8).crosses_line());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in 1..=64")]
+    fn zero_size_panics() {
+        let _ = MemAccess::new(0x100, 0);
+    }
+
+    #[test]
+    fn display_shows_addr_and_size() {
+        assert_eq!(MemAccess::new(0x40, 8).to_string(), "[0x40+8]");
+    }
+}

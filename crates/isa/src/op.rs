@@ -1,0 +1,282 @@
+//! Operation classes, functional unit kinds and execution latencies.
+//!
+//! LTP distinguishes instructions along two orthogonal axes that both derive
+//! from *long-latency* operations: LLC-missing loads and long fixed-latency
+//! arithmetic (divide, square root). [`OpClass`] captures everything the
+//! timing model and the classifier need: which functional unit executes the
+//! operation, its fixed execution latency (for non-memory operations), and
+//! whether it belongs to the long-latency arithmetic category.
+
+use std::fmt;
+
+/// Execution latency of a non-memory operation, in cycles.
+///
+/// Memory operations do not have a fixed latency: their latency is produced by
+/// the cache hierarchy model. For those, [`OpClass::exec_latency`] returns the
+/// address-generation latency and the memory system adds the access time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExecLatency(pub u32);
+
+impl ExecLatency {
+    /// Latency in cycles.
+    #[must_use]
+    pub fn cycles(self) -> u64 {
+        u64::from(self.0)
+    }
+}
+
+/// The kind of functional unit an operation executes on.
+///
+/// The baseline core (Table 1 of the paper) is an 8-wide machine with issue
+/// width 6; the pipeline model instantiates a configurable number of units of
+/// each kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Simple integer ALU (also used by branches for condition evaluation).
+    IntAlu,
+    /// Integer multiply/divide unit.
+    IntMulDiv,
+    /// Floating point add/multiply pipe.
+    FpAlu,
+    /// Floating point divide / square-root unit (unpipelined).
+    FpDivSqrt,
+    /// Load/store address-generation + data port.
+    Mem,
+    /// Branch unit.
+    Branch,
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuKind::IntAlu => "int-alu",
+            FuKind::IntMulDiv => "int-muldiv",
+            FuKind::FpAlu => "fp-alu",
+            FuKind::FpDivSqrt => "fp-divsqrt",
+            FuKind::Mem => "mem",
+            FuKind::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Operation class of a micro-op.
+///
+/// This is the complete set of operation categories the LTP reproduction
+/// distinguishes. The paper's classification cares about three properties,
+/// all of which are derivable from the class:
+///
+/// * is it a **load** (may become a long-latency LLC miss)?
+/// * is it a **store** (allocates an SQ entry, usually Non-Urgent)?
+/// * is it **long fixed-latency arithmetic** (divide / square root), which the
+///   paper treats like a miss for readiness purposes?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation (add, sub, logic, shifts, compares).
+    IntAlu,
+    /// Pipelined integer multiply.
+    IntMul,
+    /// Unpipelined integer divide (long-latency arithmetic).
+    IntDiv,
+    /// Pipelined floating point add/sub/convert.
+    FpAlu,
+    /// Pipelined floating point multiply.
+    FpMul,
+    /// Unpipelined floating point divide (long-latency arithmetic).
+    FpDiv,
+    /// Unpipelined floating point square root (long-latency arithmetic).
+    FpSqrt,
+    /// Memory load. Latency comes from the cache hierarchy.
+    Load,
+    /// Memory store. Address/data are produced in the pipeline; the write is
+    /// performed after commit from the store queue.
+    Store,
+    /// Conditional or unconditional branch.
+    Branch,
+    /// No-operation (used for padding and testing).
+    Nop,
+}
+
+impl OpClass {
+    /// All operation classes, in a stable order. Useful for building
+    /// per-class statistics tables.
+    pub const ALL: [OpClass; 11] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAlu,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::FpSqrt,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Nop,
+    ];
+
+    /// Execution latency of the operation on its functional unit.
+    ///
+    /// For [`OpClass::Load`] and [`OpClass::Store`] this is only the
+    /// address-generation latency; the memory access time is added by the
+    /// cache model.
+    #[must_use]
+    pub fn exec_latency(self) -> ExecLatency {
+        let cycles = match self {
+            OpClass::IntAlu | OpClass::Nop | OpClass::Branch => 1,
+            OpClass::IntMul => 3,
+            OpClass::IntDiv => 20,
+            OpClass::FpAlu => 3,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 24,
+            OpClass::FpSqrt => 30,
+            OpClass::Load | OpClass::Store => 1,
+        };
+        ExecLatency(cycles)
+    }
+
+    /// The functional unit kind this operation issues to.
+    #[must_use]
+    pub fn fu_kind(self) -> FuKind {
+        match self {
+            OpClass::IntAlu | OpClass::Nop => FuKind::IntAlu,
+            OpClass::IntMul | OpClass::IntDiv => FuKind::IntMulDiv,
+            OpClass::FpAlu | OpClass::FpMul => FuKind::FpAlu,
+            OpClass::FpDiv | OpClass::FpSqrt => FuKind::FpDivSqrt,
+            OpClass::Load | OpClass::Store => FuKind::Mem,
+            OpClass::Branch => FuKind::Branch,
+        }
+    }
+
+    /// Whether this is a memory load.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        self == OpClass::Load
+    }
+
+    /// Whether this is a memory store.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        self == OpClass::Store
+    }
+
+    /// Whether this operation references memory (load or store).
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Whether this is a control-flow operation.
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        self == OpClass::Branch
+    }
+
+    /// Whether this operation is *long fixed-latency arithmetic* (divide or
+    /// square root). The paper treats these like cache misses when deciding
+    /// readiness: "Readiness is a function of whether an instruction depends
+    /// on results from a long-latency instruction, such as an LLC cache miss,
+    /// division, or square root" (§2).
+    #[must_use]
+    pub fn is_long_latency_arith(self) -> bool {
+        matches!(self, OpClass::IntDiv | OpClass::FpDiv | OpClass::FpSqrt)
+    }
+
+    /// Whether the operation uses the floating point register class for its
+    /// destination (loads may target either class; the static instruction
+    /// decides via its destination register).
+    #[must_use]
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv | OpClass::FpSqrt
+        )
+    }
+
+    /// Short mnemonic used in trace dumps and occupancy snapshots.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpClass::IntAlu => "alu",
+            OpClass::IntMul => "mul",
+            OpClass::IntDiv => "div",
+            OpClass::FpAlu => "fadd",
+            OpClass::FpMul => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::FpSqrt => "fsqrt",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "br",
+            OpClass::Nop => "nop",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_latency_arith_is_div_and_sqrt_only() {
+        let long: Vec<OpClass> = OpClass::ALL
+            .iter()
+            .copied()
+            .filter(|op| op.is_long_latency_arith())
+            .collect();
+        assert_eq!(long, vec![OpClass::IntDiv, OpClass::FpDiv, OpClass::FpSqrt]);
+    }
+
+    #[test]
+    fn memory_ops_are_loads_and_stores() {
+        for op in OpClass::ALL {
+            assert_eq!(op.is_mem(), op.is_load() || op.is_store());
+        }
+        assert!(OpClass::Load.is_load());
+        assert!(OpClass::Store.is_store());
+        assert!(!OpClass::Load.is_store());
+    }
+
+    #[test]
+    fn latencies_are_positive_and_ordered() {
+        for op in OpClass::ALL {
+            assert!(op.exec_latency().cycles() >= 1, "{op} latency must be >= 1");
+        }
+        assert!(OpClass::IntDiv.exec_latency() > OpClass::IntMul.exec_latency());
+        assert!(OpClass::FpSqrt.exec_latency() > OpClass::FpAlu.exec_latency());
+    }
+
+    #[test]
+    fn fu_kinds_cover_memory_and_branch() {
+        assert_eq!(OpClass::Load.fu_kind(), FuKind::Mem);
+        assert_eq!(OpClass::Store.fu_kind(), FuKind::Mem);
+        assert_eq!(OpClass::Branch.fu_kind(), FuKind::Branch);
+        assert_eq!(OpClass::IntDiv.fu_kind(), FuKind::IntMulDiv);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in OpClass::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        for op in OpClass::ALL {
+            assert_eq!(op.to_string(), op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn fp_classification() {
+        assert!(OpClass::FpMul.is_fp());
+        assert!(!OpClass::Load.is_fp());
+        assert!(!OpClass::IntDiv.is_fp());
+    }
+}

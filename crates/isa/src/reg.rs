@@ -1,0 +1,205 @@
+//! Architectural and physical register names.
+//!
+//! The paper's baseline machine (Table 1) has 128 integer and 128 floating
+//! point physical registers; the architectural state is x86-64-like. We model
+//! 32 integer and 32 floating point architectural registers, which is enough
+//! for the synthetic kernels and keeps the RAT small. Integer register 0 is a
+//! hard-wired zero register (like RISC-V `x0`): it is never renamed and never
+//! allocates a physical register, which the rename stage relies on.
+
+/// Number of architectural integer registers (including the zero register).
+pub const NUM_ARCH_INT_REGS: usize = 32;
+/// Number of architectural floating point registers.
+pub const NUM_ARCH_FP_REGS: usize = 32;
+/// Total number of architectural registers across both classes.
+pub const NUM_ARCH_REGS: usize = NUM_ARCH_INT_REGS + NUM_ARCH_FP_REGS;
+
+/// Register class: integer or floating point.
+///
+/// The paper scales the integer and floating point register files together
+/// ("we scale integer and floating point registers in the same manner",
+/// §4.2 footnote 4); the pipeline model keeps two free lists, one per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// General purpose integer register.
+    Int,
+    /// Floating point / SIMD register.
+    Fp,
+}
+
+impl std::fmt::Display for RegClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Fp => write!(f, "fp"),
+        }
+    }
+}
+
+/// An architectural register name.
+///
+/// Encoded as a flat index: `0..NUM_ARCH_INT_REGS` are the integer registers,
+/// the rest are floating point registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// The hard-wired integer zero register.
+    pub const ZERO: ArchReg = ArchReg(0);
+
+    /// Creates the `n`-th integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= NUM_ARCH_INT_REGS`.
+    #[must_use]
+    pub fn int(n: usize) -> ArchReg {
+        assert!(n < NUM_ARCH_INT_REGS, "integer register {n} out of range");
+        ArchReg(n as u8)
+    }
+
+    /// Creates the `n`-th floating point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= NUM_ARCH_FP_REGS`.
+    #[must_use]
+    pub fn fp(n: usize) -> ArchReg {
+        assert!(n < NUM_ARCH_FP_REGS, "fp register {n} out of range");
+        ArchReg((NUM_ARCH_INT_REGS + n) as u8)
+    }
+
+    /// Flat index of this register in `0..NUM_ARCH_REGS`, usable to index RAT
+    /// arrays directly.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a register from its flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_ARCH_REGS`.
+    #[must_use]
+    pub fn from_index(index: usize) -> ArchReg {
+        assert!(index < NUM_ARCH_REGS, "arch register index {index} out of range");
+        ArchReg(index as u8)
+    }
+
+    /// The register class (integer or floating point) of this register.
+    #[must_use]
+    pub fn class(self) -> RegClass {
+        if (self.0 as usize) < NUM_ARCH_INT_REGS {
+            RegClass::Int
+        } else {
+            RegClass::Fp
+        }
+    }
+
+    /// Whether this is the hard-wired integer zero register.
+    ///
+    /// The zero register always reads as ready and is never renamed, so it
+    /// neither consumes a physical register nor creates dependencies.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == ArchReg::ZERO
+    }
+}
+
+impl std::fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.class() {
+            RegClass::Int => write!(f, "r{}", self.0),
+            RegClass::Fp => write!(f, "f{}", self.0 as usize - NUM_ARCH_INT_REGS),
+        }
+    }
+}
+
+/// A physical register name inside one register class's register file.
+///
+/// Physical registers are dense indices handed out by the free list in the
+/// rename stage. The same index space is reused for integer and floating
+/// point registers; the owning register file disambiguates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(u32);
+
+impl PhysReg {
+    /// Creates a physical register with the given index.
+    #[must_use]
+    pub fn new(index: u32) -> PhysReg {
+        PhysReg(index)
+    }
+
+    /// Dense index of this physical register.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_registers_do_not_collide() {
+        for i in 0..NUM_ARCH_INT_REGS {
+            for j in 0..NUM_ARCH_FP_REGS {
+                assert_ne!(ArchReg::int(i), ArchReg::fp(j));
+            }
+        }
+    }
+
+    #[test]
+    fn register_classes_are_correct() {
+        assert_eq!(ArchReg::int(5).class(), RegClass::Int);
+        assert_eq!(ArchReg::fp(5).class(), RegClass::Fp);
+    }
+
+    #[test]
+    fn flat_index_round_trips() {
+        for i in 0..NUM_ARCH_REGS {
+            let r = ArchReg::from_index(i);
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn zero_register_is_integer_zero() {
+        assert!(ArchReg::ZERO.is_zero());
+        assert!(ArchReg::int(0).is_zero());
+        assert!(!ArchReg::int(1).is_zero());
+        assert!(!ArchReg::fp(0).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_register_out_of_range_panics() {
+        let _ = ArchReg::int(NUM_ARCH_INT_REGS);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_out_of_range_panics() {
+        let _ = ArchReg::from_index(NUM_ARCH_REGS);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ArchReg::int(3).to_string(), "r3");
+        assert_eq!(ArchReg::fp(3).to_string(), "f3");
+        assert_eq!(PhysReg::new(17).to_string(), "p17");
+    }
+
+    #[test]
+    fn phys_reg_index_round_trips() {
+        assert_eq!(PhysReg::new(42).index(), 42);
+    }
+}

@@ -1,0 +1,201 @@
+//! Instruction stream (trace) abstractions.
+//!
+//! The pipeline model is *trace driven*: workloads functionally execute their
+//! kernels and produce a stream of [`DynInst`]s in program order; the pipeline
+//! consumes that stream through the [`InstStream`] trait. Streams are
+//! deliberately infinite-capable (generators), so simulations decide how many
+//! instructions to run, not the workload.
+
+use crate::DynInst;
+
+/// A stream of dynamic instructions in program order.
+///
+/// Implementors must produce instructions with strictly increasing sequence
+/// numbers starting at the value of their first instruction. [`None`] means
+/// the program has terminated.
+pub trait InstStream {
+    /// Returns the next dynamic instruction in program order, or `None` when
+    /// the program has finished.
+    fn next_inst(&mut self) -> Option<DynInst>;
+
+    /// A short human-readable name for reports (workload name).
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+
+    /// Adapter: stop after `n` instructions.
+    fn take_insts(self, n: u64) -> TakeStream<Self>
+    where
+        Self: Sized,
+    {
+        TakeStream {
+            inner: self,
+            remaining: n,
+        }
+    }
+
+    /// Adapter: single-instruction lookahead.
+    fn peekable_stream(self) -> PeekableStream<Self>
+    where
+        Self: Sized,
+    {
+        PeekableStream {
+            inner: self,
+            peeked: None,
+        }
+    }
+
+    /// Drains the stream into a vector (for small tests and golden traces).
+    fn collect_insts(mut self, max: usize) -> Vec<DynInst>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.next_inst() {
+                Some(i) => out.push(i),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// A finite stream backed by a vector of instructions, used in unit tests and
+/// for replaying golden traces.
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    name: String,
+    insts: std::vec::IntoIter<DynInst>,
+}
+
+impl VecStream {
+    /// Creates a stream that yields `insts` in order.
+    #[must_use]
+    pub fn new(name: impl Into<String>, insts: Vec<DynInst>) -> VecStream {
+        VecStream {
+            name: name.into(),
+            insts: insts.into_iter(),
+        }
+    }
+}
+
+impl InstStream for VecStream {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        self.insts.next()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Stream adapter returned by [`InstStream::take_insts`].
+#[derive(Debug, Clone)]
+pub struct TakeStream<S> {
+    inner: S,
+    remaining: u64,
+}
+
+impl<S: InstStream> InstStream for TakeStream<S> {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.inner.next_inst()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Stream adapter returned by [`InstStream::peekable_stream`], giving
+/// one-instruction lookahead (the fetch stage uses this to model a fetch
+/// buffer boundary).
+#[derive(Debug, Clone)]
+pub struct PeekableStream<S> {
+    inner: S,
+    peeked: Option<Option<DynInst>>,
+}
+
+impl<S: InstStream> PeekableStream<S> {
+    /// Returns the next instruction without consuming it.
+    pub fn peek(&mut self) -> Option<&DynInst> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.inner.next_inst());
+        }
+        self.peeked.as_ref().and_then(|o| o.as_ref())
+    }
+}
+
+impl<S: InstStream> InstStream for PeekableStream<S> {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        match self.peeked.take() {
+            Some(v) => v,
+            None => self.inner.next_inst(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchReg, OpClass, Pc, StaticInst};
+
+    fn n_insts(n: u64) -> Vec<DynInst> {
+        (0..n)
+            .map(|i| {
+                DynInst::new(
+                    i,
+                    StaticInst::new(Pc(0x1000 + 4 * i), OpClass::IntAlu).with_dst(ArchReg::int(1)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vec_stream_yields_in_order() {
+        let mut s = VecStream::new("test", n_insts(3));
+        assert_eq!(s.next_inst().unwrap().seq().0, 0);
+        assert_eq!(s.next_inst().unwrap().seq().0, 1);
+        assert_eq!(s.next_inst().unwrap().seq().0, 2);
+        assert!(s.next_inst().is_none());
+        assert_eq!(s.name(), "test");
+    }
+
+    #[test]
+    fn take_limits_length() {
+        let s = VecStream::new("test", n_insts(10)).take_insts(4);
+        let collected = s.collect_insts(100);
+        assert_eq!(collected.len(), 4);
+    }
+
+    #[test]
+    fn take_of_short_stream_stops_early() {
+        let s = VecStream::new("test", n_insts(2)).take_insts(10);
+        assert_eq!(s.collect_insts(100).len(), 2);
+    }
+
+    #[test]
+    fn peekable_does_not_consume() {
+        let mut s = VecStream::new("test", n_insts(2)).peekable_stream();
+        assert_eq!(s.peek().unwrap().seq().0, 0);
+        assert_eq!(s.peek().unwrap().seq().0, 0);
+        assert_eq!(s.next_inst().unwrap().seq().0, 0);
+        assert_eq!(s.next_inst().unwrap().seq().0, 1);
+        assert!(s.peek().is_none());
+        assert!(s.next_inst().is_none());
+    }
+
+    #[test]
+    fn collect_insts_respects_cap() {
+        let s = VecStream::new("test", n_insts(50));
+        assert_eq!(s.collect_insts(7).len(), 7);
+    }
+}

@@ -1,0 +1,374 @@
+//! Set-associative cache with true-LRU replacement.
+
+use crate::config::CacheConfig;
+
+/// Per-line metadata stored in a cache way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    prefetched: bool,
+    /// LRU timestamp: larger means more recently used.
+    lru: u64,
+}
+
+impl Line {
+    fn invalid() -> Line {
+        Line {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            prefetched: false,
+            lru: 0,
+        }
+    }
+}
+
+/// A line evicted by a fill, returned so the caller can write it back to the
+/// next level if dirty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Line address (64-byte aligned) of the victim.
+    pub line_addr: u64,
+    /// Whether the victim was dirty and needs a writeback.
+    pub dirty: bool,
+}
+
+/// Hit/miss and prefetch-usefulness counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+    /// Fills triggered by the prefetcher.
+    pub prefetch_fills: u64,
+    /// Demand hits on lines brought in by the prefetcher (useful prefetches).
+    pub prefetch_hits: u64,
+    /// Lines evicted while dirty (writebacks generated).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Demand accesses observed (hits + misses).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio over demand accesses; zero when there were no accesses.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A set-associative, write-allocate, true-LRU cache.
+///
+/// The cache stores only tags (the simulation is timing-only); the model
+/// distinguishes demand fills from prefetch fills so prefetch usefulness can
+/// be reported.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    set_shift: u32,
+    set_mask: u64,
+    lru_clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let num_sets = cfg.num_sets();
+        Cache {
+            cfg,
+            sets: vec![vec![Line::invalid(); cfg.ways]; num_sets],
+            set_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: (num_sets as u64) - 1,
+            lru_clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr >> self.set_shift) & self.set_mask) as usize
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        addr >> self.set_shift >> self.set_mask.count_ones()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.lru_clock += 1;
+        self.lru_clock
+    }
+
+    /// Looks up `addr` as a *demand* access. Returns `true` on a hit and
+    /// updates LRU and hit/miss statistics. On a write hit the line is marked
+    /// dirty. A miss does **not** allocate; call [`Cache::fill`] when the
+    /// refill returns (the hierarchy model does this immediately but keeps
+    /// the distinction so MSHR merging behaves correctly).
+    pub fn access(&mut self, addr: u64, is_write: bool) -> bool {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let stamp = self.tick();
+        let line = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag);
+        match line {
+            Some(l) => {
+                l.lru = stamp;
+                if is_write {
+                    l.dirty = true;
+                }
+                if l.prefetched {
+                    self.stats.prefetch_hits += 1;
+                    l.prefetched = false;
+                }
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Checks whether `addr` is present without updating LRU or statistics
+    /// (used by tests and by the prefetcher to avoid redundant prefetches).
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Fills the line containing `addr`, evicting the LRU way if necessary.
+    /// `from_prefetch` marks the line as prefetched for usefulness accounting;
+    /// `as_dirty` installs the line already dirty (write-allocate stores).
+    ///
+    /// Returns the victim line if a valid line was evicted.
+    pub fn fill(&mut self, addr: u64, from_prefetch: bool, as_dirty: bool) -> Option<EvictedLine> {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let stamp = self.tick();
+
+        // If the line is already present (e.g. a prefetch raced a demand fill)
+        // just refresh it.
+        if let Some(l) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.lru = stamp;
+            l.dirty |= as_dirty;
+            return None;
+        }
+
+        if from_prefetch {
+            self.stats.prefetch_fills += 1;
+        }
+
+        // Choose victim: first invalid way, otherwise LRU.
+        let victim_idx = {
+            let ways = &self.sets[set];
+            match ways.iter().position(|l| !l.valid) {
+                Some(i) => i,
+                None => ways
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .map(|(i, _)| i)
+                    .expect("cache set has at least one way"),
+            }
+        };
+
+        let shift = self.set_shift;
+        let mask_bits = self.set_mask.count_ones();
+        let victim = self.sets[set][victim_idx];
+        let evicted = if victim.valid {
+            if victim.dirty {
+                self.stats.writebacks += 1;
+            }
+            let line_addr = ((victim.tag << mask_bits) | set as u64) << shift;
+            Some(EvictedLine {
+                line_addr,
+                dirty: victim.dirty,
+            })
+        } else {
+            None
+        };
+
+        self.sets[set][victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: as_dirty,
+            prefetched: from_prefetch,
+            lru: stamp,
+        };
+        evicted
+    }
+
+    /// Invalidates the line containing `addr` if present. Returns whether a
+    /// line was removed.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        for l in &mut self.sets[set] {
+            if l.valid && l.tag == tag {
+                l.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines currently resident (for tests).
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|l| l.valid).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache(ways: usize, sets: u64) -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 64 * ways as u64 * sets,
+            line_bytes: 64,
+            ways,
+            latency: 1,
+            tag_to_data: 0,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny_cache(2, 4);
+        assert!(!c.access(0x1000, false));
+        c.fill(0x1000, false, false);
+        assert!(c.access(0x1000, false));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_line_different_offset_hits() {
+        let mut c = tiny_cache(2, 4);
+        c.fill(0x1000, false, false);
+        assert!(c.access(0x103f, false));
+        assert!(!c.access(0x1040, false));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny_cache(2, 1);
+        // Two ways, one set: fill A and B, touch A, fill C -> B evicted.
+        c.fill(0x0, false, false);
+        c.fill(0x40, false, false);
+        assert!(c.access(0x0, false));
+        let evicted = c.fill(0x80, false, false).expect("a line must be evicted");
+        assert_eq!(evicted.line_addr, 0x40);
+        assert!(c.probe(0x0));
+        assert!(!c.probe(0x40));
+        assert!(c.probe(0x80));
+    }
+
+    #[test]
+    fn dirty_eviction_generates_writeback() {
+        let mut c = tiny_cache(1, 1);
+        c.fill(0x0, false, false);
+        assert!(c.access(0x0, true)); // write hit -> dirty
+        let ev = c.fill(0x40, false, false).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn fill_as_dirty_marks_dirty() {
+        let mut c = tiny_cache(1, 1);
+        c.fill(0x0, false, true);
+        let ev = c.fill(0x40, false, false).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn prefetch_usefulness_accounting() {
+        let mut c = tiny_cache(2, 2);
+        c.fill(0x1000, true, false);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert!(c.access(0x1000, false));
+        assert_eq!(c.stats().prefetch_hits, 1);
+        // A second hit on the same line is no longer counted as a prefetch hit.
+        assert!(c.access(0x1000, false));
+        assert_eq!(c.stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn probe_does_not_change_stats() {
+        let mut c = tiny_cache(2, 2);
+        c.fill(0x2000, false, false);
+        let before = c.stats();
+        assert!(c.probe(0x2000));
+        assert!(!c.probe(0x4000));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny_cache(2, 2);
+        c.fill(0x2000, false, false);
+        assert!(c.invalidate(0x2000));
+        assert!(!c.probe(0x2000));
+        assert!(!c.invalidate(0x2000));
+    }
+
+    #[test]
+    fn victim_address_reconstruction_is_correct() {
+        let mut c = tiny_cache(1, 8);
+        // Two addresses mapping to the same set (set index bits 6..9).
+        let a = 0x1040;
+        let b = a + 64 * 8; // same set, different tag
+        c.fill(a, false, false);
+        let ev = c.fill(b, false, false).unwrap();
+        assert_eq!(ev.line_addr, a);
+    }
+
+    #[test]
+    fn double_fill_does_not_duplicate() {
+        let mut c = tiny_cache(4, 2);
+        c.fill(0x1000, false, false);
+        c.fill(0x1000, true, false);
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn miss_ratio_reported() {
+        let mut c = tiny_cache(2, 2);
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+        c.access(0x0, false);
+        c.fill(0x0, false, false);
+        c.access(0x0, false);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,258 @@
+//! Configuration of the memory hierarchy.
+
+/// Geometry and latency of a single cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (the whole hierarchy uses 64 B lines).
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Access latency in cycles (tag + data for a hit).
+    pub latency: u64,
+    /// Additional cycles between the tag match and data availability. LTP's
+    /// early wakeup for Non-Ready instructions exploits this window: the tag
+    /// hit is known `tag_to_data` cycles before the data arrives (§3.2).
+    pub tag_to_data: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not a power-of-two geometry or if
+    /// capacity, line size and associativity are inconsistent.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.size_bytes % (self.line_bytes * self.ways as u64) == 0,
+            "cache size must be divisible by line size * ways");
+        let sets = self.size_bytes / (self.line_bytes * self.ways as u64);
+        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        sets as usize
+    }
+
+    /// The paper's 32 kB, 8-way, 4-cycle L1 data cache.
+    #[must_use]
+    pub fn l1d_baseline() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            latency: 4,
+            tag_to_data: 1,
+        }
+    }
+
+    /// The paper's 256 kB, 8-way, 12-cycle unified L2.
+    #[must_use]
+    pub fn l2_baseline() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 256 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            latency: 12,
+            tag_to_data: 4,
+        }
+    }
+
+    /// The paper's 1 MB, 16-way, 36-cycle shared L3.
+    #[must_use]
+    pub fn l3_baseline() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 1024 * 1024,
+            line_bytes: 64,
+            ways: 16,
+            latency: 36,
+            tag_to_data: 10,
+        }
+    }
+}
+
+/// Configuration of the DDR3-like DRAM model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of independently schedulable banks.
+    pub banks: usize,
+    /// Row-buffer hit latency (CAS only), in CPU cycles.
+    pub row_hit_latency: u64,
+    /// Row-buffer miss latency (precharge + activate + CAS), in CPU cycles.
+    pub row_miss_latency: u64,
+    /// Minimum gap between two data bursts from the same bank, in CPU cycles
+    /// (models bank busy time / limited bandwidth).
+    pub bank_busy: u64,
+    /// Bytes per DRAM row (determines row-buffer locality).
+    pub row_bytes: u64,
+}
+
+impl DramConfig {
+    /// DDR3-1600 11-11-11 seen from a 3.4 GHz core, as in Table 1.
+    ///
+    /// At DDR3-1600 the memory clock is 800 MHz, so one memory cycle is
+    /// 4.25 CPU cycles at 3.4 GHz. CAS-only access (row hit) is ~11 memory
+    /// cycles plus transfer; a full precharge+activate+CAS (row miss) is ~33
+    /// memory cycles. Including controller overheads this yields roughly 65
+    /// and 165 CPU cycles respectively, on top of the L3 latency already paid.
+    #[must_use]
+    pub fn ddr3_1600() -> DramConfig {
+        DramConfig {
+            banks: 8,
+            row_hit_latency: 65,
+            row_miss_latency: 165,
+            bank_busy: 18,
+            row_bytes: 8 * 1024,
+        }
+    }
+
+    /// Typical total DRAM latency used for the LTP on/off timer (§5.2): a
+    /// round number close to the average access latency seen by the core.
+    #[must_use]
+    pub fn typical_total_latency(&self) -> u64 {
+        (self.row_hit_latency + self.row_miss_latency) / 2
+    }
+}
+
+/// Configuration of the L2 stride prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetcherConfig {
+    /// Whether the prefetcher is enabled at all.
+    pub enabled: bool,
+    /// Prefetch degree: number of lines fetched ahead on a stride match.
+    pub degree: usize,
+    /// Number of PC-indexed entries in the stride table.
+    pub table_entries: usize,
+    /// Number of consecutive stride confirmations required before prefetches
+    /// are issued.
+    pub confidence_threshold: u8,
+}
+
+impl PrefetcherConfig {
+    /// The paper's "stride prefetcher, degree 4" at the L2.
+    #[must_use]
+    pub fn stride_degree4() -> PrefetcherConfig {
+        PrefetcherConfig {
+            enabled: true,
+            degree: 4,
+            table_entries: 256,
+            confidence_threshold: 2,
+        }
+    }
+
+    /// A disabled prefetcher.
+    #[must_use]
+    pub fn disabled() -> PrefetcherConfig {
+        PrefetcherConfig {
+            enabled: false,
+            degree: 0,
+            table_entries: 1,
+            confidence_threshold: u8::MAX,
+        }
+    }
+}
+
+/// Full memory-hierarchy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Shared L3 (the LLC; misses here are the paper's "long-latency loads").
+    pub l3: CacheConfig,
+    /// DRAM timing.
+    pub dram: DramConfig,
+    /// L2 stride prefetcher.
+    pub prefetcher: PrefetcherConfig,
+    /// Number of L1-level MSHRs (outstanding misses). `usize::MAX` models the
+    /// unlimited MSHRs used in the limit study.
+    pub mshrs: usize,
+}
+
+impl MemoryConfig {
+    /// Table 1 baseline: 32 kB L1, 256 kB L2 + degree-4 stride prefetcher,
+    /// 1 MB L3, DDR3-1600, 16 MSHRs.
+    #[must_use]
+    pub fn micro2015_baseline() -> MemoryConfig {
+        MemoryConfig {
+            l1d: CacheConfig::l1d_baseline(),
+            l2: CacheConfig::l2_baseline(),
+            l3: CacheConfig::l3_baseline(),
+            dram: DramConfig::ddr3_1600(),
+            prefetcher: PrefetcherConfig::stride_degree4(),
+            mshrs: 16,
+        }
+    }
+
+    /// The limit-study variant: unlimited MSHRs, prefetcher enabled
+    /// ("With infinite RF, LQ, SQ, MSHRs, and prefetcher enabled", Fig. 1).
+    #[must_use]
+    pub fn limit_study() -> MemoryConfig {
+        MemoryConfig {
+            mshrs: usize::MAX,
+            ..MemoryConfig::micro2015_baseline()
+        }
+    }
+
+    /// Baseline with the prefetcher turned off (used by ablation benches).
+    #[must_use]
+    pub fn without_prefetcher(mut self) -> MemoryConfig {
+        self.prefetcher = PrefetcherConfig::disabled();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_geometries_match_table1() {
+        assert_eq!(CacheConfig::l1d_baseline().num_sets(), 64);
+        assert_eq!(CacheConfig::l2_baseline().num_sets(), 512);
+        assert_eq!(CacheConfig::l3_baseline().num_sets(), 1024);
+    }
+
+    #[test]
+    fn latencies_match_table1() {
+        let cfg = MemoryConfig::micro2015_baseline();
+        assert_eq!(cfg.l1d.latency, 4);
+        assert_eq!(cfg.l2.latency, 12);
+        assert_eq!(cfg.l3.latency, 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn inconsistent_geometry_panics() {
+        let bad = CacheConfig {
+            size_bytes: 1000,
+            line_bytes: 64,
+            ways: 3,
+            latency: 1,
+            tag_to_data: 0,
+        };
+        let _ = bad.num_sets();
+    }
+
+    #[test]
+    fn limit_study_has_unlimited_mshrs() {
+        assert_eq!(MemoryConfig::limit_study().mshrs, usize::MAX);
+        assert!(MemoryConfig::limit_study().prefetcher.enabled);
+    }
+
+    #[test]
+    fn prefetcher_presets() {
+        assert_eq!(PrefetcherConfig::stride_degree4().degree, 4);
+        assert!(!PrefetcherConfig::disabled().enabled);
+        assert!(!MemoryConfig::micro2015_baseline().without_prefetcher().prefetcher.enabled);
+    }
+
+    #[test]
+    fn dram_row_miss_slower_than_hit() {
+        let d = DramConfig::ddr3_1600();
+        assert!(d.row_miss_latency > d.row_hit_latency);
+        let typical = d.typical_total_latency();
+        assert!(typical > d.row_hit_latency && typical < d.row_miss_latency);
+    }
+}

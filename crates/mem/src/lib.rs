@@ -1,0 +1,91 @@
+//! # ltp-mem
+//!
+//! Memory hierarchy model for the Long Term Parking (LTP) reproduction.
+//!
+//! The paper's baseline machine (Table 1) has a three-level cache hierarchy
+//! with an L2 stride prefetcher and DDR3-1600 DRAM:
+//!
+//! | level | size | line | ways | latency |
+//! |---|---|---|---|---|
+//! | L1I / L1D | 32 kB | 64 B | 8 | 4 cycles |
+//! | L2 (unified) | 256 kB | 64 B | 8 | 12 cycles |
+//! | L3 (shared) | 1 MB | 64 B | 16 | 36 cycles |
+//! | DRAM | — | — | — | DDR3-1600 11-11-11 |
+//!
+//! This crate provides:
+//!
+//! * [`Cache`] — a set-associative, LRU, write-allocate cache model,
+//! * [`MshrFile`] — miss status holding registers with same-line merging,
+//! * [`StridePrefetcher`] — the degree-4 per-PC stride prefetcher at the L2,
+//! * [`DramModel`] — an open-page DDR3-like bank/row-buffer latency model,
+//! * [`MemoryHierarchy`] — the composed L1D/L2/L3/DRAM hierarchy the pipeline
+//!   issues loads and stores to,
+//! * [`HitMissPredictor`] — the two-level load hit/miss predictor used by the
+//!   Non-Ready classification (paper appendix),
+//! * early *tag-hit* wakeup times, which LTP uses to wake Non-Ready
+//!   instructions just before their data returns (§3.2).
+//!
+//! The hierarchy is driven with absolute cycle timestamps: the pipeline calls
+//! [`MemoryHierarchy::access`] with the cycle at which the request leaves the
+//! load/store unit and receives the completion cycle back. Contention is
+//! modelled at the MSHRs and DRAM banks, the places the paper's MLP argument
+//! depends on.
+//!
+//! # Example
+//!
+//! ```
+//! use ltp_mem::{AccessKind, MemoryConfig, MemoryHierarchy, MemoryRequest};
+//! use ltp_isa::Pc;
+//!
+//! let mut mem = MemoryHierarchy::new(MemoryConfig::micro2015_baseline());
+//! let req = MemoryRequest::new(Pc(0x400), 0x10_0000, AccessKind::Load);
+//! let first = mem.access(100, &req);
+//! let second = mem.access(first.completion_cycle + 1, &req);
+//! // The second access to the same line hits in the L1 and is much faster.
+//! assert!(second.latency() < first.latency());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod config;
+mod dram;
+mod hierarchy;
+mod hitmiss;
+mod mshr;
+mod prefetcher;
+
+pub use cache::{Cache, CacheStats, EvictedLine};
+pub use config::{CacheConfig, DramConfig, MemoryConfig, PrefetcherConfig};
+pub use dram::DramModel;
+pub use hierarchy::{
+    AccessKind, AccessResult, HitLevel, MemoryHierarchy, MemoryRequest, MemoryStats,
+};
+pub use hitmiss::HitMissPredictor;
+pub use mshr::{MshrFile, MshrOutcome};
+pub use prefetcher::StridePrefetcher;
+
+/// A cycle timestamp. The simulation uses absolute cycle numbers from the
+/// start of the detailed simulation.
+pub type Cycle = u64;
+
+/// Returns the 64-byte-aligned line address of `addr`.
+#[must_use]
+pub fn line_of(addr: u64) -> u64 {
+    addr & !0x3f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_masks_offset_bits() {
+        assert_eq!(line_of(0x12345), 0x12340);
+        assert_eq!(line_of(0x12340), 0x12340);
+        assert_eq!(line_of(0x1237f), 0x12340);
+        assert_eq!(line_of(0x12380), 0x12380);
+    }
+}

@@ -1,0 +1,247 @@
+//! Miss Status Holding Registers (MSHRs) with same-line merge.
+//!
+//! The MSHR file bounds the number of outstanding misses — i.e. the amount of
+//! memory-level parallelism the core can actually expose. The paper's limit
+//! study uses unlimited MSHRs so that the IQ/RF/LQ/SQ are the only limiters;
+//! the realistic configuration uses a finite file. Requests to a line that
+//! already has an outstanding miss merge into the existing entry.
+
+use crate::Cycle;
+use std::collections::BTreeMap;
+
+/// Result of presenting a miss to the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new MSHR was allocated; the miss proceeds to the next level at the
+    /// given cycle (equal to the request cycle unless the file was full).
+    Allocated {
+        /// Cycle at which the miss could actually be issued downstream.
+        issue_cycle: Cycle,
+    },
+    /// The line already has an outstanding miss; this request completes when
+    /// that miss completes.
+    Merged {
+        /// Completion cycle of the outstanding miss.
+        completion_cycle: Cycle,
+    },
+}
+
+/// A finite (or unlimited) MSHR file tracking outstanding line misses.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    /// line address -> completion cycle of the outstanding miss.
+    outstanding: BTreeMap<u64, Cycle>,
+    /// Completion cycles of in-flight misses, used to compute when a full
+    /// file frees an entry.
+    peak_occupancy: usize,
+    total_allocations: u64,
+    total_merges: u64,
+    full_stall_cycles: u64,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries. Use `usize::MAX` for the
+    /// unlimited file of the limit study.
+    #[must_use]
+    pub fn new(capacity: usize) -> MshrFile {
+        assert!(capacity > 0, "MSHR capacity must be at least 1");
+        MshrFile {
+            capacity,
+            outstanding: BTreeMap::new(),
+            peak_occupancy: 0,
+            total_allocations: 0,
+            total_merges: 0,
+            full_stall_cycles: 0,
+        }
+    }
+
+    /// Number of misses currently outstanding at `now` (entries whose
+    /// completion is still in the future).
+    #[must_use]
+    pub fn outstanding_at(&self, now: Cycle) -> usize {
+        self.outstanding.values().filter(|&&c| c > now).count()
+    }
+
+    /// Removes entries that have completed by `now`.
+    pub fn retire_completed(&mut self, now: Cycle) {
+        self.outstanding.retain(|_, &mut c| c > now);
+    }
+
+    /// Checks whether `line_addr` has an outstanding miss at `now` without
+    /// allocating a new entry. Returns [`MshrOutcome::Merged`] if so. Used for
+    /// accesses that hit in a cache on a line whose refill is still in flight.
+    pub fn lookup_or_allocate_probe(&mut self, line_addr: u64, now: Cycle) -> MshrOutcome {
+        if let Some(&completion) = self.outstanding.get(&line_addr) {
+            if completion > now {
+                self.total_merges += 1;
+                return MshrOutcome::Merged {
+                    completion_cycle: completion,
+                };
+            }
+        }
+        MshrOutcome::Allocated { issue_cycle: now }
+    }
+
+    /// Presents a miss for `line_addr` at cycle `now`.
+    ///
+    /// * If the line already has an outstanding miss, the request merges and
+    ///   the existing completion cycle is returned.
+    /// * Otherwise a new entry is allocated. If the file is full, the issue
+    ///   cycle is delayed until the earliest outstanding miss completes.
+    ///
+    /// The caller must later call [`MshrFile::record_completion`] with the
+    /// final completion cycle of an allocated miss so that subsequent requests
+    /// can merge with it.
+    pub fn lookup_or_allocate(&mut self, line_addr: u64, now: Cycle) -> MshrOutcome {
+        self.retire_completed(now);
+
+        if let Some(&completion) = self.outstanding.get(&line_addr) {
+            self.total_merges += 1;
+            return MshrOutcome::Merged {
+                completion_cycle: completion,
+            };
+        }
+
+        let issue_cycle = if self.capacity != usize::MAX && self.outstanding.len() >= self.capacity
+        {
+            // Wait until the earliest outstanding miss completes.
+            let earliest = self
+                .outstanding
+                .values()
+                .copied()
+                .min()
+                .expect("full MSHR file has entries");
+            // That entry is gone once it completes; model the freed slot.
+            let stall = earliest.saturating_sub(now);
+            self.full_stall_cycles += stall;
+            // Drop the completed entry so we stay within capacity.
+            let key = self
+                .outstanding
+                .iter()
+                .find(|(_, &c)| c == earliest)
+                .map(|(&k, _)| k)
+                .expect("entry with earliest completion exists");
+            self.outstanding.remove(&key);
+            earliest
+        } else {
+            now
+        };
+
+        self.total_allocations += 1;
+        // Placeholder completion; the caller overwrites it via record_completion.
+        self.outstanding.insert(line_addr, issue_cycle);
+        self.peak_occupancy = self.peak_occupancy.max(self.outstanding.len());
+        MshrOutcome::Allocated { issue_cycle }
+    }
+
+    /// Records the completion cycle of a previously allocated miss so that
+    /// later requests to the same line can merge with it.
+    pub fn record_completion(&mut self, line_addr: u64, completion: Cycle) {
+        if let Some(entry) = self.outstanding.get_mut(&line_addr) {
+            *entry = completion;
+        }
+    }
+
+    /// Capacity of the file (`usize::MAX` = unlimited).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest number of simultaneously outstanding misses observed.
+    #[must_use]
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Number of allocated (non-merged) misses.
+    #[must_use]
+    pub fn allocations(&self) -> u64 {
+        self.total_allocations
+    }
+
+    /// Number of merged requests.
+    #[must_use]
+    pub fn merges(&self) -> u64 {
+        self.total_merges
+    }
+
+    /// Total cycles requests were delayed because the file was full.
+    #[must_use]
+    pub fn full_stall_cycles(&self) -> u64 {
+        self.full_stall_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_merge() {
+        let mut m = MshrFile::new(4);
+        let out = m.lookup_or_allocate(0x1000, 10);
+        assert_eq!(out, MshrOutcome::Allocated { issue_cycle: 10 });
+        m.record_completion(0x1000, 200);
+        let merged = m.lookup_or_allocate(0x1000, 20);
+        assert_eq!(merged, MshrOutcome::Merged { completion_cycle: 200 });
+        assert_eq!(m.allocations(), 1);
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn different_lines_do_not_merge() {
+        let mut m = MshrFile::new(4);
+        m.lookup_or_allocate(0x1000, 0);
+        m.record_completion(0x1000, 300);
+        let out = m.lookup_or_allocate(0x2000, 0);
+        assert!(matches!(out, MshrOutcome::Allocated { .. }));
+    }
+
+    #[test]
+    fn completed_entries_are_retired() {
+        let mut m = MshrFile::new(4);
+        m.lookup_or_allocate(0x1000, 0);
+        m.record_completion(0x1000, 100);
+        assert_eq!(m.outstanding_at(50), 1);
+        assert_eq!(m.outstanding_at(100), 0);
+        // After completion the same line misses again and allocates fresh.
+        let out = m.lookup_or_allocate(0x1000, 150);
+        assert!(matches!(out, MshrOutcome::Allocated { issue_cycle: 150 }));
+    }
+
+    #[test]
+    fn full_file_delays_issue() {
+        let mut m = MshrFile::new(2);
+        m.lookup_or_allocate(0xa000, 0);
+        m.record_completion(0xa000, 100);
+        m.lookup_or_allocate(0xb000, 0);
+        m.record_completion(0xb000, 150);
+        // Third distinct miss at cycle 10 must wait for the first to complete.
+        let out = m.lookup_or_allocate(0xc000, 10);
+        match out {
+            MshrOutcome::Allocated { issue_cycle } => assert_eq!(issue_cycle, 100),
+            MshrOutcome::Merged { .. } => panic!("should allocate"),
+        }
+        assert_eq!(m.full_stall_cycles(), 90);
+    }
+
+    #[test]
+    fn unlimited_file_never_delays() {
+        let mut m = MshrFile::new(usize::MAX);
+        for i in 0..1000u64 {
+            let out = m.lookup_or_allocate(0x1_0000 + i * 64, 5);
+            assert_eq!(out, MshrOutcome::Allocated { issue_cycle: 5 });
+            m.record_completion(0x1_0000 + i * 64, 500);
+        }
+        assert_eq!(m.outstanding_at(5), 1000);
+        assert_eq!(m.peak_occupancy(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Pipeline configuration (Table 1 of the paper).
+
+use ltp_core::LtpConfig;
+use ltp_mem::MemoryConfig;
+
+/// Number of functional units of each kind (index by
+/// [`ltp_isa::FuKind`]-matching order used in `fu.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuCounts {
+    /// Simple integer ALUs.
+    pub int_alu: usize,
+    /// Integer multiply/divide units.
+    pub int_muldiv: usize,
+    /// Floating point add/mul pipes.
+    pub fp_alu: usize,
+    /// Floating point divide/sqrt units.
+    pub fp_divsqrt: usize,
+    /// Load/store ports.
+    pub mem: usize,
+    /// Branch units.
+    pub branch: usize,
+}
+
+impl FuCounts {
+    /// A large-core mix matching the 6-wide issue of Table 1.
+    #[must_use]
+    pub fn large_core() -> FuCounts {
+        FuCounts {
+            int_alu: 4,
+            int_muldiv: 1,
+            fp_alu: 2,
+            fp_divsqrt: 1,
+            mem: 2,
+            branch: 2,
+        }
+    }
+}
+
+/// Full configuration of the out-of-order core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Front-end width (fetch/decode/rename), instructions per cycle.
+    pub front_width: usize,
+    /// Issue width (instructions selected from the IQ per cycle).
+    pub issue_width: usize,
+    /// Commit width.
+    pub commit_width: usize,
+    /// Reorder buffer entries.
+    pub rob_size: usize,
+    /// Instruction queue entries (`usize::MAX` = unlimited, limit study).
+    pub iq_size: usize,
+    /// Load queue entries.
+    pub lq_size: usize,
+    /// Store queue entries.
+    pub sq_size: usize,
+    /// *Available* integer physical registers beyond the architectural ones
+    /// (the quantity swept in Figure 6, per footnote 4 of the paper).
+    pub int_regs: usize,
+    /// Available floating point registers (scaled together with `int_regs`).
+    pub fp_regs: usize,
+    /// Number of registers/LQ/SQ entries held in reserve for instructions
+    /// leaving the LTP (deadlock avoidance, §5.4).
+    pub ltp_reserve: usize,
+    /// Front-end depth in cycles (fetch to rename).
+    pub frontend_delay: u64,
+    /// Branch misprediction redirect penalty in cycles.
+    pub mispredict_penalty: u64,
+    /// Functional unit mix.
+    pub fu: FuCounts,
+    /// Whether LQ/SQ allocation is delayed for parked instructions (only the
+    /// LQ/SQ rows of the limit study enable this; the proposed design does
+    /// not, §4.3).
+    pub delay_lsq_alloc: bool,
+    /// Memory hierarchy configuration.
+    pub mem: MemoryConfig,
+    /// LTP configuration.
+    pub ltp: LtpConfig,
+    /// Use the oracle (perfect) classifier instead of the runtime UIT-based
+    /// classifier. Requires the trace to be analysed ahead of time.
+    pub use_oracle: bool,
+    /// Number of instructions of detailed pipeline warming before statistics
+    /// are collected (the paper warms the pipeline for 100 k instructions).
+    pub warmup_insts: u64,
+}
+
+impl PipelineConfig {
+    /// Table 1: 8-wide front end, 6-wide issue, ROB 256, IQ 64, LQ 64, SQ 32,
+    /// 128 int + 128 fp registers, no LTP.
+    #[must_use]
+    pub fn micro2015_baseline() -> PipelineConfig {
+        PipelineConfig {
+            front_width: 8,
+            issue_width: 6,
+            commit_width: 8,
+            rob_size: 256,
+            iq_size: 64,
+            lq_size: 64,
+            sq_size: 32,
+            int_regs: 128,
+            fp_regs: 128,
+            ltp_reserve: 8,
+            frontend_delay: 6,
+            mispredict_penalty: 12,
+            fu: FuCounts::large_core(),
+            delay_lsq_alloc: false,
+            mem: MemoryConfig::micro2015_baseline(),
+            ltp: LtpConfig::disabled(),
+            use_oracle: false,
+            warmup_insts: 0,
+        }
+    }
+
+    /// The paper's proposed design: IQ reduced to 32, available registers to
+    /// 96, plus a 128-entry 4-port Non-Urgent-only LTP (§5).
+    #[must_use]
+    pub fn ltp_proposed() -> PipelineConfig {
+        PipelineConfig {
+            iq_size: 32,
+            int_regs: 96,
+            fp_regs: 96,
+            ltp: LtpConfig::nu_only_128x4(),
+            ..PipelineConfig::micro2015_baseline()
+        }
+    }
+
+    /// The small-IQ configuration without LTP (the red line of Figure 10:
+    /// "IQ 32/RF 96 without LTP").
+    #[must_use]
+    pub fn small_no_ltp() -> PipelineConfig {
+        PipelineConfig {
+            iq_size: 32,
+            int_regs: 96,
+            fp_regs: 96,
+            ..PipelineConfig::micro2015_baseline()
+        }
+    }
+
+    /// Limit-study base: every sized resource unlimited, unlimited MSHRs,
+    /// prefetcher enabled (the caller then constrains exactly one resource).
+    #[must_use]
+    pub fn limit_study_unlimited() -> PipelineConfig {
+        PipelineConfig {
+            iq_size: usize::MAX,
+            lq_size: usize::MAX,
+            sq_size: usize::MAX,
+            int_regs: usize::MAX,
+            fp_regs: usize::MAX,
+            mem: MemoryConfig::limit_study(),
+            ..PipelineConfig::micro2015_baseline()
+        }
+    }
+
+    /// Returns a copy with a different IQ size.
+    #[must_use]
+    pub fn with_iq(mut self, iq_size: usize) -> PipelineConfig {
+        self.iq_size = iq_size;
+        self
+    }
+
+    /// Returns a copy with a different number of available registers (both
+    /// classes scaled together, as in the paper).
+    #[must_use]
+    pub fn with_regs(mut self, regs: usize) -> PipelineConfig {
+        self.int_regs = regs;
+        self.fp_regs = regs;
+        self
+    }
+
+    /// Returns a copy with a different load queue size.
+    #[must_use]
+    pub fn with_lq(mut self, lq_size: usize) -> PipelineConfig {
+        self.lq_size = lq_size;
+        self
+    }
+
+    /// Returns a copy with a different store queue size.
+    #[must_use]
+    pub fn with_sq(mut self, sq_size: usize) -> PipelineConfig {
+        self.sq_size = sq_size;
+        self
+    }
+
+    /// Returns a copy with a different LTP configuration.
+    #[must_use]
+    pub fn with_ltp(mut self, ltp: LtpConfig) -> PipelineConfig {
+        self.ltp = ltp;
+        self
+    }
+
+    /// Returns a copy using (or not using) the oracle classifier.
+    #[must_use]
+    pub fn with_oracle(mut self, use_oracle: bool) -> PipelineConfig {
+        self.use_oracle = use_oracle;
+        self
+    }
+
+    /// Returns a copy with a different memory configuration.
+    #[must_use]
+    pub fn with_mem(mut self, mem: MemoryConfig) -> PipelineConfig {
+        self.mem = mem;
+        self
+    }
+
+    /// Returns a copy with the given number of pipeline-warmup instructions.
+    #[must_use]
+    pub fn with_warmup(mut self, warmup_insts: u64) -> PipelineConfig {
+        self.warmup_insts = warmup_insts;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width or structurally required size is zero.
+    pub fn validate(&self) {
+        assert!(self.front_width > 0, "front-end width must be positive");
+        assert!(self.issue_width > 0, "issue width must be positive");
+        assert!(self.commit_width > 0, "commit width must be positive");
+        assert!(self.rob_size > 0, "ROB must have entries");
+        assert!(self.iq_size > 0, "IQ must have entries");
+        assert!(self.lq_size > 0 && self.sq_size > 0, "LQ/SQ must have entries");
+        assert!(self.int_regs > 0 && self.fp_regs > 0, "register file must have entries");
+        self.ltp.validate();
+    }
+
+    /// Total integer physical registers (architectural + available), the
+    /// quantity the energy model sizes the RF with.
+    #[must_use]
+    pub fn total_int_phys_regs(&self) -> usize {
+        self.int_regs
+            .saturating_add(ltp_isa::NUM_ARCH_INT_REGS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let c = PipelineConfig::micro2015_baseline();
+        assert_eq!(c.front_width, 8);
+        assert_eq!(c.issue_width, 6);
+        assert_eq!(c.commit_width, 8);
+        assert_eq!(c.rob_size, 256);
+        assert_eq!(c.iq_size, 64);
+        assert_eq!(c.lq_size, 64);
+        assert_eq!(c.sq_size, 32);
+        assert_eq!(c.int_regs, 128);
+        c.validate();
+    }
+
+    #[test]
+    fn proposed_design_shrinks_iq_and_rf() {
+        let c = PipelineConfig::ltp_proposed();
+        assert_eq!(c.iq_size, 32);
+        assert_eq!(c.int_regs, 96);
+        assert!(c.ltp.mode.is_enabled());
+        c.validate();
+    }
+
+    #[test]
+    fn limit_study_is_unlimited() {
+        let c = PipelineConfig::limit_study_unlimited();
+        assert_eq!(c.iq_size, usize::MAX);
+        assert_eq!(c.lq_size, usize::MAX);
+        assert_eq!(c.int_regs, usize::MAX);
+        assert_eq!(c.mem.mshrs, usize::MAX);
+        c.validate();
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = PipelineConfig::limit_study_unlimited()
+            .with_iq(16)
+            .with_regs(64)
+            .with_lq(8)
+            .with_sq(8)
+            .with_oracle(true)
+            .with_warmup(1000);
+        assert_eq!(c.iq_size, 16);
+        assert_eq!(c.int_regs, 64);
+        assert_eq!(c.fp_regs, 64);
+        assert_eq!(c.lq_size, 8);
+        assert_eq!(c.sq_size, 8);
+        assert!(c.use_oracle);
+        assert_eq!(c.warmup_insts, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "IQ must have entries")]
+    fn zero_iq_panics() {
+        PipelineConfig::micro2015_baseline().with_iq(0).validate();
+    }
+
+    #[test]
+    fn total_phys_regs_adds_architectural() {
+        let c = PipelineConfig::micro2015_baseline();
+        assert_eq!(c.total_int_phys_regs(), 128 + ltp_isa::NUM_ARCH_INT_REGS);
+    }
+}

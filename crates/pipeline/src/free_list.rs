@@ -1,0 +1,206 @@
+//! Physical register free lists.
+//!
+//! One free list per register class. The list is sized with the *available*
+//! register count of the configuration (the architectural registers have
+//! their own initial mappings and are not drawn from the free list, matching
+//! footnote 4 of the paper). `usize::MAX` capacity models the infinite
+//! register file of the limit study.
+
+use ltp_isa::PhysReg;
+
+/// A free list of physical registers for one register class.
+#[derive(Debug, Clone)]
+pub struct FreeList {
+    capacity: usize,
+    free: Vec<PhysReg>,
+    next_never_allocated: u32,
+    allocated: usize,
+    peak_allocated: usize,
+    alloc_failures: u64,
+}
+
+impl FreeList {
+    /// Creates a free list with `capacity` available registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> FreeList {
+        assert!(capacity > 0, "free list needs at least one register");
+        FreeList {
+            capacity,
+            free: Vec::new(),
+            next_never_allocated: 0,
+            allocated: 0,
+            peak_allocated: 0,
+            alloc_failures: 0,
+        }
+    }
+
+    /// Number of registers currently allocated.
+    #[must_use]
+    pub fn allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// Number of registers still available.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        if self.capacity == usize::MAX {
+            usize::MAX
+        } else {
+            self.capacity - self.allocated
+        }
+    }
+
+    /// Highest simultaneous allocation observed.
+    #[must_use]
+    pub fn peak_allocated(&self) -> usize {
+        self.peak_allocated
+    }
+
+    /// Number of allocation attempts that failed.
+    #[must_use]
+    pub fn failures(&self) -> u64 {
+        self.alloc_failures
+    }
+
+    /// Whether at least `reserve + 1` registers are free (used by rename to
+    /// keep a reserve for LTP releases, §5.4).
+    #[must_use]
+    pub fn can_allocate_beyond_reserve(&self, reserve: usize) -> bool {
+        if self.capacity == usize::MAX {
+            return true;
+        }
+        self.available() > reserve
+    }
+
+    /// Allocates a register, or returns `None` if the file is exhausted.
+    pub fn allocate(&mut self) -> Option<PhysReg> {
+        if self.capacity != usize::MAX && self.allocated >= self.capacity {
+            self.alloc_failures += 1;
+            return None;
+        }
+        let reg = match self.free.pop() {
+            Some(r) => r,
+            None => {
+                let r = PhysReg::new(self.next_never_allocated);
+                self.next_never_allocated += 1;
+                r
+            }
+        };
+        self.allocated += 1;
+        self.peak_allocated = self.peak_allocated.max(self.allocated);
+        Some(reg)
+    }
+
+    /// Grows the pool by `n` registers without freeing any allocation.
+    ///
+    /// This models the recycling of the physical registers that held the
+    /// initial architectural values: the paper's register counts are
+    /// *available* registers beyond the architectural state (footnote 4), and
+    /// each architectural register's initial physical register joins the free
+    /// pool once the first instruction renaming it commits.
+    pub fn add_capacity(&mut self, n: usize) {
+        if self.capacity != usize::MAX {
+            self.capacity += n;
+        }
+    }
+
+    /// Returns a register to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more registers are freed than were allocated (a resource
+    /// accounting bug in the pipeline).
+    pub fn free(&mut self, reg: PhysReg) {
+        assert!(self.allocated > 0, "freeing a register that was never allocated");
+        self.allocated -= 1;
+        self.free.push(reg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_exhausted() {
+        let mut fl = FreeList::new(3);
+        assert!(fl.allocate().is_some());
+        assert!(fl.allocate().is_some());
+        assert!(fl.allocate().is_some());
+        assert!(fl.allocate().is_none());
+        assert_eq!(fl.failures(), 1);
+        assert_eq!(fl.allocated(), 3);
+        assert_eq!(fl.available(), 0);
+        assert_eq!(fl.peak_allocated(), 3);
+    }
+
+    #[test]
+    fn add_capacity_extends_the_pool() {
+        let mut fl = FreeList::new(1);
+        let _ = fl.allocate().unwrap();
+        assert!(fl.allocate().is_none());
+        fl.add_capacity(1);
+        assert!(fl.allocate().is_some());
+        assert_eq!(fl.allocated(), 2);
+        // Unlimited lists are unaffected.
+        let mut unlimited = FreeList::new(usize::MAX);
+        unlimited.add_capacity(5);
+        assert_eq!(unlimited.available(), usize::MAX);
+    }
+
+    #[test]
+    fn freed_registers_are_reused() {
+        let mut fl = FreeList::new(1);
+        let r = fl.allocate().unwrap();
+        fl.free(r);
+        let r2 = fl.allocate().unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn distinct_registers_until_recycled() {
+        let mut fl = FreeList::new(16);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..16 {
+            assert!(seen.insert(fl.allocate().unwrap()));
+        }
+    }
+
+    #[test]
+    fn unlimited_never_fails() {
+        let mut fl = FreeList::new(usize::MAX);
+        for _ in 0..10_000 {
+            assert!(fl.allocate().is_some());
+        }
+        assert_eq!(fl.available(), usize::MAX);
+        assert!(fl.can_allocate_beyond_reserve(1_000_000));
+    }
+
+    #[test]
+    fn reserve_check() {
+        let mut fl = FreeList::new(4);
+        assert!(fl.can_allocate_beyond_reserve(2));
+        let _ = fl.allocate();
+        let _ = fl.allocate();
+        // 2 free, reserve 2 -> cannot allocate beyond reserve.
+        assert!(!fl.can_allocate_beyond_reserve(2));
+        assert!(fl.can_allocate_beyond_reserve(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "never allocated")]
+    fn over_free_panics() {
+        let mut fl = FreeList::new(2);
+        fl.free(PhysReg::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_capacity_panics() {
+        let _ = FreeList::new(0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Front end: fetch/decode modelled as a delay pipe plus branch-misprediction
+//! redirect stalls.
+//!
+//! The simulation is trace driven, so the front end never fetches wrong-path
+//! instructions; the cost of a misprediction is modelled as a redirect
+//! penalty during which no instructions are fetched, which is the first-order
+//! effect on the resource-allocation behaviour LTP cares about.
+
+use crate::branch::BranchPredictor;
+use ltp_isa::{DynInst, InstStream};
+use ltp_mem::Cycle;
+use std::collections::VecDeque;
+
+/// The fetch/decode front end.
+#[derive(Debug)]
+pub struct FrontEnd<S> {
+    stream: S,
+    predictor: BranchPredictor,
+    /// Instructions in flight through the front-end pipe, with the cycle at
+    /// which they become available to rename.
+    pipe: VecDeque<(Cycle, DynInst)>,
+    /// Fetch is stalled (redirecting) until this cycle.
+    redirect_until: Cycle,
+    frontend_delay: u64,
+    mispredict_penalty: u64,
+    exhausted: bool,
+    fetched: u64,
+}
+
+impl<S: InstStream> FrontEnd<S> {
+    /// Creates a front end reading from `stream`.
+    #[must_use]
+    pub fn new(stream: S, frontend_delay: u64, mispredict_penalty: u64) -> FrontEnd<S> {
+        FrontEnd {
+            stream,
+            predictor: BranchPredictor::default_sized(),
+            pipe: VecDeque::new(),
+            redirect_until: 0,
+            frontend_delay,
+            mispredict_penalty,
+            exhausted: false,
+            fetched: 0,
+        }
+    }
+
+    /// Whether the underlying stream has ended and the pipe has drained.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.exhausted && self.pipe.is_empty()
+    }
+
+    /// Total instructions fetched from the stream.
+    #[must_use]
+    pub fn fetched(&self) -> u64 {
+        self.fetched
+    }
+
+    /// The branch predictor (for misprediction statistics).
+    #[must_use]
+    pub fn branch_predictor(&self) -> &BranchPredictor {
+        &self.predictor
+    }
+
+    /// Fetches up to `width` instructions at cycle `now`, unless redirecting.
+    /// Fetch also stops for the cycle after a predicted-taken or mispredicted
+    /// branch (a simple one-taken-branch-per-cycle fetch model).
+    pub fn fetch(&mut self, now: Cycle, width: usize) {
+        if self.exhausted || now < self.redirect_until {
+            return;
+        }
+        // Keep the pipe from growing without bound when rename is stalled.
+        let max_buffer = width * 4;
+        for _ in 0..width {
+            if self.pipe.len() >= max_buffer {
+                break;
+            }
+            let Some(inst) = self.stream.next_inst() else {
+                self.exhausted = true;
+                break;
+            };
+            self.fetched += 1;
+            let mut stop_fetch = false;
+            if let Some(branch) = inst.branch_info() {
+                let mispredicted = self.predictor.predict_and_update(inst.pc(), branch.taken);
+                if mispredicted {
+                    self.redirect_until = now + self.mispredict_penalty;
+                    stop_fetch = true;
+                } else if branch.taken {
+                    // Taken branches end the fetch group.
+                    stop_fetch = true;
+                }
+            }
+            self.pipe.push_back((now + self.frontend_delay, inst));
+            if stop_fetch {
+                break;
+            }
+        }
+    }
+
+    /// Pops the next instruction if it has traversed the front-end pipe by
+    /// cycle `now`.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<DynInst> {
+        match self.pipe.front() {
+            Some(&(ready, _)) if ready <= now => self.pipe.pop_front().map(|(_, i)| i),
+            _ => None,
+        }
+    }
+
+    /// Whether an instruction is ready for rename at cycle `now`.
+    #[must_use]
+    pub fn has_ready(&self, now: Cycle) -> bool {
+        matches!(self.pipe.front(), Some(&(ready, _)) if ready <= now)
+    }
+
+    /// The next instruction ready for rename at cycle `now`, without
+    /// consuming it.
+    #[must_use]
+    pub fn peek_ready(&self, now: Cycle) -> Option<&DynInst> {
+        match self.pipe.front() {
+            Some(&(ready, ref inst)) if ready <= now => Some(inst),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltp_isa::{ArchReg, BranchInfo, OpClass, Pc, StaticInst, VecStream};
+
+    fn alu(seq: u64) -> DynInst {
+        DynInst::new(
+            seq,
+            StaticInst::new(Pc(0x1000 + seq * 4), OpClass::IntAlu).with_dst(ArchReg::int(1)),
+        )
+    }
+
+    fn taken_branch(seq: u64, pc: u64) -> DynInst {
+        DynInst::new(seq, StaticInst::new(Pc(pc), OpClass::Branch))
+            .with_branch(BranchInfo { taken: true, target: Pc(0x1000) })
+    }
+
+    #[test]
+    fn instructions_arrive_after_frontend_delay() {
+        let stream = VecStream::new("t", vec![alu(0), alu(1)]);
+        let mut fe = FrontEnd::new(stream, 5, 10);
+        fe.fetch(0, 8);
+        assert!(!fe.has_ready(0));
+        assert!(!fe.has_ready(4));
+        assert!(fe.has_ready(5));
+        assert_eq!(fe.pop_ready(5).unwrap().seq().0, 0);
+        assert_eq!(fe.pop_ready(5).unwrap().seq().0, 1);
+        assert!(fe.pop_ready(5).is_none());
+    }
+
+    #[test]
+    fn stream_exhaustion_is_reported() {
+        let stream = VecStream::new("t", vec![alu(0)]);
+        let mut fe = FrontEnd::new(stream, 1, 10);
+        fe.fetch(0, 8);
+        assert!(!fe.is_drained());
+        let _ = fe.pop_ready(1);
+        fe.fetch(1, 8);
+        assert!(fe.is_drained());
+        assert_eq!(fe.fetched(), 1);
+    }
+
+    #[test]
+    fn taken_branch_ends_fetch_group() {
+        // Branch at seq 1 is taken; seq 2 must not be fetched in the same cycle.
+        let stream = VecStream::new(
+            "t",
+            vec![alu(0), taken_branch(1, 0x2000), alu(2), alu(3)],
+        );
+        let mut fe = FrontEnd::new(stream, 1, 10);
+        fe.fetch(0, 8);
+        assert_eq!(fe.fetched(), 2);
+        fe.fetch(1, 8);
+        assert!(fe.fetched() >= 3);
+    }
+
+    #[test]
+    fn mispredicted_branch_stalls_fetch() {
+        // A branch PC that alternates taken/not-taken every time mispredicts
+        // at least sometimes; use a fresh predictor so the very first
+        // not-taken outcome (counter initialised weakly taken) mispredicts.
+        let stream = VecStream::new(
+            "t",
+            vec![
+                DynInst::new(0, StaticInst::new(Pc(0x500), OpClass::Branch))
+                    .with_branch(BranchInfo { taken: false, target: Pc(0x1000) }),
+                alu(1),
+            ],
+        );
+        let mut fe = FrontEnd::new(stream, 1, 10);
+        fe.fetch(0, 8);
+        // Redirect: nothing more is fetched until cycle 10.
+        let before = fe.fetched();
+        fe.fetch(5, 8);
+        assert_eq!(fe.fetched(), before);
+        fe.fetch(10, 8);
+        assert_eq!(fe.fetched(), before + 1);
+        assert_eq!(fe.branch_predictor().mispredictions(), 1);
+    }
+
+    #[test]
+    fn buffer_is_bounded_under_backpressure() {
+        let insts: Vec<DynInst> = (0..1000).map(alu).collect();
+        let stream = VecStream::new("t", insts);
+        let mut fe = FrontEnd::new(stream, 1, 10);
+        for cycle in 0..100 {
+            fe.fetch(cycle, 8);
+        }
+        // Nothing was popped, so the internal buffer must have stopped growing.
+        assert!(fe.fetched() <= 8 * 4 + 8);
+    }
+}

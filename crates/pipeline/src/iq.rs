@@ -1,0 +1,287 @@
+//! The issue queue (IQ): wakeup and select.
+//!
+//! Instructions wait in the IQ until all their source operands are ready,
+//! then the scheduler selects up to `issue_width` of them per cycle (oldest
+//! first), subject to functional unit availability. IQ entries are allocated
+//! at dispatch (after rename) and freed at issue, exactly the lifetime shown
+//! in Figure 4 of the paper.
+
+use ltp_isa::{FuKind, PhysReg, SeqNum};
+
+/// One waiting instruction in the IQ.
+#[derive(Debug, Clone)]
+pub struct IqEntry {
+    /// Sequence number (used for oldest-first selection and ROB lookup).
+    pub seq: SeqNum,
+    /// Functional unit kind it needs.
+    pub fu: FuKind,
+    /// Physical registers still awaited.
+    pub wait_phys: Vec<PhysReg>,
+    /// Parked/released producers still awaited, identified by sequence
+    /// number (used when a source's producer had no physical register at
+    /// rename time because it was parked in LTP).
+    pub wait_seqs: Vec<SeqNum>,
+}
+
+impl IqEntry {
+    /// Whether all source operands are available.
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        self.wait_phys.is_empty() && self.wait_seqs.is_empty()
+    }
+}
+
+/// The issue queue.
+#[derive(Debug, Clone)]
+pub struct IssueQueue {
+    capacity: usize,
+    entries: Vec<IqEntry>,
+    peak: usize,
+    dispatched: u64,
+    issued: u64,
+}
+
+impl IssueQueue {
+    /// Creates an empty IQ with `capacity` entries (`usize::MAX` =
+    /// unlimited, for the limit study).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> IssueQueue {
+        assert!(capacity > 0, "IQ needs at least one entry");
+        IssueQueue {
+            capacity,
+            entries: Vec::new(),
+            peak: 0,
+            dispatched: 0,
+            issued: 0,
+        }
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the IQ holds no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether another instruction can be dispatched into the IQ.
+    #[must_use]
+    pub fn has_space(&self) -> bool {
+        self.capacity == usize::MAX || self.entries.len() < self.capacity
+    }
+
+    /// Capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Peak occupancy observed.
+    #[must_use]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Total instructions dispatched into the IQ.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Total instructions issued from the IQ.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Dispatches an instruction into the IQ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the IQ is full (callers must check [`IssueQueue::has_space`]).
+    pub fn dispatch(&mut self, entry: IqEntry) {
+        assert!(self.has_space(), "dispatching into a full IQ");
+        self.entries.push(entry);
+        self.dispatched += 1;
+        self.peak = self.peak.max(self.entries.len());
+    }
+
+    /// Dispatches an instruction even if the IQ is nominally full. This
+    /// models the reserved bypass used by the deadlock-avoidance path of
+    /// §5.4 when the oldest parked instruction must be injected to guarantee
+    /// forward progress. Use sparingly; normal dispatch must go through
+    /// [`IssueQueue::dispatch`].
+    pub fn force_dispatch(&mut self, entry: IqEntry) {
+        self.entries.push(entry);
+        self.dispatched += 1;
+        self.peak = self.peak.max(self.entries.len());
+    }
+
+    /// Wakeup: marks physical register `reg` as produced, removing it from
+    /// every entry's wait list.
+    pub fn wake_phys(&mut self, reg: PhysReg) {
+        for e in &mut self.entries {
+            e.wait_phys.retain(|&p| p != reg);
+        }
+    }
+
+    /// Wakeup by producer sequence number (for consumers of parked
+    /// instructions).
+    pub fn wake_seq(&mut self, seq: SeqNum) {
+        for e in &mut self.entries {
+            e.wait_seqs.retain(|&s| s != seq);
+        }
+    }
+
+    /// Selects up to `max` ready instructions, oldest first, for which
+    /// `fu_available` grants a functional unit. Selected entries are removed
+    /// from the IQ and returned in selection order.
+    pub fn select<F>(&mut self, max: usize, mut fu_available: F) -> Vec<IqEntry>
+    where
+        F: FnMut(FuKind) -> bool,
+    {
+        let mut picked_idx: Vec<usize> = Vec::new();
+        // Oldest-first: find ready entries in seq order.
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by_key(|&i| self.entries[i].seq);
+        for i in order {
+            if picked_idx.len() >= max {
+                break;
+            }
+            if self.entries[i].is_ready() && fu_available(self.entries[i].fu) {
+                picked_idx.push(i);
+            }
+        }
+        picked_idx.sort_unstable();
+        let mut out = Vec::with_capacity(picked_idx.len());
+        for &i in picked_idx.iter().rev() {
+            out.push(self.entries.swap_remove(i));
+        }
+        out.sort_by_key(|e| e.seq);
+        self.issued += out.len() as u64;
+        out
+    }
+
+    /// Iterates over the waiting entries (for diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &IqEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64, waits: &[u32]) -> IqEntry {
+        IqEntry {
+            seq: SeqNum(seq),
+            fu: FuKind::IntAlu,
+            wait_phys: waits.iter().map(|&p| PhysReg::new(p)).collect(),
+            wait_seqs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn dispatch_and_capacity() {
+        let mut iq = IssueQueue::new(2);
+        assert!(iq.has_space());
+        iq.dispatch(entry(0, &[]));
+        iq.dispatch(entry(1, &[]));
+        assert!(!iq.has_space());
+        assert_eq!(iq.len(), 2);
+        assert_eq!(iq.peak(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "full IQ")]
+    fn over_dispatch_panics() {
+        let mut iq = IssueQueue::new(1);
+        iq.dispatch(entry(0, &[]));
+        iq.dispatch(entry(1, &[]));
+    }
+
+    #[test]
+    fn select_is_oldest_first() {
+        let mut iq = IssueQueue::new(8);
+        iq.dispatch(entry(5, &[]));
+        iq.dispatch(entry(2, &[]));
+        iq.dispatch(entry(9, &[]));
+        let picked = iq.select(2, |_| true);
+        let seqs: Vec<u64> = picked.iter().map(|e| e.seq.0).collect();
+        assert_eq!(seqs, vec![2, 5]);
+        assert_eq!(iq.len(), 1);
+        assert_eq!(iq.issued(), 2);
+    }
+
+    #[test]
+    fn non_ready_entries_are_not_selected() {
+        let mut iq = IssueQueue::new(8);
+        iq.dispatch(entry(0, &[7]));
+        iq.dispatch(entry(1, &[]));
+        let picked = iq.select(4, |_| true);
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].seq, SeqNum(1));
+    }
+
+    #[test]
+    fn wakeup_makes_entries_ready() {
+        let mut iq = IssueQueue::new(8);
+        iq.dispatch(entry(0, &[7, 8]));
+        assert!(iq.select(4, |_| true).is_empty());
+        iq.wake_phys(PhysReg::new(7));
+        assert!(iq.select(4, |_| true).is_empty());
+        iq.wake_phys(PhysReg::new(8));
+        assert_eq!(iq.select(4, |_| true).len(), 1);
+    }
+
+    #[test]
+    fn seq_dependencies_wake_separately() {
+        let mut iq = IssueQueue::new(8);
+        let mut e = entry(3, &[]);
+        e.wait_seqs.push(SeqNum(1));
+        iq.dispatch(e);
+        assert!(iq.select(4, |_| true).is_empty());
+        iq.wake_seq(SeqNum(1));
+        assert_eq!(iq.select(4, |_| true).len(), 1);
+    }
+
+    #[test]
+    fn fu_constraint_limits_selection() {
+        let mut iq = IssueQueue::new(8);
+        iq.dispatch(entry(0, &[]));
+        iq.dispatch(entry(1, &[]));
+        iq.dispatch(entry(2, &[]));
+        // Only one ALU available this cycle.
+        let mut granted = 0;
+        let picked = iq.select(6, |_| {
+            granted += 1;
+            granted <= 1
+        });
+        assert_eq!(picked.len(), 1);
+        assert_eq!(iq.len(), 2);
+    }
+
+    #[test]
+    fn unlimited_iq_never_fills() {
+        let mut iq = IssueQueue::new(usize::MAX);
+        for s in 0..1000u64 {
+            iq.dispatch(entry(s, &[]));
+        }
+        assert!(iq.has_space());
+        assert_eq!(iq.len(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = IssueQueue::new(0);
+    }
+}

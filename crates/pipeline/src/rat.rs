@@ -1,0 +1,146 @@
+//! The register allocation table (RAT) of the pipeline, with support for
+//! *parked* producers that have not yet been assigned a physical register.
+
+use ltp_isa::{ArchReg, PhysReg, SeqNum, NUM_ARCH_REGS};
+
+/// Where the current value of an architectural register comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegSource {
+    /// The architectural (pre-existing) value: always ready, owns no
+    /// allocated physical register.
+    Ready,
+    /// A physical register written by an in-flight or committed instruction.
+    Phys(PhysReg),
+    /// The producing instruction is parked in LTP and has no physical
+    /// register yet; consumers must wait for that instruction (identified by
+    /// sequence number) to be released and executed.
+    Parked(SeqNum),
+}
+
+/// The architectural-to-physical register allocation table.
+#[derive(Debug, Clone)]
+pub struct Rat {
+    map: Vec<RegSource>,
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::new()
+    }
+}
+
+impl Rat {
+    /// Creates a RAT with every architectural register mapped to its ready
+    /// architectural value.
+    #[must_use]
+    pub fn new() -> Rat {
+        Rat {
+            map: vec![RegSource::Ready; NUM_ARCH_REGS],
+        }
+    }
+
+    /// The current source of `reg`. The zero register is always ready.
+    #[must_use]
+    pub fn source(&self, reg: ArchReg) -> RegSource {
+        if reg.is_zero() {
+            RegSource::Ready
+        } else {
+            self.map[reg.index()]
+        }
+    }
+
+    /// Renames `reg` to physical register `phys`, returning the previous
+    /// mapping (to be freed when the renaming instruction commits).
+    pub fn set_phys(&mut self, reg: ArchReg, phys: PhysReg) -> RegSource {
+        if reg.is_zero() {
+            return RegSource::Ready;
+        }
+        std::mem::replace(&mut self.map[reg.index()], RegSource::Phys(phys))
+    }
+
+    /// Marks `reg` as produced by the parked instruction `seq`, returning the
+    /// previous mapping.
+    pub fn set_parked(&mut self, reg: ArchReg, seq: SeqNum) -> RegSource {
+        if reg.is_zero() {
+            return RegSource::Ready;
+        }
+        std::mem::replace(&mut self.map[reg.index()], RegSource::Parked(seq))
+    }
+
+    /// Called when the parked instruction `seq` is released from LTP and
+    /// finally receives physical register `phys`: if `reg` still names `seq`
+    /// as its producer, the mapping is updated (this is the function of the
+    /// paper's second RAT). Returns whether the mapping was updated; when it
+    /// returns `false` a younger instruction has renamed the register in the
+    /// meantime and the released instruction's result is not architecturally
+    /// visible through the RAT.
+    pub fn resolve_parked(&mut self, reg: ArchReg, seq: SeqNum, phys: PhysReg) -> bool {
+        if reg.is_zero() {
+            return false;
+        }
+        if self.map[reg.index()] == RegSource::Parked(seq) {
+            self.map[reg.index()] = RegSource::Phys(phys);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_mappings_are_ready() {
+        let rat = Rat::new();
+        assert_eq!(rat.source(ArchReg::int(5)), RegSource::Ready);
+        assert_eq!(rat.source(ArchReg::fp(5)), RegSource::Ready);
+    }
+
+    #[test]
+    fn zero_register_is_always_ready() {
+        let mut rat = Rat::new();
+        assert_eq!(rat.set_phys(ArchReg::ZERO, PhysReg::new(3)), RegSource::Ready);
+        assert_eq!(rat.source(ArchReg::ZERO), RegSource::Ready);
+        assert!(!rat.resolve_parked(ArchReg::ZERO, SeqNum(1), PhysReg::new(3)));
+    }
+
+    #[test]
+    fn rename_returns_previous_mapping() {
+        let mut rat = Rat::new();
+        let prev = rat.set_phys(ArchReg::int(1), PhysReg::new(10));
+        assert_eq!(prev, RegSource::Ready);
+        let prev = rat.set_phys(ArchReg::int(1), PhysReg::new(11));
+        assert_eq!(prev, RegSource::Phys(PhysReg::new(10)));
+        assert_eq!(rat.source(ArchReg::int(1)), RegSource::Phys(PhysReg::new(11)));
+    }
+
+    #[test]
+    fn parked_then_resolved() {
+        let mut rat = Rat::new();
+        rat.set_parked(ArchReg::int(2), SeqNum(7));
+        assert_eq!(rat.source(ArchReg::int(2)), RegSource::Parked(SeqNum(7)));
+        assert!(rat.resolve_parked(ArchReg::int(2), SeqNum(7), PhysReg::new(4)));
+        assert_eq!(rat.source(ArchReg::int(2)), RegSource::Phys(PhysReg::new(4)));
+    }
+
+    #[test]
+    fn resolution_skipped_when_overwritten_by_younger() {
+        let mut rat = Rat::new();
+        rat.set_parked(ArchReg::int(2), SeqNum(7));
+        // A younger instruction renames the same register before the parked
+        // one is released.
+        rat.set_phys(ArchReg::int(2), PhysReg::new(9));
+        assert!(!rat.resolve_parked(ArchReg::int(2), SeqNum(7), PhysReg::new(4)));
+        assert_eq!(rat.source(ArchReg::int(2)), RegSource::Phys(PhysReg::new(9)));
+    }
+
+    #[test]
+    fn resolution_skipped_for_wrong_seq() {
+        let mut rat = Rat::new();
+        rat.set_parked(ArchReg::int(2), SeqNum(7));
+        assert!(!rat.resolve_parked(ArchReg::int(2), SeqNum(8), PhysReg::new(4)));
+        assert_eq!(rat.source(ArchReg::int(2)), RegSource::Parked(SeqNum(7)));
+    }
+}

@@ -1,0 +1,196 @@
+//! Results of a simulation run.
+
+use ltp_core::LtpStats;
+use ltp_mem::MemoryStats;
+use ltp_stats::OccupancyTracker;
+
+/// Time-weighted occupancy of every sized structure, for the
+//  "Avg. Resources in use per cycle" plots (Figure 1c, Figure 7).
+#[derive(Debug, Clone, Default)]
+pub struct OccupancyReport {
+    /// Instruction queue occupancy.
+    pub iq: OccupancyTracker,
+    /// Reorder buffer occupancy.
+    pub rob: OccupancyTracker,
+    /// Load queue occupancy.
+    pub lq: OccupancyTracker,
+    /// Store queue occupancy.
+    pub sq: OccupancyTracker,
+    /// Physical registers in use (both classes, beyond the architectural
+    /// mappings).
+    pub regs: OccupancyTracker,
+    /// Instructions parked in LTP.
+    pub ltp: OccupancyTracker,
+    /// Registers "in LTP": parked instructions that will need a destination
+    /// register when released (Figure 7, second row).
+    pub ltp_regs: OccupancyTracker,
+    /// Loads parked in LTP.
+    pub ltp_loads: OccupancyTracker,
+    /// Stores parked in LTP.
+    pub ltp_stores: OccupancyTracker,
+    /// Outstanding memory requests beyond the L1 (Figure 1b).
+    pub outstanding_misses: OccupancyTracker,
+}
+
+/// Activity counters needed by the energy model (`ltp-energy`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ActivityCounters {
+    /// Instructions written into the IQ.
+    pub iq_writes: u64,
+    /// Instructions issued from the IQ.
+    pub iq_issues: u64,
+    /// Register-file read-port accesses (source operands of issued
+    /// instructions).
+    pub rf_reads: u64,
+    /// Register-file write-port accesses (results written back).
+    pub rf_writes: u64,
+    /// Instructions parked into LTP.
+    pub ltp_writes: u64,
+    /// Instructions released from LTP.
+    pub ltp_reads: u64,
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Name of the workload that was run.
+    pub workload: String,
+    /// Simulated cycles (after pipeline warm-up).
+    pub cycles: u64,
+    /// Committed instructions (after pipeline warm-up).
+    pub instructions: u64,
+    /// Occupancy of every structure.
+    pub occupancy: OccupancyReport,
+    /// Energy-relevant activity counters.
+    pub activity: ActivityCounters,
+    /// LTP counters (parked / released / per class).
+    pub ltp: LtpStats,
+    /// Fraction of time the LTP was enabled (Figure 7, bottom).
+    pub ltp_enabled_fraction: f64,
+    /// Memory hierarchy statistics.
+    pub mem: MemoryStats,
+    /// Branch misprediction rate.
+    pub branch_mispredict_rate: f64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Loads that missed the LLC (long-latency loads).
+    pub llc_miss_loads: u64,
+}
+
+impl RunResult {
+    /// Cycles per committed instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no instructions were committed.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        assert!(self.instructions > 0, "no instructions were committed");
+        self.cycles as f64 / self.instructions as f64
+    }
+
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        1.0 / self.cpi()
+    }
+
+    /// Average number of outstanding memory requests per cycle (Figure 1b).
+    #[must_use]
+    pub fn avg_outstanding_misses(&self) -> f64 {
+        self.occupancy.outstanding_misses.mean()
+    }
+
+    /// Speed-up of this run over `baseline`, in percent (positive = faster),
+    /// the normalisation used throughout the paper's figures.
+    #[must_use]
+    pub fn speedup_over_percent(&self, baseline: &RunResult) -> f64 {
+        ltp_stats::speedup_percent(baseline.cpi(), self.cpi())
+    }
+
+    /// MLP-sensitivity criteria of §4.1 relative to a small-IQ run: the
+    /// larger window must give at least 5 % speed-up, at least 10 % more
+    /// outstanding requests, and the average memory latency must exceed the
+    /// L2 latency.
+    #[must_use]
+    pub fn is_mlp_sensitive_vs(&self, small_iq_run: &RunResult, l2_latency: u64) -> bool {
+        let speedup = self.speedup_over_percent(small_iq_run);
+        let mlp_small = small_iq_run.avg_outstanding_misses().max(1e-9);
+        let mlp_gain = (self.avg_outstanding_misses() - mlp_small) / mlp_small * 100.0;
+        let avg_latency = self.mem.avg_latency();
+        speedup > 5.0 && mlp_gain > 10.0 && avg_latency > l2_latency as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(cycles: u64, insts: u64, outstanding: f64, avg_latency: f64) -> RunResult {
+        let mut occupancy = OccupancyReport::default();
+        occupancy
+            .outstanding_misses
+            .sample(cycles.max(1), outstanding.round() as u64);
+        let mut mem = MemoryStats::default();
+        mem.accesses = 100;
+        mem.total_latency = (avg_latency * 100.0) as u64;
+        RunResult {
+            workload: "test".into(),
+            cycles,
+            instructions: insts,
+            occupancy,
+            activity: ActivityCounters::default(),
+            ltp: LtpStats::default(),
+            ltp_enabled_fraction: 0.0,
+            mem,
+            branch_mispredict_rate: 0.0,
+            loads: 10,
+            stores: 5,
+            llc_miss_loads: 2,
+        }
+    }
+
+    #[test]
+    fn cpi_and_ipc() {
+        let r = result(2000, 1000, 1.0, 10.0);
+        assert!((r.cpi() - 2.0).abs() < 1e-12);
+        assert!((r.ipc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no instructions")]
+    fn cpi_of_empty_run_panics() {
+        let r = result(100, 0, 0.0, 0.0);
+        let _ = r.cpi();
+    }
+
+    #[test]
+    fn speedup_direction() {
+        let slow = result(3000, 1000, 1.0, 10.0);
+        let fast = result(2000, 1000, 1.0, 10.0);
+        assert!(fast.speedup_over_percent(&slow) > 0.0);
+        assert!(slow.speedup_over_percent(&fast) < 0.0);
+    }
+
+    #[test]
+    fn mlp_sensitivity_criteria() {
+        // Big-window run: 20 % faster, 50 % more outstanding, latency > L2.
+        let small = result(3000, 1000, 2.0, 30.0);
+        let big = result(2400, 1000, 3.0, 30.0);
+        assert!(big.is_mlp_sensitive_vs(&small, 12));
+        // Not sensitive when the speed-up is too small.
+        let big_same = result(2950, 1000, 3.0, 30.0);
+        assert!(!big_same.is_mlp_sensitive_vs(&small, 12));
+        // Not sensitive when the latency is below the L2 latency.
+        let big_lowlat = result(2400, 1000, 3.0, 8.0);
+        assert!(!big_lowlat.is_mlp_sensitive_vs(&small, 12));
+    }
+
+    #[test]
+    fn avg_outstanding_uses_occupancy_tracker() {
+        let r = result(100, 50, 4.0, 10.0);
+        assert!((r.avg_outstanding_misses() - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,311 @@
+//! The reorder buffer.
+//!
+//! Every instruction — parked or not — allocates a ROB entry at rename so
+//! that commit stays in order ("while the parked instructions have not been
+//! placed in the IQ, they have been allocated an entry in the ROB to ensure
+//! in-order commit", §3). The ROB is also where the LTP wakeup boundary is
+//! computed: Non-Urgent instructions between the head and the *second*
+//! long-latency instruction in the ROB are woken (§3.2, §5.2).
+
+use crate::rat::RegSource;
+use ltp_isa::{ArchReg, OpClass, Pc, PhysReg, SeqNum};
+use ltp_mem::Cycle;
+use std::collections::VecDeque;
+
+/// Execution state of a ROB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobState {
+    /// Parked in LTP; not yet dispatched to the IQ.
+    Parked,
+    /// Dispatched to the IQ, waiting for operands / issue.
+    InQueue,
+    /// Issued to a functional unit; completion scheduled.
+    Executing,
+    /// Result produced; eligible for commit when it reaches the head.
+    Completed,
+}
+
+/// One reorder buffer entry.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Sequence number of the instruction.
+    pub seq: SeqNum,
+    /// Its PC (needed for UIT updates at commit).
+    pub pc: Pc,
+    /// Operation class.
+    pub op: OpClass,
+    /// Current state.
+    pub state: RobState,
+    /// Destination architectural register, if any.
+    pub dst: Option<ArchReg>,
+    /// Physical register allocated for the destination (None while parked).
+    pub dest_phys: Option<PhysReg>,
+    /// Previous mapping of the destination register, freed at commit.
+    pub prev_mapping: RegSource,
+    /// Whether this instruction is long-latency (LLC-missing load, divide,
+    /// square root) — discovered at issue/execute time for loads.
+    pub long_latency: bool,
+    /// Whether the instruction currently holds an LQ entry.
+    pub holds_lq: bool,
+    /// Whether the instruction currently holds an SQ entry.
+    pub holds_sq: bool,
+    /// Whether it was parked in LTP at rename (for statistics).
+    pub was_parked: bool,
+    /// Cycle at which execution completes (valid once `Executing`).
+    pub completion_cycle: Cycle,
+}
+
+impl RobEntry {
+    /// Whether the entry has completed execution.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        self.state == RobState::Completed
+    }
+}
+
+/// The reorder buffer: a bounded FIFO of [`RobEntry`].
+#[derive(Debug, Clone)]
+pub struct Rob {
+    capacity: usize,
+    entries: VecDeque<RobEntry>,
+}
+
+impl Rob {
+    /// Creates an empty ROB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Rob {
+        assert!(capacity > 0, "ROB needs at least one entry");
+        Rob {
+            capacity,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Number of occupied entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ROB is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the ROB has room for another instruction.
+    #[must_use]
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an entry at the tail (program order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full or the entry is out of program order.
+    pub fn push(&mut self, entry: RobEntry) {
+        assert!(self.has_space(), "pushing into a full ROB");
+        if let Some(last) = self.entries.back() {
+            assert!(
+                last.seq.is_older_than(entry.seq),
+                "ROB entries must be pushed in program order"
+            );
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// The oldest entry, if any.
+    #[must_use]
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Sequence number just past the youngest entry (wake-everything
+    /// boundary when there is no second long-latency instruction).
+    #[must_use]
+    pub fn tail_boundary(&self) -> SeqNum {
+        self.entries
+            .back()
+            .map(|e| SeqNum(e.seq.0 + 1))
+            .unwrap_or(SeqNum(0))
+    }
+
+    /// Pops the head if it has completed. Returns the committed entry.
+    pub fn try_commit(&mut self) -> Option<RobEntry> {
+        if self.entries.front().map(RobEntry::is_completed).unwrap_or(false) {
+            self.entries.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to the entry with sequence number `seq`.
+    pub fn get_mut(&mut self, seq: SeqNum) -> Option<&mut RobEntry> {
+        // Entries are in program order, so a binary search by seq works.
+        let idx = self
+            .entries
+            .binary_search_by_key(&seq.0, |e| e.seq.0)
+            .ok()?;
+        self.entries.get_mut(idx)
+    }
+
+    /// Shared access to the entry with sequence number `seq`.
+    #[must_use]
+    pub fn get(&self, seq: SeqNum) -> Option<&RobEntry> {
+        let idx = self
+            .entries
+            .binary_search_by_key(&seq.0, |e| e.seq.0)
+            .ok()?;
+        self.entries.get(idx)
+    }
+
+    /// Iterates over entries from oldest to youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// The LTP Non-Urgent wakeup boundary: the sequence number of the
+    /// *second* incomplete long-latency instruction in the ROB. Parked
+    /// instructions older than this boundary are woken so that, when the
+    /// long-latency instruction blocking the head completes, everything up to
+    /// the next stall point is ready to commit (§3.2).
+    ///
+    /// When fewer than two incomplete long-latency instructions are present
+    /// the boundary is one past the ROB tail (wake everything).
+    #[must_use]
+    pub fn nu_wake_boundary(&self) -> SeqNum {
+        let mut seen = 0;
+        for e in &self.entries {
+            if e.long_latency && !e.is_completed() {
+                seen += 1;
+                if seen == 2 {
+                    return e.seq;
+                }
+            }
+        }
+        self.tail_boundary()
+    }
+
+    /// Number of parked entries currently in the ROB.
+    #[must_use]
+    pub fn parked_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.state == RobState::Parked)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64, long_latency: bool, completed: bool) -> RobEntry {
+        RobEntry {
+            seq: SeqNum(seq),
+            pc: Pc(0x100 + seq * 4),
+            op: OpClass::IntAlu,
+            state: if completed { RobState::Completed } else { RobState::InQueue },
+            dst: Some(ArchReg::int(1)),
+            dest_phys: None,
+            prev_mapping: RegSource::Ready,
+            long_latency,
+            holds_lq: false,
+            holds_sq: false,
+            was_parked: false,
+            completion_cycle: 0,
+        }
+    }
+
+    #[test]
+    fn push_and_commit_in_order() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0, false, true));
+        rob.push(entry(1, false, false));
+        assert_eq!(rob.len(), 2);
+        let c = rob.try_commit().unwrap();
+        assert_eq!(c.seq, SeqNum(0));
+        // Head not completed: no commit.
+        assert!(rob.try_commit().is_none());
+        assert_eq!(rob.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "full ROB")]
+    fn push_into_full_rob_panics() {
+        let mut rob = Rob::new(1);
+        rob.push(entry(0, false, false));
+        rob.push(entry(1, false, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn out_of_order_push_panics() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(5, false, false));
+        rob.push(entry(3, false, false));
+    }
+
+    #[test]
+    fn get_by_seq() {
+        let mut rob = Rob::new(8);
+        for s in 10..15u64 {
+            rob.push(entry(s, false, false));
+        }
+        assert_eq!(rob.get(SeqNum(12)).unwrap().seq, SeqNum(12));
+        assert!(rob.get(SeqNum(99)).is_none());
+        rob.get_mut(SeqNum(13)).unwrap().state = RobState::Completed;
+        assert!(rob.get(SeqNum(13)).unwrap().is_completed());
+    }
+
+    #[test]
+    fn wake_boundary_is_second_long_latency() {
+        let mut rob = Rob::new(16);
+        rob.push(entry(0, true, false)); // first LL (blocking the head)
+        rob.push(entry(1, false, false));
+        rob.push(entry(2, false, false));
+        rob.push(entry(3, true, false)); // second LL
+        rob.push(entry(4, false, false));
+        assert_eq!(rob.nu_wake_boundary(), SeqNum(3));
+    }
+
+    #[test]
+    fn wake_boundary_ignores_completed_long_latency() {
+        let mut rob = Rob::new(16);
+        rob.push(entry(0, true, true)); // completed LL does not count
+        rob.push(entry(1, true, false));
+        rob.push(entry(2, false, false));
+        // Only one incomplete LL -> boundary is past the tail.
+        assert_eq!(rob.nu_wake_boundary(), SeqNum(3));
+    }
+
+    #[test]
+    fn wake_boundary_with_no_long_latency_is_tail() {
+        let mut rob = Rob::new(16);
+        rob.push(entry(7, false, false));
+        rob.push(entry(8, false, false));
+        assert_eq!(rob.nu_wake_boundary(), SeqNum(9));
+        assert_eq!(Rob::new(4).nu_wake_boundary(), SeqNum(0));
+    }
+
+    #[test]
+    fn parked_count() {
+        let mut rob = Rob::new(16);
+        let mut e = entry(0, false, false);
+        e.state = RobState::Parked;
+        rob.push(e);
+        rob.push(entry(1, false, false));
+        assert_eq!(rob.parked_count(), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Integer-valued histogram with mean / percentile queries.
+
+use std::collections::BTreeMap;
+
+/// A sparse histogram over `u64` values.
+///
+/// Used for latency distributions (load-to-use latency, LTP residency time)
+/// and occupancy distributions.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    buckets: BTreeMap<u64, u64>,
+    count: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        *self.buckets.entry(value).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Records `n` observations of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.buckets.entry(value).or_insert(0) += n;
+        self.count += n;
+        self.sum += u128::from(value) * u128::from(n);
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the observations; zero if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum observed value; `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.buckets.keys().next_back().copied()
+    }
+
+    /// Minimum observed value; `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        self.buckets.keys().next().copied()
+    }
+
+    /// The smallest value `v` such that at least `p` (0..=1) of observations
+    /// are `<= v`; `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in 0..=1");
+        if self.count == 0 {
+            return None;
+        }
+        let threshold = (p * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (&value, &n) in &self.buckets {
+            seen += n;
+            if seen >= threshold {
+                return Some(value);
+            }
+        }
+        self.max()
+    }
+
+    /// Iterates over `(value, count)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&v, &n)| (v, n))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, n) in other.iter() {
+            self.record_n(v, n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(0.5), None);
+    }
+
+    #[test]
+    fn mean_and_extremes() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 3, 4, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 4.0).abs() < 1e-9);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(10));
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), Some(50));
+        assert_eq!(h.percentile(0.99), Some(99));
+        assert_eq!(h.percentile(1.0), Some(100));
+        assert_eq!(h.percentile(0.0), Some(1));
+    }
+
+    #[test]
+    fn record_n_counts_multiplicity() {
+        let mut h = Histogram::new();
+        h.record_n(5, 10);
+        h.record_n(7, 0);
+        assert_eq!(h.count(), 10);
+        assert!((h.mean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        a.record(1);
+        let mut b = Histogram::new();
+        b.record(3);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn invalid_percentile_panics() {
+        let mut h = Histogram::new();
+        h.record(1);
+        let _ = h.percentile(1.5);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut h = Histogram::new();
+        for v in [9, 1, 5, 5] {
+            h.record(v);
+        }
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(1, 1), (5, 2), (9, 1)]);
+    }
+}

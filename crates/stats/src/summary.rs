@@ -1,0 +1,132 @@
+//! Small numeric helpers used when aggregating runs into figure rows.
+
+/// Accumulates a running arithmetic mean without storing the samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanAccumulator {
+    sum: f64,
+    n: u64,
+}
+
+impl MeanAccumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> MeanAccumulator {
+        MeanAccumulator::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: f64) {
+        self.sum += value;
+        self.n += 1;
+    }
+
+    /// Arithmetic mean of the samples; zero if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Percentage speed-up of `candidate` over `baseline`, where both are
+/// execution times / CPI (lower is better): positive means the candidate is
+/// faster. This is the normalisation the paper's figures use
+/// ("Performance Comp. to Base ... (%)").
+///
+/// # Panics
+///
+/// Panics if `candidate` is not positive.
+#[must_use]
+pub fn speedup_percent(baseline_time: f64, candidate_time: f64) -> f64 {
+    assert!(candidate_time > 0.0, "candidate time must be positive");
+    (baseline_time / candidate_time - 1.0) * 100.0
+}
+
+/// Safe ratio: returns zero when the denominator is zero.
+#[must_use]
+pub fn ratio(numerator: f64, denominator: f64) -> f64 {
+    if denominator == 0.0 {
+        0.0
+    } else {
+        numerator / denominator
+    }
+}
+
+/// Geometric mean of a slice of positive values; zero for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is not positive.
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_accumulator_basic() {
+        let mut m = MeanAccumulator::new();
+        assert_eq!(m.mean(), 0.0);
+        m.add(1.0);
+        m.add(3.0);
+        assert!((m.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn speedup_sign_convention() {
+        // Candidate twice as fast -> +100 %.
+        assert!((speedup_percent(10.0, 5.0) - 100.0).abs() < 1e-12);
+        // Candidate twice as slow -> -50 %.
+        assert!((speedup_percent(10.0, 20.0) + 50.0).abs() < 1e-12);
+        // Identical -> 0 %.
+        assert!(speedup_percent(7.0, 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn speedup_rejects_zero_candidate() {
+        let _ = speedup_percent(1.0, 0.0);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(ratio(5.0, 0.0), 0.0);
+        assert!((ratio(6.0, 3.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_of_powers() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn geometric_mean_rejects_nonpositive() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+}

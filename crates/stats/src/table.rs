@@ -1,0 +1,146 @@
+//! Minimal fixed-width text tables for experiment reports.
+//!
+//! The experiment binaries print the rows/series of each figure as aligned
+//! text so that `EXPERIMENTS.md` can quote them directly; no third-party
+//! table crate is used.
+
+/// A simple text table with a header row and aligned columns.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    #[must_use]
+    pub fn new(header: Vec<String>) -> TextTable {
+        assert!(!header.is_empty(), "a table needs at least one column");
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from string slices.
+    #[must_use]
+    pub fn with_columns(cols: &[&str]) -> TextTable {
+        TextTable::new(cols.iter().map(|s| (*s).to_string()).collect())
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row does not have the same number of cells as the header.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} does not match header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[i] - cell.len()));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::with_columns(&["config", "cpi"]);
+        t.add_row(vec!["baseline-iq64".into(), "1.20".into()]);
+        t.add_row(vec!["ltp".into(), "1.21".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("config"));
+        assert!(lines[2].contains("baseline-iq64"));
+        // The "cpi" column starts at the same offset in every row.
+        let col = lines[0].find("cpi").unwrap();
+        assert_eq!(&lines[2][col..col + 4], "1.20");
+        assert_eq!(&lines[3][col..col + 4], "1.21");
+    }
+
+    #[test]
+    fn num_rows_counts_data_rows() {
+        let mut t = TextTable::with_columns(&["a"]);
+        assert_eq!(t.num_rows(), 0);
+        t.add_row(vec!["x".into()]);
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match header")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::with_columns(&["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_header_panics() {
+        let _ = TextTable::new(vec![]);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = TextTable::with_columns(&["x"]);
+        t.add_row(vec!["1".into()]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+}

@@ -1,0 +1,231 @@
+//! Kernel emission helpers.
+//!
+//! Workload kernels describe one loop iteration at a time through the
+//! [`KernelStream`] trait; [`KernelWorkload`] wraps a kernel into an
+//! [`InstStream`] usable by the pipeline. The [`Emitter`] assigns stable PCs
+//! to the static instructions of an iteration (so the UIT and the hit/miss
+//! predictor can learn per-PC behaviour across iterations) and dense sequence
+//! numbers to the dynamic instances.
+
+use ltp_isa::{ArchReg, BranchInfo, DynInst, InstStream, MemAccess, OpClass, Pc, StaticInst};
+use std::collections::VecDeque;
+
+/// Collects the dynamic instructions of one kernel iteration.
+#[derive(Debug)]
+pub struct Emitter {
+    block_base: u64,
+    slot: u64,
+    next_seq: u64,
+    out: VecDeque<DynInst>,
+}
+
+impl Emitter {
+    fn new(next_seq: u64) -> Emitter {
+        Emitter {
+            block_base: 0,
+            slot: 0,
+            next_seq,
+            out: VecDeque::new(),
+        }
+    }
+
+    /// Starts a new static basic block at PC `base`; subsequent emissions get
+    /// consecutive PCs within the block. The same base must be used for the
+    /// same kernel loop every iteration so that static PCs are stable.
+    pub fn begin_block(&mut self, base: u64) {
+        self.block_base = base;
+        self.slot = 0;
+    }
+
+    fn next_pc(&mut self) -> Pc {
+        let pc = Pc(self.block_base + 4 * self.slot);
+        self.slot += 1;
+        pc
+    }
+
+    fn push(&mut self, inst: DynInst) {
+        self.out.push_back(inst);
+        self.next_seq += 1;
+    }
+
+    /// Emits a simple integer ALU operation `dst = f(srcs)`.
+    pub fn alu(&mut self, dst: ArchReg, srcs: &[ArchReg]) {
+        let mut s = StaticInst::new(self.next_pc(), OpClass::IntAlu).with_dst(dst);
+        for &r in srcs {
+            s = s.with_src(r);
+        }
+        self.push(DynInst::new(self.next_seq, s));
+    }
+
+    /// Emits a floating point operation of the given class.
+    pub fn fp(&mut self, op: OpClass, dst: ArchReg, srcs: &[ArchReg]) {
+        assert!(op.is_fp(), "fp() requires a floating point op class");
+        let mut s = StaticInst::new(self.next_pc(), op).with_dst(dst);
+        for &r in srcs {
+            s = s.with_src(r);
+        }
+        self.push(DynInst::new(self.next_seq, s));
+    }
+
+    /// Emits an integer divide (long-latency arithmetic).
+    pub fn div(&mut self, dst: ArchReg, srcs: &[ArchReg]) {
+        let mut s = StaticInst::new(self.next_pc(), OpClass::IntDiv).with_dst(dst);
+        for &r in srcs {
+            s = s.with_src(r);
+        }
+        self.push(DynInst::new(self.next_seq, s));
+    }
+
+    /// Emits a load of `addr` into `dst`, with `addr_reg` as the address
+    /// source operand.
+    pub fn load(&mut self, dst: ArchReg, addr_reg: ArchReg, addr: u64) {
+        let s = StaticInst::new(self.next_pc(), OpClass::Load)
+            .with_dst(dst)
+            .with_src(addr_reg);
+        self.push(DynInst::new(self.next_seq, s).with_mem(MemAccess::qword(addr)));
+    }
+
+    /// Emits a store of `data_reg` to `addr`, with `addr_reg` as the address
+    /// source operand.
+    pub fn store(&mut self, data_reg: ArchReg, addr_reg: ArchReg, addr: u64) {
+        let s = StaticInst::new(self.next_pc(), OpClass::Store)
+            .with_src(data_reg)
+            .with_src(addr_reg);
+        self.push(DynInst::new(self.next_seq, s).with_mem(MemAccess::qword(addr)));
+    }
+
+    /// Emits a conditional branch reading `cond_reg` with the given outcome.
+    pub fn branch(&mut self, cond_reg: ArchReg, taken: bool, target: u64) {
+        let s = StaticInst::new(self.next_pc(), OpClass::Branch).with_src(cond_reg);
+        self.push(
+            DynInst::new(self.next_seq, s).with_branch(BranchInfo {
+                taken,
+                target: Pc(target),
+            }),
+        );
+    }
+
+    /// Number of instructions emitted so far in this iteration.
+    #[must_use]
+    pub fn emitted(&self) -> usize {
+        self.out.len()
+    }
+}
+
+/// A kernel that emits one loop iteration at a time.
+pub trait KernelStream {
+    /// Short name of the kernel (used as the workload name in reports).
+    fn name(&self) -> &str;
+
+    /// Emits the next iteration of the kernel into `emitter`. Returning
+    /// without emitting anything terminates the stream.
+    fn emit_iteration(&mut self, emitter: &mut Emitter);
+}
+
+/// Adapts a [`KernelStream`] into an [`InstStream`].
+#[derive(Debug)]
+pub struct KernelWorkload<K> {
+    kernel: K,
+    buffer: VecDeque<DynInst>,
+    next_seq: u64,
+    finished: bool,
+}
+
+impl<K: KernelStream> KernelWorkload<K> {
+    /// Wraps `kernel` into an instruction stream.
+    #[must_use]
+    pub fn new(kernel: K) -> KernelWorkload<K> {
+        KernelWorkload {
+            kernel,
+            buffer: VecDeque::new(),
+            next_seq: 0,
+            finished: false,
+        }
+    }
+}
+
+impl<K: KernelStream> InstStream for KernelWorkload<K> {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        if self.buffer.is_empty() && !self.finished {
+            let mut emitter = Emitter::new(self.next_seq);
+            self.kernel.emit_iteration(&mut emitter);
+            if emitter.out.is_empty() {
+                self.finished = true;
+            } else {
+                self.next_seq = emitter.next_seq;
+                self.buffer = emitter.out;
+            }
+        }
+        self.buffer.pop_front()
+    }
+
+    fn name(&self) -> &str {
+        self.kernel.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TwoIterations {
+        remaining: usize,
+    }
+
+    impl KernelStream for TwoIterations {
+        fn name(&self) -> &str {
+            "two-iterations"
+        }
+
+        fn emit_iteration(&mut self, emitter: &mut Emitter) {
+            if self.remaining == 0 {
+                return;
+            }
+            self.remaining -= 1;
+            emitter.begin_block(0x1000);
+            emitter.alu(ArchReg::int(1), &[ArchReg::int(2)]);
+            emitter.load(ArchReg::int(3), ArchReg::int(1), 0x8000);
+            emitter.store(ArchReg::int(3), ArchReg::int(1), 0x9000);
+            emitter.branch(ArchReg::int(3), true, 0x1000);
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_are_dense_across_iterations() {
+        let mut w = KernelWorkload::new(TwoIterations { remaining: 2 });
+        let insts = (0..8).map(|_| w.next_inst().unwrap()).collect::<Vec<_>>();
+        for (i, inst) in insts.iter().enumerate() {
+            assert_eq!(inst.seq().0, i as u64);
+        }
+        assert!(w.next_inst().is_none());
+        assert_eq!(w.name(), "two-iterations");
+    }
+
+    #[test]
+    fn pcs_are_stable_across_iterations() {
+        let mut w = KernelWorkload::new(TwoIterations { remaining: 2 });
+        let insts = (0..8).map(|_| w.next_inst().unwrap()).collect::<Vec<_>>();
+        for k in 0..4 {
+            assert_eq!(insts[k].pc(), insts[k + 4].pc());
+        }
+        assert_eq!(insts[0].pc(), Pc(0x1000));
+        assert_eq!(insts[1].pc(), Pc(0x1004));
+    }
+
+    #[test]
+    fn memory_and_branch_metadata_attached() {
+        let mut w = KernelWorkload::new(TwoIterations { remaining: 1 });
+        let insts = (0..4).map(|_| w.next_inst().unwrap()).collect::<Vec<_>>();
+        assert_eq!(insts[1].mem_access().unwrap().addr(), 0x8000);
+        assert_eq!(insts[2].mem_access().unwrap().addr(), 0x9000);
+        assert!(insts[3].branch_info().unwrap().taken);
+    }
+
+    #[test]
+    #[should_panic(expected = "floating point")]
+    fn fp_rejects_integer_ops() {
+        let mut e = Emitter::new(0);
+        e.begin_block(0);
+        e.fp(OpClass::IntAlu, ArchReg::fp(0), &[]);
+    }
+}

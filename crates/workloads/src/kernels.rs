@@ -1,0 +1,458 @@
+//! The synthetic kernels standing in for the SPEC CPU2006 behaviours the
+//! paper analyses.
+//!
+//! Each kernel reproduces one behavioural class:
+//!
+//! | kernel | stands in for | behaviour |
+//! |---|---|---|
+//! | [`IndirectStream`] | astar-like, the paper's Figure 2 loop | `d = B[A[j]]; C[i] = d + 5` — streaming index array (hits), unpredictable indirect access (misses), streaming store; MLP-sensitive |
+//! | [`GatherFp`] | milc-like | independent gathers from a huge array feeding FP arithmetic and streaming stores; many Non-Urgent + Non-Ready instructions; MLP-sensitive |
+//! | [`PointerChase`] | mcf/linked-list codes | each load's address depends on the previous load: Urgent + Non-Ready, little exploitable MLP |
+//! | [`HashProbe`] | omnetpp/gcc-like irregular probing | unpredictable probes into a large table plus data-dependent branches; MLP-sensitive |
+//! | [`ComputeBound`] | dense arithmetic phases | long dependence chains over an L1-resident working set; MLP-insensitive |
+//! | [`StencilStream`] | streaming/stencil codes (libquantum-like) | constant-stride sweeps fully covered by the stride prefetcher; MLP-insensitive |
+//! | [`MixedPhases`] | phase-changing applications | alternates compute-bound and memory-bound phases to exercise the LTP on/off monitor |
+
+use crate::emitter::{Emitter, KernelStream};
+use ltp_isa::{ArchReg, OpClass};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Span of "far" memory used to force LLC misses (larger than the 1 MB L3).
+const FAR_SPAN: u64 = 256 * 1024 * 1024;
+/// Base address of far data regions.
+const FAR_BASE: u64 = 0x1_0000_0000;
+
+// ---------------------------------------------------------------------------
+
+/// The paper's Figure 2 loop: `d = B[A[j]]; C[i] = d + 5`.
+#[derive(Debug)]
+pub struct IndirectStream {
+    rng: SmallRng,
+    iter: u64,
+}
+
+impl IndirectStream {
+    /// Creates the kernel with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> IndirectStream {
+        IndirectStream {
+            rng: SmallRng::seed_from_u64(seed ^ 0xA57A),
+            iter: 0,
+        }
+    }
+}
+
+impl KernelStream for IndirectStream {
+    fn name(&self) -> &str {
+        "indirect_stream"
+    }
+
+    fn emit_iteration(&mut self, e: &mut Emitter) {
+        let i = self.iter;
+        self.iter += 1;
+        // Registers: r1=j, r2=baseA, r3=addrA, r4=t1, r5=baseB, r6=addrB,
+        // r7=d, r8=baseC, r9=addrC, r10=i, r11=t2.
+        let a_addr = 0x10_0000 + (i * 8) % (512 * 1024);
+        let b_addr = FAR_BASE + self.rng.gen_range(0..FAR_SPAN / 64) * 64;
+        let c_addr = 0x20_0000 + (i * 8) % (512 * 1024);
+
+        e.begin_block(0x1000);
+        e.alu(ArchReg::int(3), &[ArchReg::int(2), ArchReg::int(1)]); // A: addrA
+        e.load(ArchReg::int(4), ArchReg::int(3), a_addr); //            B: t1 = A[j]
+        e.alu(ArchReg::int(6), &[ArchReg::int(5), ArchReg::int(4)]); // C: addrB
+        e.load(ArchReg::int(7), ArchReg::int(6), b_addr); //            D: d = B[t1] (miss)
+        e.alu(ArchReg::int(1), &[ArchReg::int(1)]); //                  E: j update
+        e.alu(ArchReg::int(7), &[ArchReg::int(7)]); //                  F: d = d + 5
+        e.alu(ArchReg::int(9), &[ArchReg::int(8), ArchReg::int(1)]); // G: addrC
+        e.store(ArchReg::int(7), ArchReg::int(9), c_addr); //           H: C[i] = d
+        e.alu(ArchReg::int(10), &[ArchReg::int(10)]); //                I: i++
+        e.alu(ArchReg::int(11), &[ArchReg::int(10)]); //                J: t2
+        e.branch(ArchReg::int(11), true, 0x1000); //                    K: loop
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Pointer chasing over a small number of independent linked lists
+/// (mcf-like). Each list is fully serial — the next node's address comes from
+/// the previous load — so the exploitable MLP is bounded by the number of
+/// lists, and the dependent loads are the Urgent + Non-Ready class the paper
+/// highlights as the case LTP cannot accelerate much.
+#[derive(Debug)]
+pub struct PointerChase {
+    rng: SmallRng,
+    chains: usize,
+}
+
+impl PointerChase {
+    /// Creates the kernel with a deterministic seed (twelve independent
+    /// chains, so that a small window cannot expose all of the MLP but a
+    /// large one can).
+    #[must_use]
+    pub fn new(seed: u64) -> PointerChase {
+        PointerChase {
+            rng: SmallRng::seed_from_u64(seed ^ 0xC4A5E),
+            chains: 12,
+        }
+    }
+}
+
+impl KernelStream for PointerChase {
+    fn name(&self) -> &str {
+        "pointer_chase"
+    }
+
+    fn emit_iteration(&mut self, e: &mut Emitter) {
+        e.begin_block(0x2000);
+        // One step of each chain per iteration: the chains are independent of
+        // each other, so a large enough window can overlap their misses.
+        for c in 0..self.chains {
+            // The next node address is data-dependent in the real program;
+            // the trace carries the actual addresses (a random walk).
+            let node = FAR_BASE + self.rng.gen_range(0..FAR_SPAN / 64) * 64;
+            let ptr = ArchReg::int(1 + c);
+            let payload = ArchReg::int(14 + c);
+            e.load(ptr, ptr, node); //                       p = p->next (miss)
+            e.alu(payload, &[ptr, payload]); //              touch payload
+        }
+        // Per-node payload work and loop bookkeeping.
+        e.alu(ArchReg::int(27), &[ArchReg::int(14), ArchReg::int(15)]);
+        e.alu(ArchReg::int(28), &[ArchReg::int(16), ArchReg::int(27)]);
+        e.alu(ArchReg::int(29), &[ArchReg::int(29)]); // counter
+        e.branch(ArchReg::int(29), true, 0x2000);
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Independent gathers feeding FP arithmetic (milc-like).
+#[derive(Debug)]
+pub struct GatherFp {
+    rng: SmallRng,
+    iter: u64,
+    gathers_per_iter: usize,
+}
+
+impl GatherFp {
+    /// Creates the kernel with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> GatherFp {
+        GatherFp {
+            rng: SmallRng::seed_from_u64(seed ^ 0x311C),
+            iter: 0,
+            gathers_per_iter: 4,
+        }
+    }
+}
+
+impl KernelStream for GatherFp {
+    fn name(&self) -> &str {
+        "gather_fp"
+    }
+
+    fn emit_iteration(&mut self, e: &mut Emitter) {
+        let i = self.iter;
+        self.iter += 1;
+        e.begin_block(0x3000);
+        // Index loads stream through a resident index array.
+        for k in 0..self.gathers_per_iter {
+            let idx_addr = 0x40_0000 + ((i * self.gathers_per_iter as u64 + k as u64) * 8) % (256 * 1024);
+            let gather_addr = FAR_BASE + self.rng.gen_range(0..FAR_SPAN / 64) * 64;
+            let addr_reg = ArchReg::int(1 + k);
+            let idx_reg = ArchReg::int(9 + k);
+            let data_reg = ArchReg::fp(1 + k);
+            let acc_reg = ArchReg::fp(9 + k);
+            e.load(idx_reg, ArchReg::int(20), idx_addr); //       index (hit)
+            e.alu(addr_reg, &[idx_reg, ArchReg::int(21)]); //     gather address (urgent)
+            e.load(data_reg, addr_reg, gather_addr); //           gather (miss)
+            e.fp(OpClass::FpMul, ArchReg::fp(20), &[data_reg, ArchReg::fp(21)]);
+            e.fp(OpClass::FpAlu, acc_reg, &[acc_reg, ArchReg::fp(20)]);
+        }
+        // Streaming result store and loop bookkeeping.
+        let out_addr = 0x60_0000 + (i * 8) % (512 * 1024);
+        e.store(ArchReg::fp(9), ArchReg::int(22), out_addr);
+        e.alu(ArchReg::int(23), &[ArchReg::int(23)]);
+        e.branch(ArchReg::int(23), true, 0x3000);
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Dependent arithmetic over an L1-resident working set (MLP-insensitive).
+#[derive(Debug)]
+pub struct ComputeBound {
+    iter: u64,
+}
+
+impl ComputeBound {
+    /// Creates the kernel.
+    #[must_use]
+    pub fn new(_seed: u64) -> ComputeBound {
+        ComputeBound { iter: 0 }
+    }
+}
+
+impl KernelStream for ComputeBound {
+    fn name(&self) -> &str {
+        "compute_bound"
+    }
+
+    fn emit_iteration(&mut self, e: &mut Emitter) {
+        let i = self.iter;
+        self.iter += 1;
+        // 8 kB working set: always L1 hits.
+        let addr = 0x8_0000 + (i * 8) % 8192;
+        e.begin_block(0x4000);
+        e.load(ArchReg::int(2), ArchReg::int(1), addr);
+        e.alu(ArchReg::int(3), &[ArchReg::int(2), ArchReg::int(3)]);
+        e.alu(ArchReg::int(4), &[ArchReg::int(3)]);
+        e.alu(ArchReg::int(5), &[ArchReg::int(4), ArchReg::int(5)]);
+        e.fp(OpClass::FpMul, ArchReg::fp(1), &[ArchReg::fp(1), ArchReg::fp(2)]);
+        e.fp(OpClass::FpAlu, ArchReg::fp(3), &[ArchReg::fp(1), ArchReg::fp(3)]);
+        e.alu(ArchReg::int(6), &[ArchReg::int(5)]);
+        e.store(ArchReg::int(6), ArchReg::int(1), addr);
+        e.alu(ArchReg::int(1), &[ArchReg::int(1)]);
+        e.branch(ArchReg::int(1), true, 0x4000);
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Constant-stride streaming sweep covered by the stride prefetcher
+/// (MLP-insensitive with the prefetcher enabled, as the paper notes).
+#[derive(Debug)]
+pub struct StencilStream {
+    iter: u64,
+}
+
+impl StencilStream {
+    /// Creates the kernel.
+    #[must_use]
+    pub fn new(_seed: u64) -> StencilStream {
+        StencilStream { iter: 0 }
+    }
+}
+
+impl KernelStream for StencilStream {
+    fn name(&self) -> &str {
+        "stencil_stream"
+    }
+
+    fn emit_iteration(&mut self, e: &mut Emitter) {
+        let i = self.iter;
+        self.iter += 1;
+        // 64 MB arrays swept sequentially: every line is prefetched ahead.
+        let a = 0x4000_0000 + (i * 8) % (64 * 1024 * 1024);
+        let b = 0x8000_0000 + (i * 8) % (64 * 1024 * 1024);
+        e.begin_block(0x5000);
+        e.alu(ArchReg::int(2), &[ArchReg::int(1)]); // address computation
+        e.load(ArchReg::fp(1), ArchReg::int(2), a);
+        e.load(ArchReg::fp(2), ArchReg::int(2), a + 8);
+        e.fp(OpClass::FpAlu, ArchReg::fp(3), &[ArchReg::fp(1), ArchReg::fp(2)]);
+        e.fp(OpClass::FpMul, ArchReg::fp(4), &[ArchReg::fp(3), ArchReg::fp(5)]);
+        e.store(ArchReg::fp(4), ArchReg::int(2), b);
+        e.alu(ArchReg::int(1), &[ArchReg::int(1)]);
+        e.branch(ArchReg::int(1), true, 0x5000);
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Unpredictable probes into a large table with data-dependent branches.
+#[derive(Debug)]
+pub struct HashProbe {
+    rng: SmallRng,
+}
+
+impl HashProbe {
+    /// Creates the kernel with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> HashProbe {
+        HashProbe {
+            rng: SmallRng::seed_from_u64(seed ^ 0x4A54),
+        }
+    }
+}
+
+impl KernelStream for HashProbe {
+    fn name(&self) -> &str {
+        "hash_probe"
+    }
+
+    fn emit_iteration(&mut self, e: &mut Emitter) {
+        let bucket = FAR_BASE + self.rng.gen_range(0..FAR_SPAN / 64) * 64;
+        let hit = self.rng.gen_bool(0.7);
+        e.begin_block(0x6000);
+        // Hash computation (urgent: feeds the probe address).
+        e.alu(ArchReg::int(2), &[ArchReg::int(1)]);
+        e.alu(ArchReg::int(3), &[ArchReg::int(2)]);
+        e.alu(ArchReg::int(4), &[ArchReg::int(3)]);
+        // Probe (miss).
+        e.load(ArchReg::int(5), ArchReg::int(4), bucket);
+        // Compare and data-dependent branch (hard to predict).
+        e.alu(ArchReg::int(6), &[ArchReg::int(5), ArchReg::int(7)]);
+        e.branch(ArchReg::int(6), hit, 0x6000);
+        if !hit {
+            // Collision: chase one link (dependent second probe).
+            let next = FAR_BASE + self.rng.gen_range(0..FAR_SPAN / 64) * 64;
+            e.alu(ArchReg::int(8), &[ArchReg::int(5)]);
+            e.load(ArchReg::int(9), ArchReg::int(8), next);
+            e.alu(ArchReg::int(10), &[ArchReg::int(9), ArchReg::int(10)]);
+        }
+        // Bookkeeping.
+        e.alu(ArchReg::int(1), &[ArchReg::int(1)]);
+        e.branch(ArchReg::int(1), true, 0x6000);
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Alternating compute-bound and memory-bound phases, to exercise the LTP
+/// on/off monitor (§5.2) and the phase analysis of Figure 7.
+#[derive(Debug)]
+pub struct MixedPhases {
+    compute: ComputeBound,
+    memory: IndirectStream,
+    iter: u64,
+    phase_length: u64,
+}
+
+impl MixedPhases {
+    /// Creates the kernel; phases alternate every `phase_length` iterations.
+    #[must_use]
+    pub fn new(seed: u64) -> MixedPhases {
+        MixedPhases {
+            compute: ComputeBound::new(seed),
+            memory: IndirectStream::new(seed),
+            iter: 0,
+            phase_length: 512,
+        }
+    }
+}
+
+impl KernelStream for MixedPhases {
+    fn name(&self) -> &str {
+        "mixed_phases"
+    }
+
+    fn emit_iteration(&mut self, e: &mut Emitter) {
+        let phase = (self.iter / self.phase_length) % 2;
+        self.iter += 1;
+        if phase == 0 {
+            self.compute.emit_iteration(e);
+        } else {
+            self.memory.emit_iteration(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emitter::KernelWorkload;
+    use ltp_isa::InstStream;
+
+    fn collect(kernel: impl KernelStream, n: usize) -> Vec<ltp_isa::DynInst> {
+        KernelWorkload::new(kernel).collect_insts(n)
+    }
+
+    #[test]
+    fn indirect_stream_matches_figure2_shape() {
+        let insts = collect(IndirectStream::new(1), 22);
+        assert_eq!(insts.len(), 22);
+        // 11 instructions per iteration, 2 loads and 1 store each.
+        let loads = insts.iter().filter(|i| i.op().is_load()).count();
+        let stores = insts.iter().filter(|i| i.op().is_store()).count();
+        assert_eq!(loads, 4);
+        assert_eq!(stores, 2);
+        // The indirect load (D) goes far away, the index load (B) stays near.
+        assert!(insts[3].mem_access().unwrap().addr() >= FAR_BASE);
+        assert!(insts[1].mem_access().unwrap().addr() < FAR_BASE);
+    }
+
+    #[test]
+    fn kernels_are_deterministic_per_seed() {
+        let a = collect(IndirectStream::new(42), 100);
+        let b = collect(IndirectStream::new(42), 100);
+        let c = collect(IndirectStream::new(43), 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pointer_chase_loads_depend_on_previous_load() {
+        let insts = collect(PointerChase::new(7), 10);
+        let load = &insts[0];
+        assert!(load.op().is_load());
+        // Address register is the destination of the same static load
+        // (chasing through r1).
+        assert_eq!(load.static_inst().dst(), Some(ArchReg::int(1)));
+        assert_eq!(load.static_inst().srcs()[0], Some(ArchReg::int(1)));
+    }
+
+    #[test]
+    fn gather_fp_has_fp_work_and_multiple_gathers() {
+        let insts = collect(GatherFp::new(3), 23);
+        let fp_ops = insts.iter().filter(|i| i.op().is_fp()).count();
+        let far_loads = insts
+            .iter()
+            .filter(|i| i.op().is_load())
+            .filter(|i| i.mem_access().unwrap().addr() >= FAR_BASE)
+            .count();
+        assert!(fp_ops >= 8, "expected FP work, got {fp_ops}");
+        assert_eq!(far_loads, 4, "four independent gathers per iteration");
+    }
+
+    #[test]
+    fn compute_bound_stays_in_small_working_set() {
+        let insts = collect(ComputeBound::new(0), 200);
+        for i in insts.iter().filter(|i| i.op().is_mem()) {
+            assert!(i.mem_access().unwrap().addr() < 0x10_0000);
+        }
+    }
+
+    #[test]
+    fn stencil_has_constant_stride() {
+        let insts = collect(StencilStream::new(0), 64);
+        let loads: Vec<u64> = insts
+            .iter()
+            .filter(|i| i.op().is_load())
+            .map(|i| i.mem_access().unwrap().addr())
+            .collect();
+        // Every other load is the a[i] stream with stride 8.
+        assert_eq!(loads[2] - loads[0], 8);
+        assert_eq!(loads[4] - loads[2], 8);
+    }
+
+    #[test]
+    fn hash_probe_mixes_taken_and_not_taken_branches() {
+        let insts = collect(HashProbe::new(11), 2000);
+        let (mut taken, mut not_taken) = (0, 0);
+        for i in insts.iter().filter_map(|i| i.branch_info()) {
+            if i.taken {
+                taken += 1;
+            } else {
+                not_taken += 1;
+            }
+        }
+        assert!(taken > 0 && not_taken > 0);
+    }
+
+    #[test]
+    fn mixed_phases_alternate() {
+        let insts = collect(MixedPhases::new(5), 30_000);
+        let far_in_first_phase = insts[..5000]
+            .iter()
+            .filter(|i| i.op().is_mem())
+            .filter(|i| i.mem_access().unwrap().addr() >= FAR_BASE)
+            .count();
+        let far_later = insts[6000..12_000]
+            .iter()
+            .filter(|i| i.op().is_mem())
+            .filter(|i| i.mem_access().unwrap().addr() >= FAR_BASE)
+            .count();
+        assert_eq!(far_in_first_phase, 0, "first phase is compute bound");
+        assert!(far_later > 0, "second phase touches far memory");
+    }
+}

@@ -1,0 +1,62 @@
+//! Pointer chasing: the case LTP cannot accelerate.
+//!
+//! Pointer-chasing loads are Urgent (they feed the next miss) but Non-Ready
+//! (their address comes from the previous miss), so parking cannot shorten
+//! the serial chain of DRAM accesses. This example measures how little the
+//! large window or the LTP design changes performance on such code, in
+//! contrast to the indirect-access kernel.
+//!
+//! ```text
+//! cargo run --release --example pointer_chase
+//! ```
+
+use ltp_pipeline::{PipelineConfig, Processor};
+use ltp_workloads::{replay, trace, WorkloadKind};
+
+fn run(cfg: PipelineConfig, kind: WorkloadKind, insts: u64) -> (f64, f64) {
+    let warm = trace(kind, 1, 10_000);
+    let detail = trace(kind, 2, insts as usize);
+    let mut cpu = Processor::new(cfg);
+    cpu.warm_caches(&warm);
+    let r = cpu.run(replay(kind.name(), detail), insts);
+    (r.cpi(), r.avg_outstanding_misses())
+}
+
+fn main() {
+    let insts = 20_000;
+    println!("How much does the instruction window matter?\n");
+    println!(
+        "{:<18} {:>14} {:>14} {:>16}",
+        "workload", "CPI @ IQ 32", "CPI @ IQ 256", "CPI @ IQ32+LTP"
+    );
+
+    for kind in [WorkloadKind::PointerChase, WorkloadKind::IndirectStream] {
+        let (cpi_small, _) = run(
+            PipelineConfig::limit_study_unlimited().with_iq(32),
+            kind,
+            insts,
+        );
+        let (cpi_large, _) = run(
+            PipelineConfig::limit_study_unlimited().with_iq(256),
+            kind,
+            insts,
+        );
+        let (cpi_ltp, _) = run(PipelineConfig::ltp_proposed(), kind, insts);
+        println!(
+            "{:<18} {:>14.2} {:>14.2} {:>16.2}",
+            kind.name(),
+            cpi_small,
+            cpi_large,
+            cpi_ltp
+        );
+    }
+
+    println!(
+        "\nThe pointer chaser barely changes: its misses form a serial chain, so no\n\
+         amount of window (or parking) can overlap them. The indirect-access loop\n\
+         improves substantially because independent misses exist and LTP keeps the\n\
+         small IQ free for the instructions that expose them. This is the reason the\n\
+         paper's proposed design parks only Non-Urgent instructions and does not try\n\
+         to chase the Urgent + Non-Ready pointer loads (§4.3)."
+    );
+}

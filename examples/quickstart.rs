@@ -1,0 +1,76 @@
+//! Quickstart: simulate one workload on the baseline core and on the LTP
+//! design, and compare CPI, MLP and LTP activity.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ltp_pipeline::{PipelineConfig, Processor, RunResult};
+use ltp_workloads::{replay, trace, WorkloadKind};
+
+fn simulate(label: &str, cfg: PipelineConfig, kind: WorkloadKind, insts: u64) -> RunResult {
+    // Warm the caches with a prefix of the workload, then run a detailed
+    // simulation of `insts` instructions.
+    let warm = trace(kind, 1, 20_000);
+    let detail = trace(kind, 2, insts as usize);
+
+    let mut cpu = Processor::new(cfg);
+    cpu.warm_caches(&warm);
+    let result = cpu.run(replay(kind.name(), detail), insts);
+
+    println!("--- {label} ---");
+    println!("  instructions      : {}", result.instructions);
+    println!("  cycles            : {}", result.cycles);
+    println!("  CPI               : {:.3}", result.cpi());
+    println!("  outstanding misses: {:.2}", result.avg_outstanding_misses());
+    println!("  avg IQ occupancy  : {:.1}", result.occupancy.iq.mean());
+    println!("  avg regs in use   : {:.1}", result.occupancy.regs.mean());
+    println!(
+        "  parked in LTP     : {} ({:.0}% of instructions)",
+        result.ltp.total_parked(),
+        result.ltp.park_fraction() * 100.0
+    );
+    println!();
+    result
+}
+
+fn main() {
+    let kind = WorkloadKind::IndirectStream;
+    let insts = 30_000;
+
+    println!("Long Term Parking quickstart — workload: {kind}\n");
+
+    // Table 1 baseline: IQ 64, 128 registers, no LTP.
+    let baseline = simulate(
+        "baseline  (IQ 64, RF 128, no LTP)",
+        PipelineConfig::micro2015_baseline(),
+        kind,
+        insts,
+    );
+
+    // Just shrinking the structures loses performance...
+    let small = simulate(
+        "small     (IQ 32, RF 96,  no LTP)",
+        PipelineConfig::small_no_ltp(),
+        kind,
+        insts,
+    );
+
+    // ...while the LTP design recovers most of it.
+    let ltp = simulate(
+        "LTP design (IQ 32, RF 96, 128-entry 4-port LTP)",
+        PipelineConfig::ltp_proposed(),
+        kind,
+        insts,
+    );
+
+    println!("summary (performance relative to the baseline):");
+    println!(
+        "  small without LTP : {:+.1}%",
+        small.speedup_over_percent(&baseline)
+    );
+    println!(
+        "  small with LTP    : {:+.1}%",
+        ltp.speedup_over_percent(&baseline)
+    );
+}

@@ -1,0 +1,171 @@
+//! Cross-crate invariant checks: resource bounds, accounting consistency and
+//! classification sanity on full simulation runs.
+
+use ltp_core::{LtpMode, OracleAnalysis};
+use ltp_experiments::runner::{limit_study_config, run_point, RunOptions};
+use ltp_mem::MemoryConfig;
+use ltp_pipeline::{PipelineConfig, Processor, RunResult};
+use ltp_workloads::{replay, trace, WorkloadKind};
+
+fn opts() -> RunOptions {
+    RunOptions {
+        detail_insts: 6_000,
+        warm_insts: 3_000,
+        seed: 77,
+    }
+}
+
+fn check_resource_bounds(r: &RunResult, cfg: &PipelineConfig) {
+    if cfg.iq_size != usize::MAX {
+        // The deadlock-avoidance bypass may momentarily exceed the nominal IQ
+        // size by a few forced releases.
+        assert!(
+            r.occupancy.iq.peak() as usize <= cfg.iq_size + cfg.ltp_reserve,
+            "IQ peak {} exceeds size {} (+reserve)",
+            r.occupancy.iq.peak(),
+            cfg.iq_size
+        );
+    }
+    assert!(r.occupancy.rob.peak() as usize <= cfg.rob_size);
+    if cfg.lq_size != usize::MAX {
+        assert!(r.occupancy.lq.peak() as usize <= cfg.lq_size);
+    }
+    if cfg.sq_size != usize::MAX {
+        assert!(r.occupancy.sq.peak() as usize <= cfg.sq_size);
+    }
+    if cfg.int_regs != usize::MAX {
+        // The available pools grow by one per architectural register as the
+        // initial mappings are recycled (footnote 4 of the paper), so the
+        // upper bound is available + architectural registers.
+        assert!(
+            r.occupancy.regs.peak() as usize
+                <= cfg.int_regs + cfg.fp_regs + ltp_isa::NUM_ARCH_REGS,
+            "register peak {} exceeds capacity",
+            r.occupancy.regs.peak()
+        );
+    }
+    if cfg.ltp.entries != usize::MAX && cfg.ltp.mode.is_enabled() {
+        assert!(r.occupancy.ltp.peak() as usize <= cfg.ltp.entries);
+    }
+}
+
+#[test]
+fn resource_bounds_hold_on_every_config() {
+    let configs = [
+        PipelineConfig::micro2015_baseline(),
+        PipelineConfig::small_no_ltp(),
+        PipelineConfig::ltp_proposed(),
+        limit_study_config(LtpMode::Both).with_iq(16).with_regs(64),
+    ];
+    for kind in [
+        WorkloadKind::IndirectStream,
+        WorkloadKind::GatherFp,
+        WorkloadKind::ComputeBound,
+        WorkloadKind::MixedPhases,
+    ] {
+        for cfg in configs {
+            let r = run_point(kind, cfg, &opts());
+            check_resource_bounds(&r, &cfg);
+        }
+    }
+}
+
+#[test]
+fn ltp_accounting_is_consistent() {
+    let r = run_point(
+        WorkloadKind::IndirectStream,
+        PipelineConfig::ltp_proposed(),
+        &opts(),
+    );
+    let s = &r.ltp;
+    // Everything classified is a renamed instruction; at least the committed
+    // instructions were classified.
+    assert!(s.total_classified() >= r.instructions);
+    // Parked instructions are a subset of classified ones.
+    assert!(s.total_parked() <= s.total_classified());
+    // Every released instruction was parked at some point.
+    let released = s.released_in_order + s.released_out_of_order + s.force_released;
+    assert!(released <= s.total_parked());
+    // Activity counters match the LTP statistics.
+    assert_eq!(r.activity.ltp_writes, s.total_parked());
+    assert_eq!(r.activity.ltp_reads, released);
+    // Loads/stores parked never exceed total parked.
+    assert!(s.parked_loads + s.parked_stores <= s.total_parked());
+}
+
+#[test]
+fn committed_work_matches_the_trace_mix() {
+    let o = opts();
+    let detail = trace(WorkloadKind::GatherFp, o.seed.wrapping_add(1), o.detail_insts as usize);
+    let expected_loads = detail.iter().filter(|i| i.op().is_load()).count() as u64;
+    let expected_stores = detail.iter().filter(|i| i.op().is_store()).count() as u64;
+
+    let mut cpu = Processor::new(PipelineConfig::micro2015_baseline());
+    let r = cpu.run(replay("gather_fp", detail), o.detail_insts);
+    assert_eq!(r.loads, expected_loads);
+    assert_eq!(r.stores, expected_stores);
+    assert!(r.llc_miss_loads <= r.loads);
+}
+
+#[test]
+fn oracle_never_classifies_ancestorless_instructions_as_urgent() {
+    // On a compute-only trace with no long-latency operations, nothing should
+    // be urgent or non-ready.
+    let t = trace(WorkloadKind::ComputeBound, 3, 4_000);
+    let oracle = OracleAnalysis::default().analyze(&t, &MemoryConfig::limit_study());
+    // Only the steady state matters: the first instructions see compulsory
+    // misses while the (cold) analysis cache warms up, which legitimately
+    // create urgent/non-ready slices.
+    let steady: Vec<_> = (2_000..4_000u64)
+        .map(|s| oracle.classify(ltp_isa::SeqNum(s)))
+        .collect();
+    let urgent = steady.iter().filter(|c| c.urgent).count();
+    let non_ready = steady.iter().filter(|c| c.non_ready()).count();
+    assert!(
+        urgent <= steady.len() / 50,
+        "steady-state compute-bound code has (almost) no urgent slices, got {urgent}"
+    );
+    assert!(
+        non_ready <= steady.len() / 50,
+        "steady-state compute-bound code is (almost) all ready, got {non_ready}"
+    );
+}
+
+#[test]
+fn oracle_classification_is_mostly_urgent_on_pointer_chasing() {
+    // Pointer chasing is the paper's canonical Urgent + Non-Ready case: the
+    // chain loads and their address feeds dominate.
+    let t = trace(WorkloadKind::PointerChase, 3, 4_000);
+    let oracle = OracleAnalysis::default().analyze(&t, &MemoryConfig::limit_study());
+    let hist = oracle.class_histogram();
+    let urgent = hist[0] + hist[1];
+    let total: u64 = hist.iter().sum();
+    // Each chain step is one urgent load plus a couple of non-urgent payload
+    // and bookkeeping instructions, so urgent work should be a large minority.
+    assert!(
+        urgent * 3 > total,
+        "pointer-chase urgent share should exceed a third (got {urgent}/{total})"
+    );
+}
+
+#[test]
+fn cpi_is_deterministic_for_a_fixed_seed() {
+    let a = run_point(WorkloadKind::HashProbe, PipelineConfig::ltp_proposed(), &opts());
+    let b = run_point(WorkloadKind::HashProbe, PipelineConfig::ltp_proposed(), &opts());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.ltp.total_parked(), b.ltp.total_parked());
+    assert_eq!(a.llc_miss_loads, b.llc_miss_loads);
+}
+
+#[test]
+fn warmup_instructions_are_excluded_from_the_result() {
+    let o = opts();
+    let cfg = PipelineConfig::micro2015_baseline().with_warmup(1_000);
+    let detail = trace(WorkloadKind::ComputeBound, 5, o.detail_insts as usize);
+    let mut cpu = Processor::new(cfg);
+    let r = cpu.run(replay("compute_bound", detail), o.detail_insts);
+    // The warm-up boundary is detected at commit granularity, so it may
+    // overshoot by up to one commit group.
+    assert!(r.instructions <= o.detail_insts - 1_000);
+    assert!(r.instructions >= o.detail_insts - 1_000 - cfg.commit_width as u64);
+}
