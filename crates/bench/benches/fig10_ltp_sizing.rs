@@ -16,7 +16,10 @@ fn fig10(c: &mut Criterion) {
     group.sample_size(10);
 
     let mut configs: Vec<(String, PipelineConfig)> = vec![
-        ("baseline_iq64_rf128".into(), PipelineConfig::micro2015_baseline()),
+        (
+            "baseline_iq64_rf128".into(),
+            PipelineConfig::micro2015_baseline(),
+        ),
         ("no_ltp_iq32_rf96".into(), PipelineConfig::small_no_ltp()),
     ];
     for (entries, ports) in [(128usize, 4usize), (16, 1), (128, 8)] {

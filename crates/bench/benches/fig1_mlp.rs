@@ -22,15 +22,16 @@ fn fig1(c: &mut Criterion) {
     let configs: [(&str, PipelineConfig); 3] = [
         ("iq32", PipelineConfig::limit_study_unlimited().with_iq(32)),
         ("iq32_ltp", limit_study_config(LtpMode::Both).with_iq(32)),
-        ("iq256", PipelineConfig::limit_study_unlimited().with_iq(256)),
+        (
+            "iq256",
+            PipelineConfig::limit_study_unlimited().with_iq(256),
+        ),
     ];
     for kind in [WorkloadKind::IndirectStream, WorkloadKind::ComputeBound] {
         for (label, cfg) in configs {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), label),
-                &cfg,
-                |b, cfg| b.iter(|| run_point(kind, *cfg, &opts).cpi()),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), label), &cfg, |b, cfg| {
+                b.iter(|| run_point(kind, *cfg, &opts).cpi())
+            });
         }
     }
     group.finish();

@@ -49,7 +49,7 @@ fn ltp_unit(c: &mut Criterion) {
             let inst = RenamedInst::from_dyn(&DynInst::new(seq, store));
             seq += 1;
             let d = ltp.at_rename(&inst, seq);
-            if seq % 64 == 0 {
+            if seq.is_multiple_of(64) {
                 // Periodically drain so the queue does not grow unboundedly.
                 let _ = ltp.release_in_order(ltp_isa::SeqNum(seq + 1), 64, seq);
             }

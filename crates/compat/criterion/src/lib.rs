@@ -1,0 +1,270 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The LTP workspace builds in environments without crates.io access, so this
+//! in-tree crate implements the slice of criterion's API the bench targets
+//! use: [`Criterion`], [`BenchmarkGroup`] with `bench_function` /
+//! `bench_with_input` / `throughput` / `sample_size`, [`BenchmarkId`],
+//! [`Throughput`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is a straightforward calibrated wall-clock loop: each
+//! benchmark is warmed up, the iteration count is chosen to hit a target
+//! sampling time, and the mean time per iteration (plus throughput, when
+//! configured) is printed. There are no statistics, plots, or baselines —
+//! enough to track relative performance of the simulator, not to publish.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-benchmark timing loop handle.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) {
+    // Warm up and calibrate: time one iteration, then pick an iteration
+    // count aiming at ~sample_size iterations bounded by a time budget.
+    let mut calib = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut calib);
+    let per_iter = calib.elapsed.max(Duration::from_nanos(1));
+    let budget = Duration::from_millis(300);
+    let fit = (budget.as_nanos() / per_iter.as_nanos().max(1)) as u64;
+    let iters = fit.clamp(1, sample_size.max(1) * 10).max(1);
+
+    let mut bench = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bench);
+    let mean = bench.elapsed.as_secs_f64() / bench.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.max(f64::MIN_POSITIVE))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / mean.max(f64::MIN_POSITIVE))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{group}/{id}: {:>12.3} µs/iter ({} iters){rate}",
+        mean * 1e6,
+        bench.iters
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation used for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = throughput.into();
+        self
+    }
+
+    /// Sets the target number of samples (used here as an iteration cap).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.criterion.filter_matches(&self.name, &id.to_string()) {
+            run_one(
+                &self.name,
+                &id.to_string(),
+                self.sample_size,
+                self.throughput,
+                routine,
+            );
+        }
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Finishes the group (reporting is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; cargo itself passes `--bench`, which is not a filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 100,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(id.to_string())
+            .bench_function("base", routine);
+        self
+    }
+
+    fn filter_matches(&self, group: &str, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => format!("{group}/{id}").contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Declares a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine_and_measures() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("test");
+        group.throughput(Throughput::Elements(1)).sample_size(10);
+        let mut count = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0, "routine must have been executed");
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(
+            BenchmarkId::from_parameter("8_tickets").to_string(),
+            "8_tickets"
+        );
+    }
+}

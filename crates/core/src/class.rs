@@ -19,13 +19,25 @@ pub struct Criticality {
 impl Criticality {
     /// Urgent and Ready: issue to the IQ immediately (address generation for
     /// a missing load is the canonical example).
-    pub const URGENT_READY: Criticality = Criticality { urgent: true, ready: true };
+    pub const URGENT_READY: Criticality = Criticality {
+        urgent: true,
+        ready: true,
+    };
     /// Urgent but Non-Ready: pointer-chasing loads that miss.
-    pub const URGENT_NON_READY: Criticality = Criticality { urgent: true, ready: false };
+    pub const URGENT_NON_READY: Criticality = Criticality {
+        urgent: true,
+        ready: false,
+    };
     /// Non-Urgent and Ready: loop counters, predictable branches.
-    pub const NON_URGENT_READY: Criticality = Criticality { urgent: false, ready: true };
+    pub const NON_URGENT_READY: Criticality = Criticality {
+        urgent: false,
+        ready: true,
+    };
     /// Non-Urgent and Non-Ready: stores of miss results, the paper's `F`/`H`.
-    pub const NON_URGENT_NON_READY: Criticality = Criticality { urgent: false, ready: false };
+    pub const NON_URGENT_NON_READY: Criticality = Criticality {
+        urgent: false,
+        ready: false,
+    };
 
     /// The four-way class of this criticality.
     #[must_use]
@@ -121,10 +133,12 @@ mod tests {
 
     #[test]
     fn constants_have_expected_flags() {
-        assert!(Criticality::URGENT_READY.urgent && Criticality::URGENT_READY.ready);
+        const {
+            assert!(Criticality::URGENT_READY.urgent && Criticality::URGENT_READY.ready);
+            assert!(Criticality::URGENT_NON_READY.urgent);
+        }
         assert!(Criticality::NON_URGENT_NON_READY.non_urgent());
         assert!(Criticality::NON_URGENT_NON_READY.non_ready());
-        assert!(Criticality::URGENT_NON_READY.urgent);
         assert!(Criticality::URGENT_NON_READY.non_ready());
     }
 

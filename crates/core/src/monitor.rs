@@ -76,11 +76,7 @@ impl DramTimerMonitor {
             if end > self.last_observed {
                 self.enabled_cycles += end - self.last_observed;
             }
-            if now >= until {
-                self.was_enabled = false;
-            } else {
-                self.was_enabled = true;
-            }
+            self.was_enabled = now < until;
         }
         self.last_observed = now;
     }
@@ -145,7 +141,11 @@ mod tests {
             m.note_llc_miss(t);
         }
         assert!(m.enabled(2050));
-        assert_eq!(m.activations(), 1, "never turned off, so only one activation");
+        assert_eq!(
+            m.activations(),
+            1,
+            "never turned off, so only one activation"
+        );
     }
 
     #[test]
@@ -188,5 +188,46 @@ mod tests {
     fn enabled_fraction_of_zero_cycles() {
         let m = DramTimerMonitor::new(10);
         assert_eq!(m.enabled_fraction(0), 0.0);
+    }
+
+    /// Power-gating boundary: LTP is on strictly before `miss + timeout` and
+    /// off exactly at it (the window is exclusive), on both the accounting
+    /// path (`enabled`) and the read-only path (`is_enabled_at`).
+    #[test]
+    fn gating_boundary_is_exclusive() {
+        let mut m = DramTimerMonitor::new(100);
+        m.note_llc_miss(50);
+        assert!(m.is_enabled_at(149));
+        assert!(!m.is_enabled_at(150));
+        assert!(m.enabled(149));
+        assert!(!m.enabled(150));
+    }
+
+    /// A full off→on→off→on gating cycle accumulates exactly one timeout of
+    /// enabled time per window and one activation per off→on edge.
+    #[test]
+    fn full_gating_cycle_accounting() {
+        let mut m = DramTimerMonitor::new(100);
+        assert!(!m.enabled(0));
+        m.note_llc_miss(1000); //            on  at 1000 (window 1000..1100)
+        assert!(!m.enabled(1500)); //        off at 1100
+        m.note_llc_miss(2000); //            on  again (window 2000..2100)
+        assert!(!m.enabled(3000)); //        off at 2100
+        assert_eq!(m.activations(), 2);
+        assert_eq!(m.enabled_cycles(), 200, "two full 100-cycle windows");
+        assert!((m.enabled_fraction(4000) - 0.05).abs() < 1e-9);
+    }
+
+    /// Re-arming before expiry extends the window without double-counting
+    /// the overlapping enabled time and without a spurious activation.
+    #[test]
+    fn rearm_extends_window_without_double_counting() {
+        let mut m = DramTimerMonitor::new(100);
+        m.note_llc_miss(0); //   window 0..100
+        m.note_llc_miss(60); //  extended to 60..160, still one activation
+        assert!(m.enabled(159));
+        assert!(!m.enabled(160));
+        assert_eq!(m.activations(), 1);
+        assert_eq!(m.enabled_cycles(), 160, "0..160 continuously enabled");
     }
 }

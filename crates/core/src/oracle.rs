@@ -62,7 +62,10 @@ impl OracleClassifier {
     /// a divide or a square root).
     #[must_use]
     pub fn is_long_latency(&self, seq: SeqNum) -> bool {
-        self.long_latency.get(seq.0 as usize).copied().unwrap_or(false)
+        self.long_latency
+            .get(seq.0 as usize)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Number of instructions covered by the oracle.
@@ -141,7 +144,10 @@ impl OracleAnalysis {
                 };
                 // Space accesses far apart so MSHR merging does not hide
                 // misses from the functional replay.
-                let result = mem.access(i as u64 * 1_000, &MemoryRequest::new(inst.pc(), access.addr(), kind));
+                let result = mem.access(
+                    i as u64 * 1_000,
+                    &MemoryRequest::new(inst.pc(), access.addr(), kind),
+                );
                 if inst.op().is_load() && result.is_llc_miss() {
                     long_latency[i] = true;
                 }
@@ -338,7 +344,10 @@ mod tests {
         assert!(class(1).urgent, "B feeds addrB");
         assert!(class(2).urgent, "C computes addrB");
         // E feeds next iteration's A: urgent.
-        assert!(class(4).urgent, "E (j update) feeds the next iteration's slice");
+        assert!(
+            class(4).urgent,
+            "E (j update) feeds the next iteration's slice"
+        );
         // F and H depend on D: non-ready and non-urgent.
         assert!(class(5).non_urgent() && class(5).non_ready(), "F is NU+NR");
         assert!(class(7).non_urgent() && class(7).non_ready(), "H is NU+NR");

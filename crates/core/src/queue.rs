@@ -125,7 +125,7 @@ impl LtpQueue {
             return false;
         }
         debug_assert!(
-            self.entries.back().map_or(true, |b| b.seq < inst.seq),
+            self.entries.back().is_none_or(|b| b.seq < inst.seq),
             "LTP must be filled in program order"
         );
         self.entries.push_back(inst);
@@ -156,9 +156,7 @@ impl LtpQueue {
         let mut out = Vec::new();
         while out.len() < max && self.dequeued_this_cycle < self.ports {
             match self.entries.front() {
-                Some(front)
-                    if front.seq.is_older_than(wake_before) && front.tickets.is_empty() =>
-                {
+                Some(front) if front.seq.is_older_than(wake_before) && front.tickets.is_empty() => {
                     let inst = self.entries.pop_front().expect("front exists");
                     self.dequeued_this_cycle += 1;
                     self.total_released += 1;
@@ -428,5 +426,57 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_panics() {
         let _ = LtpQueue::new(0, 1);
+    }
+
+    /// In-order release vs. ticket wake: a ticket broadcast that wakes an
+    /// entry in the *middle* of the FIFO must not let it overtake the still
+    /// ticket-blocked head on the in-order path; only the out-of-order
+    /// (urgent) path may extract it, and the head keeps blocking everything
+    /// behind it until its own ticket clears.
+    #[test]
+    fn ticket_wake_in_the_middle_does_not_reorder_fifo() {
+        let mut q = LtpQueue::new(8, 8);
+        q.park(parked_with_ticket(0, Ticket(1)), 0); // head, blocked
+        q.park(parked(1), 0); //                        ready, non-urgent
+        q.park(parked_with_ticket(2, Ticket(2)), 0); // urgent, blocked
+        q.park(parked(3), 0);
+
+        // Ticket 2 completes: seq 2 becomes ready mid-queue.
+        assert_eq!(q.clear_ticket(Ticket(2)), 1);
+        // The in-order path still releases nothing — the head waits on t1.
+        assert!(q.release_in_order(SeqNum(100), 10, 1).is_empty());
+        // The urgent out-of-order path extracts exactly the woken entry.
+        let urgent = q.release_ready_out_of_order(10, 1);
+        assert_eq!(urgent.iter().map(|p| p.seq.0).collect::<Vec<_>>(), [2]);
+        // Seq 1 is ready and non-urgent: it must keep waiting behind head.
+        assert_eq!(q.oldest(), Some(SeqNum(0)));
+        assert_eq!(q.occupancy(), 3);
+
+        // Head's ticket clears: the in-order path drains 0, 1, 3 in order.
+        assert_eq!(q.clear_ticket(Ticket(1)), 1);
+        let released = q.release_in_order(SeqNum(100), 10, 2);
+        assert_eq!(
+            released.iter().map(|p| p.seq.0).collect::<Vec<_>>(),
+            [0, 1, 3]
+        );
+        assert_eq!(q.total_released(), 4);
+    }
+
+    /// The in-order and out-of-order release paths share the per-cycle
+    /// dequeue port budget (they model the same physical ports).
+    #[test]
+    fn release_paths_share_dequeue_ports() {
+        let mut q = LtpQueue::new(16, 2);
+        q.park(parked(0), 0);
+        q.park(parked(1), 0);
+        let mut urgent = parked_with_ticket(2, Ticket(9));
+        urgent.tickets = TicketSet::new();
+        q.park(urgent, 1);
+
+        // Both in-order releases consume the cycle's two dequeue ports...
+        assert_eq!(q.release_in_order(SeqNum(2), 10, 5).len(), 2);
+        // ...so the urgent path gets nothing until the next cycle.
+        assert!(q.release_ready_out_of_order(10, 5).is_empty());
+        assert_eq!(q.release_ready_out_of_order(10, 6).len(), 1);
     }
 }

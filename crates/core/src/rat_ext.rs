@@ -56,14 +56,7 @@ impl RatExtension {
     /// Records that the instruction at `pc` (dynamic instance `seq`) is the
     /// current producer of `dst`, whether it was parked, and which tickets it
     /// carries. Writes to the zero register are ignored.
-    pub fn write(
-        &mut self,
-        dst: ArchReg,
-        pc: Pc,
-        seq: SeqNum,
-        parked: bool,
-        tickets: TicketSet,
-    ) {
+    pub fn write(&mut self, dst: ArchReg, pc: Pc, seq: SeqNum, parked: bool, tickets: TicketSet) {
         if dst.is_zero() {
             return;
         }
@@ -157,7 +150,13 @@ mod tests {
     #[test]
     fn write_then_read_producer() {
         let mut rat = RatExtension::new();
-        rat.write(ArchReg::int(5), Pc(0x40), SeqNum(7), false, TicketSet::new());
+        rat.write(
+            ArchReg::int(5),
+            Pc(0x40),
+            SeqNum(7),
+            false,
+            TicketSet::new(),
+        );
         assert_eq!(rat.producer_pc(ArchReg::int(5)), Some(Pc(0x40)));
         assert_eq!(rat.producer_seq(ArchReg::int(5)), Some(SeqNum(7)));
         assert!(!rat.is_parked(ArchReg::int(5)));
@@ -213,7 +212,13 @@ mod tests {
         let mut rat = RatExtension::new();
         let tickets: TicketSet = [Ticket(1)].into_iter().collect();
         rat.write(ArchReg::int(4), Pc(0x10), SeqNum(1), false, tickets);
-        rat.write(ArchReg::int(4), Pc(0x14), SeqNum(2), false, TicketSet::new());
+        rat.write(
+            ArchReg::int(4),
+            Pc(0x14),
+            SeqNum(2),
+            false,
+            TicketSet::new(),
+        );
         assert!(rat.tickets(ArchReg::int(4)).is_empty());
     }
 

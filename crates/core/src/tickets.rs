@@ -249,4 +249,48 @@ mod tests {
     fn ticket_display() {
         assert_eq!(Ticket(7).to_string(), "t7");
     }
+
+    /// Wrap-around: a bounded file churned through far more allocations than
+    /// its capacity must recycle ids from the free list instead of minting
+    /// fresh ones, so ticket ids stay in `0..capacity` forever. This is the
+    /// hardware property that makes the ticket a small fixed-width field in
+    /// the RAT extension (Figure 11 sweeps 4..128 tickets).
+    #[test]
+    fn churn_recycles_ids_within_capacity() {
+        let capacity = 4;
+        let mut f = TicketFile::new(capacity);
+        let mut live: Vec<Ticket> = Vec::new();
+        for round in 0..10_000u64 {
+            if round % 3 == 0 && !live.is_empty() {
+                // Release out of allocation order to exercise the free list.
+                let t = live.swap_remove((round as usize / 3) % live.len());
+                f.release(t);
+            } else if let Some(t) = f.allocate() {
+                assert!(
+                    (t.0 as usize) < capacity,
+                    "ticket id {t} minted beyond capacity {capacity} after {round} rounds"
+                );
+                assert!(!live.contains(&t), "live ticket {t} handed out twice");
+                live.push(t);
+            }
+            assert_eq!(f.in_flight(), live.len());
+            assert!(f.in_flight() <= capacity);
+        }
+    }
+
+    #[test]
+    fn exhaustion_accounting_survives_churn() {
+        let mut f = TicketFile::new(2);
+        let a = f.allocate().unwrap();
+        let _b = f.allocate().unwrap();
+        for _ in 0..5 {
+            assert!(f.allocate().is_none());
+        }
+        assert_eq!(f.exhausted_allocations(), 5);
+        // Releasing makes the next allocation succeed again without
+        // disturbing the exhaustion counter.
+        f.release(a);
+        assert!(f.allocate().is_some());
+        assert_eq!(f.exhausted_allocations(), 5);
+    }
 }

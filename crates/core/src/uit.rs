@@ -45,7 +45,7 @@ impl Uit {
         let ways = if capacity == usize::MAX {
             0
         } else {
-            capacity.min(4).max(1)
+            capacity.clamp(1, 4)
         };
         let num_sets = if capacity == usize::MAX {
             0

@@ -310,8 +310,8 @@ impl LtpUnit {
         }
 
         // --- parking decision -------------------------------------------------
-        let src_parked = inst.mem_dep_parked
-            || inst.srcs.iter().any(|&s| self.rat_ext.is_parked(s));
+        let src_parked =
+            inst.mem_dep_parked || inst.srcs.iter().any(|&s| self.rat_ext.is_parked(s));
 
         let wants_park = enabled
             && ((self.cfg.mode.parks_non_urgent() && !urgent)
@@ -571,7 +571,10 @@ mod tests {
         assert!(b2.class.urgent, "missing load must be urgent");
         // Iteration 3: the address generator is now known urgent too.
         let a3 = ltp.at_rename(&alu(4, 0x100, 1, &[2]), 40);
-        assert!(a3.class.urgent, "address generator becomes urgent after backward propagation");
+        assert!(
+            a3.class.urgent,
+            "address generator becomes urgent after backward propagation"
+        );
         assert!(!a3.parked());
     }
 
@@ -669,14 +672,19 @@ mod tests {
         let inst = load(0, 0x300, 2, 1).with_mem_dep_parked(true);
         let d = ltp.at_rename(&inst, 0);
         assert!(d.class.urgent);
-        assert!(d.parked(), "predicted dependence on a parked store parks the load");
+        assert!(
+            d.parked(),
+            "predicted dependence on a parked store parks the load"
+        );
     }
 
     #[test]
     fn force_release_breaks_deadlock() {
         let mut ltp = unit(LtpMode::NonUrgentOnly);
         let _ = ltp.at_rename(&store(0, 0x10, 1), 0);
-        let inst = ltp.force_release_oldest(1).expect("one instruction is parked");
+        let inst = ltp
+            .force_release_oldest(1)
+            .expect("one instruction is parked");
         assert_eq!(inst.seq, SeqNum(0));
         assert_eq!(ltp.stats().force_released, 1);
     }

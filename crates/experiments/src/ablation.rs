@@ -50,7 +50,9 @@ fn prefetcher_ablation(opts: &RunOptions) -> String {
         .iter()
         .flat_map(|&(pf, iq, cfg)| WorkloadKind::ALL.iter().map(move |&k| (pf, iq, cfg, k)))
         .collect();
-    let results = par_map(jobs.clone(), |&(_, _, cfg, kind)| run_point(kind, cfg, opts));
+    let results = par_map(jobs.clone(), |&(_, _, cfg, kind)| {
+        run_point(kind, cfg, opts)
+    });
     let by_job: HashMap<(bool, usize, WorkloadKind), ltp_pipeline::RunResult> = jobs
         .into_iter()
         .map(|(pf, iq, _, k)| (pf, iq, k))
@@ -74,8 +76,16 @@ fn prefetcher_ablation(opts: &RunOptions) -> String {
             kind.name().to_string(),
             format!("{:.3}", by_job[&(true, 32, kind)].cpi()),
             format!("{:.3}", by_job[&(false, 32, kind)].cpi()),
-            if sens(true) { "yes".into() } else { "no".into() },
-            if sens(false) { "yes".into() } else { "no".into() },
+            if sens(true) {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+            if sens(false) {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     let mut out = String::new();
@@ -105,7 +115,11 @@ fn monitor_ablation(opts: &RunOptions) -> String {
         .flat_map(|&m| kinds.iter().map(move |&k| (m, k)))
         .collect();
     let results = par_map(jobs.clone(), |&(monitored, kind)| {
-        let cfg = if monitored { with_monitor } else { without_monitor };
+        let cfg = if monitored {
+            with_monitor
+        } else {
+            without_monitor
+        };
         run_point(kind, cfg, opts)
     });
     let by_job: HashMap<(bool, WorkloadKind), ltp_pipeline::RunResult> =

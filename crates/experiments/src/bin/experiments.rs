@@ -39,7 +39,10 @@ fn main() {
             }
             "--out" => {
                 i += 1;
-                out_dir = args.get(i).cloned().unwrap_or_else(|| usage("--out needs a path"));
+                out_dir = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--out needs a path"));
             }
             "all" => experiments.extend(Experiment::ALL),
             "--help" | "-h" => usage(""),
@@ -62,7 +65,11 @@ fn main() {
         let report = experiment.run(&opts);
         let elapsed = started.elapsed();
         println!("{report}");
-        println!("[{} finished in {:.1}s]\n", experiment.name(), elapsed.as_secs_f64());
+        println!(
+            "[{} finished in {:.1}s]\n",
+            experiment.name(),
+            elapsed.as_secs_f64()
+        );
         let path = format!("{out_dir}/{}.txt", experiment.name());
         let mut file = std::fs::File::create(&path).expect("cannot create the report file");
         file.write_all(report.as_bytes())

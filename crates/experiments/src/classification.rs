@@ -39,7 +39,8 @@ pub fn run(opts: &RunOptions) -> String {
     let steady_iteration = 40; // deep enough for backward propagation
     let base = steady_iteration * 11;
 
-    let mut table = TextTable::with_columns(&["inst", "operation", "paper class", "oracle class", "match"]);
+    let mut table =
+        TextTable::with_columns(&["inst", "operation", "paper class", "oracle class", "match"]);
     let mut matches = 0;
     for (offset, (label, expected)) in FIG2_LABELS.iter().zip(FIG2_EXPECTED).enumerate() {
         let inst = &t[base + offset];
@@ -53,7 +54,11 @@ pub fn run(opts: &RunOptions) -> String {
             inst.static_inst().to_string(),
             expected.to_string(),
             got.to_string(),
-            if got == expected { "yes".into() } else { "NO".into() },
+            if got == expected {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     out.push_str("Figure 2: classification of the example loop (steady-state iteration)\n");
@@ -84,7 +89,8 @@ pub fn run(opts: &RunOptions) -> String {
     let base_run = run_point(WorkloadKind::IndirectStream, small_iq, opts);
     let ltp_run = run_point(WorkloadKind::IndirectStream, with_ltp, opts);
 
-    let mut occ = TextTable::with_columns(&["design", "avg IQ occupancy", "avg LTP occupancy", "CPI"]);
+    let mut occ =
+        TextTable::with_columns(&["design", "avg IQ occupancy", "avg LTP occupancy", "CPI"]);
     occ.add_row(vec![
         "traditional IQ:32".into(),
         format!("{:.1}", base_run.occupancy.iq.mean()),

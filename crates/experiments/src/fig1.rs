@@ -80,21 +80,27 @@ pub fn run(opts: &RunOptions) -> String {
     out.push_str("Figure 1: impact of IQ size on MLP-sensitive and MLP-insensitive execution\n");
     out.push_str(&format!(
         "MLP-sensitive workloads:   {}\n",
-        sensitive.iter().map(|k| k.name()).collect::<Vec<_>>().join(", ")
+        sensitive
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     ));
     out.push_str(&format!(
         "MLP-insensitive workloads: {}\n\n",
-        insensitive.iter().map(|k| k.name()).collect::<Vec<_>>().join(", ")
+        insensitive
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     ));
 
     // (a) CPI and (b) outstanding requests per group and configuration.
-    let mut table = TextTable::with_columns(&[
-        "group",
-        "config",
-        "CPI",
-        "avg outstanding reqs",
-    ]);
-    for (group_name, group) in [("mlp_sensitive", &sensitive), ("mlp_insensitive", &insensitive)] {
+    let mut table = TextTable::with_columns(&["group", "config", "CPI", "avg outstanding reqs"]);
+    for (group_name, group) in [
+        ("mlp_sensitive", &sensitive),
+        ("mlp_insensitive", &insensitive),
+    ] {
         for cfg in Fig1Config::ALL {
             let cpi = group_mean(group, |k| by_point[&(k, cfg)].cpi());
             let mlp = group_mean(group, |k| by_point[&(k, cfg)].avg_outstanding_misses());
@@ -112,11 +118,22 @@ pub fn run(opts: &RunOptions) -> String {
 
     // (c) average resources in use per cycle at IQ:256.
     let mut res_table = TextTable::with_columns(&["group", "RF", "IQ", "LQ", "SQ"]);
-    for (group_name, group) in [("mlp_sensitive", &sensitive), ("mlp_insensitive", &insensitive)] {
-        let rf = group_mean(group, |k| by_point[&(k, Fig1Config::Iq256)].occupancy.regs.mean());
-        let iq = group_mean(group, |k| by_point[&(k, Fig1Config::Iq256)].occupancy.iq.mean());
-        let lq = group_mean(group, |k| by_point[&(k, Fig1Config::Iq256)].occupancy.lq.mean());
-        let sq = group_mean(group, |k| by_point[&(k, Fig1Config::Iq256)].occupancy.sq.mean());
+    for (group_name, group) in [
+        ("mlp_sensitive", &sensitive),
+        ("mlp_insensitive", &insensitive),
+    ] {
+        let rf = group_mean(group, |k| {
+            by_point[&(k, Fig1Config::Iq256)].occupancy.regs.mean()
+        });
+        let iq = group_mean(group, |k| {
+            by_point[&(k, Fig1Config::Iq256)].occupancy.iq.mean()
+        });
+        let lq = group_mean(group, |k| {
+            by_point[&(k, Fig1Config::Iq256)].occupancy.lq.mean()
+        });
+        let sq = group_mean(group, |k| {
+            by_point[&(k, Fig1Config::Iq256)].occupancy.sq.mean()
+        });
         res_table.add_row(vec![
             group_name.to_string(),
             format!("{rf:.1}"),
@@ -134,9 +151,15 @@ pub fn run(opts: &RunOptions) -> String {
     if !sensitive.is_empty() {
         let cpi32 = group_mean(&sensitive, |k| by_point[&(k, Fig1Config::Iq32)].cpi());
         let cpi256 = group_mean(&sensitive, |k| by_point[&(k, Fig1Config::Iq256)].cpi());
-        let mlp32 = group_mean(&sensitive, |k| by_point[&(k, Fig1Config::Iq32)].avg_outstanding_misses());
-        let mlp_ltp = group_mean(&sensitive, |k| by_point[&(k, Fig1Config::Iq32Ltp)].avg_outstanding_misses());
-        let mlp256 = group_mean(&sensitive, |k| by_point[&(k, Fig1Config::Iq256)].avg_outstanding_misses());
+        let mlp32 = group_mean(&sensitive, |k| {
+            by_point[&(k, Fig1Config::Iq32)].avg_outstanding_misses()
+        });
+        let mlp_ltp = group_mean(&sensitive, |k| {
+            by_point[&(k, Fig1Config::Iq32Ltp)].avg_outstanding_misses()
+        });
+        let mlp256 = group_mean(&sensitive, |k| {
+            by_point[&(k, Fig1Config::Iq256)].avg_outstanding_misses()
+        });
         out.push_str(&format!(
             "\nMLP-sensitive: IQ 32 -> 256 speedup: {:+.1}%  (paper: ~+18%)\n",
             (cpi32 / cpi256 - 1.0) * 100.0

@@ -46,12 +46,9 @@ fn iq_rf_sizes(point: Point) -> (usize, usize, usize, usize) {
     match point {
         Point::Baseline => (64, 128 + ltp_isa::NUM_ARCH_INT_REGS, 0, 1),
         Point::NoLtpSmall => (32, 96 + ltp_isa::NUM_ARCH_INT_REGS, 0, 1),
-        Point::Ltp { entries, ports } => (
-            32,
-            96 + ltp_isa::NUM_ARCH_INT_REGS,
-            entries.min(256),
-            ports,
-        ),
+        Point::Ltp { entries, ports } => {
+            (32, 96 + ltp_isa::NUM_ARCH_INT_REGS, entries.min(256), ports)
+        }
     }
 }
 
@@ -114,7 +111,9 @@ pub fn run(opts: &RunOptions) -> String {
             continue;
         }
         let base_cpi = group_mean(group, |k| by_job[&(Point::Baseline, k)].cpi());
-        let base_ed2p = group_mean(group, |k| ed2p_of(Point::Baseline, &by_job[&(Point::Baseline, k)]));
+        let base_ed2p = group_mean(group, |k| {
+            ed2p_of(Point::Baseline, &by_job[&(Point::Baseline, k)])
+        });
 
         let mut table = TextTable::with_columns(&[
             "ltp entries",
@@ -124,8 +123,9 @@ pub fn run(opts: &RunOptions) -> String {
         ]);
         // The red line: IQ 32 / RF 96 without LTP.
         let no_ltp_cpi = group_mean(group, |k| by_job[&(Point::NoLtpSmall, k)].cpi());
-        let no_ltp_ed2p =
-            group_mean(group, |k| ed2p_of(Point::NoLtpSmall, &by_job[&(Point::NoLtpSmall, k)]));
+        let no_ltp_ed2p = group_mean(group, |k| {
+            ed2p_of(Point::NoLtpSmall, &by_job[&(Point::NoLtpSmall, k)])
+        });
         table.add_row(vec![
             "no LTP".to_string(),
             "-".to_string(),
@@ -138,7 +138,11 @@ pub fn run(opts: &RunOptions) -> String {
                 let cpi = group_mean(group, |k| by_job[&(p, k)].cpi());
                 let ed2p = group_mean(group, |k| ed2p_of(p, &by_job[&(p, k)]));
                 table.add_row(vec![
-                    if entries == usize::MAX { "inf".into() } else { entries.to_string() },
+                    if entries == usize::MAX {
+                        "inf".into()
+                    } else {
+                        entries.to_string()
+                    },
                     ports.to_string(),
                     format!("{:+.1}", (base_cpi / cpi - 1.0) * 100.0),
                     format!("{:+.1}", (ed2p / base_ed2p - 1.0) * 100.0),

@@ -77,7 +77,10 @@ pub fn run(opts: &RunOptions) -> String {
             (base / cpi - 1.0) * 100.0
         };
         let mut table = TextTable::with_columns(&["config", "perf vs base %"]);
-        table.add_row(vec!["No LTP (IQ32/RF96)".into(), format!("{:+.1}", perf(Point::NoLtp))]);
+        table.add_row(vec![
+            "No LTP (IQ32/RF96)".into(),
+            format!("{:+.1}", perf(Point::NoLtp)),
+        ]);
         table.add_row(vec![
             "LTP (NU), 128 entries, 4 ports".into(),
             format!("{:+.1}", perf(Point::NuOnly)),

@@ -143,7 +143,9 @@ pub fn run_resources(opts: &RunOptions, resources: &[SweptResource]) -> String {
 
     let mut out = String::new();
     out.push_str("Figure 6: limit study — performance vs. resource size, relative to the\n");
-    out.push_str("baseline size of each resource with no LTP (ideal LTP, oracle classification)\n\n");
+    out.push_str(
+        "baseline size of each resource with no LTP (ideal LTP, oracle classification)\n\n",
+    );
     out.push_str(&format!(
         "MLP-sensitive: {}   MLP-insensitive: {}\n\n",
         grouping
@@ -194,8 +196,7 @@ pub fn run_resources(opts: &RunOptions, resources: &[SweptResource]) -> String {
                             } else {
                                 WorkloadKind::GatherFp
                             };
-                            let base =
-                                cpi[&(res, LtpMode::Off, res.baseline_size(), kind)];
+                            let base = cpi[&(res, LtpMode::Off, res.baseline_size(), kind)];
                             (base / cpi[&(res, mode, size, kind)] - 1.0) * 100.0
                         }
                         Some(sensitive) => {
@@ -210,8 +211,7 @@ pub fn run_resources(opts: &RunOptions, resources: &[SweptResource]) -> String {
                                 let base = group_mean(group, |k| {
                                     cpi[&(res, LtpMode::Off, res.baseline_size(), k)]
                                 });
-                                let this =
-                                    group_mean(group, |k| cpi[&(res, mode, size, k)]);
+                                let this = group_mean(group, |k| cpi[&(res, mode, size, k)]);
                                 (base / this - 1.0) * 100.0
                             }
                         }

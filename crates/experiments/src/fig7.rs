@@ -15,11 +15,7 @@ use ltp_workloads::WorkloadKind;
 use std::collections::HashMap;
 
 /// The parking variants shown in Figure 7.
-const MODES: [LtpMode; 3] = [
-    LtpMode::NonReadyOnly,
-    LtpMode::NonUrgentOnly,
-    LtpMode::Both,
-];
+const MODES: [LtpMode; 3] = [LtpMode::NonReadyOnly, LtpMode::NonUrgentOnly, LtpMode::Both];
 
 fn config(mode: LtpMode) -> ltp_pipeline::PipelineConfig {
     limit_study_config(mode).with_iq(32).with_regs(96)
@@ -41,7 +37,9 @@ pub fn run(opts: &RunOptions) -> String {
         points.into_iter().zip(results).collect();
 
     let mut out = String::new();
-    out.push_str("Figure 7: LTP utilisation (IQ 32, 96 registers, ideal LTP, oracle classification)\n\n");
+    out.push_str(
+        "Figure 7: LTP utilisation (IQ 32, 96 registers, ideal LTP, oracle classification)\n\n",
+    );
 
     let columns: Vec<(&str, Vec<WorkloadKind>)> = vec![
         ("astar-like", vec![WorkloadKind::IndirectStream]),

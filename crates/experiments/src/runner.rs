@@ -174,7 +174,13 @@ mod tests {
     #[test]
     fn group_mean_averages() {
         let group = [WorkloadKind::ComputeBound, WorkloadKind::StencilStream];
-        let mean = group_mean(&group, |k| if k == WorkloadKind::ComputeBound { 1.0 } else { 3.0 });
+        let mean = group_mean(&group, |k| {
+            if k == WorkloadKind::ComputeBound {
+                1.0
+            } else {
+                3.0
+            }
+        });
         assert!((mean - 2.0).abs() < 1e-12);
     }
 

@@ -20,8 +20,14 @@ pub fn run() -> String {
     };
     t.add_row(vec![
         "Width F/D/R | I | C".into(),
-        format!("{} | {} | {}", base.front_width, base.issue_width, base.commit_width),
-        format!("{} | {} | {}", ltp.front_width, ltp.issue_width, ltp.commit_width),
+        format!(
+            "{} | {} | {}",
+            base.front_width, base.issue_width, base.commit_width
+        ),
+        format!(
+            "{} | {} | {}",
+            ltp.front_width, ltp.issue_width, ltp.commit_width
+        ),
     ]);
     t.add_row(vec!["ROB".into(), fmt(base.rob_size), fmt(ltp.rob_size)]);
     t.add_row(vec!["IQ".into(), fmt(base.iq_size), fmt(ltp.iq_size)]);
@@ -44,25 +50,59 @@ pub fn run() -> String {
     ]);
     t.add_row(vec![
         "L1D".into(),
-        format!("{} kB, {}c", base.mem.l1d.size_bytes / 1024, base.mem.l1d.latency),
-        format!("{} kB, {}c", ltp.mem.l1d.size_bytes / 1024, ltp.mem.l1d.latency),
+        format!(
+            "{} kB, {}c",
+            base.mem.l1d.size_bytes / 1024,
+            base.mem.l1d.latency
+        ),
+        format!(
+            "{} kB, {}c",
+            ltp.mem.l1d.size_bytes / 1024,
+            ltp.mem.l1d.latency
+        ),
     ]);
     t.add_row(vec![
         "L2 (+ stride prefetcher deg 4)".into(),
-        format!("{} kB, {}c", base.mem.l2.size_bytes / 1024, base.mem.l2.latency),
-        format!("{} kB, {}c", ltp.mem.l2.size_bytes / 1024, ltp.mem.l2.latency),
+        format!(
+            "{} kB, {}c",
+            base.mem.l2.size_bytes / 1024,
+            base.mem.l2.latency
+        ),
+        format!(
+            "{} kB, {}c",
+            ltp.mem.l2.size_bytes / 1024,
+            ltp.mem.l2.latency
+        ),
     ]);
     t.add_row(vec![
         "L3".into(),
-        format!("{} MB, {}c", base.mem.l3.size_bytes / (1024 * 1024), base.mem.l3.latency),
-        format!("{} MB, {}c", ltp.mem.l3.size_bytes / (1024 * 1024), ltp.mem.l3.latency),
+        format!(
+            "{} MB, {}c",
+            base.mem.l3.size_bytes / (1024 * 1024),
+            base.mem.l3.latency
+        ),
+        format!(
+            "{} MB, {}c",
+            ltp.mem.l3.size_bytes / (1024 * 1024),
+            ltp.mem.l3.latency
+        ),
     ]);
     t.add_row(vec![
         "DRAM (row hit / miss, cycles)".into(),
-        format!("{} / {}", base.mem.dram.row_hit_latency, base.mem.dram.row_miss_latency),
-        format!("{} / {}", ltp.mem.dram.row_hit_latency, ltp.mem.dram.row_miss_latency),
+        format!(
+            "{} / {}",
+            base.mem.dram.row_hit_latency, base.mem.dram.row_miss_latency
+        ),
+        format!(
+            "{} / {}",
+            ltp.mem.dram.row_hit_latency, ltp.mem.dram.row_miss_latency
+        ),
     ]);
-    t.add_row(vec!["MSHRs".into(), fmt(base.mem.mshrs), fmt(ltp.mem.mshrs)]);
+    t.add_row(vec![
+        "MSHRs".into(),
+        fmt(base.mem.mshrs),
+        fmt(ltp.mem.mshrs),
+    ]);
 
     let mut out = String::new();
     out.push_str("Table 1: processor configuration (baseline and proposed LTP design)\n");

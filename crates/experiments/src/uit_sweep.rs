@@ -54,7 +54,11 @@ pub fn run(opts: &RunOptions) -> String {
         for size in UIT_SIZES {
             let cpi = group_mean(group, |k| by_point[&(Some(size), k)].cpi());
             table.add_row(vec![
-                if size == usize::MAX { "inf".into() } else { size.to_string() },
+                if size == usize::MAX {
+                    "inf".into()
+                } else {
+                    size.to_string()
+                },
                 format!("{:+.1}", (base / cpi - 1.0) * 100.0),
             ]);
         }

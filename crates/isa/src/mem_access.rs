@@ -19,7 +19,10 @@ impl MemAccess {
     /// Panics if `size` is zero or larger than 64 bytes (one cache line).
     #[must_use]
     pub fn new(addr: u64, size: u8) -> MemAccess {
-        assert!(size > 0 && size <= 64, "access size {size} must be in 1..=64");
+        assert!(
+            size > 0 && size <= 64,
+            "access size {size} must be in 1..=64"
+        );
         MemAccess { addr, size }
     }
 

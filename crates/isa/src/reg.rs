@@ -83,7 +83,10 @@ impl ArchReg {
     /// Panics if `index >= NUM_ARCH_REGS`.
     #[must_use]
     pub fn from_index(index: usize) -> ArchReg {
-        assert!(index < NUM_ARCH_REGS, "arch register index {index} out of range");
+        assert!(
+            index < NUM_ARCH_REGS,
+            "arch register index {index} out of range"
+        );
         ArchReg(index as u8)
     }
 

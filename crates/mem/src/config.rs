@@ -26,11 +26,20 @@ impl CacheConfig {
     /// capacity, line size and associativity are inconsistent.
     #[must_use]
     pub fn num_sets(&self) -> usize {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(self.size_bytes % (self.line_bytes * self.ways as u64) == 0,
-            "cache size must be divisible by line size * ways");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            self.size_bytes
+                .is_multiple_of(self.line_bytes * self.ways as u64),
+            "cache size must be divisible by line size * ways"
+        );
         let sets = self.size_bytes / (self.line_bytes * self.ways as u64);
-        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "number of sets must be a power of two"
+        );
         sets as usize
     }
 
@@ -245,7 +254,12 @@ mod tests {
     fn prefetcher_presets() {
         assert_eq!(PrefetcherConfig::stride_degree4().degree, 4);
         assert!(!PrefetcherConfig::disabled().enabled);
-        assert!(!MemoryConfig::micro2015_baseline().without_prefetcher().prefetcher.enabled);
+        assert!(
+            !MemoryConfig::micro2015_baseline()
+                .without_prefetcher()
+                .prefetcher
+                .enabled
+        );
     }
 
     #[test]

@@ -162,7 +162,7 @@ mod tests {
         let mut d = dram();
         let a = d.access(0, 0); // bank 0
         let b = d.access(1024, 0); // bank 1 (row 1)
-        // Both start immediately: MLP across banks.
+                                   // Both start immediately: MLP across banks.
         assert_eq!(a, 150);
         assert_eq!(b, 150);
         assert_eq!(d.stats().queue_cycles, 0);
@@ -172,7 +172,7 @@ mod tests {
     fn ddr3_defaults_are_sane() {
         let mut d = DramModel::new(DramConfig::ddr3_1600());
         let t = d.access(0x12345, 0);
-        assert!(t >= 100 && t <= 300, "unexpected DRAM latency {t}");
+        assert!((100..=300).contains(&t), "unexpected DRAM latency {t}");
     }
 
     #[test]

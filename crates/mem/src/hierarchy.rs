@@ -407,7 +407,11 @@ mod tests {
         let r = m.access(0, &load(0x10_0000));
         assert_eq!(r.level, HitLevel::Dram);
         assert!(r.is_llc_miss());
-        assert!(r.latency() > 100, "DRAM latency should exceed 100 cycles, got {}", r.latency());
+        assert!(
+            r.latency() > 100,
+            "DRAM latency should exceed 100 cycles, got {}",
+            r.latency()
+        );
         assert!(r.tag_known_cycle < r.completion_cycle);
     }
 
@@ -470,7 +474,10 @@ mod tests {
             let mut now = 0;
             let mut total = 0;
             for i in 0..256u64 {
-                let r = m.access(now, &MemoryRequest::new(Pc(0x80), 0x200_0000 + i * 64, AccessKind::Load));
+                let r = m.access(
+                    now,
+                    &MemoryRequest::new(Pc(0x80), 0x200_0000 + i * 64, AccessKind::Load),
+                );
                 total += r.latency();
                 now = r.completion_cycle + 1;
             }

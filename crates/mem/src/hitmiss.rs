@@ -100,8 +100,7 @@ impl HitMissPredictor {
         } else {
             *counter = counter.saturating_sub(1);
         }
-        self.history[hidx] =
-            ((history << 1) | u8::from(missed)) & ((1 << HISTORY_BITS) - 1);
+        self.history[hidx] = ((history << 1) | u8::from(missed)) & ((1 << HISTORY_BITS) - 1);
     }
 
     /// Fraction of predictions that matched the eventual outcome (only
@@ -187,7 +186,10 @@ mod tests {
             }
             p.update(pc, miss);
         }
-        assert!(correct > 80, "alternating pattern should be predictable, got {correct}/100");
+        assert!(
+            correct > 80,
+            "alternating pattern should be predictable, got {correct}/100"
+        );
     }
 
     #[test]

@@ -185,7 +185,12 @@ mod tests {
         assert_eq!(out, MshrOutcome::Allocated { issue_cycle: 10 });
         m.record_completion(0x1000, 200);
         let merged = m.lookup_or_allocate(0x1000, 20);
-        assert_eq!(merged, MshrOutcome::Merged { completion_cycle: 200 });
+        assert_eq!(
+            merged,
+            MshrOutcome::Merged {
+                completion_cycle: 200
+            }
+        );
         assert_eq!(m.allocations(), 1);
         assert_eq!(m.merges(), 1);
     }

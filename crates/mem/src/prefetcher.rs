@@ -49,8 +49,10 @@ impl StridePrefetcher {
     /// indexing) or zero.
     #[must_use]
     pub fn new(cfg: PrefetcherConfig) -> StridePrefetcher {
-        assert!(cfg.table_entries.is_power_of_two() && cfg.table_entries > 0,
-            "prefetcher table size must be a non-zero power of two");
+        assert!(
+            cfg.table_entries.is_power_of_two() && cfg.table_entries > 0,
+            "prefetcher table size must be a non-zero power of two"
+        );
         StridePrefetcher {
             cfg,
             table: vec![StrideEntry::invalid(); cfg.table_entries],

@@ -121,7 +121,10 @@ mod tests {
                 late_mispredicts += 1;
             }
         }
-        assert_eq!(late_mispredicts, 0, "an always-taken branch must be learned");
+        assert_eq!(
+            late_mispredicts, 0,
+            "an always-taken branch must be learned"
+        );
     }
 
     #[test]
@@ -137,7 +140,10 @@ mod tests {
                 mispredicts += 1;
             }
         }
-        assert!(mispredicts < 20, "alternating pattern should be mostly learned, got {mispredicts}");
+        assert!(
+            mispredicts < 20,
+            "alternating pattern should be mostly learned, got {mispredicts}"
+        );
     }
 
     #[test]
@@ -148,13 +154,18 @@ mod tests {
         let mut x = 0x12345678u64;
         let mut mispredicts = 0;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 40) & 1 == 1;
             if bp.predict_and_update(pc, taken) {
                 mispredicts += 1;
             }
         }
-        assert!(mispredicts > 500, "random outcomes cannot be well predicted");
+        assert!(
+            mispredicts > 500,
+            "random outcomes cannot be well predicted"
+        );
         assert!(bp.misprediction_rate() > 0.25);
     }
 

@@ -219,8 +219,14 @@ impl PipelineConfig {
         assert!(self.commit_width > 0, "commit width must be positive");
         assert!(self.rob_size > 0, "ROB must have entries");
         assert!(self.iq_size > 0, "IQ must have entries");
-        assert!(self.lq_size > 0 && self.sq_size > 0, "LQ/SQ must have entries");
-        assert!(self.int_regs > 0 && self.fp_regs > 0, "register file must have entries");
+        assert!(
+            self.lq_size > 0 && self.sq_size > 0,
+            "LQ/SQ must have entries"
+        );
+        assert!(
+            self.int_regs > 0 && self.fp_regs > 0,
+            "register file must have entries"
+        );
         self.ltp.validate();
     }
 
@@ -228,8 +234,7 @@ impl PipelineConfig {
     /// quantity the energy model sizes the RF with.
     #[must_use]
     pub fn total_int_phys_regs(&self) -> usize {
-        self.int_regs
-            .saturating_add(ltp_isa::NUM_ARCH_INT_REGS)
+        self.int_regs.saturating_add(ltp_isa::NUM_ARCH_INT_REGS)
     }
 }
 

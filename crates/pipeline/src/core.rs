@@ -161,11 +161,7 @@ impl Processor {
     /// simulation outcome.
     pub fn run<S: InstStream>(&mut self, stream: S, max_insts: u64) -> RunResult {
         let workload = stream.name().to_string();
-        let mut fe = FrontEnd::new(
-            stream,
-            self.cfg.frontend_delay,
-            self.cfg.mispredict_penalty,
-        );
+        let mut fe = FrontEnd::new(stream, self.cfg.frontend_delay, self.cfg.mispredict_penalty);
         let warmup = self.cfg.warmup_insts;
         let mut warmup_done_at: Option<(Cycle, u64)> = None;
 
@@ -319,7 +315,9 @@ impl Processor {
 
     fn commit_stage(&mut self) {
         for _ in 0..self.cfg.commit_width {
-            let Some(entry) = self.rob.try_commit() else { break };
+            let Some(entry) = self.rob.try_commit() else {
+                break;
+            };
             self.committed += 1;
             self.last_commit_cycle = self.now;
 
@@ -459,11 +457,7 @@ impl Processor {
                 .inflight
                 .get(&seq.0)
                 .expect("released instruction must be in flight");
-            (
-                infl.src_phys.clone(),
-                infl.src_seqs.clone(),
-                infl.inst.op(),
-            )
+            (infl.src_phys.clone(), infl.src_seqs.clone(), infl.inst.op())
         };
 
         // Allocate the destination register through the "second RAT".
@@ -532,17 +526,20 @@ impl Processor {
         let mut released_any = false;
 
         // In-order (ROB proximity) releases, §3.2 / §5.2.
-        loop {
-            let Some(seq) = self.ltp.oldest_parked() else { break };
+        while let Some(seq) = self.ltp.oldest_parked() {
             if !seq.is_older_than(boundary) {
                 break;
             }
-            let Some(entry) = self.rob.get(seq) else { break };
+            let Some(entry) = self.rob.get(seq) else {
+                break;
+            };
             if !self.can_place_released(entry) {
                 break;
             }
             let released = self.ltp.release_in_order(boundary, 1, self.now);
-            let Some(parked) = released.into_iter().next() else { break };
+            let Some(parked) = released.into_iter().next() else {
+                break;
+            };
             self.place_released(parked, false);
             released_any = true;
         }
@@ -556,13 +553,14 @@ impl Processor {
                 if !self.iq.has_space()
                     || self.int_free.available() <= 1
                     || self.fp_free.available() <= 1
-                    || (self.cfg.delay_lsq_alloc
-                        && (!self.lq.has_space() || !self.sq.has_space()))
+                    || (self.cfg.delay_lsq_alloc && (!self.lq.has_space() || !self.sq.has_space()))
                 {
                     break;
                 }
                 let released = self.ltp.release_ready_out_of_order(1, self.now);
-                let Some(parked) = released.into_iter().next() else { break };
+                let Some(parked) = released.into_iter().next() else {
+                    break;
+                };
                 self.place_released(parked, false);
                 released_any = true;
             }
@@ -717,7 +715,9 @@ impl Processor {
             if !self.rob.has_space() {
                 break;
             }
-            let Some(peek) = fe.peek_ready(self.now) else { break };
+            let Some(peek) = fe.peek_ready(self.now) else {
+                break;
+            };
             let op = peek.op();
 
             // Resources every instruction needs regardless of parking: a ROB
@@ -735,8 +735,7 @@ impl Processor {
             let inst = fe.pop_ready(self.now).expect("peeked instruction exists");
             let (src_phys, src_seqs) = self.resolve_sources(&inst);
 
-            let mem_dep_parked =
-                op.is_load() && self.memdep.predicts_parked_dependence(inst.pc());
+            let mem_dep_parked = op.is_load() && self.memdep.predicts_parked_dependence(inst.pc());
             let rinst = RenamedInst::from_dyn(&inst).with_mem_dep_parked(mem_dep_parked);
             let decision = self.ltp.at_rename(&rinst, self.now);
 
@@ -1011,8 +1010,12 @@ mod tests {
             ));
             seq += 1;
             out.push(
-                DynInst::new(seq, StaticInst::new(Pc(0x300c), OpClass::Branch))
-                    .with_branch(BranchInfo { taken: true, target: Pc(0x3000) }),
+                DynInst::new(seq, StaticInst::new(Pc(0x300c), OpClass::Branch)).with_branch(
+                    BranchInfo {
+                        taken: true,
+                        target: Pc(0x3000),
+                    },
+                ),
             );
             seq += 1;
         }
@@ -1033,21 +1036,33 @@ mod tests {
         let r = p.run(VecStream::new("chain", alu_chain(2000)), 10_000);
         // A fully dependent chain of 1-cycle ALUs cannot beat 1 IPC.
         assert!(r.cpi() >= 0.99, "cpi {}", r.cpi());
-        assert!(r.cpi() < 3.0, "a simple chain should not be much slower, cpi {}", r.cpi());
+        assert!(
+            r.cpi() < 3.0,
+            "a simple chain should not be much slower, cpi {}",
+            r.cpi()
+        );
     }
 
     #[test]
     fn independent_alus_exploit_width() {
         let mut p = Processor::new(PipelineConfig::micro2015_baseline());
         let r = p.run(VecStream::new("parallel", alu_parallel(4000)), 10_000);
-        assert!(r.ipc() > 2.0, "independent ALU ops should reach multi-issue IPC, got {}", r.ipc());
+        assert!(
+            r.ipc() > 2.0,
+            "independent ALU ops should reach multi-issue IPC, got {}",
+            r.ipc()
+        );
     }
 
     #[test]
     fn loads_that_miss_are_long_latency() {
         let mut p = Processor::new(PipelineConfig::micro2015_baseline());
         let r = p.run(VecStream::new("missy", missy_loads(200)), 10_000);
-        assert!(r.llc_miss_loads > 50, "most far loads should miss, got {}", r.llc_miss_loads);
+        assert!(
+            r.llc_miss_loads > 50,
+            "most far loads should miss, got {}",
+            r.llc_miss_loads
+        );
         assert!(r.mem.avg_latency() > 12.0);
         assert!(r.cpi() > 1.0);
     }
@@ -1057,7 +1072,10 @@ mod tests {
         let mut p = Processor::new(PipelineConfig::ltp_proposed());
         let r = p.run(VecStream::new("missy", missy_loads(300)), 10_000);
         assert_eq!(r.instructions, 300 * 4);
-        assert!(r.ltp.total_parked() > 0, "the LTP must park something on a missy workload");
+        assert!(
+            r.ltp.total_parked() > 0,
+            "the LTP must park something on a missy workload"
+        );
         assert!(r.ltp_enabled_fraction > 0.0);
     }
 

@@ -115,7 +115,10 @@ impl FreeList {
     /// Panics if more registers are freed than were allocated (a resource
     /// accounting bug in the pipeline).
     pub fn free(&mut self, reg: PhysReg) {
-        assert!(self.allocated > 0, "freeing a register that was never allocated");
+        assert!(
+            self.allocated > 0,
+            "freeing a register that was never allocated"
+        );
         self.allocated -= 1;
         self.free.push(reg);
     }

@@ -136,8 +136,10 @@ mod tests {
     }
 
     fn taken_branch(seq: u64, pc: u64) -> DynInst {
-        DynInst::new(seq, StaticInst::new(Pc(pc), OpClass::Branch))
-            .with_branch(BranchInfo { taken: true, target: Pc(0x1000) })
+        DynInst::new(seq, StaticInst::new(Pc(pc), OpClass::Branch)).with_branch(BranchInfo {
+            taken: true,
+            target: Pc(0x1000),
+        })
     }
 
     #[test]
@@ -168,10 +170,7 @@ mod tests {
     #[test]
     fn taken_branch_ends_fetch_group() {
         // Branch at seq 1 is taken; seq 2 must not be fetched in the same cycle.
-        let stream = VecStream::new(
-            "t",
-            vec![alu(0), taken_branch(1, 0x2000), alu(2), alu(3)],
-        );
+        let stream = VecStream::new("t", vec![alu(0), taken_branch(1, 0x2000), alu(2), alu(3)]);
         let mut fe = FrontEnd::new(stream, 1, 10);
         fe.fetch(0, 8);
         assert_eq!(fe.fetched(), 2);
@@ -187,8 +186,12 @@ mod tests {
         let stream = VecStream::new(
             "t",
             vec![
-                DynInst::new(0, StaticInst::new(Pc(0x500), OpClass::Branch))
-                    .with_branch(BranchInfo { taken: false, target: Pc(0x1000) }),
+                DynInst::new(0, StaticInst::new(Pc(0x500), OpClass::Branch)).with_branch(
+                    BranchInfo {
+                        taken: false,
+                        target: Pc(0x1000),
+                    },
+                ),
                 alu(1),
             ],
         );

@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn zero_register_is_always_ready() {
         let mut rat = Rat::new();
-        assert_eq!(rat.set_phys(ArchReg::ZERO, PhysReg::new(3)), RegSource::Ready);
+        assert_eq!(
+            rat.set_phys(ArchReg::ZERO, PhysReg::new(3)),
+            RegSource::Ready
+        );
         assert_eq!(rat.source(ArchReg::ZERO), RegSource::Ready);
         assert!(!rat.resolve_parked(ArchReg::ZERO, SeqNum(1), PhysReg::new(3)));
     }
@@ -113,7 +116,10 @@ mod tests {
         assert_eq!(prev, RegSource::Ready);
         let prev = rat.set_phys(ArchReg::int(1), PhysReg::new(11));
         assert_eq!(prev, RegSource::Phys(PhysReg::new(10)));
-        assert_eq!(rat.source(ArchReg::int(1)), RegSource::Phys(PhysReg::new(11)));
+        assert_eq!(
+            rat.source(ArchReg::int(1)),
+            RegSource::Phys(PhysReg::new(11))
+        );
     }
 
     #[test]
@@ -122,7 +128,10 @@ mod tests {
         rat.set_parked(ArchReg::int(2), SeqNum(7));
         assert_eq!(rat.source(ArchReg::int(2)), RegSource::Parked(SeqNum(7)));
         assert!(rat.resolve_parked(ArchReg::int(2), SeqNum(7), PhysReg::new(4)));
-        assert_eq!(rat.source(ArchReg::int(2)), RegSource::Phys(PhysReg::new(4)));
+        assert_eq!(
+            rat.source(ArchReg::int(2)),
+            RegSource::Phys(PhysReg::new(4))
+        );
     }
 
     #[test]
@@ -133,7 +142,10 @@ mod tests {
         // one is released.
         rat.set_phys(ArchReg::int(2), PhysReg::new(9));
         assert!(!rat.resolve_parked(ArchReg::int(2), SeqNum(7), PhysReg::new(4)));
-        assert_eq!(rat.source(ArchReg::int(2)), RegSource::Phys(PhysReg::new(9)));
+        assert_eq!(
+            rat.source(ArchReg::int(2)),
+            RegSource::Phys(PhysReg::new(9))
+        );
     }
 
     #[test]

@@ -133,9 +133,11 @@ mod tests {
         occupancy
             .outstanding_misses
             .sample(cycles.max(1), outstanding.round() as u64);
-        let mut mem = MemoryStats::default();
-        mem.accesses = 100;
-        mem.total_latency = (avg_latency * 100.0) as u64;
+        let mem = MemoryStats {
+            accesses: 100,
+            total_latency: (avg_latency * 100.0) as u64,
+            ..Default::default()
+        };
         RunResult {
             workload: "test".into(),
             cycles,

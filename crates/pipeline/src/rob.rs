@@ -143,7 +143,12 @@ impl Rob {
 
     /// Pops the head if it has completed. Returns the committed entry.
     pub fn try_commit(&mut self) -> Option<RobEntry> {
-        if self.entries.front().map(RobEntry::is_completed).unwrap_or(false) {
+        if self
+            .entries
+            .front()
+            .map(RobEntry::is_completed)
+            .unwrap_or(false)
+        {
             self.entries.pop_front()
         } else {
             None
@@ -216,7 +221,11 @@ mod tests {
             seq: SeqNum(seq),
             pc: Pc(0x100 + seq * 4),
             op: OpClass::IntAlu,
-            state: if completed { RobState::Completed } else { RobState::InQueue },
+            state: if completed {
+                RobState::Completed
+            } else {
+                RobState::InQueue
+            },
             dst: Some(ArchReg::int(1)),
             dest_phys: None,
             prev_mapping: RegSource::Ready,

@@ -97,12 +97,10 @@ impl Emitter {
     /// Emits a conditional branch reading `cond_reg` with the given outcome.
     pub fn branch(&mut self, cond_reg: ArchReg, taken: bool, target: u64) {
         let s = StaticInst::new(self.next_pc(), OpClass::Branch).with_src(cond_reg);
-        self.push(
-            DynInst::new(self.next_seq, s).with_branch(BranchInfo {
-                taken,
-                target: Pc(target),
-            }),
-        );
+        self.push(DynInst::new(self.next_seq, s).with_branch(BranchInfo {
+            taken,
+            target: Pc(target),
+        }));
     }
 
     /// Number of instructions emitted so far in this iteration.

@@ -157,7 +157,8 @@ impl KernelStream for GatherFp {
         e.begin_block(0x3000);
         // Index loads stream through a resident index array.
         for k in 0..self.gathers_per_iter {
-            let idx_addr = 0x40_0000 + ((i * self.gathers_per_iter as u64 + k as u64) * 8) % (256 * 1024);
+            let idx_addr =
+                0x40_0000 + ((i * self.gathers_per_iter as u64 + k as u64) * 8) % (256 * 1024);
             let gather_addr = FAR_BASE + self.rng.gen_range(0..FAR_SPAN / 64) * 64;
             let addr_reg = ArchReg::int(1 + k);
             let idx_reg = ArchReg::int(9 + k);
@@ -166,7 +167,11 @@ impl KernelStream for GatherFp {
             e.load(idx_reg, ArchReg::int(20), idx_addr); //       index (hit)
             e.alu(addr_reg, &[idx_reg, ArchReg::int(21)]); //     gather address (urgent)
             e.load(data_reg, addr_reg, gather_addr); //           gather (miss)
-            e.fp(OpClass::FpMul, ArchReg::fp(20), &[data_reg, ArchReg::fp(21)]);
+            e.fp(
+                OpClass::FpMul,
+                ArchReg::fp(20),
+                &[data_reg, ArchReg::fp(21)],
+            );
             e.fp(OpClass::FpAlu, acc_reg, &[acc_reg, ArchReg::fp(20)]);
         }
         // Streaming result store and loop bookkeeping.
@@ -208,8 +213,16 @@ impl KernelStream for ComputeBound {
         e.alu(ArchReg::int(3), &[ArchReg::int(2), ArchReg::int(3)]);
         e.alu(ArchReg::int(4), &[ArchReg::int(3)]);
         e.alu(ArchReg::int(5), &[ArchReg::int(4), ArchReg::int(5)]);
-        e.fp(OpClass::FpMul, ArchReg::fp(1), &[ArchReg::fp(1), ArchReg::fp(2)]);
-        e.fp(OpClass::FpAlu, ArchReg::fp(3), &[ArchReg::fp(1), ArchReg::fp(3)]);
+        e.fp(
+            OpClass::FpMul,
+            ArchReg::fp(1),
+            &[ArchReg::fp(1), ArchReg::fp(2)],
+        );
+        e.fp(
+            OpClass::FpAlu,
+            ArchReg::fp(3),
+            &[ArchReg::fp(1), ArchReg::fp(3)],
+        );
         e.alu(ArchReg::int(6), &[ArchReg::int(5)]);
         e.store(ArchReg::int(6), ArchReg::int(1), addr);
         e.alu(ArchReg::int(1), &[ArchReg::int(1)]);
@@ -249,8 +262,16 @@ impl KernelStream for StencilStream {
         e.alu(ArchReg::int(2), &[ArchReg::int(1)]); // address computation
         e.load(ArchReg::fp(1), ArchReg::int(2), a);
         e.load(ArchReg::fp(2), ArchReg::int(2), a + 8);
-        e.fp(OpClass::FpAlu, ArchReg::fp(3), &[ArchReg::fp(1), ArchReg::fp(2)]);
-        e.fp(OpClass::FpMul, ArchReg::fp(4), &[ArchReg::fp(3), ArchReg::fp(5)]);
+        e.fp(
+            OpClass::FpAlu,
+            ArchReg::fp(3),
+            &[ArchReg::fp(1), ArchReg::fp(2)],
+        );
+        e.fp(
+            OpClass::FpMul,
+            ArchReg::fp(4),
+            &[ArchReg::fp(3), ArchReg::fp(5)],
+        );
         e.store(ArchReg::fp(4), ArchReg::int(2), b);
         e.alu(ArchReg::int(1), &[ArchReg::int(1)]);
         e.branch(ArchReg::int(1), true, 0x5000);

@@ -108,9 +108,7 @@ impl WorkloadKind {
             WorkloadKind::PointerChase => Box::new(KernelWorkload::new(PointerChase::new(seed))),
             WorkloadKind::HashProbe => Box::new(KernelWorkload::new(HashProbe::new(seed))),
             WorkloadKind::ComputeBound => Box::new(KernelWorkload::new(ComputeBound::new(seed))),
-            WorkloadKind::StencilStream => {
-                Box::new(KernelWorkload::new(StencilStream::new(seed)))
-            }
+            WorkloadKind::StencilStream => Box::new(KernelWorkload::new(StencilStream::new(seed))),
             WorkloadKind::MixedPhases => Box::new(KernelWorkload::new(MixedPhases::new(seed))),
         }
     }

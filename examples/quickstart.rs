@@ -22,7 +22,10 @@ fn simulate(label: &str, cfg: PipelineConfig, kind: WorkloadKind, insts: u64) ->
     println!("  instructions      : {}", result.instructions);
     println!("  cycles            : {}", result.cycles);
     println!("  CPI               : {:.3}", result.cpi());
-    println!("  outstanding misses: {:.2}", result.avg_outstanding_misses());
+    println!(
+        "  outstanding misses: {:.2}",
+        result.avg_outstanding_misses()
+    );
     println!("  avg IQ occupancy  : {:.1}", result.occupancy.iq.mean());
     println!("  avg regs in use   : {:.1}", result.occupancy.regs.mean());
     println!(

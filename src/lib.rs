@@ -1,0 +1,26 @@
+//! Umbrella crate for the LTP (Long Term Parking, MICRO 2015) reproduction.
+//!
+//! This crate hosts the workspace-level integration tests and examples and
+//! re-exports every sub-crate so downstream users can depend on a single
+//! package:
+//!
+//! - [`isa`] — instruction set, registers, instruction streams
+//! - [`core`] — the LTP unit: UIT, parking queue, tickets, RAT extension
+//! - [`mem`] — cache hierarchy, MSHRs, DRAM, prefetcher
+//! - [`pipeline`] — the out-of-order core model
+//! - [`stats`] — histograms, occupancy tracking, tables
+//! - [`workloads`] — synthetic kernels standing in for SPEC CPU2006
+//! - [`energy`] — the energy model behind the paper's ED comparisons
+//! - [`experiments`] — figure/table harnesses reproducing paper results
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ltp_core as core;
+pub use ltp_energy as energy;
+pub use ltp_experiments as experiments;
+pub use ltp_isa as isa;
+pub use ltp_mem as mem;
+pub use ltp_pipeline as pipeline;
+pub use ltp_stats as stats;
+pub use ltp_workloads as workloads;

@@ -29,7 +29,11 @@ fn every_workload_completes_on_every_headline_config() {
                 opts().detail_insts,
                 "{kind} must commit every instruction on {cfg:?}"
             );
-            assert!(r.cpi() > 0.1 && r.cpi() < 500.0, "{kind} produced an absurd CPI {}", r.cpi());
+            assert!(
+                r.cpi() > 0.1 && r.cpi() < 500.0,
+                "{kind} produced an absurd CPI {}",
+                r.cpi()
+            );
         }
     }
 }
@@ -38,9 +42,21 @@ fn every_workload_completes_on_every_headline_config() {
 fn larger_windows_never_hurt_mlp_sensitive_kernels() {
     let o = opts();
     for kind in [WorkloadKind::IndirectStream, WorkloadKind::GatherFp] {
-        let small = run_point(kind, PipelineConfig::limit_study_unlimited().with_iq(16), &o);
-        let medium = run_point(kind, PipelineConfig::limit_study_unlimited().with_iq(64), &o);
-        let large = run_point(kind, PipelineConfig::limit_study_unlimited().with_iq(256), &o);
+        let small = run_point(
+            kind,
+            PipelineConfig::limit_study_unlimited().with_iq(16),
+            &o,
+        );
+        let medium = run_point(
+            kind,
+            PipelineConfig::limit_study_unlimited().with_iq(64),
+            &o,
+        );
+        let large = run_point(
+            kind,
+            PipelineConfig::limit_study_unlimited().with_iq(256),
+            &o,
+        );
         assert!(
             medium.cpi() <= small.cpi() * 1.02,
             "{kind}: IQ 64 should not be slower than IQ 16 ({} vs {})",
@@ -112,7 +128,11 @@ fn ltp_parks_mostly_non_urgent_instructions_on_memory_bound_code() {
 #[test]
 fn monitor_keeps_ltp_off_on_compute_bound_code() {
     let o = opts();
-    let r = run_point(WorkloadKind::ComputeBound, PipelineConfig::ltp_proposed(), &o);
+    let r = run_point(
+        WorkloadKind::ComputeBound,
+        PipelineConfig::ltp_proposed(),
+        &o,
+    );
     assert!(
         r.ltp_enabled_fraction < 0.15,
         "the DRAM-timer monitor should power-gate LTP on compute-bound code, got {}",
@@ -123,7 +143,11 @@ fn monitor_keeps_ltp_off_on_compute_bound_code() {
         "almost nothing should be parked when LTP is off"
     );
 
-    let memory = run_point(WorkloadKind::IndirectStream, PipelineConfig::ltp_proposed(), &o);
+    let memory = run_point(
+        WorkloadKind::IndirectStream,
+        PipelineConfig::ltp_proposed(),
+        &o,
+    );
     assert!(
         memory.ltp_enabled_fraction > 0.5,
         "LTP should be on most of the time on memory-bound code, got {}",
@@ -134,8 +158,16 @@ fn monitor_keeps_ltp_off_on_compute_bound_code() {
 #[test]
 fn pointer_chasing_gains_little_from_ltp() {
     let o = opts();
-    let base = run_point(WorkloadKind::PointerChase, PipelineConfig::micro2015_baseline(), &o);
-    let ltp = run_point(WorkloadKind::PointerChase, PipelineConfig::ltp_proposed(), &o);
+    let base = run_point(
+        WorkloadKind::PointerChase,
+        PipelineConfig::micro2015_baseline(),
+        &o,
+    );
+    let ltp = run_point(
+        WorkloadKind::PointerChase,
+        PipelineConfig::ltp_proposed(),
+        &o,
+    );
     let delta = (base.cpi() / ltp.cpi() - 1.0) * 100.0;
     assert!(
         delta.abs() < 12.0,
@@ -148,7 +180,11 @@ fn disabled_ltp_equals_baseline_configuration() {
     // An LTP with zero effect (mode Off) must behave identically to the
     // baseline machine: same cycle count on the same trace.
     let o = opts();
-    let a = run_point(WorkloadKind::HashProbe, PipelineConfig::micro2015_baseline(), &o);
+    let a = run_point(
+        WorkloadKind::HashProbe,
+        PipelineConfig::micro2015_baseline(),
+        &o,
+    );
     let b = run_point(
         WorkloadKind::HashProbe,
         PipelineConfig::micro2015_baseline().with_ltp(LtpConfig::disabled()),
@@ -164,7 +200,11 @@ fn realistic_classifier_approaches_oracle() {
     // should come reasonably close to the oracle-classified ideal LTP.
     let o = opts();
     let kind = WorkloadKind::IndirectStream;
-    let oracle = run_point(kind, limit_study_config(LtpMode::NonUrgentOnly).with_iq(32), &o);
+    let oracle = run_point(
+        kind,
+        limit_study_config(LtpMode::NonUrgentOnly).with_iq(32),
+        &o,
+    );
     let realistic = run_point(
         kind,
         PipelineConfig::limit_study_unlimited()

@@ -1,0 +1,32 @@
+//! Smoke test executing the `quickstart` example end-to-end.
+//!
+//! The examples are the first thing a new user runs; this test keeps them
+//! from silently rotting. It shells out through the same `cargo` that is
+//! running the test suite (examples are already compiled by `cargo test`,
+//! so this only pays the run, not a rebuild).
+
+use std::process::Command;
+
+#[test]
+fn quickstart_example_runs_and_reports_a_summary() {
+    let cargo = env!("CARGO");
+    let output = Command::new(cargo)
+        .args(["run", "--offline", "--example", "quickstart"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("failed to spawn cargo run --example quickstart");
+
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status.code(),
+    );
+    // The example ends with a relative-performance summary; its presence
+    // means the full pipeline + LTP loop ran to completion.
+    assert!(
+        stdout.contains("summary"),
+        "expected a summary section in quickstart output, got:\n{stdout}"
+    );
+}

@@ -38,8 +38,7 @@ fn check_resource_bounds(r: &RunResult, cfg: &PipelineConfig) {
         // initial mappings are recycled (footnote 4 of the paper), so the
         // upper bound is available + architectural registers.
         assert!(
-            r.occupancy.regs.peak() as usize
-                <= cfg.int_regs + cfg.fp_regs + ltp_isa::NUM_ARCH_REGS,
+            r.occupancy.regs.peak() as usize <= cfg.int_regs + cfg.fp_regs + ltp_isa::NUM_ARCH_REGS,
             "register peak {} exceeds capacity",
             r.occupancy.regs.peak()
         );
@@ -96,7 +95,11 @@ fn ltp_accounting_is_consistent() {
 #[test]
 fn committed_work_matches_the_trace_mix() {
     let o = opts();
-    let detail = trace(WorkloadKind::GatherFp, o.seed.wrapping_add(1), o.detail_insts as usize);
+    let detail = trace(
+        WorkloadKind::GatherFp,
+        o.seed.wrapping_add(1),
+        o.detail_insts as usize,
+    );
     let expected_loads = detail.iter().filter(|i| i.op().is_load()).count() as u64;
     let expected_stores = detail.iter().filter(|i| i.op().is_store()).count() as u64;
 
@@ -150,8 +153,16 @@ fn oracle_classification_is_mostly_urgent_on_pointer_chasing() {
 
 #[test]
 fn cpi_is_deterministic_for_a_fixed_seed() {
-    let a = run_point(WorkloadKind::HashProbe, PipelineConfig::ltp_proposed(), &opts());
-    let b = run_point(WorkloadKind::HashProbe, PipelineConfig::ltp_proposed(), &opts());
+    let a = run_point(
+        WorkloadKind::HashProbe,
+        PipelineConfig::ltp_proposed(),
+        &opts(),
+    );
+    let b = run_point(
+        WorkloadKind::HashProbe,
+        PipelineConfig::ltp_proposed(),
+        &opts(),
+    );
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.ltp.total_parked(), b.ltp.total_parked());
     assert_eq!(a.llc_miss_loads, b.llc_miss_loads);

@@ -5,7 +5,7 @@
 use ltp_core::{Criticality, LtpQueue, ParkedInst, TicketSet, Uit};
 use ltp_isa::{ArchReg, OpClass, Pc, SeqNum, StaticInst};
 use ltp_mem::{Cache, CacheConfig, MshrFile, MshrOutcome};
-use ltp_pipeline::{FreeList, IqEntry, IssueQueue, Rob, RobEntry, RobState, RegSource};
+use ltp_pipeline::{FreeList, IqEntry, IssueQueue, RegSource, Rob, RobEntry, RobState};
 use ltp_stats::{Histogram, OccupancyTracker};
 use proptest::prelude::*;
 
