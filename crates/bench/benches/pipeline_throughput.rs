@@ -1,0 +1,68 @@
+//! Full-pipeline throughput: simulated instructions per second of host time
+//! on a mixed kernel, the tracking metric for the simulator's hot cycle loop.
+//!
+//! Unlike the figure benches (which regenerate paper results), this target
+//! measures the cost of the simulation machinery itself across the headline
+//! machine configurations and the classifier dimension, so regressions in the
+//! stage modules or the classifier layer show up in `BENCH_*.json`
+//! trajectories.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ltp_core::ClassifierKind;
+use ltp_isa::DynInst;
+use ltp_pipeline::{PipelineConfig, Processor};
+use ltp_workloads::{replay, trace, WorkloadKind};
+
+/// Instruction budget per iteration: large enough to reach steady state in
+/// the mixed kernel's compute and memory phases.
+const INSTS: u64 = 6_000;
+
+/// Pre-generated warm and detail traces, shared by every iteration so the
+/// timed region is dominated by the cycle loop, not workload synthesis.
+fn traces() -> (Vec<DynInst>, Vec<DynInst>) {
+    let warm = trace(WorkloadKind::MixedPhases, 7, 2_000);
+    let detail = trace(WorkloadKind::MixedPhases, 8, INSTS as usize);
+    (warm, detail)
+}
+
+fn sim(cfg: PipelineConfig, warm: &[DynInst], detail: &[DynInst]) -> u64 {
+    let mut cpu = Processor::new(cfg);
+    cpu.warm_caches(warm);
+    cpu.run(replay("mixed_phases", detail.to_vec()), INSTS)
+        .expect("no deadlock")
+        .cycles
+}
+
+fn machine_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_throughput/machine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(INSTS));
+    let (warm, detail) = traces();
+    for (label, cfg) in [
+        ("baseline_iq64", PipelineConfig::micro2015_baseline()),
+        ("small_iq32", PipelineConfig::small_no_ltp()),
+        ("ltp_proposed", PipelineConfig::ltp_proposed()),
+        (
+            "limit_study_iq32",
+            PipelineConfig::limit_study_unlimited().with_iq(32),
+        ),
+    ] {
+        group.bench_function(label, |b| b.iter(|| sim(cfg, &warm, &detail)));
+    }
+    group.finish();
+}
+
+fn classifier_dimension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_throughput/classifier");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(INSTS));
+    let (warm, detail) = traces();
+    for kind in ClassifierKind::SWEEPABLE {
+        let cfg = PipelineConfig::ltp_proposed().with_classifier(kind);
+        group.bench_function(kind.label(), |b| b.iter(|| sim(cfg, &warm, &detail)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, machine_configs, classifier_dimension);
+criterion_main!(benches);

@@ -83,6 +83,7 @@ fn end_to_end(c: &mut Criterion) {
             b.iter(|| {
                 let mut cpu = Processor::new(cfg);
                 cpu.run(replay("indirect_stream", detail.clone()), insts)
+                    .expect("no deadlock")
                     .cycles
             })
         });

@@ -1,5 +1,7 @@
 //! LTP configuration.
 
+use crate::classifier::ClassifierKind;
+
 /// Which instruction classes LTP parks.
 ///
 /// The limit study (Figure 6) compares parking only Non-Ready instructions,
@@ -74,6 +76,8 @@ pub struct LtpConfig {
     /// Whether the DRAM-timer monitor is used to disable LTP during phases
     /// with no long-latency loads (§5.2). When `false`, LTP is always on.
     pub use_monitor: bool,
+    /// Which criticality classifier drives the park decisions.
+    pub classifier: ClassifierKind,
 }
 
 impl LtpConfig {
@@ -87,6 +91,7 @@ impl LtpConfig {
             uit_entries: 1,
             num_tickets: 1,
             use_monitor: false,
+            classifier: ClassifierKind::Uit,
         }
     }
 
@@ -102,6 +107,7 @@ impl LtpConfig {
             uit_entries: 256,
             num_tickets: 32,
             use_monitor: true,
+            classifier: ClassifierKind::Uit,
         }
     }
 
@@ -116,6 +122,7 @@ impl LtpConfig {
             uit_entries: usize::MAX,
             num_tickets: usize::MAX,
             use_monitor: true,
+            classifier: ClassifierKind::Uit,
         }
     }
 
@@ -151,6 +158,13 @@ impl LtpConfig {
     #[must_use]
     pub fn with_monitor(mut self, use_monitor: bool) -> LtpConfig {
         self.use_monitor = use_monitor;
+        self
+    }
+
+    /// Returns a copy with a different criticality classifier.
+    #[must_use]
+    pub fn with_classifier(mut self, classifier: ClassifierKind) -> LtpConfig {
+        self.classifier = classifier;
         self
     }
 

@@ -53,6 +53,7 @@
 #![warn(missing_debug_implementations)]
 
 mod class;
+mod classifier;
 mod config;
 mod monitor;
 mod oracle;
@@ -63,6 +64,10 @@ mod uit;
 mod unit;
 
 pub use class::{Criticality, InstClass};
+pub use classifier::{
+    AlwaysReadyClassifier, Classification, ClassifierKind, CriticalityClassifier,
+    ParkEverythingClassifier, ProducerLookup, RandomClassifier, UitClassifier,
+};
 pub use config::{LtpConfig, LtpMode};
 pub use monitor::DramTimerMonitor;
 pub use oracle::{OracleAnalysis, OracleClassifier};

@@ -2,16 +2,15 @@
 //! stages (Figure 8 of the paper).
 
 use crate::class::{Criticality, InstClass};
+use crate::classifier::CriticalityClassifier;
 use crate::config::LtpConfig;
 use crate::monitor::DramTimerMonitor;
 use crate::oracle::OracleClassifier;
 use crate::queue::{LtpQueue, ParkedInst};
 use crate::rat_ext::RatExtension;
 use crate::tickets::{Ticket, TicketFile, TicketSet};
-use crate::uit::Uit;
 use crate::Cycle;
 use ltp_isa::{ArchReg, DynInst, OpClass, Pc, SeqNum};
-use ltp_mem::HitMissPredictor;
 use std::collections::HashMap;
 
 /// The information about an instruction that the LTP unit needs at rename.
@@ -158,13 +157,16 @@ impl LtpStats {
 #[derive(Debug, Clone)]
 pub struct LtpUnit {
     cfg: LtpConfig,
-    uit: Uit,
+    classifier: Box<dyn CriticalityClassifier>,
     rat_ext: RatExtension,
     queue: LtpQueue,
     tickets: TicketFile,
     monitor: DramTimerMonitor,
-    predictor: HitMissPredictor,
-    oracle: Option<OracleClassifier>,
+    /// Whether the default classifier built from the configuration was
+    /// replaced through [`LtpUnit::set_oracle`] / [`LtpUnit::set_classifier`]
+    /// (the pipeline refuses to run an Oracle-configured machine that never
+    /// had anything attached).
+    classifier_attached: bool,
     /// seq -> ticket owned by that (predicted long-latency) instruction.
     ticket_owner: HashMap<u64, Ticket>,
     stats: LtpStats,
@@ -188,13 +190,12 @@ impl LtpUnit {
             LtpQueue::new(1, 1)
         };
         LtpUnit {
-            uit: Uit::new(cfg.uit_entries.max(1)),
+            classifier: cfg.classifier.build(cfg.uit_entries),
             rat_ext: RatExtension::new(),
             queue,
             tickets: TicketFile::new(cfg.num_tickets.max(1)),
             monitor: DramTimerMonitor::new(monitor_timeout.max(1)),
-            predictor: HitMissPredictor::default_sized(),
-            oracle: None,
+            classifier_attached: false,
             ticket_owner: HashMap::new(),
             stats: LtpStats::default(),
             cfg,
@@ -206,7 +207,24 @@ impl LtpUnit {
     /// identification come from the oracle instead of the UIT and the
     /// hit/miss predictor.
     pub fn set_oracle(&mut self, oracle: OracleClassifier) {
-        self.oracle = Some(oracle);
+        self.classifier = Box::new(oracle);
+        self.classifier_attached = true;
+    }
+
+    /// Replaces the criticality classifier. Classification state learned so
+    /// far (UIT contents, predictor counters) is discarded with the old
+    /// classifier.
+    pub fn set_classifier(&mut self, classifier: Box<dyn CriticalityClassifier>) {
+        self.classifier = classifier;
+        self.classifier_attached = true;
+    }
+
+    /// Whether a classifier was explicitly attached (via
+    /// [`LtpUnit::set_oracle`] or [`LtpUnit::set_classifier`]) rather than
+    /// built from the configuration's default.
+    #[must_use]
+    pub fn classifier_attached(&self) -> bool {
+        self.classifier_attached
     }
 
     /// The configuration of this unit.
@@ -286,7 +304,24 @@ impl LtpUnit {
         let enabled = self.enabled(now);
 
         // --- classification -------------------------------------------------
-        let (urgent, inherited_tickets, is_long_latency_producer) = self.classify(inst);
+        // The classifier decides urgency and long-latency production; the
+        // unit itself tracks readiness by inheriting tickets from the RAT
+        // extension (which only ever holds tickets when Non-Ready parking
+        // allocates them). Producer PCs are resolved lazily so only the
+        // classifiers (and instructions) that need them pay for the lookups.
+        let rat_ext = &self.rat_ext;
+        let assessment = self
+            .classifier
+            .assess(inst, &|src| rat_ext.producer_pc(src));
+        let urgent = assessment.urgent;
+        let is_long_latency_producer = assessment.long_latency;
+        let mut inherited_tickets = TicketSet::new();
+        for &s in &inst.srcs {
+            inherited_tickets.union_with(self.rat_ext.tickets(s));
+        }
+        if assessment.force_ready {
+            inherited_tickets = TicketSet::new();
+        }
         let ready = inherited_tickets.is_empty();
         let class = Criticality { urgent, ready };
         self.stats.classified[LtpStats::class_index(class.class())] += 1;
@@ -363,69 +398,13 @@ impl LtpUnit {
         }
     }
 
-    /// Computes `(urgent, inherited tickets, is long-latency producer)`.
-    fn classify(&mut self, inst: &RenamedInst) -> (bool, TicketSet, bool) {
-        if let Some(oracle) = &self.oracle {
-            let class = oracle.classify(inst.seq);
-            let is_ll = oracle.is_long_latency(inst.seq);
-            // Even with the oracle, readiness is implemented with tickets so
-            // that wakeup timing is faithful: inherit from sources.
-            let mut inherited = TicketSet::new();
-            for &s in &inst.srcs {
-                inherited.union_with(self.rat_ext.tickets(s));
-            }
-            // The oracle may say "ready" even though tickets were inherited
-            // (e.g. the producer completed long ago); trust the oracle for the
-            // class but keep tickets for wakeup.
-            if class.ready {
-                // Producer completed: treat as ready.
-                return (class.urgent, TicketSet::new(), is_ll);
-            }
-            return (class.urgent, inherited, is_ll);
-        }
-
-        // --- runtime classification ------------------------------------------
-        // Urgency: the instruction's own PC is in the UIT (it is a learned
-        // ancestor of a long-latency instruction, or a long-latency load
-        // itself).
-        let urgent = self.uit.contains(inst.pc);
-
-        // Backward propagation (Iterative Backward Dependency Analysis): if
-        // this instruction is Urgent, its producers become Urgent too.
-        if urgent {
-            for &s in &inst.srcs {
-                if let Some(producer) = self.rat_ext.producer_pc(s) {
-                    self.uit.insert(producer);
-                }
-            }
-        }
-
-        // Readiness: inherit tickets from sources.
-        let mut inherited = TicketSet::new();
-        if self.cfg.mode.parks_non_ready() {
-            for &s in &inst.srcs {
-                inherited.union_with(self.rat_ext.tickets(s));
-            }
-        }
-
-        // Long-latency producer: a load predicted to miss the LLC, or
-        // long-latency arithmetic. This is computed in every mode (the
-        // pipeline uses it to mark prospective long-latency instructions in
-        // the ROB for the wakeup boundary); tickets are only allocated from
-        // it when Non-Ready parking is enabled.
-        let is_ll_producer = inst.op.is_long_latency_arith()
-            || (inst.op.is_load() && self.predictor.predict_miss(inst.pc));
-
-        (urgent, inherited, is_ll_producer)
-    }
-
     /// Reports the outcome of an executed load: whether it missed the LLC
-    /// (making it a long-latency load). Updates the hit/miss predictor, the
-    /// UIT (the missing load's PC becomes Urgent) and the on/off monitor.
+    /// (making it a long-latency load). Feeds the classifier (hit/miss
+    /// predictor and UIT learning in the realistic design) and arms the
+    /// on/off monitor.
     pub fn on_load_outcome(&mut self, pc: Pc, was_llc_miss: bool, now: Cycle) {
-        self.predictor.update(pc, was_llc_miss);
+        self.classifier.on_load_outcome(pc, was_llc_miss);
         if was_llc_miss {
-            self.uit.insert(pc);
             self.monitor.note_llc_miss(now);
         }
     }
@@ -434,7 +413,7 @@ impl LtpUnit {
     /// when the caller identifies long-latency work that is not a load, e.g.
     /// a divide whose consumers should be treated as Non-Ready.
     pub fn mark_urgent(&mut self, pc: Pc) {
-        self.uit.insert(pc);
+        self.classifier.note_urgent(pc);
     }
 
     /// Signals that the (predicted) long-latency instruction `seq` is about

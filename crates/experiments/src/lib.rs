@@ -23,10 +23,12 @@ pub mod fig6;
 pub mod fig7;
 pub mod parallel;
 pub mod runner;
+pub mod sim;
 pub mod table1;
 pub mod uit_sweep;
 
-pub use runner::{run_point, MlpGrouping, RunOptions};
+pub use runner::{run_point, try_run_point, MlpGrouping, RunOptions};
+pub use sim::SimBuilder;
 
 /// The experiments that can be run from the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,9 +1,10 @@
 //! Shared machinery for running workloads through simulator configurations.
 
-use ltp_core::{LtpConfig, LtpMode, OracleAnalysis};
-use ltp_pipeline::{PipelineConfig, Processor, RunResult};
+use crate::sim::SimBuilder;
+use ltp_core::{LtpConfig, LtpMode};
+use ltp_pipeline::{PipelineConfig, RunError, RunResult};
 use ltp_stats::MeanAccumulator;
-use ltp_workloads::{replay, trace, WorkloadKind};
+use ltp_workloads::WorkloadKind;
 
 /// How many instructions each simulation point runs in detail by default.
 pub const DEFAULT_DETAIL_INSTS: u64 = 30_000;
@@ -45,23 +46,35 @@ impl RunOptions {
     }
 }
 
+/// Runs one workload on one configuration, propagating a structured
+/// [`RunError`] (e.g. a deadlocked configuration) instead of panicking.
+///
+/// The same dynamic trace is used for cache warming, oracle analysis and the
+/// detailed run so that the oracle's view matches what the pipeline executes
+/// (see [`SimBuilder`]).
+///
+/// # Errors
+///
+/// Returns [`RunError::Deadlock`] when the configuration starves itself.
+pub fn try_run_point(
+    kind: WorkloadKind,
+    cfg: PipelineConfig,
+    opts: &RunOptions,
+) -> Result<RunResult, RunError> {
+    SimBuilder::new(cfg, kind).options(opts).run()
+}
+
 /// Runs one workload on one configuration, optionally with the oracle
 /// classifier (required by the limit study).
 ///
-/// The same dynamic trace is used for cache warming, oracle analysis and the
-/// detailed run so that the oracle's view matches what the pipeline executes.
+/// # Panics
+///
+/// Panics when the run fails; use [`try_run_point`] to handle a
+/// [`RunError::Deadlock`] as data instead.
 #[must_use]
 pub fn run_point(kind: WorkloadKind, cfg: PipelineConfig, opts: &RunOptions) -> RunResult {
-    let warm = trace(kind, opts.seed, opts.warm_insts);
-    let detail = trace(kind, opts.seed.wrapping_add(1), opts.detail_insts as usize);
-
-    let mut cpu = Processor::new(cfg);
-    cpu.warm_caches(&warm);
-    if cfg.use_oracle {
-        let oracle = OracleAnalysis::new(cfg.rob_size.min(4096) as u64).analyze(&detail, &cfg.mem);
-        cpu.set_oracle(oracle);
-    }
-    cpu.run(replay(kind.name(), detail), opts.detail_insts)
+    try_run_point(kind, cfg, opts)
+        .unwrap_or_else(|e| panic!("simulation of {} failed: {e}", kind.name()))
 }
 
 /// The outcome of grouping the workload suite with the paper's §4.1
@@ -187,6 +200,26 @@ mod tests {
     #[test]
     fn limit_config_modes() {
         assert!(!limit_study_config(LtpMode::Off).ltp.mode.is_enabled());
-        assert!(limit_study_config(LtpMode::Both).use_oracle);
+        assert!(limit_study_config(LtpMode::Both).needs_oracle());
+    }
+
+    #[test]
+    fn try_run_point_exposes_the_result_path() {
+        // The Ok side of the structured-error API; the Err side (a genuinely
+        // stuck machine producing `RunError::Deadlock` with its snapshot) is
+        // covered by `ltp-pipeline`'s `stuck_machine_surfaces_deadlock_as_data`.
+        let opts = RunOptions {
+            detail_insts: 1_000,
+            warm_insts: 100,
+            seed: 3,
+        };
+        let cfg = PipelineConfig::micro2015_baseline();
+        let r = try_run_point(WorkloadKind::StencilStream, cfg, &opts);
+        match r {
+            Ok(res) => assert_eq!(res.instructions, 1_000),
+            Err(e @ (RunError::Deadlock { .. } | RunError::OracleNotAttached)) => {
+                panic!("unexpected run error: {e}")
+            }
+        }
     }
 }

@@ -1,0 +1,214 @@
+//! One-stop construction of a ready-to-run simulation point.
+//!
+//! Every harness in this workspace used to repeat the same five steps:
+//! generate a warm-up trace, generate the detailed trace, build the
+//! processor, warm the caches, attach the oracle when the configuration asks
+//! for one, run. [`SimBuilder`] owns that recipe; [`crate::runner::run_point`],
+//! the examples and the benches all build on it.
+
+use crate::runner::{RunOptions, DEFAULT_DETAIL_INSTS, DEFAULT_WARM_INSTS};
+use ltp_core::OracleAnalysis;
+use ltp_isa::DynInst;
+use ltp_pipeline::{PipelineConfig, Processor, RunError, RunResult};
+use ltp_workloads::{replay, trace, WorkloadKind};
+
+/// Builds and runs one simulation point: configuration → traces → cache
+/// warming → classifier (oracle analysis when configured) → detailed run.
+///
+/// The warm-up trace uses `seed` and the detailed trace `seed + 1`, so the
+/// caches are warmed with *different* dynamic instances of the same kernel —
+/// the same discipline `run_point` has always used.
+///
+/// # Example
+///
+/// ```
+/// use ltp_experiments::SimBuilder;
+/// use ltp_pipeline::PipelineConfig;
+/// use ltp_workloads::WorkloadKind;
+///
+/// let result = SimBuilder::new(PipelineConfig::ltp_proposed(), WorkloadKind::IndirectStream)
+///     .seed(7)
+///     .warm_insts(1_000)
+///     .detail_insts(2_000)
+///     .run()
+///     .expect("no deadlock");
+/// assert_eq!(result.instructions, 2_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    cfg: PipelineConfig,
+    kind: WorkloadKind,
+    seed: u64,
+    warm_insts: usize,
+    detail_insts: u64,
+}
+
+impl SimBuilder {
+    /// Starts a builder for `kind` on `cfg` with the default instruction
+    /// budgets and seed of [`RunOptions::default`].
+    #[must_use]
+    pub fn new(cfg: PipelineConfig, kind: WorkloadKind) -> SimBuilder {
+        let defaults = RunOptions::default();
+        SimBuilder {
+            cfg,
+            kind,
+            seed: defaults.seed,
+            warm_insts: DEFAULT_WARM_INSTS,
+            detail_insts: DEFAULT_DETAIL_INSTS,
+        }
+    }
+
+    /// Applies the budgets and seed of a [`RunOptions`].
+    #[must_use]
+    pub fn options(mut self, opts: &RunOptions) -> SimBuilder {
+        self.seed = opts.seed;
+        self.warm_insts = opts.warm_insts;
+        self.detail_insts = opts.detail_insts;
+        self
+    }
+
+    /// Sets the workload seed (the detailed trace uses `seed + 1`).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> SimBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the cache-warming instruction budget (0 skips warming).
+    #[must_use]
+    pub fn warm_insts(mut self, warm_insts: usize) -> SimBuilder {
+        self.warm_insts = warm_insts;
+        self
+    }
+
+    /// Sets the detailed-simulation instruction budget.
+    #[must_use]
+    pub fn detail_insts(mut self, detail_insts: u64) -> SimBuilder {
+        self.detail_insts = detail_insts;
+        self
+    }
+
+    /// Generates the detailed trace this builder would run.
+    #[must_use]
+    pub fn detail_trace(&self) -> Vec<DynInst> {
+        trace(
+            self.kind,
+            self.seed.wrapping_add(1),
+            self.detail_insts as usize,
+        )
+    }
+
+    /// Builds the processor: warmed caches, oracle attached when the
+    /// configuration selects [`ltp_core::ClassifierKind::Oracle`]. The
+    /// returned processor is ready to consume the [`SimBuilder::detail_trace`]
+    /// stream (which the oracle, if any, was analysed against).
+    #[must_use]
+    pub fn build(&self) -> Processor {
+        self.build_against(&self.detail_trace())
+    }
+
+    /// Builds the processor, analysing the oracle (when configured) against
+    /// an already-generated detailed trace so callers that hold the trace do
+    /// not generate it twice.
+    fn build_against(&self, detail: &[DynInst]) -> Processor {
+        let mut cpu = Processor::new(self.cfg);
+        if self.warm_insts > 0 {
+            let warm = trace(self.kind, self.seed, self.warm_insts);
+            cpu.warm_caches(&warm);
+        }
+        if self.cfg.needs_oracle() {
+            let oracle = OracleAnalysis::new(self.cfg.rob_size.min(4096) as u64)
+                .analyze(detail, &self.cfg.mem);
+            cpu.set_oracle(oracle);
+        }
+        cpu
+    }
+
+    /// Builds the processor and runs the detailed simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError::Deadlock`] from the pipeline when the
+    /// configuration starves itself.
+    pub fn run(&self) -> Result<RunResult, RunError> {
+        let detail = self.detail_trace();
+        let mut cpu = self.build_against(&detail);
+        cpu.run(replay(self.kind.name(), detail), self.detail_insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltp_core::ClassifierKind;
+
+    #[test]
+    fn builder_matches_run_point() {
+        let opts = RunOptions {
+            detail_insts: 2_000,
+            warm_insts: 500,
+            seed: 7,
+        };
+        let a = SimBuilder::new(PipelineConfig::ltp_proposed(), WorkloadKind::IndirectStream)
+            .options(&opts)
+            .run()
+            .expect("no deadlock");
+        let b = crate::runner::run_point(
+            WorkloadKind::IndirectStream,
+            PipelineConfig::ltp_proposed(),
+            &opts,
+        );
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.ltp.total_parked(), b.ltp.total_parked());
+    }
+
+    #[test]
+    fn oracle_configs_get_their_oracle() {
+        let cfg = PipelineConfig::limit_study_unlimited()
+            .with_iq(32)
+            .with_ltp(ltp_core::LtpConfig::ideal(ltp_core::LtpMode::NonUrgentOnly))
+            .with_oracle(true);
+        let r = SimBuilder::new(cfg, WorkloadKind::IndirectStream)
+            .seed(3)
+            .warm_insts(500)
+            .detail_insts(2_000)
+            .run()
+            .expect("no deadlock");
+        assert_eq!(r.instructions, 2_000);
+        assert!(r.ltp.total_parked() > 0);
+    }
+
+    #[test]
+    fn classifier_kinds_are_selectable_from_config() {
+        let base = PipelineConfig::ltp_proposed();
+        for kind in ClassifierKind::SWEEPABLE {
+            let r = SimBuilder::new(base.with_classifier(kind), WorkloadKind::IndirectStream)
+                .seed(5)
+                .warm_insts(500)
+                .detail_insts(1_500)
+                .run()
+                .expect("no deadlock");
+            assert_eq!(
+                r.instructions,
+                1_500,
+                "classifier {} lost instructions",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_warmup_skips_cache_warming() {
+        let r = SimBuilder::new(
+            PipelineConfig::micro2015_baseline(),
+            WorkloadKind::ComputeBound,
+        )
+        .seed(1)
+        .warm_insts(0)
+        .detail_insts(1_000)
+        .run()
+        .expect("no deadlock");
+        assert_eq!(r.instructions, 1_000);
+    }
+}

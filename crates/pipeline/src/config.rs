@@ -1,6 +1,6 @@
 //! Pipeline configuration (Table 1 of the paper).
 
-use ltp_core::LtpConfig;
+use ltp_core::{ClassifierKind, LtpConfig};
 use ltp_mem::MemoryConfig;
 
 /// Number of functional units of each kind (index by
@@ -73,11 +73,9 @@ pub struct PipelineConfig {
     pub delay_lsq_alloc: bool,
     /// Memory hierarchy configuration.
     pub mem: MemoryConfig,
-    /// LTP configuration.
+    /// LTP configuration (including the criticality classifier selection,
+    /// [`LtpConfig::classifier`]).
     pub ltp: LtpConfig,
-    /// Use the oracle (perfect) classifier instead of the runtime UIT-based
-    /// classifier. Requires the trace to be analysed ahead of time.
-    pub use_oracle: bool,
     /// Number of instructions of detailed pipeline warming before statistics
     /// are collected (the paper warms the pipeline for 100 k instructions).
     pub warmup_insts: u64,
@@ -105,7 +103,6 @@ impl PipelineConfig {
             delay_lsq_alloc: false,
             mem: MemoryConfig::micro2015_baseline(),
             ltp: LtpConfig::disabled(),
-            use_oracle: false,
             warmup_insts: 0,
         }
     }
@@ -188,10 +185,31 @@ impl PipelineConfig {
     }
 
     /// Returns a copy using (or not using) the oracle classifier.
+    /// `with_oracle(true)` selects [`ClassifierKind::Oracle`];
+    /// `with_oracle(false)` falls back to [`ClassifierKind::Uit`] only when
+    /// the oracle was selected, leaving any other classifier choice intact.
     #[must_use]
     pub fn with_oracle(mut self, use_oracle: bool) -> PipelineConfig {
-        self.use_oracle = use_oracle;
+        if use_oracle {
+            self.ltp.classifier = ClassifierKind::Oracle;
+        } else if self.ltp.classifier == ClassifierKind::Oracle {
+            self.ltp.classifier = ClassifierKind::Uit;
+        }
         self
+    }
+
+    /// Returns a copy with a different criticality classifier.
+    #[must_use]
+    pub fn with_classifier(mut self, classifier: ClassifierKind) -> PipelineConfig {
+        self.ltp.classifier = classifier;
+        self
+    }
+
+    /// Whether this configuration needs an ahead-of-time trace analysis
+    /// attached before the run ([`ClassifierKind::Oracle`]).
+    #[must_use]
+    pub fn needs_oracle(&self) -> bool {
+        self.ltp.classifier.needs_trace_oracle()
     }
 
     /// Returns a copy with a different memory configuration.
@@ -289,8 +307,11 @@ mod tests {
         assert_eq!(c.fp_regs, 64);
         assert_eq!(c.lq_size, 8);
         assert_eq!(c.sq_size, 8);
-        assert!(c.use_oracle);
+        assert!(c.needs_oracle());
         assert_eq!(c.warmup_insts, 1000);
+        let c = c.with_classifier(ClassifierKind::AlwaysReady);
+        assert!(!c.needs_oracle());
+        assert_eq!(c.ltp.classifier, ClassifierKind::AlwaysReady);
     }
 
     #[test]

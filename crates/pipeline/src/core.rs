@@ -1,85 +1,80 @@
-//! The cycle-level out-of-order processor model.
+//! The cycle-level out-of-order processor model: a thin orchestrator.
 //!
-//! [`Processor`] owns all back-end state (ROB, IQ, RAT, free lists, LQ/SQ,
-//! functional units, the memory hierarchy and the LTP unit) and advances one
-//! cycle at a time while consuming a dynamic instruction stream through a
-//! [`FrontEnd`]. The model is timing-only: values are never computed, only
-//! the dependence, resource and latency behaviour is simulated, which is the
-//! level of modelling the paper's analysis requires.
+//! [`Processor`] owns the shared machine substrate (`PipelineState`: ROB, IQ,
+//! RAT, free lists, LQ/SQ, functional units, memory hierarchy, LTP unit) and
+//! a [`StageBus`], and advances one cycle at a time by invoking the stage
+//! modules in back-to-front order (writeback → commit → release → issue →
+//! rename; see [`crate::stages`]). The model is timing-only: values are never
+//! computed, only the dependence, resource and latency behaviour is
+//! simulated, which is the level of modelling the paper's analysis requires.
 
 use crate::config::PipelineConfig;
 use crate::free_list::FreeList;
 use crate::frontend::FrontEnd;
-use crate::iq::{IqEntry, IssueQueue};
+use crate::iq::IssueQueue;
 use crate::lsq::{LoadQueue, MemDepPredictor, StoreQueue};
-use crate::rat::{Rat, RegSource};
-use crate::result::{ActivityCounters, OccupancyReport, RunResult};
-use crate::rob::{Rob, RobEntry, RobState};
+use crate::rat::Rat;
+use crate::result::{ActivityCounters, DeadlockSnapshot, OccupancyReport, RunError, RunResult};
+use crate::rob::Rob;
+use crate::stages::{commit, issue, release, writeback, RenameStage, StageBus};
+use crate::state::PipelineState;
 use crate::FuPool;
-use ltp_core::{LtpUnit, OracleClassifier, ParkedInst, RenamedInst};
-use ltp_isa::{DynInst, InstStream, OpClass, PhysReg, RegClass, SeqNum};
+use ltp_core::{CriticalityClassifier, LtpUnit, OracleClassifier};
+use ltp_isa::{DynInst, InstStream};
 use ltp_mem::{AccessKind, Cycle, MemoryHierarchy, MemoryRequest};
-use std::collections::{BinaryHeap, HashMap, HashSet};
-
-/// Offset separating floating point physical register indices from integer
-/// ones, so both free lists can share the dense [`PhysReg`] namespace.
-const FP_PHYS_OFFSET: u32 = 1 << 20;
+use std::collections::{HashMap, HashSet};
 
 /// If no instruction commits for this many cycles the simulation aborts with
-/// a diagnostic: it indicates a resource-accounting deadlock.
+/// a [`RunError::Deadlock`]: it indicates a resource-accounting deadlock.
 const DEADLOCK_CYCLES: u64 = 500_000;
 
-/// Per-instruction in-flight metadata not stored in the ROB.
-#[derive(Debug, Clone)]
-struct InFlight {
-    inst: DynInst,
-    /// Source operands resolved at rename time: physical registers...
-    src_phys: Vec<PhysReg>,
-    /// ... and producers that were parked at rename time (waited on by
-    /// sequence number).
-    src_seqs: Vec<SeqNum>,
+/// A snapshot of one free list, exposed to per-cycle observers.
+#[derive(Debug, Clone, Copy)]
+pub struct RegFileSnapshot {
+    /// Registers currently allocated.
+    pub allocated: usize,
+    /// Registers still available.
+    pub available: usize,
+    /// Current capacity of the pool (`usize::MAX` for the limit study).
+    pub capacity: usize,
 }
 
-/// A dispatch that passed classification but could not be placed yet because
-/// the IQ, register file or LQ/SQ was full; retried the next cycle.
-#[derive(Debug, Clone)]
-struct PendingDispatch {
-    inst: DynInst,
-    src_phys: Vec<PhysReg>,
-    src_seqs: Vec<SeqNum>,
-    long_latency_hint: bool,
+impl RegFileSnapshot {
+    fn of(list: &FreeList) -> RegFileSnapshot {
+        RegFileSnapshot {
+            allocated: list.allocated(),
+            available: list.available(),
+            capacity: list.capacity(),
+        }
+    }
+}
+
+/// What a per-cycle observer (see [`Processor::run_observed`]) gets to see
+/// after each simulated cycle: the stage-bus traffic of the cycle plus
+/// resource-accounting snapshots, enough to check structural invariants
+/// without exposing the mutable machine state.
+#[derive(Debug)]
+pub struct CycleView<'a> {
+    /// The cycle that just finished.
+    pub cycle: Cycle,
+    /// The signals the stages exchanged during this cycle.
+    pub bus: &'a StageBus,
+    /// Integer free-list accounting.
+    pub int_regs: RegFileSnapshot,
+    /// Floating point free-list accounting.
+    pub fp_regs: RegFileSnapshot,
+    /// Occupied ROB entries.
+    pub rob_len: usize,
+    /// Instructions committed so far.
+    pub committed: u64,
 }
 
 /// The out-of-order core.
 #[derive(Debug)]
 pub struct Processor {
-    cfg: PipelineConfig,
-    now: Cycle,
-    mem: MemoryHierarchy,
-    ltp: LtpUnit,
-    rob: Rob,
-    iq: IssueQueue,
-    rat: Rat,
-    int_free: FreeList,
-    fp_free: FreeList,
-    lq: LoadQueue,
-    sq: StoreQueue,
-    memdep: MemDepPredictor,
-    fu: FuPool,
-    inflight: HashMap<u64, InFlight>,
-    completed_regs: HashSet<PhysReg>,
-    released_parked_regs: HashMap<u64, PhysReg>,
-    pending_completions: BinaryHeap<std::cmp::Reverse<(Cycle, u64)>>,
-    pending_ll_signals: BinaryHeap<std::cmp::Reverse<(Cycle, u64)>>,
-    pending_dispatch: Option<PendingDispatch>,
-    force_release_pending: bool,
-    committed: u64,
-    loads_committed: u64,
-    stores_committed: u64,
-    llc_miss_loads: u64,
-    last_commit_cycle: Cycle,
-    occupancy: OccupancyReport,
-    activity: ActivityCounters,
+    state: PipelineState,
+    bus: StageBus,
+    rename: RenameStage,
 }
 
 impl Processor {
@@ -94,39 +89,44 @@ impl Processor {
         let mem = MemoryHierarchy::new(cfg.mem);
         let monitor_timeout = mem.typical_dram_latency() + cfg.mem.l3.latency;
         Processor {
-            now: 0,
-            ltp: LtpUnit::new(cfg.ltp, monitor_timeout),
-            rob: Rob::new(cfg.rob_size),
-            iq: IssueQueue::new(cfg.iq_size),
-            rat: Rat::new(),
-            int_free: FreeList::new(cfg.int_regs),
-            fp_free: FreeList::new(cfg.fp_regs),
-            lq: LoadQueue::new(cfg.lq_size),
-            sq: StoreQueue::new(cfg.sq_size),
-            memdep: MemDepPredictor::new(),
-            fu: FuPool::new(&cfg.fu),
-            inflight: HashMap::new(),
-            completed_regs: HashSet::new(),
-            released_parked_regs: HashMap::new(),
-            pending_completions: BinaryHeap::new(),
-            pending_ll_signals: BinaryHeap::new(),
-            pending_dispatch: None,
-            force_release_pending: false,
-            committed: 0,
-            loads_committed: 0,
-            stores_committed: 0,
-            llc_miss_loads: 0,
-            last_commit_cycle: 0,
-            occupancy: OccupancyReport::default(),
-            activity: ActivityCounters::default(),
-            mem,
-            cfg,
+            state: PipelineState {
+                now: 0,
+                ltp: LtpUnit::new(cfg.ltp, monitor_timeout),
+                rob: Rob::new(cfg.rob_size),
+                iq: IssueQueue::new(cfg.iq_size),
+                rat: Rat::new(),
+                int_free: FreeList::new(cfg.int_regs),
+                fp_free: FreeList::new(cfg.fp_regs),
+                lq: LoadQueue::new(cfg.lq_size),
+                sq: StoreQueue::new(cfg.sq_size),
+                memdep: MemDepPredictor::new(),
+                fu: FuPool::new(&cfg.fu),
+                inflight: HashMap::new(),
+                completed_regs: HashSet::new(),
+                released_parked_regs: HashMap::new(),
+                committed: 0,
+                loads_committed: 0,
+                stores_committed: 0,
+                llc_miss_loads: 0,
+                last_commit_cycle: 0,
+                occupancy: OccupancyReport::default(),
+                activity: ActivityCounters::default(),
+                mem,
+                cfg,
+            },
+            bus: StageBus::new(),
+            rename: RenameStage::default(),
         }
     }
 
     /// Attaches an oracle classifier (perfect classification, limit study).
     pub fn set_oracle(&mut self, oracle: OracleClassifier) {
-        self.ltp.set_oracle(oracle);
+        self.state.ltp.set_oracle(oracle);
+    }
+
+    /// Replaces the criticality classifier driving the LTP unit.
+    pub fn set_classifier(&mut self, classifier: Box<dyn CriticalityClassifier>) {
+        self.state.ltp.set_classifier(classifier);
     }
 
     /// Warms the caches by replaying memory accesses of `trace` functionally
@@ -139,7 +139,8 @@ impl Processor {
                 } else {
                     AccessKind::Load
                 };
-                self.mem
+                self.state
+                    .mem
                     .warm(&MemoryRequest::new(inst.pc(), access.addr(), kind));
             }
         }
@@ -148,980 +149,135 @@ impl Processor {
     /// The configuration of this processor.
     #[must_use]
     pub fn config(&self) -> &PipelineConfig {
-        &self.cfg
+        &self.state.cfg
+    }
+
+    /// Current accounting of the integer and floating point register files
+    /// (in that order), for resource-conservation checks.
+    #[must_use]
+    pub fn register_files(&self) -> (RegFileSnapshot, RegFileSnapshot) {
+        (
+            RegFileSnapshot::of(&self.state.int_free),
+            RegFileSnapshot::of(&self.state.fp_free),
+        )
     }
 
     /// Runs the processor on `stream` until `max_insts` instructions have
     /// committed or the stream is exhausted, and returns the run statistics.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the simulation deadlocks (no commit for a very long time),
-    /// which indicates a bug in resource accounting rather than a valid
-    /// simulation outcome.
-    pub fn run<S: InstStream>(&mut self, stream: S, max_insts: u64) -> RunResult {
+    /// Returns [`RunError::Deadlock`] when no instruction commits for a very
+    /// long time, which indicates a resource-accounting deadlock (or an
+    /// intentionally starved configuration) rather than a valid simulation
+    /// outcome.
+    pub fn run<S: InstStream>(&mut self, stream: S, max_insts: u64) -> Result<RunResult, RunError> {
+        self.run_observed(stream, max_insts, |_| {})
+    }
+
+    /// Like [`Processor::run`], but calls `observer` with a [`CycleView`]
+    /// after every simulated cycle. This is the hook the structural-invariant
+    /// test-suite uses to watch the stage bus and the resource accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Deadlock`] under the same conditions as
+    /// [`Processor::run`].
+    pub fn run_observed<S, F>(
+        &mut self,
+        stream: S,
+        max_insts: u64,
+        mut observer: F,
+    ) -> Result<RunResult, RunError>
+    where
+        S: InstStream,
+        F: FnMut(&CycleView<'_>),
+    {
+        // An oracle-configured machine must have had its analysed oracle (or
+        // a deliberate classifier override) attached; running on the built-in
+        // fallback would silently produce wrongly-labelled results.
+        if self.state.cfg.needs_oracle() && !self.state.ltp.classifier_attached() {
+            return Err(RunError::OracleNotAttached);
+        }
         let workload = stream.name().to_string();
-        let mut fe = FrontEnd::new(stream, self.cfg.frontend_delay, self.cfg.mispredict_penalty);
-        let warmup = self.cfg.warmup_insts;
+        let mut fe = FrontEnd::new(
+            stream,
+            self.state.cfg.frontend_delay,
+            self.state.cfg.mispredict_penalty,
+        );
+        let warmup = self.state.cfg.warmup_insts;
         let mut warmup_done_at: Option<(Cycle, u64)> = None;
 
-        while self.committed < max_insts && !(fe.is_drained() && self.rob.is_empty()) {
+        while self.state.committed < max_insts && !(fe.is_drained() && self.state.rob.is_empty()) {
             self.cycle(&mut fe);
-            if warmup > 0 && warmup_done_at.is_none() && self.committed >= warmup {
-                warmup_done_at = Some((self.now, self.committed));
+            observer(&CycleView {
+                cycle: self.state.now - 1,
+                bus: &self.bus,
+                int_regs: RegFileSnapshot::of(&self.state.int_free),
+                fp_regs: RegFileSnapshot::of(&self.state.fp_free),
+                rob_len: self.state.rob.len(),
+                committed: self.state.committed,
+            });
+            if warmup > 0 && warmup_done_at.is_none() && self.state.committed >= warmup {
+                warmup_done_at = Some((self.state.now, self.state.committed));
             }
-            assert!(
-                self.now - self.last_commit_cycle < DEADLOCK_CYCLES,
-                "no instruction committed for {DEADLOCK_CYCLES} cycles at cycle {} \
-                 (workload {}, committed {}, ROB {}, IQ {}, LTP {}, head {:?}, \
-                 iq_size {}, regs {}/{}, lq {}, sq {}, ltp mode {:?}): \
-                 resource accounting deadlock",
-                self.now,
-                workload,
-                self.committed,
-                self.rob.len(),
-                self.iq.len(),
-                self.ltp.occupancy(),
-                self.rob.head().map(|e| (e.seq, e.state, e.op)),
-                self.cfg.iq_size,
-                self.int_free.available(),
-                self.fp_free.available(),
-                self.lq.len(),
-                self.sq.len(),
-                self.cfg.ltp.mode,
-            );
+            if self.state.now - self.state.last_commit_cycle >= DEADLOCK_CYCLES {
+                return Err(RunError::Deadlock {
+                    cycle: self.state.now,
+                    snapshot: Box::new(self.deadlock_snapshot(workload)),
+                });
+            }
         }
 
         let (start_cycle, start_insts) = warmup_done_at.unwrap_or((0, 0));
-        RunResult {
+        let state = &self.state;
+        Ok(RunResult {
             workload,
-            cycles: self.now.saturating_sub(start_cycle).max(1),
-            instructions: self.committed.saturating_sub(start_insts),
-            occupancy: self.occupancy.clone(),
-            activity: self.activity,
-            ltp: self.ltp.stats().clone(),
-            ltp_enabled_fraction: self.ltp.enabled_fraction(self.now.max(1)),
-            mem: self.mem.stats(),
+            cycles: state.now.saturating_sub(start_cycle).max(1),
+            instructions: state.committed.saturating_sub(start_insts),
+            occupancy: state.occupancy.clone(),
+            activity: state.activity,
+            ltp: state.ltp.stats().clone(),
+            ltp_enabled_fraction: state.ltp.enabled_fraction(state.now.max(1)),
+            mem: state.mem.stats(),
             branch_mispredict_rate: fe.branch_predictor().misprediction_rate(),
-            loads: self.loads_committed,
-            stores: self.stores_committed,
-            llc_miss_loads: self.llc_miss_loads,
-        }
+            loads: state.loads_committed,
+            stores: state.stores_committed,
+            llc_miss_loads: state.llc_miss_loads,
+        })
     }
 
-    /// Advances the machine by one cycle.
+    /// Advances the machine by one cycle, driving the stages back-to-front.
     fn cycle<S: InstStream>(&mut self, fe: &mut FrontEnd<S>) {
-        self.fu.new_cycle();
-        self.writeback_stage();
-        self.commit_stage();
-        self.ltp_release_stage();
-        self.issue_stage();
-        self.rename_stage(fe);
-        fe.fetch(self.now, self.cfg.front_width);
-        self.sample_occupancy();
-        self.now += 1;
+        let state = &mut self.state;
+        let bus = &mut self.bus;
+        bus.begin_cycle();
+        state.fu.new_cycle();
+        writeback::run(state, bus);
+        commit::run(state, bus);
+        release::run(state, bus);
+        issue::run(state, bus);
+        self.rename.run(state, bus, fe);
+        fe.fetch(state.now, state.cfg.front_width);
+        state.sample_occupancy();
+        state.now += 1;
     }
 
-    // --- register helpers ---------------------------------------------------
-
-    fn alloc_dest(&mut self, class: RegClass) -> Option<PhysReg> {
-        match class {
-            RegClass::Int => self.int_free.allocate(),
-            RegClass::Fp => self
-                .fp_free
-                .allocate()
-                .map(|p| PhysReg::new(p.index() as u32 + FP_PHYS_OFFSET)),
+    fn deadlock_snapshot(&self, workload: String) -> DeadlockSnapshot {
+        let state = &self.state;
+        DeadlockSnapshot {
+            workload,
+            committed: state.committed,
+            rob_len: state.rob.len(),
+            iq_len: state.iq.len(),
+            ltp_occupancy: state.ltp.occupancy(),
+            head: state.rob.head().map(|e| (e.seq, e.state, e.op)),
+            iq_size: state.cfg.iq_size,
+            int_regs_available: state.int_free.available(),
+            fp_regs_available: state.fp_free.available(),
+            lq_len: state.lq.len(),
+            sq_len: state.sq.len(),
+            ltp_mode: state.cfg.ltp.mode,
         }
-    }
-
-    fn can_alloc_beyond_reserve(&self, class: RegClass, reserve: usize) -> bool {
-        match class {
-            RegClass::Int => self.int_free.can_allocate_beyond_reserve(reserve),
-            RegClass::Fp => self.fp_free.can_allocate_beyond_reserve(reserve),
-        }
-    }
-
-    fn free_dest(&mut self, reg: PhysReg) {
-        self.completed_regs.remove(&reg);
-        if (reg.index() as u32) >= FP_PHYS_OFFSET {
-            self.fp_free
-                .free(PhysReg::new(reg.index() as u32 - FP_PHYS_OFFSET));
-        } else {
-            self.int_free.free(reg);
-        }
-    }
-
-    fn is_seq_done(&self, seq: SeqNum) -> bool {
-        self.rob.get(seq).map(|e| e.is_completed()).unwrap_or(true)
-    }
-
-    fn resolve_sources(&self, inst: &DynInst) -> (Vec<PhysReg>, Vec<SeqNum>) {
-        let mut phys = Vec::new();
-        let mut seqs = Vec::new();
-        for src in inst.static_inst().dataflow_srcs() {
-            match self.rat.source(src) {
-                RegSource::Ready => {}
-                RegSource::Phys(p) => {
-                    if !self.completed_regs.contains(&p) {
-                        phys.push(p);
-                    }
-                }
-                RegSource::Parked(s) => {
-                    if !self.is_seq_done(s) {
-                        seqs.push(s);
-                    }
-                }
-            }
-        }
-        (phys, seqs)
-    }
-
-    // --- pipeline stages ----------------------------------------------------
-
-    fn writeback_stage(&mut self) {
-        // Instruction completions.
-        while let Some(&std::cmp::Reverse((cycle, seq))) = self.pending_completions.peek() {
-            if cycle > self.now {
-                break;
-            }
-            self.pending_completions.pop();
-            let seq = SeqNum(seq);
-            if let Some(entry) = self.rob.get_mut(seq) {
-                entry.state = RobState::Completed;
-                if let Some(p) = entry.dest_phys {
-                    self.completed_regs.insert(p);
-                    self.iq.wake_phys(p);
-                    self.activity.rf_writes += 1;
-                }
-            }
-            self.iq.wake_seq(seq);
-            // Safety net for ticket clearing: whatever the early-signal path
-            // did, a completed instruction's ticket must be cleared so its
-            // Non-Ready descendants can leave the LTP (a load predicted to
-            // miss may actually have hit and never produced an early signal).
-            let _ = self.ltp.on_long_latency_completing(seq, self.now);
-        }
-        // Early completion signals of long-latency instructions (tag hit /
-        // divide countdown): clear their tickets so Non-Ready instructions
-        // can be released in time (§3.2).
-        while let Some(&std::cmp::Reverse((cycle, seq))) = self.pending_ll_signals.peek() {
-            if cycle > self.now {
-                break;
-            }
-            self.pending_ll_signals.pop();
-            let _ = self.ltp.on_long_latency_completing(SeqNum(seq), self.now);
-        }
-    }
-
-    fn commit_stage(&mut self) {
-        for _ in 0..self.cfg.commit_width {
-            let Some(entry) = self.rob.try_commit() else {
-                break;
-            };
-            self.committed += 1;
-            self.last_commit_cycle = self.now;
-
-            match entry.prev_mapping {
-                RegSource::Ready => {
-                    // First rename of this architectural register: the
-                    // physical register that held its initial value is
-                    // recycled into the available pool (footnote 4 of the
-                    // paper counts "available" registers beyond the
-                    // architectural state).
-                    if let Some(dst) = entry.dst {
-                        match dst.class() {
-                            RegClass::Int => self.int_free.add_capacity(1),
-                            RegClass::Fp => self.fp_free.add_capacity(1),
-                        }
-                    }
-                }
-                RegSource::Phys(p) => self.free_dest(p),
-                RegSource::Parked(s) => {
-                    if let Some(p) = self.released_parked_regs.remove(&s.0) {
-                        self.free_dest(p);
-                    }
-                }
-            }
-
-            if entry.holds_lq {
-                self.lq.release(entry.seq);
-            }
-            if entry.holds_sq {
-                // The store performs its write as it drains from the SQ.
-                if let Some(infl) = self.inflight.get(&entry.seq.0) {
-                    if let Some(access) = infl.inst.mem_access() {
-                        let req = MemoryRequest::new(entry.pc, access.addr(), AccessKind::Store);
-                        let _ = self.mem.access(self.now, &req);
-                    }
-                }
-                self.sq.release(entry.seq);
-            }
-
-            if entry.op.is_load() {
-                self.loads_committed += 1;
-                if entry.long_latency {
-                    self.llc_miss_loads += 1;
-                }
-            }
-            if entry.op.is_store() {
-                self.stores_committed += 1;
-            }
-            self.inflight.remove(&entry.seq.0);
-        }
-    }
-
-    /// Whether `entry` is the oldest instruction in the machine (the ROB
-    /// head). The last free register of a class is reserved for the head so
-    /// that younger releases can never starve it (§5.4's "we always pick the
-    /// oldest instruction").
-    fn is_rob_head(&self, entry: &RobEntry) -> bool {
-        self.rob.head().map(|h| h.seq) == Some(entry.seq)
-    }
-
-    /// Register-availability check for placing a released instruction: a
-    /// non-head release must leave at least one register of the class free
-    /// for the (current or future) ROB head.
-    fn release_reg_available(&self, entry: &RobEntry) -> bool {
-        let Some(dst) = entry.dst else { return true };
-        let available = match dst.class() {
-            RegClass::Int => self.int_free.available(),
-            RegClass::Fp => self.fp_free.available(),
-        };
-        if self.is_rob_head(entry) {
-            available > 0
-        } else {
-            available > 1
-        }
-    }
-
-    /// Whether a *forced* release (deadlock-avoidance path) can be placed:
-    /// it only needs a destination register (drawn from the §5.4 reserve) and,
-    /// when LQ/SQ allocation is delayed, a memory-queue entry; the IQ is
-    /// bypassed through the reserved slot.
-    fn can_force_release(&self, entry: &RobEntry) -> bool {
-        if !self.release_reg_available(entry) {
-            return false;
-        }
-        self.release_lsq_available(entry)
-    }
-
-    /// LQ/SQ-availability check for releases when allocation is delayed: the
-    /// last entry of each queue is reserved for the ROB head.
-    fn release_lsq_available(&self, entry: &RobEntry) -> bool {
-        if !self.cfg.delay_lsq_alloc {
-            return true;
-        }
-        let head = self.is_rob_head(entry);
-        if entry.op.is_load() && !entry.holds_lq {
-            let ok = if head {
-                self.lq.has_space()
-            } else {
-                self.lq.has_space_beyond_reserve(1)
-            };
-            if !ok {
-                return false;
-            }
-        }
-        if entry.op.is_store() && !entry.holds_sq {
-            let ok = if head {
-                self.sq.has_space()
-            } else {
-                self.sq.has_space_beyond_reserve(1)
-            };
-            if !ok {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Whether the resources needed to place a released parked instruction
-    /// are available right now.
-    fn can_place_released(&self, entry: &RobEntry) -> bool {
-        if !self.iq.has_space() {
-            return false;
-        }
-        // Releases may dip into the register reserve (that is what it is
-        // for), but only the ROB head may take the very last register (and,
-        // with delayed LQ/SQ allocation, the last memory-queue entry).
-        if !self.release_reg_available(entry) {
-            return false;
-        }
-        self.release_lsq_available(entry)
-    }
-
-    fn place_released(&mut self, parked: ParkedInst, forced: bool) {
-        let seq = parked.seq;
-        let (src_phys, src_seqs, op) = {
-            let infl = self
-                .inflight
-                .get(&seq.0)
-                .expect("released instruction must be in flight");
-            (infl.src_phys.clone(), infl.src_seqs.clone(), infl.inst.op())
-        };
-
-        // Allocate the destination register through the "second RAT".
-        let mut dest_phys = None;
-        if let Some(entry) = self.rob.get(seq) {
-            if let Some(dst) = entry.dst {
-                let phys = self
-                    .alloc_dest(dst.class())
-                    .expect("release resource check guarantees a register");
-                dest_phys = Some(phys);
-                if !self.rat.resolve_parked(dst, seq, phys) {
-                    // A younger writer renamed the register meanwhile; its
-                    // commit frees this register through the parked map.
-                    self.released_parked_regs.insert(seq.0, phys);
-                }
-            }
-        }
-
-        let delay_lsq = self.cfg.delay_lsq_alloc;
-        if let Some(entry) = self.rob.get_mut(seq) {
-            entry.dest_phys = dest_phys;
-            entry.state = RobState::InQueue;
-            if delay_lsq {
-                if entry.op.is_load() && !entry.holds_lq {
-                    entry.holds_lq = true;
-                }
-                if entry.op.is_store() && !entry.holds_sq {
-                    entry.holds_sq = true;
-                }
-            }
-        }
-        if delay_lsq {
-            if op.is_load() {
-                self.lq.allocate(seq);
-            }
-            if op.is_store() {
-                self.sq.allocate(seq, true);
-            }
-        }
-
-        let wait_phys = src_phys
-            .into_iter()
-            .filter(|p| !self.completed_regs.contains(p))
-            .collect();
-        let wait_seqs = src_seqs
-            .into_iter()
-            .filter(|s| !self.is_seq_done(*s))
-            .collect();
-        let entry = IqEntry {
-            seq,
-            fu: op.fu_kind(),
-            wait_phys,
-            wait_seqs,
-        };
-        if forced {
-            self.iq.force_dispatch(entry);
-        } else {
-            self.iq.dispatch(entry);
-        }
-        self.activity.ltp_reads += 1;
-        self.activity.iq_writes += 1;
-    }
-
-    fn ltp_release_stage(&mut self) {
-        let boundary = self.rob.nu_wake_boundary();
-        let mut released_any = false;
-
-        // In-order (ROB proximity) releases, §3.2 / §5.2.
-        while let Some(seq) = self.ltp.oldest_parked() {
-            if !seq.is_older_than(boundary) {
-                break;
-            }
-            let Some(entry) = self.rob.get(seq) else {
-                break;
-            };
-            if !self.can_place_released(entry) {
-                break;
-            }
-            let released = self.ltp.release_in_order(boundary, 1, self.now);
-            let Some(parked) = released.into_iter().next() else {
-                break;
-            };
-            self.place_released(parked, false);
-            released_any = true;
-        }
-
-        // Out-of-order releases of Urgent instructions whose tickets cleared
-        // (only meaningful when Non-Ready parking is enabled, appendix A).
-        if self.ltp.config().mode.parks_non_ready() {
-            loop {
-                // Out-of-order releases are never the ROB head, so they must
-                // always leave the last register of each class untouched.
-                if !self.iq.has_space()
-                    || self.int_free.available() <= 1
-                    || self.fp_free.available() <= 1
-                    || (self.cfg.delay_lsq_alloc && (!self.lq.has_space() || !self.sq.has_space()))
-                {
-                    break;
-                }
-                let released = self.ltp.release_ready_out_of_order(1, self.now);
-                let Some(parked) = released.into_iter().next() else {
-                    break;
-                };
-                self.place_released(parked, false);
-                released_any = true;
-            }
-        }
-
-        // Deadlock avoidance (§5.4): when rename stalled for resources, or
-        // nothing has committed for a while, and no ordinary release made
-        // progress, force the oldest parked instruction out (through the
-        // reserved bypass) so it can eventually commit and free resources.
-        let stalled_long = self.now.saturating_sub(self.last_commit_cycle) > 64;
-        let bypass_has_room = self.cfg.iq_size == usize::MAX
-            || self.iq.len() < self.cfg.iq_size.saturating_add(self.cfg.ltp_reserve);
-        if (self.force_release_pending || stalled_long)
-            && !released_any
-            && self.ltp.occupancy() > 0
-            && bypass_has_room
-        {
-            if let Some(seq) = self.ltp.oldest_parked() {
-                let can = self
-                    .rob
-                    .get(seq)
-                    .map(|e| self.can_force_release(e))
-                    .unwrap_or(false);
-                if can {
-                    if let Some(parked) = self.ltp.force_release_oldest(self.now) {
-                        self.place_released(parked, true);
-                    }
-                }
-            }
-        }
-        self.force_release_pending = false;
-    }
-
-    fn issue_stage(&mut self) {
-        let now = self.now;
-        let Processor { iq, fu, .. } = self;
-        let picked = iq.select(self.cfg.issue_width, |kind| {
-            // Reserve the unit immediately; unpipelined units use their
-            // worst-case occupancy.
-            let latency = match kind {
-                ltp_isa::FuKind::IntMulDiv => OpClass::IntDiv.exec_latency().cycles(),
-                ltp_isa::FuKind::FpDivSqrt => OpClass::FpSqrt.exec_latency().cycles(),
-                _ => 1,
-            };
-            fu.acquire(kind, now, latency)
-        });
-
-        for entry in picked {
-            let seq = entry.seq;
-            self.activity.iq_issues += 1;
-            let (inst, n_srcs) = {
-                let infl = self
-                    .inflight
-                    .get(&seq.0)
-                    .expect("issued instruction must be in flight");
-                (infl.inst, infl.inst.static_inst().dataflow_srcs().count())
-            };
-            self.activity.rf_reads += n_srcs as u64;
-
-            let op = inst.op();
-            let (completion, long_latency, ll_signal) = if op.is_load() {
-                self.execute_load(&inst)
-            } else if op.is_store() {
-                let done = self.now + 1;
-                if let Some(access) = inst.mem_access() {
-                    self.sq
-                        .set_address(seq, ltp_mem::line_of(access.addr()), done);
-                }
-                (done, false, None)
-            } else {
-                let latency = op.exec_latency().cycles();
-                let done = self.now + latency;
-                if op.is_long_latency_arith() {
-                    // The divide/sqrt latency is approximately known, so the
-                    // wakeup signal is sent a few cycles before completion.
-                    (done, true, Some(done.saturating_sub(3)))
-                } else {
-                    (done, false, None)
-                }
-            };
-
-            if let Some(e) = self.rob.get_mut(seq) {
-                e.state = RobState::Executing;
-                e.completion_cycle = completion;
-                e.long_latency = e.long_latency || long_latency;
-            }
-            self.pending_completions
-                .push(std::cmp::Reverse((completion, seq.0)));
-            if let Some(signal) = ll_signal {
-                self.pending_ll_signals
-                    .push(std::cmp::Reverse((signal.max(self.now), seq.0)));
-            }
-        }
-    }
-
-    /// Executes a load: address generation, store forwarding check, cache
-    /// access. Returns `(completion cycle, is long latency, early signal)`.
-    fn execute_load(&mut self, inst: &DynInst) -> (Cycle, bool, Option<Cycle>) {
-        let agen_done = self.now + 1;
-        let Some(access) = inst.mem_access() else {
-            return (agen_done, false, None);
-        };
-        let line = ltp_mem::line_of(access.addr());
-
-        // Store-to-load forwarding from an older store to the same line.
-        if let Some((data_ready, store_was_parked)) = self.sq.forward_for(inst.seq(), line) {
-            if store_was_parked {
-                // Remember this load for the §5.3 memory-dependence rule.
-                self.memdep.train(inst.pc());
-            }
-            let done = data_ready.max(agen_done) + 1;
-            self.ltp.on_load_outcome(inst.pc(), false, self.now);
-            return (done, false, None);
-        }
-
-        let req = MemoryRequest::new(inst.pc(), access.addr(), AccessKind::Load);
-        let result = self.mem.access(agen_done, &req);
-        let long_latency = result.latency() > self.cfg.mem.l3.latency;
-        self.ltp
-            .on_load_outcome(inst.pc(), result.is_llc_miss(), self.now);
-        let signal = if long_latency {
-            Some(result.tag_known_cycle)
-        } else {
-            None
-        };
-        (result.completion_cycle, long_latency, signal)
-    }
-
-    fn rename_stage<S: InstStream>(&mut self, fe: &mut FrontEnd<S>) {
-        let mut renamed = 0;
-
-        // First, retry a dispatch that was classified earlier but could not
-        // be placed for lack of resources.
-        if let Some(pending) = self.pending_dispatch.take() {
-            if self.try_place_dispatch(
-                &pending.inst,
-                pending.src_phys.clone(),
-                pending.src_seqs.clone(),
-                pending.long_latency_hint,
-            ) {
-                renamed += 1;
-            } else {
-                if self.ltp.occupancy() > 0 {
-                    self.force_release_pending = true;
-                }
-                self.pending_dispatch = Some(pending);
-                return;
-            }
-        }
-
-        while renamed < self.cfg.front_width {
-            if !self.rob.has_space() {
-                break;
-            }
-            let Some(peek) = fe.peek_ready(self.now) else {
-                break;
-            };
-            let op = peek.op();
-
-            // Resources every instruction needs regardless of parking: a ROB
-            // entry (checked) and, unless LQ/SQ allocation is delayed, an
-            // LQ/SQ entry for memory operations.
-            if !self.cfg.delay_lsq_alloc {
-                if op.is_load() && !self.lq.has_space() {
-                    break;
-                }
-                if op.is_store() && !self.sq.has_space() {
-                    break;
-                }
-            }
-
-            let inst = fe.pop_ready(self.now).expect("peeked instruction exists");
-            let (src_phys, src_seqs) = self.resolve_sources(&inst);
-
-            let mem_dep_parked = op.is_load() && self.memdep.predicts_parked_dependence(inst.pc());
-            let rinst = RenamedInst::from_dyn(&inst).with_mem_dep_parked(mem_dep_parked);
-            let decision = self.ltp.at_rename(&rinst, self.now);
-
-            self.inflight.insert(
-                inst.seq().0,
-                InFlight {
-                    inst,
-                    src_phys: src_phys.clone(),
-                    src_seqs: src_seqs.clone(),
-                },
-            );
-
-            if decision.parked() {
-                self.park_instruction(&inst, decision.long_latency_hint);
-                self.activity.ltp_writes += 1;
-                renamed += 1;
-            } else if self.try_place_dispatch(
-                &inst,
-                src_phys.clone(),
-                src_seqs.clone(),
-                decision.long_latency_hint,
-            ) {
-                renamed += 1;
-            } else {
-                // Could not place: remember it and stall rename.
-                if self.ltp.occupancy() > 0 {
-                    self.force_release_pending = true;
-                }
-                self.pending_dispatch = Some(PendingDispatch {
-                    inst,
-                    src_phys,
-                    src_seqs,
-                    long_latency_hint: decision.long_latency_hint,
-                });
-                break;
-            }
-        }
-    }
-
-    /// Allocates the ROB (and, unless delayed, LQ/SQ) entry for a parked
-    /// instruction and records it in the RAT as a parked producer.
-    fn park_instruction(&mut self, inst: &DynInst, long_latency_hint: bool) {
-        let seq = inst.seq();
-        let op = inst.op();
-        let dst = inst.static_inst().dst().filter(|d| !d.is_zero());
-
-        let prev_mapping = match dst {
-            Some(d) => self.rat.set_parked(d, seq),
-            None => RegSource::Ready,
-        };
-
-        let mut holds_lq = false;
-        let mut holds_sq = false;
-        if !self.cfg.delay_lsq_alloc {
-            if op.is_load() {
-                self.lq.allocate(seq);
-                holds_lq = true;
-            }
-            if op.is_store() {
-                self.sq.allocate(seq, true);
-                holds_sq = true;
-            }
-        }
-
-        self.rob.push(RobEntry {
-            seq,
-            pc: inst.pc(),
-            op,
-            state: RobState::Parked,
-            dst,
-            dest_phys: None,
-            prev_mapping,
-            long_latency: long_latency_hint,
-            holds_lq,
-            holds_sq,
-            was_parked: true,
-            completion_cycle: 0,
-        });
-    }
-
-    /// Attempts to dispatch an instruction to the IQ, allocating its
-    /// destination register and LQ/SQ entry. Returns `false` when a resource
-    /// is unavailable (rename must stall).
-    fn try_place_dispatch(
-        &mut self,
-        inst: &DynInst,
-        src_phys: Vec<PhysReg>,
-        src_seqs: Vec<SeqNum>,
-        long_latency_hint: bool,
-    ) -> bool {
-        let op = inst.op();
-        let seq = inst.seq();
-        let dst = inst.static_inst().dst().filter(|d| !d.is_zero());
-
-        if !self.iq.has_space() {
-            return false;
-        }
-        // Reserve a few entries of commit-freed resources for instructions
-        // leaving the LTP (§5.4). The reserve is clamped so that very small
-        // structures (e.g. an 8-entry LQ in the limit study) keep a usable
-        // share for ordinary dispatch.
-        let base_reserve = if self.cfg.ltp.mode.is_enabled() {
-            self.cfg.ltp_reserve
-        } else {
-            0
-        };
-        if let Some(d) = dst {
-            let regs = match d.class() {
-                RegClass::Int => self.cfg.int_regs,
-                RegClass::Fp => self.cfg.fp_regs,
-            };
-            let reserve = base_reserve.min(regs / 4);
-            if !self.can_alloc_beyond_reserve(d.class(), reserve) {
-                return false;
-            }
-        }
-        if self.cfg.delay_lsq_alloc {
-            if op.is_load()
-                && !self
-                    .lq
-                    .has_space_beyond_reserve(base_reserve.min(self.cfg.lq_size / 4))
-            {
-                return false;
-            }
-            if op.is_store()
-                && !self
-                    .sq
-                    .has_space_beyond_reserve(base_reserve.min(self.cfg.sq_size / 4))
-            {
-                return false;
-            }
-        }
-
-        // All resources available: allocate.
-        let mut dest_phys = None;
-        let prev_mapping = match dst {
-            Some(d) => {
-                let phys = self
-                    .alloc_dest(d.class())
-                    .expect("availability checked above");
-                dest_phys = Some(phys);
-                self.rat.set_phys(d, phys)
-            }
-            None => RegSource::Ready,
-        };
-
-        let mut holds_lq = false;
-        let mut holds_sq = false;
-        if op.is_load() {
-            self.lq.allocate(seq);
-            holds_lq = true;
-        }
-        if op.is_store() {
-            self.sq.allocate(seq, false);
-            holds_sq = true;
-        }
-
-        self.rob.push(RobEntry {
-            seq,
-            pc: inst.pc(),
-            op,
-            state: RobState::InQueue,
-            dst,
-            dest_phys,
-            prev_mapping,
-            long_latency: long_latency_hint,
-            holds_lq,
-            holds_sq,
-            was_parked: false,
-            completion_cycle: 0,
-        });
-
-        let wait_phys = src_phys
-            .into_iter()
-            .filter(|p| !self.completed_regs.contains(p))
-            .collect();
-        let wait_seqs = src_seqs
-            .into_iter()
-            .filter(|s| !self.is_seq_done(*s))
-            .collect();
-        self.iq.dispatch(IqEntry {
-            seq,
-            fu: op.fu_kind(),
-            wait_phys,
-            wait_seqs,
-        });
-        self.activity.iq_writes += 1;
-        true
-    }
-
-    fn sample_occupancy(&mut self) {
-        let occ = &mut self.occupancy;
-        occ.iq.sample_cycle(self.iq.len() as u64);
-        occ.rob.sample_cycle(self.rob.len() as u64);
-        occ.lq.sample_cycle(self.lq.len() as u64);
-        occ.sq.sample_cycle(self.sq.len() as u64);
-        occ.regs
-            .sample_cycle((self.int_free.allocated() + self.fp_free.allocated()) as u64);
-        occ.ltp.sample_cycle(self.ltp.occupancy() as u64);
-        occ.ltp_regs.sample_cycle(self.ltp.parked_writers() as u64);
-        occ.ltp_loads.sample_cycle(self.ltp.parked_loads() as u64);
-        occ.ltp_stores.sample_cycle(self.ltp.parked_stores() as u64);
-        occ.outstanding_misses
-            .sample_cycle(self.mem.outstanding_misses(self.now) as u64);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ltp_isa::{ArchReg, BranchInfo, MemAccess, Pc, StaticInst, VecStream};
-
-    /// A simple dependent-ALU-chain program: every instruction depends on the
-    /// previous one.
-    fn alu_chain(n: u64) -> Vec<DynInst> {
-        (0..n)
-            .map(|s| {
-                DynInst::new(
-                    s,
-                    StaticInst::new(Pc(0x1000 + 4 * (s % 16)), OpClass::IntAlu)
-                        .with_dst(ArchReg::int(1))
-                        .with_src(ArchReg::int(1)),
-                )
-            })
-            .collect()
-    }
-
-    /// Independent ALU instructions across many registers (high ILP).
-    fn alu_parallel(n: u64) -> Vec<DynInst> {
-        (0..n)
-            .map(|s| {
-                let r = (s % 16 + 1) as usize;
-                DynInst::new(
-                    s,
-                    StaticInst::new(Pc(0x2000 + 4 * (s % 32)), OpClass::IntAlu)
-                        .with_dst(ArchReg::int(r))
-                        .with_src(ArchReg::int(((s + 1) % 16 + 1) as usize)),
-                )
-            })
-            .collect()
-    }
-
-    /// A pointer-chase-like loop: loads to far apart addresses feeding each
-    /// other, plus a few dependent ALU ops.
-    fn missy_loads(n: u64) -> Vec<DynInst> {
-        let mut out = Vec::new();
-        let mut seq = 0;
-        for i in 0..n {
-            let addr = 0x1000_0000u64 + (i.wrapping_mul(2_654_435_761) % 500_000) * 4096;
-            out.push(
-                DynInst::new(
-                    seq,
-                    StaticInst::new(Pc(0x3000), OpClass::Load)
-                        .with_dst(ArchReg::int(2))
-                        .with_src(ArchReg::int(1)),
-                )
-                .with_mem(MemAccess::qword(addr)),
-            );
-            seq += 1;
-            out.push(DynInst::new(
-                seq,
-                StaticInst::new(Pc(0x3004), OpClass::IntAlu)
-                    .with_dst(ArchReg::int(3))
-                    .with_src(ArchReg::int(2)),
-            ));
-            seq += 1;
-            out.push(DynInst::new(
-                seq,
-                StaticInst::new(Pc(0x3008), OpClass::IntAlu)
-                    .with_dst(ArchReg::int(1))
-                    .with_src(ArchReg::int(1)),
-            ));
-            seq += 1;
-            out.push(
-                DynInst::new(seq, StaticInst::new(Pc(0x300c), OpClass::Branch)).with_branch(
-                    BranchInfo {
-                        taken: true,
-                        target: Pc(0x3000),
-                    },
-                ),
-            );
-            seq += 1;
-        }
-        out
-    }
-
-    #[test]
-    fn all_instructions_commit() {
-        let mut p = Processor::new(PipelineConfig::micro2015_baseline());
-        let r = p.run(VecStream::new("chain", alu_chain(500)), 10_000);
-        assert_eq!(r.instructions, 500);
-        assert!(r.cycles > 0);
-    }
-
-    #[test]
-    fn dependent_chain_is_about_one_ipc_max() {
-        let mut p = Processor::new(PipelineConfig::micro2015_baseline());
-        let r = p.run(VecStream::new("chain", alu_chain(2000)), 10_000);
-        // A fully dependent chain of 1-cycle ALUs cannot beat 1 IPC.
-        assert!(r.cpi() >= 0.99, "cpi {}", r.cpi());
-        assert!(
-            r.cpi() < 3.0,
-            "a simple chain should not be much slower, cpi {}",
-            r.cpi()
-        );
-    }
-
-    #[test]
-    fn independent_alus_exploit_width() {
-        let mut p = Processor::new(PipelineConfig::micro2015_baseline());
-        let r = p.run(VecStream::new("parallel", alu_parallel(4000)), 10_000);
-        assert!(
-            r.ipc() > 2.0,
-            "independent ALU ops should reach multi-issue IPC, got {}",
-            r.ipc()
-        );
-    }
-
-    #[test]
-    fn loads_that_miss_are_long_latency() {
-        let mut p = Processor::new(PipelineConfig::micro2015_baseline());
-        let r = p.run(VecStream::new("missy", missy_loads(200)), 10_000);
-        assert!(
-            r.llc_miss_loads > 50,
-            "most far loads should miss, got {}",
-            r.llc_miss_loads
-        );
-        assert!(r.mem.avg_latency() > 12.0);
-        assert!(r.cpi() > 1.0);
-    }
-
-    #[test]
-    fn ltp_design_commits_everything_too() {
-        let mut p = Processor::new(PipelineConfig::ltp_proposed());
-        let r = p.run(VecStream::new("missy", missy_loads(300)), 10_000);
-        assert_eq!(r.instructions, 300 * 4);
-        assert!(
-            r.ltp.total_parked() > 0,
-            "the LTP must park something on a missy workload"
-        );
-        assert!(r.ltp_enabled_fraction > 0.0);
-    }
-
-    #[test]
-    fn ltp_never_loses_instructions_on_compute_bound_code() {
-        let mut p = Processor::new(PipelineConfig::ltp_proposed());
-        let r = p.run(VecStream::new("parallel", alu_parallel(3000)), 10_000);
-        assert_eq!(r.instructions, 3000);
-        // The monitor should keep LTP off nearly the whole time.
-        assert!(
-            r.ltp_enabled_fraction < 0.2,
-            "monitor should gate LTP on compute-bound code, enabled {}",
-            r.ltp_enabled_fraction
-        );
-    }
-
-    #[test]
-    fn small_iq_hurts_memory_level_parallelism() {
-        let big = Processor::new(PipelineConfig::limit_study_unlimited().with_iq(256))
-            .run(VecStream::new("missy", missy_loads(400)), 100_000);
-        let small = Processor::new(PipelineConfig::limit_study_unlimited().with_iq(16))
-            .run(VecStream::new("missy", missy_loads(400)), 100_000);
-        assert!(
-            big.cpi() <= small.cpi() + 1e-9,
-            "a larger IQ must not be slower ({} vs {})",
-            big.cpi(),
-            small.cpi()
-        );
-    }
-
-    #[test]
-    fn warmup_excludes_initial_instructions() {
-        let cfg = PipelineConfig::micro2015_baseline().with_warmup(100);
-        let mut p = Processor::new(cfg);
-        let r = p.run(VecStream::new("chain", alu_chain(400)), 10_000);
-        assert_eq!(r.instructions, 300);
-    }
-
-    #[test]
-    fn occupancy_and_activity_are_recorded() {
-        let mut p = Processor::new(PipelineConfig::micro2015_baseline());
-        let r = p.run(VecStream::new("parallel", alu_parallel(1000)), 10_000);
-        assert!(r.occupancy.rob.mean() > 0.0);
-        assert!(r.occupancy.iq.cycles() > 0);
-        assert!(r.activity.iq_writes >= 1000);
-        assert!(r.activity.iq_issues >= 1000);
-        assert!(r.activity.rf_writes >= 1000);
     }
 }

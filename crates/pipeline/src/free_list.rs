@@ -60,6 +60,13 @@ impl FreeList {
         self.peak_allocated
     }
 
+    /// Current capacity of the pool (grows as initial architectural mappings
+    /// are recycled; `usize::MAX` for the limit study's infinite file).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of allocation attempts that failed.
     #[must_use]
     pub fn failures(&self) -> u64 {

@@ -33,7 +33,7 @@
 //!     })
 //!     .collect();
 //! let mut cpu = Processor::new(PipelineConfig::micro2015_baseline());
-//! let result = cpu.run(VecStream::new("quick", insts), 1_000);
+//! let result = cpu.run(VecStream::new("quick", insts), 1_000).expect("no deadlock");
 //! assert_eq!(result.instructions, 100);
 //! assert!(result.ipc() > 1.0);
 //! ```
@@ -53,15 +53,20 @@ mod lsq;
 mod rat;
 mod result;
 mod rob;
+mod stages;
+mod state;
+#[cfg(test)]
+mod tests;
 
 pub use branch::BranchPredictor;
 pub use config::{FuCounts, PipelineConfig};
-pub use core::Processor;
+pub use core::{CycleView, Processor, RegFileSnapshot};
 pub use free_list::FreeList;
 pub use frontend::FrontEnd;
 pub use fu::FuPool;
 pub use iq::{IqEntry, IssueQueue};
 pub use lsq::{LoadQueue, MemDepPredictor, StoreQueue};
 pub use rat::{Rat, RegSource};
-pub use result::{ActivityCounters, OccupancyReport, RunResult};
+pub use result::{ActivityCounters, DeadlockSnapshot, OccupancyReport, RunError, RunResult};
 pub use rob::{Rob, RobEntry, RobState};
+pub use stages::{CommitSlot, StageBus};

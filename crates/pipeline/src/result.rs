@@ -1,7 +1,9 @@
-//! Results of a simulation run.
+//! Results of a simulation run, and the structured errors a run can end in.
 
-use ltp_core::LtpStats;
-use ltp_mem::MemoryStats;
+use crate::rob::RobState;
+use ltp_core::{LtpMode, LtpStats};
+use ltp_isa::{OpClass, SeqNum};
+use ltp_mem::{Cycle, MemoryStats};
 use ltp_stats::OccupancyTracker;
 
 /// Time-weighted occupancy of every sized structure, for the
@@ -124,9 +126,131 @@ impl RunResult {
     }
 }
 
+/// A frozen view of the machine at the moment a deadlock was detected,
+/// carried by [`RunError::Deadlock`] so a stuck configuration surfaces as
+/// inspectable data instead of a panic string.
+#[derive(Debug, Clone)]
+pub struct DeadlockSnapshot {
+    /// Name of the workload that was running.
+    pub workload: String,
+    /// Instructions committed before progress stopped.
+    pub committed: u64,
+    /// Occupied ROB entries.
+    pub rob_len: usize,
+    /// Occupied IQ entries.
+    pub iq_len: usize,
+    /// Instructions parked in the LTP.
+    pub ltp_occupancy: usize,
+    /// The ROB head blocking commit, if any: `(seq, state, op)`.
+    pub head: Option<(SeqNum, RobState, OpClass)>,
+    /// Configured IQ capacity.
+    pub iq_size: usize,
+    /// Free integer registers.
+    pub int_regs_available: usize,
+    /// Free floating point registers.
+    pub fp_regs_available: usize,
+    /// Occupied LQ entries.
+    pub lq_len: usize,
+    /// Occupied SQ entries.
+    pub sq_len: usize,
+    /// The LTP mode the machine was configured with.
+    pub ltp_mode: LtpMode,
+}
+
+impl std::fmt::Display for DeadlockSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "workload {}, committed {}, ROB {}, IQ {}, LTP {}, head {:?}, iq_size {}, \
+             regs {}/{}, lq {}, sq {}, ltp mode {:?}",
+            self.workload,
+            self.committed,
+            self.rob_len,
+            self.iq_len,
+            self.ltp_occupancy,
+            self.head,
+            self.iq_size,
+            self.int_regs_available,
+            self.fp_regs_available,
+            self.lq_len,
+            self.sq_len,
+            self.ltp_mode,
+        )
+    }
+}
+
+/// Why a simulation run could not produce a [`RunResult`].
+#[derive(Debug, Clone)]
+pub enum RunError {
+    /// No instruction committed for a very long time: a resource-accounting
+    /// deadlock (a bug or an intentionally starved configuration), with the
+    /// machine state at detection time.
+    Deadlock {
+        /// The cycle at which the deadlock was detected.
+        cycle: Cycle,
+        /// The machine state at detection time (boxed to keep the happy-path
+        /// `Result` small).
+        snapshot: Box<DeadlockSnapshot>,
+    },
+    /// The configuration selects the oracle classifier
+    /// ([`ltp_core::ClassifierKind::Oracle`]) but no analysed
+    /// [`ltp_core::OracleClassifier`] was attached before the run, so the
+    /// results would silently come from the fallback classifier.
+    OracleNotAttached,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Deadlock { cycle, snapshot } => write!(
+                f,
+                "no instruction committed for a long time at cycle {cycle} ({snapshot}): \
+                 resource accounting deadlock"
+            ),
+            RunError::OracleNotAttached => write!(
+                f,
+                "the configuration selects ClassifierKind::Oracle but no analysed \
+                 OracleClassifier was attached (Processor::set_oracle) before the run"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_error_display_carries_the_snapshot() {
+        let err = RunError::Deadlock {
+            cycle: 1234,
+            snapshot: Box::new(DeadlockSnapshot {
+                workload: "chain".into(),
+                committed: 17,
+                rob_len: 256,
+                iq_len: 32,
+                ltp_occupancy: 5,
+                head: Some((SeqNum(17), RobState::Parked, OpClass::Load)),
+                iq_size: 32,
+                int_regs_available: 0,
+                fp_regs_available: 96,
+                lq_len: 3,
+                sq_len: 0,
+                ltp_mode: LtpMode::NonUrgentOnly,
+            }),
+        };
+        let text = err.to_string();
+        assert!(text.contains("cycle 1234"));
+        assert!(text.contains("workload chain"));
+        assert!(text.contains("deadlock"));
+        let RunError::Deadlock { cycle, snapshot } = err else {
+            panic!("constructed a deadlock, matched something else");
+        };
+        assert_eq!(cycle, 1234);
+        assert_eq!(snapshot.committed, 17);
+    }
 
     fn result(cycles: u64, insts: u64, outstanding: f64, avg_latency: f64) -> RunResult {
         let mut occupancy = OccupancyReport::default();

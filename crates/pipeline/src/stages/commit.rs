@@ -1,0 +1,79 @@
+//! Commit stage: retire completed instructions in program order.
+//!
+//! Frees the previous register mapping of each committed instruction (the
+//! "second RAT" bookkeeping for released parked writers included), releases
+//! LQ/SQ entries, performs the store write as the store drains, and records
+//! every commit slot and freed register on the [`StageBus`].
+
+use crate::rat::RegSource;
+use crate::stages::{CommitSlot, StageBus};
+use crate::state::PipelineState;
+use ltp_isa::RegClass;
+use ltp_mem::{AccessKind, MemoryRequest};
+
+/// Runs the commit stage for one cycle (up to `commit_width` instructions).
+pub(crate) fn run(state: &mut PipelineState, bus: &mut StageBus) {
+    for _ in 0..state.cfg.commit_width {
+        let Some(entry) = state.rob.try_commit() else {
+            break;
+        };
+        state.committed += 1;
+        state.last_commit_cycle = state.now;
+
+        match entry.prev_mapping {
+            RegSource::Ready => {
+                // First rename of this architectural register: the
+                // physical register that held its initial value is
+                // recycled into the available pool (footnote 4 of the
+                // paper counts "available" registers beyond the
+                // architectural state).
+                if let Some(dst) = entry.dst {
+                    match dst.class() {
+                        RegClass::Int => state.int_free.add_capacity(1),
+                        RegClass::Fp => state.fp_free.add_capacity(1),
+                    }
+                }
+            }
+            RegSource::Phys(p) => {
+                state.free_dest(p);
+                bus.reg_frees.push(p);
+            }
+            RegSource::Parked(s) => {
+                if let Some(p) = state.released_parked_regs.remove(&s.0) {
+                    state.free_dest(p);
+                    bus.reg_frees.push(p);
+                }
+            }
+        }
+
+        if entry.holds_lq {
+            state.lq.release(entry.seq);
+        }
+        if entry.holds_sq {
+            // The store performs its write as it drains from the SQ.
+            if let Some(infl) = state.inflight.get(&entry.seq.0) {
+                if let Some(access) = infl.inst.mem_access() {
+                    let req = MemoryRequest::new(entry.pc, access.addr(), AccessKind::Store);
+                    let _ = state.mem.access(state.now, &req);
+                }
+            }
+            state.sq.release(entry.seq);
+        }
+
+        if entry.op.is_load() {
+            state.loads_committed += 1;
+            if entry.long_latency {
+                state.llc_miss_loads += 1;
+            }
+        }
+        if entry.op.is_store() {
+            state.stores_committed += 1;
+        }
+        bus.commits.push(CommitSlot {
+            seq: entry.seq,
+            op: entry.op,
+            was_parked: entry.was_parked,
+        });
+        state.inflight.remove(&entry.seq.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Issue stage: wakeup/select from the issue queue and execute.
+//!
+//! Selects up to `issue_width` ready instructions whose functional unit is
+//! available, models execution (cache access for loads, fixed latencies for
+//! arithmetic) and schedules the resulting completion and early
+//! long-latency signals on the [`StageBus`] for the writeback stage.
+
+use crate::rob::RobState;
+use crate::stages::StageBus;
+use crate::state::PipelineState;
+use ltp_isa::{DynInst, OpClass};
+use ltp_mem::{AccessKind, Cycle, MemoryRequest};
+
+/// Runs the issue stage for one cycle.
+pub(crate) fn run(state: &mut PipelineState, bus: &mut StageBus) {
+    let now = state.now;
+    let PipelineState { iq, fu, .. } = state;
+    let picked = iq.select(state.cfg.issue_width, |kind| {
+        // Reserve the unit immediately; unpipelined units use their
+        // worst-case occupancy.
+        let latency = match kind {
+            ltp_isa::FuKind::IntMulDiv => OpClass::IntDiv.exec_latency().cycles(),
+            ltp_isa::FuKind::FpDivSqrt => OpClass::FpSqrt.exec_latency().cycles(),
+            _ => 1,
+        };
+        fu.acquire(kind, now, latency)
+    });
+
+    for entry in picked {
+        let seq = entry.seq;
+        state.activity.iq_issues += 1;
+        let (inst, n_srcs) = {
+            let infl = state
+                .inflight
+                .get(&seq.0)
+                .expect("issued instruction must be in flight");
+            (infl.inst, infl.inst.static_inst().dataflow_srcs().count())
+        };
+        state.activity.rf_reads += n_srcs as u64;
+
+        let op = inst.op();
+        let (completion, long_latency, ll_signal) = if op.is_load() {
+            execute_load(state, &inst)
+        } else if op.is_store() {
+            let done = state.now + 1;
+            if let Some(access) = inst.mem_access() {
+                state
+                    .sq
+                    .set_address(seq, ltp_mem::line_of(access.addr()), done);
+            }
+            (done, false, None)
+        } else {
+            let latency = op.exec_latency().cycles();
+            let done = state.now + latency;
+            if op.is_long_latency_arith() {
+                // The divide/sqrt latency is approximately known, so the
+                // wakeup signal is sent a few cycles before completion.
+                (done, true, Some(done.saturating_sub(3)))
+            } else {
+                (done, false, None)
+            }
+        };
+
+        if let Some(e) = state.rob.get_mut(seq) {
+            e.state = RobState::Executing;
+            e.completion_cycle = completion;
+            e.long_latency = e.long_latency || long_latency;
+        }
+        bus.schedule_completion(completion, seq);
+        if let Some(signal) = ll_signal {
+            bus.schedule_ll_signal(signal.max(state.now), seq);
+        }
+    }
+}
+
+/// Executes a load: address generation, store forwarding check, cache
+/// access. Returns `(completion cycle, is long latency, early signal)`.
+fn execute_load(state: &mut PipelineState, inst: &DynInst) -> (Cycle, bool, Option<Cycle>) {
+    let agen_done = state.now + 1;
+    let Some(access) = inst.mem_access() else {
+        return (agen_done, false, None);
+    };
+    let line = ltp_mem::line_of(access.addr());
+
+    // Store-to-load forwarding from an older store to the same line.
+    if let Some((data_ready, store_was_parked)) = state.sq.forward_for(inst.seq(), line) {
+        if store_was_parked {
+            // Remember this load for the §5.3 memory-dependence rule.
+            state.memdep.train(inst.pc());
+        }
+        let done = data_ready.max(agen_done) + 1;
+        state.ltp.on_load_outcome(inst.pc(), false, state.now);
+        return (done, false, None);
+    }
+
+    let req = MemoryRequest::new(inst.pc(), access.addr(), AccessKind::Load);
+    let result = state.mem.access(agen_done, &req);
+    let long_latency = result.latency() > state.cfg.mem.l3.latency;
+    state
+        .ltp
+        .on_load_outcome(inst.pc(), result.is_llc_miss(), state.now);
+    let signal = if long_latency {
+        Some(result.tag_known_cycle)
+    } else {
+        None
+    };
+    (result.completion_cycle, long_latency, signal)
+}

@@ -1,0 +1,19 @@
+//! The pipeline stages and the signal bus that connects them.
+//!
+//! Each stage module implements exactly one of the per-cycle phases of
+//! [`crate::Processor::cycle`]; the orchestrator calls them back-to-front
+//! (writeback → commit → release → issue → rename), the classic trick that
+//! lets one pass per cycle model same-cycle forwarding without double
+//! processing. Stages share the machine substrate (`PipelineState`) and
+//! exchange signals — wakeups, register frees, ticket clears, commit slots,
+//! scheduled completions, the force-release latch — through the [`StageBus`].
+
+mod bus;
+pub(crate) mod commit;
+pub(crate) mod issue;
+pub(crate) mod release;
+pub(crate) mod rename;
+pub(crate) mod writeback;
+
+pub use bus::{CommitSlot, StageBus};
+pub(crate) use rename::RenameStage;

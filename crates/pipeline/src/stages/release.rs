@@ -1,0 +1,166 @@
+//! LTP release stage: move parked instructions into the issue queue.
+//!
+//! Three release paths, in priority order (§3.2 / §5.2 / §5.4):
+//!
+//! 1. **In-order** (ROB proximity): parked instructions older than the
+//!    Non-Urgent wakeup boundary are released in program order.
+//! 2. **Out-of-order** (tickets): Urgent instructions whose tickets have all
+//!    cleared leave early (appendix A; only with Non-Ready parking).
+//! 3. **Forced** (deadlock avoidance): when rename stalled on resources (the
+//!    [`StageBus`] force-release latch) or nothing committed for a while, the
+//!    oldest parked instruction is pushed out through the reserved bypass.
+
+use crate::iq::IqEntry;
+use crate::rob::RobState;
+use crate::stages::StageBus;
+use crate::state::PipelineState;
+use ltp_core::ParkedInst;
+
+/// Runs the release stage for one cycle.
+pub(crate) fn run(state: &mut PipelineState, bus: &mut StageBus) {
+    let boundary = state.rob.nu_wake_boundary();
+    let mut released_any = false;
+
+    // In-order (ROB proximity) releases, §3.2 / §5.2.
+    while let Some(seq) = state.ltp.oldest_parked() {
+        if !seq.is_older_than(boundary) {
+            break;
+        }
+        let Some(entry) = state.rob.get(seq) else {
+            break;
+        };
+        if !state.can_place_released(entry) {
+            break;
+        }
+        let released = state.ltp.release_in_order(boundary, 1, state.now);
+        let Some(parked) = released.into_iter().next() else {
+            break;
+        };
+        place_released(state, bus, parked, false);
+        released_any = true;
+    }
+
+    // Out-of-order releases of Urgent instructions whose tickets cleared
+    // (only meaningful when Non-Ready parking is enabled, appendix A).
+    if state.ltp.config().mode.parks_non_ready() {
+        loop {
+            // Out-of-order releases are never the ROB head, so they must
+            // always leave the last register of each class untouched.
+            if !state.iq.has_space()
+                || state.int_free.available() <= 1
+                || state.fp_free.available() <= 1
+                || (state.cfg.delay_lsq_alloc && (!state.lq.has_space() || !state.sq.has_space()))
+            {
+                break;
+            }
+            let released = state.ltp.release_ready_out_of_order(1, state.now);
+            let Some(parked) = released.into_iter().next() else {
+                break;
+            };
+            place_released(state, bus, parked, false);
+            released_any = true;
+        }
+    }
+
+    // Deadlock avoidance (§5.4): when rename stalled for resources, or
+    // nothing has committed for a while, and no ordinary release made
+    // progress, force the oldest parked instruction out (through the
+    // reserved bypass) so it can eventually commit and free resources.
+    let force_requested = bus.take_force_release();
+    let stalled_long = state.now.saturating_sub(state.last_commit_cycle) > 64;
+    let bypass_has_room = state.cfg.iq_size == usize::MAX
+        || state.iq.len() < state.cfg.iq_size.saturating_add(state.cfg.ltp_reserve);
+    if (force_requested || stalled_long)
+        && !released_any
+        && state.ltp.occupancy() > 0
+        && bypass_has_room
+    {
+        if let Some(seq) = state.ltp.oldest_parked() {
+            let can = state
+                .rob
+                .get(seq)
+                .map(|e| state.can_force_release(e))
+                .unwrap_or(false);
+            if can {
+                if let Some(parked) = state.ltp.force_release_oldest(state.now) {
+                    place_released(state, bus, parked, true);
+                }
+            }
+        }
+    }
+}
+
+/// Places a released parked instruction into the IQ, allocating its
+/// destination register through the "second RAT" and, when LQ/SQ allocation
+/// is delayed, its memory-queue entry.
+fn place_released(state: &mut PipelineState, bus: &mut StageBus, parked: ParkedInst, forced: bool) {
+    let seq = parked.seq;
+    let (src_phys, src_seqs, op) = {
+        let infl = state
+            .inflight
+            .get(&seq.0)
+            .expect("released instruction must be in flight");
+        (infl.src_phys.clone(), infl.src_seqs.clone(), infl.inst.op())
+    };
+
+    // Allocate the destination register through the "second RAT".
+    let mut dest_phys = None;
+    if let Some(entry) = state.rob.get(seq) {
+        if let Some(dst) = entry.dst {
+            let phys = state
+                .alloc_dest(dst.class())
+                .expect("release resource check guarantees a register");
+            dest_phys = Some(phys);
+            if !state.rat.resolve_parked(dst, seq, phys) {
+                // A younger writer renamed the register meanwhile; its
+                // commit frees this register through the parked map.
+                state.released_parked_regs.insert(seq.0, phys);
+            }
+        }
+    }
+
+    let delay_lsq = state.cfg.delay_lsq_alloc;
+    if let Some(entry) = state.rob.get_mut(seq) {
+        entry.dest_phys = dest_phys;
+        entry.state = RobState::InQueue;
+        if delay_lsq {
+            if entry.op.is_load() && !entry.holds_lq {
+                entry.holds_lq = true;
+            }
+            if entry.op.is_store() && !entry.holds_sq {
+                entry.holds_sq = true;
+            }
+        }
+    }
+    if delay_lsq {
+        if op.is_load() {
+            state.lq.allocate(seq);
+        }
+        if op.is_store() {
+            state.sq.allocate(seq, true);
+        }
+    }
+
+    let wait_phys = src_phys
+        .into_iter()
+        .filter(|p| !state.completed_regs.contains(p))
+        .collect();
+    let wait_seqs = src_seqs
+        .into_iter()
+        .filter(|s| !state.is_seq_done(*s))
+        .collect();
+    let entry = IqEntry {
+        seq,
+        fu: op.fu_kind(),
+        wait_phys,
+        wait_seqs,
+    };
+    if forced {
+        state.iq.force_dispatch(entry);
+    } else {
+        state.iq.dispatch(entry);
+    }
+    bus.releases.push(seq);
+    state.activity.ltp_reads += 1;
+    state.activity.iq_writes += 1;
+}

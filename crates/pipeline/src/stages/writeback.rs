@@ -1,0 +1,48 @@
+//! Writeback stage: retire completion events into architectural visibility.
+//!
+//! Consumes the delayed completion and early long-latency signals the issue
+//! stage scheduled on the [`StageBus`], marks the ROB entries completed,
+//! publishes the wakeup broadcast (physical-register and sequence-number
+//! wakeups) on the bus and applies it to the issue queue, and clears LTP
+//! tickets so Non-Ready descendants can be released in time (§3.2).
+
+use crate::rob::RobState;
+use crate::stages::StageBus;
+use crate::state::PipelineState;
+
+/// Runs the writeback stage for one cycle.
+pub(crate) fn run(state: &mut PipelineState, bus: &mut StageBus) {
+    // Instruction completions.
+    while let Some(seq) = bus.pop_due_completion(state.now) {
+        if let Some(entry) = state.rob.get_mut(seq) {
+            entry.state = RobState::Completed;
+            if let Some(p) = entry.dest_phys {
+                state.completed_regs.insert(p);
+                bus.reg_wakeups.push(p);
+                state.activity.rf_writes += 1;
+            }
+        }
+        bus.seq_wakeups.push(seq);
+        // Safety net for ticket clearing: whatever the early-signal path
+        // did, a completed instruction's ticket must be cleared so its
+        // Non-Ready descendants can leave the LTP (a load predicted to
+        // miss may actually have hit and never produced an early signal).
+        let _ = state.ltp.on_long_latency_completing(seq, state.now);
+    }
+    // Early completion signals of long-latency instructions (tag hit /
+    // divide countdown): clear their tickets so Non-Ready instructions
+    // can be released in time (§3.2).
+    while let Some(seq) = bus.pop_due_ll_signal(state.now) {
+        bus.ticket_clears.push(seq);
+        let _ = state.ltp.on_long_latency_completing(seq, state.now);
+    }
+    // Apply the wakeup broadcast to the issue queue. The issue stage runs
+    // later in the cycle, so consumers woken here can be selected this cycle,
+    // exactly as when the wakeups were applied inline per completion.
+    for &p in &bus.reg_wakeups {
+        state.iq.wake_phys(p);
+    }
+    for &s in &bus.seq_wakeups {
+        state.iq.wake_seq(s);
+    }
+}

@@ -1,0 +1,222 @@
+//! The shared machine state ("substrate") that every pipeline stage operates
+//! on.
+//!
+//! [`PipelineState`] owns all back-end structures — ROB, IQ, RAT, free lists,
+//! LQ/SQ, functional units, the memory hierarchy and the LTP unit — plus the
+//! run-wide counters. The per-stage *logic* lives in the [`crate::stages`]
+//! modules; stages read and write this state and exchange per-cycle signals
+//! through the [`crate::StageBus`]. Helper predicates shared by more than one
+//! stage (register allocation, the §5.4 release-reserve checks) are methods
+//! here so the stages stay small.
+
+use crate::config::PipelineConfig;
+use crate::free_list::FreeList;
+use crate::iq::IssueQueue;
+use crate::lsq::{LoadQueue, MemDepPredictor, StoreQueue};
+use crate::rat::{Rat, RegSource};
+use crate::result::{ActivityCounters, OccupancyReport};
+use crate::rob::{Rob, RobEntry};
+use crate::FuPool;
+use ltp_core::LtpUnit;
+use ltp_isa::{DynInst, PhysReg, RegClass, SeqNum};
+use ltp_mem::{Cycle, MemoryHierarchy};
+use std::collections::{HashMap, HashSet};
+
+/// Offset separating floating point physical register indices from integer
+/// ones, so both free lists can share the dense [`PhysReg`] namespace.
+pub(crate) const FP_PHYS_OFFSET: u32 = 1 << 20;
+
+/// Per-instruction in-flight metadata not stored in the ROB.
+#[derive(Debug, Clone)]
+pub(crate) struct InFlight {
+    pub(crate) inst: DynInst,
+    /// Source operands resolved at rename time: physical registers...
+    pub(crate) src_phys: Vec<PhysReg>,
+    /// ... and producers that were parked at rename time (waited on by
+    /// sequence number).
+    pub(crate) src_seqs: Vec<SeqNum>,
+}
+
+/// All machine state shared between the pipeline stages.
+#[derive(Debug)]
+pub(crate) struct PipelineState {
+    pub(crate) cfg: PipelineConfig,
+    pub(crate) now: Cycle,
+    pub(crate) mem: MemoryHierarchy,
+    pub(crate) ltp: LtpUnit,
+    pub(crate) rob: Rob,
+    pub(crate) iq: IssueQueue,
+    pub(crate) rat: Rat,
+    pub(crate) int_free: FreeList,
+    pub(crate) fp_free: FreeList,
+    pub(crate) lq: LoadQueue,
+    pub(crate) sq: StoreQueue,
+    pub(crate) memdep: MemDepPredictor,
+    pub(crate) fu: FuPool,
+    pub(crate) inflight: HashMap<u64, InFlight>,
+    pub(crate) completed_regs: HashSet<PhysReg>,
+    pub(crate) released_parked_regs: HashMap<u64, PhysReg>,
+    pub(crate) committed: u64,
+    pub(crate) loads_committed: u64,
+    pub(crate) stores_committed: u64,
+    pub(crate) llc_miss_loads: u64,
+    pub(crate) last_commit_cycle: Cycle,
+    pub(crate) occupancy: OccupancyReport,
+    pub(crate) activity: ActivityCounters,
+}
+
+impl PipelineState {
+    // --- register helpers ---------------------------------------------------
+
+    pub(crate) fn alloc_dest(&mut self, class: RegClass) -> Option<PhysReg> {
+        match class {
+            RegClass::Int => self.int_free.allocate(),
+            RegClass::Fp => self
+                .fp_free
+                .allocate()
+                .map(|p| PhysReg::new(p.index() as u32 + FP_PHYS_OFFSET)),
+        }
+    }
+
+    pub(crate) fn can_alloc_beyond_reserve(&self, class: RegClass, reserve: usize) -> bool {
+        match class {
+            RegClass::Int => self.int_free.can_allocate_beyond_reserve(reserve),
+            RegClass::Fp => self.fp_free.can_allocate_beyond_reserve(reserve),
+        }
+    }
+
+    pub(crate) fn free_dest(&mut self, reg: PhysReg) {
+        self.completed_regs.remove(&reg);
+        if (reg.index() as u32) >= FP_PHYS_OFFSET {
+            self.fp_free
+                .free(PhysReg::new(reg.index() as u32 - FP_PHYS_OFFSET));
+        } else {
+            self.int_free.free(reg);
+        }
+    }
+
+    pub(crate) fn is_seq_done(&self, seq: SeqNum) -> bool {
+        self.rob.get(seq).map(|e| e.is_completed()).unwrap_or(true)
+    }
+
+    pub(crate) fn resolve_sources(&self, inst: &DynInst) -> (Vec<PhysReg>, Vec<SeqNum>) {
+        let mut phys = Vec::new();
+        let mut seqs = Vec::new();
+        for src in inst.static_inst().dataflow_srcs() {
+            match self.rat.source(src) {
+                RegSource::Ready => {}
+                RegSource::Phys(p) => {
+                    if !self.completed_regs.contains(&p) {
+                        phys.push(p);
+                    }
+                }
+                RegSource::Parked(s) => {
+                    if !self.is_seq_done(s) {
+                        seqs.push(s);
+                    }
+                }
+            }
+        }
+        (phys, seqs)
+    }
+
+    // --- release-reserve predicates (§5.4) ----------------------------------
+
+    /// Whether `entry` is the oldest instruction in the machine (the ROB
+    /// head). The last free register of a class is reserved for the head so
+    /// that younger releases can never starve it (§5.4's "we always pick the
+    /// oldest instruction").
+    pub(crate) fn is_rob_head(&self, entry: &RobEntry) -> bool {
+        self.rob.head().map(|h| h.seq) == Some(entry.seq)
+    }
+
+    /// Register-availability check for placing a released instruction: a
+    /// non-head release must leave at least one register of the class free
+    /// for the (current or future) ROB head.
+    pub(crate) fn release_reg_available(&self, entry: &RobEntry) -> bool {
+        let Some(dst) = entry.dst else { return true };
+        let available = match dst.class() {
+            RegClass::Int => self.int_free.available(),
+            RegClass::Fp => self.fp_free.available(),
+        };
+        if self.is_rob_head(entry) {
+            available > 0
+        } else {
+            available > 1
+        }
+    }
+
+    /// Whether a *forced* release (deadlock-avoidance path) can be placed:
+    /// it only needs a destination register (drawn from the §5.4 reserve) and,
+    /// when LQ/SQ allocation is delayed, a memory-queue entry; the IQ is
+    /// bypassed through the reserved slot.
+    pub(crate) fn can_force_release(&self, entry: &RobEntry) -> bool {
+        if !self.release_reg_available(entry) {
+            return false;
+        }
+        self.release_lsq_available(entry)
+    }
+
+    /// LQ/SQ-availability check for releases when allocation is delayed: the
+    /// last entry of each queue is reserved for the ROB head.
+    pub(crate) fn release_lsq_available(&self, entry: &RobEntry) -> bool {
+        if !self.cfg.delay_lsq_alloc {
+            return true;
+        }
+        let head = self.is_rob_head(entry);
+        if entry.op.is_load() && !entry.holds_lq {
+            let ok = if head {
+                self.lq.has_space()
+            } else {
+                self.lq.has_space_beyond_reserve(1)
+            };
+            if !ok {
+                return false;
+            }
+        }
+        if entry.op.is_store() && !entry.holds_sq {
+            let ok = if head {
+                self.sq.has_space()
+            } else {
+                self.sq.has_space_beyond_reserve(1)
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the resources needed to place a released parked instruction
+    /// are available right now.
+    pub(crate) fn can_place_released(&self, entry: &RobEntry) -> bool {
+        if !self.iq.has_space() {
+            return false;
+        }
+        // Releases may dip into the register reserve (that is what it is
+        // for), but only the ROB head may take the very last register (and,
+        // with delayed LQ/SQ allocation, the last memory-queue entry).
+        if !self.release_reg_available(entry) {
+            return false;
+        }
+        self.release_lsq_available(entry)
+    }
+
+    // --- per-cycle sampling -------------------------------------------------
+
+    pub(crate) fn sample_occupancy(&mut self) {
+        let occ = &mut self.occupancy;
+        occ.iq.sample_cycle(self.iq.len() as u64);
+        occ.rob.sample_cycle(self.rob.len() as u64);
+        occ.lq.sample_cycle(self.lq.len() as u64);
+        occ.sq.sample_cycle(self.sq.len() as u64);
+        occ.regs
+            .sample_cycle((self.int_free.allocated() + self.fp_free.allocated()) as u64);
+        occ.ltp.sample_cycle(self.ltp.occupancy() as u64);
+        occ.ltp_regs.sample_cycle(self.ltp.parked_writers() as u64);
+        occ.ltp_loads.sample_cycle(self.ltp.parked_loads() as u64);
+        occ.ltp_stores.sample_cycle(self.ltp.parked_stores() as u64);
+        occ.outstanding_misses
+            .sample_cycle(self.mem.outstanding_misses(self.now) as u64);
+    }
+}

@@ -11,9 +11,10 @@
 //! ```
 
 use ltp_core::{LtpConfig, LtpMode, OracleAnalysis};
+use ltp_experiments::SimBuilder;
 use ltp_mem::MemoryConfig;
-use ltp_pipeline::{PipelineConfig, Processor};
-use ltp_workloads::{replay, trace, WorkloadKind};
+use ltp_pipeline::PipelineConfig;
+use ltp_workloads::{trace, WorkloadKind};
 
 fn main() {
     // --- classification of one steady-state iteration -----------------------
@@ -37,18 +38,27 @@ fn main() {
 
     // --- effect of parking on the IQ and on MLP ------------------------------
     let insts = 30_000u64;
-    let detail = trace(WorkloadKind::IndirectStream, 2, insts as usize);
+    let kind = WorkloadKind::IndirectStream;
 
-    let mut without = Processor::new(PipelineConfig::limit_study_unlimited().with_iq(32));
-    let res_without = without.run(replay("indirect_stream", detail.clone()), insts);
+    // The detailed trace is generated with `seed + 1`; no cache warming, as
+    // in the original study of this figure.
+    let res_without = SimBuilder::new(PipelineConfig::limit_study_unlimited().with_iq(32), kind)
+        .seed(1)
+        .warm_insts(0)
+        .detail_insts(insts)
+        .run()
+        .expect("simulation deadlocked");
 
     let cfg_with = PipelineConfig::limit_study_unlimited()
         .with_iq(32)
         .with_ltp(LtpConfig::ideal(LtpMode::NonUrgentOnly))
         .with_oracle(true);
-    let mut with = Processor::new(cfg_with);
-    with.set_oracle(OracleAnalysis::default().analyze(&detail, &cfg_with.mem));
-    let res_with = with.run(replay("indirect_stream", detail), insts);
+    let res_with = SimBuilder::new(cfg_with, kind)
+        .seed(1)
+        .warm_insts(0)
+        .detail_insts(insts)
+        .run()
+        .expect("simulation deadlocked");
 
     println!("\nEffect of parking the Non-Urgent instructions (paper Figure 3):\n");
     println!(

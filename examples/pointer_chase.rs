@@ -10,15 +10,17 @@
 //! cargo run --release --example pointer_chase
 //! ```
 
-use ltp_pipeline::{PipelineConfig, Processor};
-use ltp_workloads::{replay, trace, WorkloadKind};
+use ltp_experiments::SimBuilder;
+use ltp_pipeline::PipelineConfig;
+use ltp_workloads::WorkloadKind;
 
 fn run(cfg: PipelineConfig, kind: WorkloadKind, insts: u64) -> (f64, f64) {
-    let warm = trace(kind, 1, 10_000);
-    let detail = trace(kind, 2, insts as usize);
-    let mut cpu = Processor::new(cfg);
-    cpu.warm_caches(&warm);
-    let r = cpu.run(replay(kind.name(), detail), insts);
+    let r = SimBuilder::new(cfg, kind)
+        .seed(1)
+        .warm_insts(10_000)
+        .detail_insts(insts)
+        .run()
+        .expect("simulation deadlocked");
     (r.cpi(), r.avg_outstanding_misses())
 }
 

@@ -5,18 +5,19 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ltp_pipeline::{PipelineConfig, Processor, RunResult};
-use ltp_workloads::{replay, trace, WorkloadKind};
+use ltp_experiments::SimBuilder;
+use ltp_pipeline::{PipelineConfig, RunResult};
+use ltp_workloads::WorkloadKind;
 
 fn simulate(label: &str, cfg: PipelineConfig, kind: WorkloadKind, insts: u64) -> RunResult {
     // Warm the caches with a prefix of the workload, then run a detailed
     // simulation of `insts` instructions.
-    let warm = trace(kind, 1, 20_000);
-    let detail = trace(kind, 2, insts as usize);
-
-    let mut cpu = Processor::new(cfg);
-    cpu.warm_caches(&warm);
-    let result = cpu.run(replay(kind.name(), detail), insts);
+    let result = SimBuilder::new(cfg, kind)
+        .seed(1)
+        .warm_insts(20_000)
+        .detail_insts(insts)
+        .run()
+        .expect("simulation deadlocked");
 
     println!("--- {label} ---");
     println!("  instructions      : {}", result.instructions);

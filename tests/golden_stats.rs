@@ -1,0 +1,134 @@
+//! Golden-stats regression test: pins the simulator's cycle-for-cycle
+//! behaviour to fingerprints captured from the pre-refactor (seed) code.
+//!
+//! Every fingerprint covers one `(workload, LtpMode, classification path)`
+//! point: cycle count, committed instructions, LTP parking/release counters,
+//! IQ/RF activity, LLC-missing loads and time-weighted occupancies. Any
+//! change to the timing behaviour of the pipeline — stage ordering, resource
+//! accounting, wakeup timing, classification — shifts at least one of these
+//! numbers, so a green run proves the stage-module refactor is
+//! cycle-for-cycle identical to the monolithic seed simulator.
+
+use ltp_core::{LtpConfig, LtpMode};
+use ltp_experiments::runner::{limit_study_config, run_point, RunOptions};
+use ltp_pipeline::{PipelineConfig, RunResult};
+use ltp_workloads::WorkloadKind;
+
+/// The exact run options the fingerprints were captured with.
+fn opts() -> RunOptions {
+    RunOptions {
+        detail_insts: 6_000,
+        warm_insts: 4_000,
+        seed: 2015,
+    }
+}
+
+/// Renders the stable fingerprint of a run.
+fn fingerprint(r: &RunResult) -> String {
+    format!(
+        "cycles={} insts={} parked={} rel_io={} rel_ooo={} forced={} iqw={} rfw={} llc={} \
+         ltp_occ={:.6} ltp_peak={} iq_occ={:.6} regs_occ={:.6}",
+        r.cycles,
+        r.instructions,
+        r.ltp.total_parked(),
+        r.ltp.released_in_order,
+        r.ltp.released_out_of_order,
+        r.ltp.force_released,
+        r.activity.iq_writes,
+        r.activity.rf_writes,
+        r.llc_miss_loads,
+        r.occupancy.ltp.mean(),
+        r.occupancy.ltp.peak(),
+        r.occupancy.iq.mean(),
+        r.occupancy.regs.mean(),
+    )
+}
+
+/// The realistic (UIT-classified) machine for a given LTP mode: the proposed
+/// design's sizing with only the parking mode changed.
+fn realistic(mode: LtpMode) -> PipelineConfig {
+    match mode {
+        LtpMode::Off => PipelineConfig::small_no_ltp(),
+        m => {
+            let ltp = LtpConfig {
+                mode: m,
+                ..LtpConfig::nu_only_128x4()
+            };
+            PipelineConfig::ltp_proposed().with_ltp(ltp)
+        }
+    }
+}
+
+/// Fingerprints captured from the seed (pre-refactor) simulator at commit
+/// `acf9cc5` with `examples`-equivalent code. Do not regenerate casually:
+/// a mismatch means the simulator is no longer cycle-identical to the seed.
+const GOLDEN: &[(&str, &str)] = &[
+    ("indirect_stream/Off/uit", "cycles=11258 insts=6000 parked=0 rel_io=0 rel_ooo=0 forced=0 iqw=6000 rfw=4910 llc=562 ltp_occ=0.000000 ltp_peak=0 iq_occ=23.338160 regs_occ=102.747646"),
+    ("indirect_stream/Off/oracle", "cycles=8286 insts=6000 parked=0 rel_io=0 rel_ooo=0 forced=0 iqw=6000 rfw=4910 llc=565 ltp_occ=0.000000 ltp_peak=0 iq_occ=31.505914 regs_occ=138.044654"),
+    ("indirect_stream/NonUrgentOnly/uit", "cycles=10207 insts=6000 parked=2636 rel_io=214 rel_ooo=0 forced=2422 iqw=6000 rfw=4910 llc=564 ltp_occ=27.361908 ltp_peak=85 iq_occ=19.686490 regs_occ=98.604487"),
+    ("indirect_stream/NonUrgentOnly/oracle", "cycles=5776 insts=6000 parked=3185 rel_io=2373 rel_ooo=0 forced=812 iqw=6000 rfw=4910 llc=580 ltp_occ=105.843144 ltp_peak=133 iq_occ=11.935769 regs_occ=136.830159"),
+    ("indirect_stream/NonReadyOnly/uit", "cycles=12265 insts=6000 parked=1030 rel_io=0 rel_ooo=0 forced=1030 iqw=6000 rfw=4910 llc=563 ltp_occ=0.136323 ltp_peak=12 iq_occ=20.980514 regs_occ=95.099225"),
+    ("indirect_stream/NonReadyOnly/oracle", "cycles=8145 insts=6000 parked=1035 rel_io=0 rel_ooo=4 forced=1031 iqw=6000 rfw=4910 llc=572 ltp_occ=1.147821 ltp_peak=43 iq_occ=31.338244 regs_occ=141.658072"),
+    ("indirect_stream/Both/uit", "cycles=10783 insts=6000 parked=2638 rel_io=74 rel_ooo=8 forced=2556 iqw=6000 rfw=4910 llc=563 ltp_occ=17.064824 ltp_peak=79 iq_occ=20.196699 regs_occ=98.471297"),
+    ("indirect_stream/Both/oracle", "cycles=5777 insts=6000 parked=3209 rel_io=2448 rel_ooo=4 forced=757 iqw=6000 rfw=4910 llc=582 ltp_occ=107.034447 ltp_peak=139 iq_occ=11.560845 regs_occ=134.032889"),
+    ("gather_fp/Off/uit", "cycles=15599 insts=6000 parked=0 rel_io=0 rel_ooo=0 forced=0 iqw=6000 rfw=5480 llc=1044 ltp_occ=0.000000 ltp_peak=0 iq_occ=31.774857 regs_occ=92.026732"),
+    ("gather_fp/Off/oracle", "cycles=15599 insts=6000 parked=0 rel_io=0 rel_ooo=0 forced=0 iqw=6000 rfw=5480 llc=1044 ltp_occ=0.000000 ltp_peak=0 iq_occ=31.774857 regs_occ=92.026732"),
+    ("gather_fp/NonUrgentOnly/uit", "cycles=15539 insts=6000 parked=2593 rel_io=2 rel_ooo=0 forced=2591 iqw=6000 rfw=5480 llc=1044 ltp_occ=0.380076 ltp_peak=27 iq_occ=32.267199 regs_occ=92.896905"),
+    ("gather_fp/NonUrgentOnly/oracle", "cycles=15476 insts=6000 parked=2843 rel_io=2 rel_ooo=0 forced=2841 iqw=6000 rfw=5480 llc=1047 ltp_occ=0.459550 ltp_peak=18 iq_occ=32.263569 regs_occ=93.089623"),
+    ("gather_fp/NonReadyOnly/uit", "cycles=15571 insts=6000 parked=2298 rel_io=2 rel_ooo=0 forced=2296 iqw=6000 rfw=5480 llc=1044 ltp_occ=0.273264 ltp_peak=4 iq_occ=32.191895 regs_occ=92.540299"),
+    ("gather_fp/NonReadyOnly/oracle", "cycles=15571 insts=6000 parked=2333 rel_io=2 rel_ooo=0 forced=2331 iqw=6000 rfw=5480 llc=1047 ltp_occ=0.292916 ltp_peak=13 iq_occ=32.203905 regs_occ=92.577805"),
+    ("gather_fp/Both/uit", "cycles=15561 insts=6000 parked=2590 rel_io=2 rel_ooo=4 forced=2584 iqw=6000 rfw=5480 llc=1044 ltp_occ=0.358782 ltp_peak=17 iq_occ=32.209113 regs_occ=92.633635"),
+    ("gather_fp/Both/oracle", "cycles=15447 insts=6000 parked=2854 rel_io=2 rel_ooo=0 forced=2852 iqw=6000 rfw=5480 llc=1047 ltp_occ=0.480546 ltp_peak=19 iq_occ=32.297922 regs_occ=93.230271"),
+    ("mixed_phases/Off/uit", "cycles=4604 insts=6000 parked=0 rel_io=0 rel_ooo=0 forced=0 iqw=6000 rfw=4816 llc=129 ltp_occ=0.000000 ltp_peak=0 iq_occ=27.905734 regs_occ=96.579930"),
+    ("mixed_phases/Off/oracle", "cycles=4201 insts=6000 parked=0 rel_io=0 rel_ooo=0 forced=0 iqw=6000 rfw=4816 llc=132 ltp_occ=0.000000 ltp_peak=0 iq_occ=30.964294 regs_occ=106.012140"),
+    ("mixed_phases/NonUrgentOnly/uit", "cycles=4422 insts=6000 parked=662 rel_io=145 rel_ooo=0 forced=517 iqw=6000 rfw=4816 llc=139 ltp_occ=22.277702 ltp_peak=128 iq_occ=27.930348 regs_occ=98.416327"),
+    ("mixed_phases/NonUrgentOnly/oracle", "cycles=4586 insts=6000 parked=1351 rel_io=441 rel_ooo=0 forced=910 iqw=6000 rfw=4816 llc=153 ltp_occ=60.834060 ltp_peak=221 iq_occ=28.103794 regs_occ=107.221326"),
+    ("mixed_phases/NonReadyOnly/uit", "cycles=4649 insts=6000 parked=129 rel_io=0 rel_ooo=0 forced=129 iqw=6000 rfw=4816 llc=127 ltp_occ=0.086040 ltp_peak=9 iq_occ=27.012261 regs_occ=95.029039"),
+    ("mixed_phases/NonReadyOnly/oracle", "cycles=4201 insts=6000 parked=146 rel_io=0 rel_ooo=0 forced=146 iqw=6000 rfw=4816 llc=142 ltp_occ=0.189003 ltp_peak=12 iq_occ=31.467032 regs_occ=107.771959"),
+    ("mixed_phases/Both/uit", "cycles=4417 insts=6000 parked=665 rel_io=145 rel_ooo=12 forced=508 iqw=6000 rfw=4816 llc=139 ltp_occ=22.603577 ltp_peak=128 iq_occ=28.074259 regs_occ=98.437175"),
+    ("mixed_phases/Both/oracle", "cycles=4395 insts=6000 parked=1354 rel_io=429 rel_ooo=73 forced=852 iqw=6000 rfw=4816 llc=144 ltp_occ=63.328328 ltp_peak=221 iq_occ=28.935836 regs_occ=107.570421"),
+];
+
+fn expected(key: &str) -> &'static str {
+    GOLDEN
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("no golden entry for {key}"))
+}
+
+const KINDS: [WorkloadKind; 3] = [
+    WorkloadKind::IndirectStream,
+    WorkloadKind::GatherFp,
+    WorkloadKind::MixedPhases,
+];
+const MODES: [LtpMode; 4] = [
+    LtpMode::Off,
+    LtpMode::NonUrgentOnly,
+    LtpMode::NonReadyOnly,
+    LtpMode::Both,
+];
+
+#[test]
+fn uit_path_matches_seed_for_all_modes() {
+    let o = opts();
+    for kind in KINDS {
+        for mode in MODES {
+            let key = format!("{}/{mode:?}/uit", kind.name());
+            let r = run_point(kind, realistic(mode), &o);
+            assert_eq!(fingerprint(&r), expected(&key), "fingerprint drift: {key}");
+        }
+    }
+}
+
+#[test]
+fn oracle_path_matches_seed_for_all_modes() {
+    let o = opts();
+    for kind in KINDS {
+        for mode in MODES {
+            let key = format!("{}/{mode:?}/oracle", kind.name());
+            let r = run_point(kind, limit_study_config(mode).with_iq(32), &o);
+            assert_eq!(fingerprint(&r), expected(&key), "fingerprint drift: {key}");
+        }
+    }
+}

@@ -104,7 +104,9 @@ fn committed_work_matches_the_trace_mix() {
     let expected_stores = detail.iter().filter(|i| i.op().is_store()).count() as u64;
 
     let mut cpu = Processor::new(PipelineConfig::micro2015_baseline());
-    let r = cpu.run(replay("gather_fp", detail), o.detail_insts);
+    let r = cpu
+        .run(replay("gather_fp", detail), o.detail_insts)
+        .unwrap();
     assert_eq!(r.loads, expected_loads);
     assert_eq!(r.stores, expected_stores);
     assert!(r.llc_miss_loads <= r.loads);
@@ -174,7 +176,9 @@ fn warmup_instructions_are_excluded_from_the_result() {
     let cfg = PipelineConfig::micro2015_baseline().with_warmup(1_000);
     let detail = trace(WorkloadKind::ComputeBound, 5, o.detail_insts as usize);
     let mut cpu = Processor::new(cfg);
-    let r = cpu.run(replay("compute_bound", detail), o.detail_insts);
+    let r = cpu
+        .run(replay("compute_bound", detail), o.detail_insts)
+        .unwrap();
     // The warm-up boundary is detected at commit granularity, so it may
     // overshoot by up to one commit group.
     assert!(r.instructions <= o.detail_insts - 1_000);

@@ -1,0 +1,157 @@
+//! Property-based structural invariants over the stage bus, checked after
+//! every simulated cycle through [`Processor::run_observed`]:
+//!
+//! * **Free-list register conservation** — `allocated + available ==
+//!   capacity` for both register classes on every cycle, `allocated` never
+//!   exceeds the capacity, and at the end of a drained run only the live
+//!   architectural mappings (at most one register per architectural
+//!   register) remain allocated: no leak, no double free.
+//! * **Monotonic commit sequence** — the commit slots the bus carries are
+//!   strictly increasing in sequence number across the whole run, never more
+//!   than `commit_width` per cycle.
+//! * **Single release** — no parked instruction is released from the LTP
+//!   twice, and every released sequence number eventually commits (nothing
+//!   is released that was never a real in-flight instruction).
+
+use ltp_core::{ClassifierKind, LtpConfig, LtpMode};
+use ltp_isa::{NUM_ARCH_FP_REGS, NUM_ARCH_INT_REGS};
+use ltp_pipeline::{PipelineConfig, Processor};
+use ltp_workloads::{replay, trace, WorkloadKind};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn workload(idx: usize) -> WorkloadKind {
+    WorkloadKind::ALL[idx % WorkloadKind::ALL.len()]
+}
+
+fn mode(idx: usize) -> LtpMode {
+    [
+        LtpMode::Off,
+        LtpMode::NonUrgentOnly,
+        LtpMode::NonReadyOnly,
+        LtpMode::Both,
+    ][idx % 4]
+}
+
+fn classifier(idx: usize) -> ClassifierKind {
+    ClassifierKind::SWEEPABLE[idx % ClassifierKind::SWEEPABLE.len()]
+}
+
+fn config(mode_idx: usize, classifier_idx: usize, small_iq: bool) -> PipelineConfig {
+    let m = mode(mode_idx);
+    let base = if small_iq {
+        PipelineConfig::ltp_proposed().with_iq(16)
+    } else {
+        PipelineConfig::ltp_proposed()
+    };
+    match m {
+        LtpMode::Off => base.with_ltp(LtpConfig::disabled()),
+        m => base
+            .with_ltp(LtpConfig {
+                mode: m,
+                ..LtpConfig::nu_only_128x4()
+            })
+            .with_classifier(classifier(classifier_idx)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn stage_bus_invariants_hold_on_random_points(
+        kind_idx in 0usize..7,
+        mode_idx in 0usize..4,
+        classifier_idx in 0usize..4,
+        insts in 300u64..900,
+        seed in 0u64..1_000,
+        small_iq in any::<bool>(),
+    ) {
+        let kind = workload(kind_idx);
+        let cfg = config(mode_idx, classifier_idx, small_iq);
+        let detail = trace(kind, seed, insts as usize);
+
+        let mut cpu = Processor::new(cfg);
+        let mut last_commit: Option<u64> = None;
+        let mut released: HashSet<u64> = HashSet::new();
+        let mut committed: HashSet<u64> = HashSet::new();
+        let mut violations: Vec<String> = Vec::new();
+
+        let r = cpu
+            .run_observed(replay(kind.name(), detail), insts, |view| {
+                // Free-list conservation, both classes, every cycle.
+                for (label, regs) in [("int", view.int_regs), ("fp", view.fp_regs)] {
+                    if regs.capacity != usize::MAX {
+                        if regs.allocated + regs.available != regs.capacity {
+                            violations.push(format!(
+                                "cycle {}: {label} regs {} + {} != {}",
+                                view.cycle, regs.allocated, regs.available, regs.capacity
+                            ));
+                        }
+                        if regs.allocated > regs.capacity {
+                            violations.push(format!(
+                                "cycle {}: {label} over-allocated", view.cycle
+                            ));
+                        }
+                    }
+                }
+                // Monotonic commit sequence, bounded width.
+                if view.bus.commits.len() > cfg.commit_width {
+                    violations.push(format!(
+                        "cycle {}: {} commits exceed width {}",
+                        view.cycle,
+                        view.bus.commits.len(),
+                        cfg.commit_width
+                    ));
+                }
+                for slot in &view.bus.commits {
+                    if let Some(prev) = last_commit {
+                        if prev >= slot.seq.0 {
+                            violations.push(format!(
+                                "cycle {}: commit seq {} after {}",
+                                view.cycle, slot.seq.0, prev
+                            ));
+                        }
+                    }
+                    last_commit = Some(slot.seq.0);
+                    committed.insert(slot.seq.0);
+                }
+                // Nothing is released from the LTP twice.
+                for seq in &view.bus.releases {
+                    if !released.insert(seq.0) {
+                        violations.push(format!(
+                            "cycle {}: seq {} released twice",
+                            view.cycle, seq.0
+                        ));
+                    }
+                }
+            })
+            .expect("random point must not deadlock");
+
+        prop_assert!(violations.is_empty(), "invariant violations: {violations:?}");
+        prop_assert_eq!(r.instructions, insts);
+
+        // Every LTP release was a real instruction: it must have committed by
+        // the time the (fully drained) run ended.
+        prop_assert!(
+            released.is_subset(&committed),
+            "released-but-never-committed seqs: {:?}",
+            released.difference(&committed).collect::<Vec<_>>()
+        );
+
+        // End-of-run conservation: the drained machine holds at most one
+        // register per architectural register (the live mappings); everything
+        // else was returned to the free lists.
+        let (int_regs, fp_regs) = cpu.register_files();
+        prop_assert!(
+            int_regs.allocated <= NUM_ARCH_INT_REGS,
+            "int registers leaked: {} still allocated",
+            int_regs.allocated
+        );
+        prop_assert!(
+            fp_regs.allocated <= NUM_ARCH_FP_REGS,
+            "fp registers leaked: {} still allocated",
+            fp_regs.allocated
+        );
+    }
+}
