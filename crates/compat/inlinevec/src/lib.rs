@@ -1,0 +1,249 @@
+//! An inline small-vector for the simulator's hot scheduling paths.
+//!
+//! The wait lists carried by issue-queue entries and the per-instruction
+//! source lists are tiny (zero to three elements for real instruction sets),
+//! but the seed code stored them in `Vec`s, paying one heap allocation per
+//! renamed instruction. [`InlineVec<T, N>`] keeps up to `N` elements inline
+//! on the stack and only spills to a heap `Vec` beyond that, so the common
+//! case allocates nothing and cloning is a memcpy.
+//!
+//! Unlike the `smallvec` crate this stand-in is written entirely in safe
+//! Rust (the workspace denies `unsafe_code`), which is why `T` must be
+//! `Copy + Default`: the inline buffer is a plain array.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A vector storing up to `N` elements inline, spilling to the heap beyond.
+#[derive(Debug, Clone)]
+pub enum InlineVec<T: Copy + Default, const N: usize> {
+    /// All elements fit in the inline buffer; only `inline[..len]` is live.
+    Inline {
+        /// Number of live elements.
+        len: usize,
+        /// Backing storage (elements past `len` are default-filled padding).
+        buf: [T; N],
+    },
+    /// The vector spilled to the heap.
+    Spilled(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector (no heap allocation).
+    #[must_use]
+    pub fn new() -> InlineVec<T, N> {
+        InlineVec::Inline {
+            len: 0,
+            buf: [T::default(); N],
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            InlineVec::Inline { len, .. } => *len,
+            InlineVec::Spilled(v) => v.len(),
+        }
+    }
+
+    /// Whether the vector holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the vector has spilled to the heap.
+    #[must_use]
+    pub fn spilled(&self) -> bool {
+        matches!(self, InlineVec::Spilled(_))
+    }
+
+    /// Appends an element, spilling to the heap when the inline buffer is
+    /// full.
+    pub fn push(&mut self, value: T) {
+        match self {
+            InlineVec::Inline { len, buf } => {
+                if *len < N {
+                    buf[*len] = value;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(N * 2);
+                    v.extend_from_slice(&buf[..*len]);
+                    v.push(value);
+                    *self = InlineVec::Spilled(v);
+                }
+            }
+            InlineVec::Spilled(v) => v.push(value),
+        }
+    }
+
+    /// The live elements as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            InlineVec::Inline { len, buf } => &buf[..*len],
+            InlineVec::Spilled(v) => v.as_slice(),
+        }
+    }
+
+    /// Iterates over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+
+    /// Whether the vector contains `value`.
+    #[must_use]
+    pub fn contains(&self, value: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        self.as_slice().contains(value)
+    }
+
+    /// Removes all elements (keeps any heap capacity).
+    pub fn clear(&mut self) {
+        match self {
+            InlineVec::Inline { len, .. } => *len = 0,
+            InlineVec::Spilled(v) => v.clear(),
+        }
+    }
+
+    /// Appends `value` only if it is not already present; returns whether it
+    /// was inserted. The wait lists of the issue queue are sets: an
+    /// instruction reading the same register twice must wake on a single
+    /// broadcast.
+    pub fn push_unique(&mut self, value: T) -> bool
+    where
+        T: PartialEq,
+    {
+        if self.contains(&value) {
+            return false;
+        }
+        self.push(value);
+        true
+    }
+}
+
+/// Equality is over the live elements only — never the storage variant or
+/// the dead inline padding (a cleared-then-refilled vector equals a freshly
+/// built one with the same contents).
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> InlineVec<T, N> {
+        InlineVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> InlineVec<T, N> {
+        let mut out = InlineVec::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty_and_inline() {
+        let v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[] as &[u32]);
+    }
+
+    #[test]
+    fn pushes_stay_inline_up_to_capacity() {
+        let mut v: InlineVec<u32, 3> = InlineVec::new();
+        for i in 0..3 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn overflow_spills_preserving_order() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn push_unique_dedups() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.push_unique(7));
+        assert!(!v.push_unique(7));
+        assert!(v.push_unique(8));
+        assert_eq!(v.as_slice(), &[7, 8]);
+    }
+
+    #[test]
+    fn from_iterator_and_contains() {
+        let v: InlineVec<u32, 2> = (0..4).collect();
+        assert!(v.contains(&3));
+        assert!(!v.contains(&9));
+        assert_eq!(v.iter().copied().sum::<u32>(), 6);
+        let total: u32 = (&v).into_iter().copied().sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn clear_resets_both_variants() {
+        let mut inline: InlineVec<u32, 4> = (0..2).collect();
+        inline.clear();
+        assert!(inline.is_empty() && !inline.spilled());
+        let mut spilled: InlineVec<u32, 1> = (0..3).collect();
+        spilled.clear();
+        assert!(spilled.is_empty() && spilled.spilled());
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let a: InlineVec<u32, 2> = (0..4).collect();
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equality_ignores_storage_variant_and_padding() {
+        // Cleared-then-refilled inline vector vs a fresh one.
+        let mut a: InlineVec<u32, 4> = [1, 2].into_iter().collect();
+        a.clear();
+        a.push(3);
+        let b: InlineVec<u32, 4> = [3].into_iter().collect();
+        assert_eq!(a, b);
+        // Spilled-but-short vs inline with the same contents.
+        let mut spilled: InlineVec<u32, 1> = (0..3).collect();
+        spilled.clear();
+        spilled.push(7);
+        let inline: InlineVec<u32, 1> = [7].into_iter().collect();
+        assert_eq!(spilled, inline);
+        assert_ne!(inline, InlineVec::<u32, 1>::new());
+    }
+}

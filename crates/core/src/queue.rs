@@ -38,6 +38,20 @@ pub struct ParkedInst {
 }
 
 /// The parking FIFO with port-limited enqueue/dequeue bandwidth.
+///
+/// The seed scanned every parked entry on each ticket broadcast and on each
+/// composition-statistics query. This version keeps the same observable
+/// behaviour with incremental indexes:
+///
+/// * `ticket_holders` maps a ticket to the sequence numbers parked waiting
+///   on it, so [`LtpQueue::clear_ticket`] touches exactly the holders
+///   (entries are seq-sorted, so each lookup is a binary search). A
+///   force-released entry may leave a stale holder behind; the broadcast
+///   skips sequence numbers no longer parked.
+/// * `ready_urgent` is the seq-sorted set of Urgent entries whose ticket set
+///   is empty — precisely the candidates of the out-of-order release path.
+/// * The writer/load/store composition counters of Figure 7 are maintained
+///   on park/release instead of being recounted by iteration.
 #[derive(Debug, Clone)]
 pub struct LtpQueue {
     capacity: usize,
@@ -50,6 +64,18 @@ pub struct LtpQueue {
     total_released: u64,
     full_rejections: u64,
     port_rejections: u64,
+    /// Parked instructions that will need a destination register.
+    writers: usize,
+    /// Parked loads.
+    loads: usize,
+    /// Parked stores.
+    stores: usize,
+    /// Ticket id → seqs of parked holders (may include already-released
+    /// stale seqs, skipped on broadcast). Indexed by ticket id; ids are
+    /// recycled by the ticket file so this stays dense and small.
+    ticket_holders: Vec<Vec<u64>>,
+    /// Seq-sorted Urgent entries with an empty ticket set.
+    ready_urgent: Vec<u64>,
 }
 
 impl LtpQueue {
@@ -66,7 +92,7 @@ impl LtpQueue {
         LtpQueue {
             capacity,
             ports,
-            entries: VecDeque::new(),
+            entries: VecDeque::with_capacity(capacity.min(1024)),
             enqueued_this_cycle: 0,
             dequeued_this_cycle: 0,
             current_cycle: 0,
@@ -74,6 +100,40 @@ impl LtpQueue {
             total_released: 0,
             full_rejections: 0,
             port_rejections: 0,
+            writers: 0,
+            loads: 0,
+            stores: 0,
+            ticket_holders: Vec::new(),
+            ready_urgent: Vec::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Slot of the parked instruction `seq` (entries are seq-sorted).
+    fn position_of(&self, seq: SeqNum) -> Option<usize> {
+        self.entries.binary_search_by_key(&seq.0, |e| e.seq.0).ok()
+    }
+
+    fn ready_urgent_insert(&mut self, seq: SeqNum) {
+        if let Err(pos) = self.ready_urgent.binary_search(&seq.0) {
+            self.ready_urgent.insert(pos, seq.0);
+        }
+    }
+
+    fn ready_urgent_remove(&mut self, seq: SeqNum) {
+        if let Ok(pos) = self.ready_urgent.binary_search(&seq.0) {
+            self.ready_urgent.remove(pos);
+        }
+    }
+
+    /// Book-keeping shared by every successful removal from the queue.
+    fn note_removed(&mut self, inst: &ParkedInst) {
+        self.dequeued_this_cycle += 1;
+        self.total_released += 1;
+        self.writers -= usize::from(inst.writes_reg);
+        self.loads -= usize::from(inst.is_load);
+        self.stores -= usize::from(inst.is_store);
+        if inst.class.urgent && inst.tickets.is_empty() {
+            self.ready_urgent_remove(inst.seq);
         }
     }
 
@@ -128,6 +188,20 @@ impl LtpQueue {
             self.entries.back().is_none_or(|b| b.seq < inst.seq),
             "LTP must be filled in program order"
         );
+        self.writers += usize::from(inst.writes_reg);
+        self.loads += usize::from(inst.is_load);
+        self.stores += usize::from(inst.is_store);
+        for t in inst.tickets.iter() {
+            let idx = t.0 as usize;
+            if self.ticket_holders.len() <= idx {
+                self.ticket_holders.resize_with(idx + 1, Vec::new);
+            }
+            self.ticket_holders[idx].push(inst.seq.0);
+        }
+        if inst.class.urgent && inst.tickets.is_empty() {
+            // Parks arrive in program order, so this is a push at the back.
+            self.ready_urgent_insert(inst.seq);
+        }
         self.entries.push_back(inst);
         self.enqueued_this_cycle += 1;
         self.total_parked += 1;
@@ -152,20 +226,32 @@ impl LtpQueue {
         max: usize,
         now: Cycle,
     ) -> Vec<ParkedInst> {
-        self.roll_cycle(now);
         let mut out = Vec::new();
-        while out.len() < max && self.dequeued_this_cycle < self.ports {
-            match self.entries.front() {
-                Some(front) if front.seq.is_older_than(wake_before) && front.tickets.is_empty() => {
-                    let inst = self.entries.pop_front().expect("front exists");
-                    self.dequeued_this_cycle += 1;
-                    self.total_released += 1;
-                    out.push(inst);
-                }
-                _ => break,
+        while out.len() < max {
+            match self.pop_release_in_order(wake_before, now) {
+                Some(inst) => out.push(inst),
+                None => break,
             }
         }
         out
+    }
+
+    /// Releases the next instruction of the in-order (ROB proximity) path,
+    /// or `None` when the head does not qualify or dequeue bandwidth ran
+    /// out. Allocation-free building block of [`LtpQueue::release_in_order`],
+    /// used by the pipeline's per-cycle release loop.
+    pub fn pop_release_in_order(&mut self, wake_before: SeqNum, now: Cycle) -> Option<ParkedInst> {
+        self.roll_cycle(now);
+        if self.dequeued_this_cycle >= self.ports {
+            return None;
+        }
+        let front = self.entries.front()?;
+        if !(front.seq.is_older_than(wake_before) && front.tickets.is_empty()) {
+            return None;
+        }
+        let inst = self.entries.pop_front().expect("front exists");
+        self.note_removed(&inst);
+        Some(inst)
     }
 
     /// Forces the release of the oldest parked instruction regardless of the
@@ -177,8 +263,9 @@ impl LtpQueue {
             return None;
         }
         let inst = self.entries.pop_front()?;
-        self.dequeued_this_cycle += 1;
-        self.total_released += 1;
+        // A forced release can leave with live tickets; its holder-index
+        // entries go stale and are skipped by the next broadcast.
+        self.note_removed(&inst);
         Some(inst)
     }
 
@@ -186,35 +273,62 @@ impl LtpQueue {
     /// empty (used for Urgent + Non-Ready instructions, which must issue to
     /// the IQ as soon as their data is about to arrive, appendix A).
     pub fn release_ready_out_of_order(&mut self, max: usize, now: Cycle) -> Vec<ParkedInst> {
-        self.roll_cycle(now);
         let mut out = Vec::new();
-        let mut idx = 0;
-        while idx < self.entries.len() {
-            if out.len() >= max || self.dequeued_this_cycle >= self.ports {
-                break;
-            }
-            if self.entries[idx].tickets.is_empty() && self.entries[idx].class.urgent {
-                let inst = self.entries.remove(idx).expect("index is valid");
-                self.dequeued_this_cycle += 1;
-                self.total_released += 1;
-                out.push(inst);
-            } else {
-                idx += 1;
+        while out.len() < max {
+            match self.pop_release_ready_out_of_order(now) {
+                Some(inst) => out.push(inst),
+                None => break,
             }
         }
         out
     }
 
+    /// Releases the oldest Urgent instruction whose ticket set is empty, out
+    /// of order, or `None` when no candidate exists or dequeue bandwidth ran
+    /// out. Allocation-free building block of
+    /// [`LtpQueue::release_ready_out_of_order`].
+    pub fn pop_release_ready_out_of_order(&mut self, now: Cycle) -> Option<ParkedInst> {
+        self.roll_cycle(now);
+        if self.dequeued_this_cycle >= self.ports {
+            return None;
+        }
+        let &seq = self.ready_urgent.first()?;
+        let idx = self
+            .position_of(SeqNum(seq))
+            .expect("ready-urgent index holds only parked entries");
+        let inst = self.entries.remove(idx).expect("index is valid");
+        debug_assert!(inst.class.urgent && inst.tickets.is_empty());
+        self.note_removed(&inst);
+        Some(inst)
+    }
+
     /// Broadcasts the completion of a long-latency instruction: removes
-    /// `ticket` from every parked instruction's ticket set. Returns the number
-    /// of entries whose ticket set became empty as a result.
+    /// `ticket` from every parked instruction waiting on it (via the holder
+    /// index — O(holders·log occupancy) instead of a full scan). Returns the
+    /// number of entries whose ticket set became empty as a result.
     pub fn clear_ticket(&mut self, ticket: Ticket) -> usize {
         let mut became_ready = 0;
-        for e in &mut self.entries {
+        let Some(list) = self.ticket_holders.get_mut(ticket.0 as usize) else {
+            return 0;
+        };
+        let mut holders = std::mem::take(list);
+        for &seq in &holders {
+            // Stale holders (force-released before the broadcast) are gone
+            // from the queue and skipped.
+            let Some(idx) = self.position_of(SeqNum(seq)) else {
+                continue;
+            };
+            let e = &mut self.entries[idx];
             if e.tickets.clear_ticket(ticket) && e.tickets.is_empty() {
                 became_ready += 1;
+                if e.class.urgent {
+                    self.ready_urgent_insert(SeqNum(seq));
+                }
             }
         }
+        // Hand the drained buffer back so its capacity is reused.
+        holders.clear();
+        self.ticket_holders[ticket.0 as usize] = holders;
         became_ready
     }
 
@@ -223,22 +337,35 @@ impl LtpQueue {
         self.entries.iter()
     }
 
-    /// Number of parked instructions that will need a destination register.
+    /// Number of parked instructions that will need a destination register
+    /// (incrementally maintained, O(1)).
     #[must_use]
     pub fn parked_writers(&self) -> usize {
-        self.entries.iter().filter(|e| e.writes_reg).count()
+        debug_assert_eq!(
+            self.writers,
+            self.entries.iter().filter(|e| e.writes_reg).count()
+        );
+        self.writers
     }
 
-    /// Number of parked loads.
+    /// Number of parked loads (incrementally maintained, O(1)).
     #[must_use]
     pub fn parked_loads(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_load).count()
+        debug_assert_eq!(
+            self.loads,
+            self.entries.iter().filter(|e| e.is_load).count()
+        );
+        self.loads
     }
 
-    /// Number of parked stores.
+    /// Number of parked stores (incrementally maintained, O(1)).
     #[must_use]
     pub fn parked_stores(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_store).count()
+        debug_assert_eq!(
+            self.stores,
+            self.entries.iter().filter(|e| e.is_store).count()
+        );
+        self.stores
     }
 
     /// Total instructions ever parked.
@@ -426,6 +553,199 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_panics() {
         let _ = LtpQueue::new(0, 1);
+    }
+
+    /// The seed's scan-based parking queue, kept as a reference model: every
+    /// release path and the ticket broadcast scan the whole queue, which is
+    /// the behaviour the indexed implementation must reproduce exactly.
+    mod reference {
+        use super::*;
+
+        #[derive(Debug, Default)]
+        pub struct ScanQueue {
+            pub entries: VecDeque<ParkedInst>,
+            pub ports: usize,
+            pub dequeued_this_cycle: usize,
+            pub current_cycle: Cycle,
+        }
+
+        impl ScanQueue {
+            pub fn new(ports: usize) -> ScanQueue {
+                ScanQueue {
+                    ports,
+                    ..ScanQueue::default()
+                }
+            }
+
+            fn roll_cycle(&mut self, now: Cycle) {
+                if now != self.current_cycle {
+                    self.current_cycle = now;
+                    self.dequeued_this_cycle = 0;
+                }
+            }
+
+            pub fn park(&mut self, inst: ParkedInst) {
+                self.entries.push_back(inst);
+            }
+
+            pub fn release_in_order(
+                &mut self,
+                wake_before: SeqNum,
+                max: usize,
+                now: Cycle,
+            ) -> Vec<u64> {
+                self.roll_cycle(now);
+                let mut out = Vec::new();
+                while out.len() < max && self.dequeued_this_cycle < self.ports {
+                    match self.entries.front() {
+                        Some(f) if f.seq.is_older_than(wake_before) && f.tickets.is_empty() => {
+                            let inst = self.entries.pop_front().expect("front exists");
+                            self.dequeued_this_cycle += 1;
+                            out.push(inst.seq.0);
+                        }
+                        _ => break,
+                    }
+                }
+                out
+            }
+
+            pub fn release_ready_out_of_order(&mut self, max: usize, now: Cycle) -> Vec<u64> {
+                self.roll_cycle(now);
+                let mut out = Vec::new();
+                let mut idx = 0;
+                while idx < self.entries.len() {
+                    if out.len() >= max || self.dequeued_this_cycle >= self.ports {
+                        break;
+                    }
+                    if self.entries[idx].tickets.is_empty() && self.entries[idx].class.urgent {
+                        let inst = self.entries.remove(idx).expect("index is valid");
+                        self.dequeued_this_cycle += 1;
+                        out.push(inst.seq.0);
+                    } else {
+                        idx += 1;
+                    }
+                }
+                out
+            }
+
+            pub fn force_release_oldest(&mut self, now: Cycle) -> Option<u64> {
+                self.roll_cycle(now);
+                if self.dequeued_this_cycle >= self.ports {
+                    return None;
+                }
+                let inst = self.entries.pop_front()?;
+                self.dequeued_this_cycle += 1;
+                Some(inst.seq.0)
+            }
+
+            pub fn clear_ticket(&mut self, ticket: Ticket) -> usize {
+                let mut became_ready = 0;
+                for e in &mut self.entries {
+                    if e.tickets.clear_ticket(ticket) && e.tickets.is_empty() {
+                        became_ready += 1;
+                    }
+                }
+                became_ready
+            }
+
+            pub fn composition(&self) -> (usize, usize, usize) {
+                (
+                    self.entries.iter().filter(|e| e.writes_reg).count(),
+                    self.entries.iter().filter(|e| e.is_load).count(),
+                    self.entries.iter().filter(|e| e.is_store).count(),
+                )
+            }
+        }
+    }
+
+    mod differential {
+        use super::reference::ScanQueue;
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(192))]
+
+            /// The indexed queue (ticket-holder index, ready-urgent index,
+            /// incremental composition counters) makes release and broadcast
+            /// decisions identical to the seed's whole-queue scans on random
+            /// interleavings of park / clear-ticket / release operations.
+            #[test]
+            fn indexed_queue_matches_scan_reference(
+                raw_ops in prop::collection::vec(
+                    (any::<u8>(), any::<u8>(), any::<u8>()), 1..150),
+            ) {
+                let ports = 2;
+                let mut indexed = LtpQueue::new(4096, ports);
+                let mut scan = ScanQueue::new(ports);
+                let mut next_seq = 0u64;
+                let mut now = 1u64;
+                for (kind, a, b) in raw_ops {
+                    match kind % 6 {
+                        // Park: random urgency and a random 0..2-ticket set
+                        // drawn from a tiny domain so broadcasts collide.
+                        0 | 1 => {
+                            let urgent = a & 1 == 1;
+                            let mut tickets = TicketSet::new();
+                            if a & 2 != 0 {
+                                tickets.insert(Ticket(u32::from(b % 4)));
+                            }
+                            if a & 4 != 0 {
+                                tickets.insert(Ticket(u32::from(b / 4 % 4)));
+                            }
+                            let inst = ParkedInst {
+                                seq: SeqNum(next_seq),
+                                class: Criticality { urgent, ready: tickets.is_empty() },
+                                tickets,
+                                parked_at: now,
+                                writes_reg: a & 8 != 0,
+                                is_load: a & 16 != 0,
+                                is_store: a & 32 != 0,
+                            };
+                            next_seq += 1;
+                            if indexed.park(inst.clone(), now) {
+                                scan.park(inst);
+                            }
+                        }
+                        2 => {
+                            let t = Ticket(u32::from(a % 4));
+                            prop_assert_eq!(indexed.clear_ticket(t), scan.clear_ticket(t));
+                        }
+                        3 => {
+                            now += u64::from(a % 2);
+                            let boundary = SeqNum(next_seq.saturating_sub(u64::from(b % 8)));
+                            let max = 1 + a as usize % 3;
+                            let got: Vec<u64> = indexed
+                                .release_in_order(boundary, max, now)
+                                .iter()
+                                .map(|i| i.seq.0)
+                                .collect();
+                            prop_assert_eq!(got, scan.release_in_order(boundary, max, now));
+                        }
+                        4 => {
+                            now += u64::from(a % 2);
+                            let max = 1 + a as usize % 3;
+                            let got: Vec<u64> = indexed
+                                .release_ready_out_of_order(max, now)
+                                .iter()
+                                .map(|i| i.seq.0)
+                                .collect();
+                            prop_assert_eq!(got, scan.release_ready_out_of_order(max, now));
+                        }
+                        _ => {
+                            now += 1;
+                            let got = indexed.force_release_oldest(now).map(|i| i.seq.0);
+                            prop_assert_eq!(got, scan.force_release_oldest(now));
+                        }
+                    }
+                    prop_assert_eq!(indexed.occupancy(), scan.entries.len());
+                    let (w, l, s) = scan.composition();
+                    prop_assert_eq!(indexed.parked_writers(), w);
+                    prop_assert_eq!(indexed.parked_loads(), l);
+                    prop_assert_eq!(indexed.parked_stores(), s);
+                }
+            }
+        }
     }
 
     /// In-order release vs. ticket wake: a ticket broadcast that wakes an

@@ -55,7 +55,11 @@ impl Uit {
         Uit {
             capacity,
             ways,
-            sets: vec![Vec::new(); num_sets],
+            // Pre-size every set to its associativity so LRU churn in the
+            // rename hot path never grows a set vector.
+            sets: (0..num_sets)
+                .map(|_| Vec::with_capacity(ways + 1))
+                .collect(),
             unlimited: HashSet::new(),
             insertions: 0,
             hits: 0,

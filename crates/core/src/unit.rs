@@ -10,6 +10,7 @@ use crate::queue::{LtpQueue, ParkedInst};
 use crate::rat_ext::RatExtension;
 use crate::tickets::{Ticket, TicketFile, TicketSet};
 use crate::Cycle;
+use inlinevec::InlineVec;
 use ltp_isa::{ArchReg, DynInst, OpClass, Pc, SeqNum};
 use std::collections::HashMap;
 
@@ -29,8 +30,9 @@ pub struct RenamedInst {
     /// Destination architectural register, if any (zero register excluded).
     pub dst: Option<ArchReg>,
     /// Dataflow source registers (zero register and zero-idiom sources
-    /// already removed).
-    pub srcs: Vec<ArchReg>,
+    /// already removed). Inline storage: resolving a rename must not
+    /// allocate.
+    pub srcs: InlineVec<ArchReg, 4>,
     /// Whether the memory dependence predictor marked this (load) as
     /// dependent on a store that was parked.
     pub mem_dep_parked: bool,
@@ -441,19 +443,48 @@ impl LtpUnit {
         max: usize,
         now: Cycle,
     ) -> Vec<ParkedInst> {
-        let released = self.queue.release_in_order(wake_before, max, now);
-        self.finish_release(&released, now, false);
-        self.stats.released_in_order += released.len() as u64;
-        released
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.pop_release_in_order(wake_before, now) {
+                Some(inst) => out.push(inst),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Releases the next in-order (ROB proximity) instruction, or `None`
+    /// when the head does not qualify. Allocation-free building block of
+    /// [`LtpUnit::release_in_order`], used by the pipeline's per-cycle
+    /// release loop.
+    pub fn pop_release_in_order(&mut self, wake_before: SeqNum, now: Cycle) -> Option<ParkedInst> {
+        let released = self.queue.pop_release_in_order(wake_before, now)?;
+        self.finish_release(std::slice::from_ref(&released), now, false);
+        self.stats.released_in_order += 1;
+        Some(released)
     }
 
     /// Releases up to `max` Urgent instructions whose tickets have all
     /// cleared, out of order (appendix A).
     pub fn release_ready_out_of_order(&mut self, max: usize, now: Cycle) -> Vec<ParkedInst> {
-        let released = self.queue.release_ready_out_of_order(max, now);
-        self.finish_release(&released, now, false);
-        self.stats.released_out_of_order += released.len() as u64;
-        released
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.pop_release_ready_out_of_order(now) {
+                Some(inst) => out.push(inst),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Releases the oldest ticket-clear Urgent instruction out of order, or
+    /// `None` when no candidate exists. Allocation-free building block of
+    /// [`LtpUnit::release_ready_out_of_order`].
+    pub fn pop_release_ready_out_of_order(&mut self, now: Cycle) -> Option<ParkedInst> {
+        let released = self.queue.pop_release_ready_out_of_order(now)?;
+        self.finish_release(std::slice::from_ref(&released), now, false);
+        self.stats.released_out_of_order += 1;
+        Some(released)
     }
 
     /// Force-releases the oldest parked instruction regardless of wakeup

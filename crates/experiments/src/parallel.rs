@@ -2,6 +2,32 @@
 //!
 //! Every experiment consists of many completely independent simulations; this
 //! helper fans them out over the available cores using only `std::thread`.
+//!
+//! Work is split into **contiguous chunks**, one per worker. The previous
+//! strided assignment (worker `t` taking items `t, t+T, t+2T, …`) interleaved
+//! neighbouring sweep points across caches and paired each worker with a
+//! scattering of heterogeneous points; contiguous ranges keep related points
+//! (which tend to have similar cost) together and write each worker's results
+//! into one cache-friendly span.
+//!
+//! The `LTP_THREADS` environment variable overrides the detected parallelism
+//! (useful for reproducible CI runs and for pinning experiments to a core
+//! budget); invalid or zero values fall back to the detected count.
+
+/// Number of worker threads: the `LTP_THREADS` override when set and valid,
+/// otherwise the machine's available parallelism, clamped to `[1, n]`.
+fn thread_count(n: usize) -> usize {
+    let configured = std::env::var("LTP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0);
+    let threads = configured.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(4)
+    });
+    threads.min(n).max(1)
+}
 
 /// Applies `f` to every item, in parallel, preserving order.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
@@ -14,40 +40,38 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(4)
-        .min(n);
+    let threads = thread_count(n);
+    let chunk = n.div_ceil(threads);
 
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-
-    std::thread::scope(|scope| {
+    let mut results: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
         let items_ref = &items;
         let f_ref = &f;
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
+            let lo = t * chunk;
+            let hi = (lo + chunk).min(n);
+            if lo >= hi {
+                break;
+            }
             handles.push(scope.spawn(move || {
-                let mut out = Vec::new();
-                let mut i = t;
-                while i < n {
-                    out.push((i, f_ref(&items_ref[i])));
-                    i += threads;
-                }
-                out
+                let out: Vec<R> = items_ref[lo..hi].iter().map(f_ref).collect();
+                (lo, out)
             }));
         }
-        for h in handles {
-            for (i, r) in h.join().expect("worker thread panicked") {
-                slots[i] = Some(r);
-            }
-        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
     });
 
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot is filled"))
-        .collect()
+    // Chunks are contiguous and non-overlapping; stitch them in item order.
+    results.sort_by_key(|(lo, _)| *lo);
+    let mut out = Vec::with_capacity(n);
+    for (_, chunk) in results {
+        out.extend(chunk);
+    }
+    debug_assert_eq!(out.len(), n);
+    out
 }
 
 #[cfg(test)]
@@ -74,5 +98,25 @@ mod tests {
     fn single_item() {
         let out = par_map(vec![41], |&x| x + 1);
         assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn order_preserved_around_chunk_boundaries() {
+        // Drive par_map itself (ambient thread count) across sizes that land
+        // on and around chunk boundaries for any worker count, so a
+        // regression in the chunking or the result stitching shows up as a
+        // reordered or missing element.
+        for n in [1usize, 2, 3, 7, 8, 9, 23, 64, 97] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = par_map(items, |&x| x);
+            let expected: Vec<usize> = (0..n).collect();
+            assert_eq!(out, expected, "identity map over {n} items");
+        }
+    }
+
+    #[test]
+    fn thread_count_clamps_to_items() {
+        assert_eq!(thread_count(1), 1);
+        assert!(thread_count(1_000_000) >= 1);
     }
 }

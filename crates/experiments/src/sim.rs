@@ -10,7 +10,7 @@ use crate::runner::{RunOptions, DEFAULT_DETAIL_INSTS, DEFAULT_WARM_INSTS};
 use ltp_core::OracleAnalysis;
 use ltp_isa::DynInst;
 use ltp_pipeline::{PipelineConfig, Processor, RunError, RunResult};
-use ltp_workloads::{replay, trace, WorkloadKind};
+use ltp_workloads::{replay_slice, trace, WorkloadKind};
 
 /// Builds and runs one simulation point: configuration → traces → cache
 /// warming → classifier (oracle analysis when configured) → detailed run.
@@ -132,8 +132,22 @@ impl SimBuilder {
     /// configuration starves itself.
     pub fn run(&self) -> Result<RunResult, RunError> {
         let detail = self.detail_trace();
-        let mut cpu = self.build_against(&detail);
-        cpu.run(replay(self.kind.name(), detail), self.detail_insts)
+        self.run_on(&detail)
+    }
+
+    /// Builds the processor and runs it over an already-generated detailed
+    /// trace. Callers replaying the same trace across many points (sweeps,
+    /// benchmark iterations) share one allocation this way; the trace must
+    /// be the one [`SimBuilder::detail_trace`] would generate for the oracle
+    /// analysis to be sound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError::Deadlock`] from the pipeline when the
+    /// configuration starves itself.
+    pub fn run_on(&self, detail: &[DynInst]) -> Result<RunResult, RunError> {
+        let mut cpu = self.build_against(detail);
+        cpu.run(replay_slice(self.kind.name(), detail), self.detail_insts)
     }
 }
 

@@ -30,9 +30,10 @@ impl ExecLatency {
 /// The baseline core (Table 1 of the paper) is an 8-wide machine with issue
 /// width 6; the pipeline model instantiates a configurable number of units of
 /// each kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum FuKind {
     /// Simple integer ALU (also used by branches for condition evaluation).
+    #[default]
     IntAlu,
     /// Integer multiply/divide unit.
     IntMulDiv,

@@ -40,11 +40,11 @@ impl std::fmt::Display for RegClass {
 ///
 /// Encoded as a flat index: `0..NUM_ARCH_INT_REGS` are the integer registers,
 /// the rest are floating point registers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ArchReg(u8);
 
 impl ArchReg {
-    /// The hard-wired integer zero register.
+    /// The hard-wired integer zero register (also the `Default`).
     pub const ZERO: ArchReg = ArchReg(0);
 
     /// Creates the `n`-th integer register.
@@ -124,7 +124,7 @@ impl std::fmt::Display for ArchReg {
 /// Physical registers are dense indices handed out by the free list in the
 /// rename stage. The same index space is reused for integer and floating
 /// point registers; the owning register file disambiguates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PhysReg(u32);
 
 impl PhysReg {

@@ -90,6 +90,77 @@ impl InstStream for VecStream {
     }
 }
 
+/// A finite stream borrowing a pre-collected trace. Replaying a trace this
+/// way shares one allocation across any number of runs (benchmark
+/// iterations, sweep points, threads), where [`VecStream`] would force a
+/// clone of the whole trace per run.
+#[derive(Debug, Clone)]
+pub struct SliceStream<'a> {
+    name: &'a str,
+    insts: &'a [DynInst],
+    next: usize,
+}
+
+impl<'a> SliceStream<'a> {
+    /// Creates a stream that yields `insts` in order without taking
+    /// ownership.
+    #[must_use]
+    pub fn new(name: &'a str, insts: &'a [DynInst]) -> SliceStream<'a> {
+        SliceStream {
+            name,
+            insts,
+            next: 0,
+        }
+    }
+}
+
+impl InstStream for SliceStream<'_> {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        let inst = *self.insts.get(self.next)?;
+        self.next += 1;
+        Some(inst)
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// A finite stream over a reference-counted trace, for sharing one trace
+/// allocation across threads or owners with independent lifetimes (sweeps
+/// fan simulation points out over worker threads; each point gets its own
+/// `ArcStream` over the same `Arc<[DynInst]>`).
+#[derive(Debug, Clone)]
+pub struct ArcStream {
+    name: String,
+    insts: std::sync::Arc<[DynInst]>,
+    next: usize,
+}
+
+impl ArcStream {
+    /// Creates a stream over a shared trace.
+    #[must_use]
+    pub fn new(name: impl Into<String>, insts: std::sync::Arc<[DynInst]>) -> ArcStream {
+        ArcStream {
+            name: name.into(),
+            insts,
+            next: 0,
+        }
+    }
+}
+
+impl InstStream for ArcStream {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        let inst = *self.insts.get(self.next)?;
+        self.next += 1;
+        Some(inst)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
 /// Stream adapter returned by [`InstStream::take_insts`].
 #[derive(Debug, Clone)]
 pub struct TakeStream<S> {
@@ -197,5 +268,32 @@ mod tests {
     fn collect_insts_respects_cap() {
         let s = VecStream::new("test", n_insts(50));
         assert_eq!(s.collect_insts(7).len(), 7);
+    }
+
+    #[test]
+    fn slice_stream_replays_without_ownership() {
+        let trace = n_insts(3);
+        // Two replays of the same borrowed trace, no clones.
+        for _ in 0..2 {
+            let mut s = SliceStream::new("t", &trace);
+            assert_eq!(s.name(), "t");
+            for expected in &trace {
+                assert_eq!(s.next_inst().as_ref(), Some(expected));
+            }
+            assert!(s.next_inst().is_none());
+        }
+    }
+
+    #[test]
+    fn arc_stream_shares_one_allocation() {
+        let trace: std::sync::Arc<[DynInst]> = n_insts(4).into();
+        let mut a = ArcStream::new("a", trace.clone());
+        let mut b = ArcStream::new("b", trace.clone());
+        assert_eq!(a.next_inst().unwrap().seq().0, 0);
+        // Streams advance independently over the shared trace.
+        assert_eq!(b.next_inst().unwrap().seq().0, 0);
+        assert_eq!(a.next_inst().unwrap().seq().0, 1);
+        let rest = b.collect_insts(10);
+        assert_eq!(rest.len(), 3);
     }
 }

@@ -188,6 +188,9 @@ pub struct MemoryHierarchy {
     dram: DramModel,
     mshrs: MshrFile,
     prefetcher: StridePrefetcher,
+    /// Reused per-access scratch for prefetch candidates (hot-path
+    /// allocation avoidance).
+    pf_scratch: Vec<u64>,
     stats: MemoryStats,
 }
 
@@ -202,6 +205,7 @@ impl MemoryHierarchy {
             dram: DramModel::new(cfg.dram),
             mshrs: MshrFile::new(cfg.mshrs),
             prefetcher: StridePrefetcher::new(cfg.prefetcher),
+            pf_scratch: Vec::new(),
             stats: MemoryStats::default(),
             cfg,
         }
@@ -329,7 +333,10 @@ impl MemoryHierarchy {
 
         // Probe the L2 after the L1 lookup.
         let l2_start = issue_cycle + l1_latency;
-        let prefetch_lines = self.prefetcher.observe(req.pc, addr);
+        let mut prefetch_lines = std::mem::take(&mut self.pf_scratch);
+        prefetch_lines.clear();
+        self.prefetcher
+            .observe_into(req.pc, addr, &mut prefetch_lines);
 
         let (completion, tag_known, level) = if self.l2.access(addr, false) {
             let done = l2_start + self.cfg.l2.latency;
@@ -359,7 +366,7 @@ impl MemoryHierarchy {
         // accesses, which is the first-order effect the paper relies on
         // ("prefetcher enabled, so applications with regular access patterns
         // are unlikely to be classified as MLP-sensitive").
-        for pf_line in prefetch_lines {
+        for &pf_line in &prefetch_lines {
             if !self.l3.probe(pf_line) {
                 self.l3.fill(pf_line, true, false);
             }
@@ -368,6 +375,7 @@ impl MemoryHierarchy {
                 self.stats.prefetches_issued += 1;
             }
         }
+        self.pf_scratch = prefetch_lines;
 
         let idx = match level {
             HitLevel::L1 => 0,

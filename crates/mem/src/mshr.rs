@@ -7,7 +7,7 @@
 //! already has an outstanding miss merge into the existing entry.
 
 use crate::Cycle;
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 /// Result of presenting a miss to the MSHR file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,8 +30,12 @@ pub enum MshrOutcome {
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    /// line address -> completion cycle of the outstanding miss.
-    outstanding: BTreeMap<u64, Cycle>,
+    /// line address -> completion cycle of the outstanding miss. A hash map
+    /// (rather than an ordered map) so the per-miss insert/remove churn of
+    /// the hot loop reuses capacity instead of allocating tree nodes; every
+    /// ordered decision below breaks ties explicitly, so behaviour is
+    /// independent of iteration order.
+    outstanding: HashMap<u64, Cycle>,
     /// Completion cycles of in-flight misses, used to compute when a full
     /// file frees an entry.
     peak_occupancy: usize,
@@ -48,7 +52,10 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR capacity must be at least 1");
         MshrFile {
             capacity,
-            outstanding: BTreeMap::new(),
+            // Pre-size the table so miss churn never rehashes mid-run (the
+            // live count is bounded by the file capacity; 512 covers the
+            // limit study's practical outstanding-miss population).
+            outstanding: HashMap::with_capacity(capacity.clamp(64, 512)),
             peak_occupancy: 0,
             total_allocations: 0,
             total_merges: 0,
@@ -105,23 +112,18 @@ impl MshrFile {
 
         let issue_cycle = if self.capacity != usize::MAX && self.outstanding.len() >= self.capacity
         {
-            // Wait until the earliest outstanding miss completes.
-            let earliest = self
+            // Wait until the earliest outstanding miss completes; ties are
+            // broken towards the smallest line address (the entry the old
+            // ordered-map scan would have found).
+            let (earliest, key) = self
                 .outstanding
-                .values()
-                .copied()
+                .iter()
+                .map(|(&k, &c)| (c, k))
                 .min()
                 .expect("full MSHR file has entries");
-            // That entry is gone once it completes; model the freed slot.
             let stall = earliest.saturating_sub(now);
             self.full_stall_cycles += stall;
             // Drop the completed entry so we stay within capacity.
-            let key = self
-                .outstanding
-                .iter()
-                .find(|(_, &c)| c == earliest)
-                .map(|(&k, _)| k)
-                .expect("entry with earliest completion exists");
             self.outstanding.remove(&key);
             earliest
         } else {

@@ -78,9 +78,19 @@ impl StridePrefetcher {
 
     /// Observes a demand access (at the L2) by instruction `pc` to byte
     /// address `addr` and returns the list of line addresses to prefetch.
+    /// Test/diagnostic convenience over [`StridePrefetcher::observe_into`].
     pub fn observe(&mut self, pc: Pc, addr: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.observe_into(pc, addr, &mut out);
+        out
+    }
+
+    /// Observes a demand access and appends the line addresses to prefetch
+    /// to `out` (a caller-owned scratch buffer, so the per-access hot path
+    /// never allocates).
+    pub fn observe_into(&mut self, pc: Pc, addr: u64, out: &mut Vec<u64>) {
         if !self.cfg.enabled {
-            return Vec::new();
+            return;
         }
         let idx = self.index(pc);
         let pc_tag = pc.0;
@@ -94,13 +104,13 @@ impl StridePrefetcher {
                 confidence: 0,
                 valid: true,
             };
-            return Vec::new();
+            return;
         }
 
         let new_stride = addr as i64 - entry.last_addr as i64;
         if new_stride == 0 {
             // Same address again (e.g. a loop-invariant load): nothing to learn.
-            return Vec::new();
+            return;
         }
         if new_stride == entry.stride {
             entry.confidence = entry.confidence.saturating_add(1);
@@ -111,11 +121,11 @@ impl StridePrefetcher {
         entry.last_addr = addr;
 
         if entry.confidence < self.cfg.confidence_threshold {
-            return Vec::new();
+            return;
         }
 
         let stride = entry.stride;
-        let mut out = Vec::with_capacity(self.cfg.degree);
+        let start_len = out.len();
         let mut last_line = crate::line_of(addr);
         for k in 1..=self.cfg.degree as i64 {
             let target = addr as i64 + stride * k;
@@ -130,8 +140,7 @@ impl StridePrefetcher {
                 last_line = line;
             }
         }
-        self.issued += out.len() as u64;
-        out
+        self.issued += (out.len() - start_len) as u64;
     }
 }
 

@@ -88,6 +88,10 @@ impl Processor {
         cfg.validate();
         let mem = MemoryHierarchy::new(cfg.mem);
         let monitor_timeout = mem.typical_dram_latency() + cfg.mem.l3.latency;
+        // Size the stage-bus timing wheels for the worst common-case delay:
+        // a DRAM access behind the full cache hierarchy plus slack for bank
+        // queueing. Longer delays still deliver via the wheels' far level.
+        let signal_horizon = monitor_timeout + 64;
         Processor {
             state: PipelineState {
                 now: 0,
@@ -101,9 +105,12 @@ impl Processor {
                 sq: StoreQueue::new(cfg.sq_size),
                 memdep: MemDepPredictor::new(),
                 fu: FuPool::new(&cfg.fu),
-                inflight: HashMap::new(),
-                completed_regs: HashSet::new(),
-                released_parked_regs: HashMap::new(),
+                issue_scratch: Vec::with_capacity(cfg.issue_width.min(64)),
+                inflight: HashMap::with_capacity(cfg.rob_size.min(1024) * 2),
+                completed_regs: HashSet::with_capacity(
+                    (cfg.int_regs.min(1024) + cfg.fp_regs.min(1024)) * 2,
+                ),
+                released_parked_regs: HashMap::with_capacity(64),
                 committed: 0,
                 loads_committed: 0,
                 stores_committed: 0,
@@ -114,7 +121,7 @@ impl Processor {
                 mem,
                 cfg,
             },
-            bus: StageBus::new(),
+            bus: StageBus::with_horizon(signal_horizon),
             rename: RenameStage::default(),
         }
     }

@@ -30,7 +30,8 @@ impl FreeList {
         assert!(capacity > 0, "free list needs at least one register");
         FreeList {
             capacity,
-            free: Vec::new(),
+            // Pre-size so commit-time frees never grow the list mid-run.
+            free: Vec::with_capacity(capacity.clamp(64, 1024)),
             next_never_allocated: 0,
             allocated: 0,
             peak_allocated: 0,

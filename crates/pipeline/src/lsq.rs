@@ -16,6 +16,13 @@
 use ltp_isa::{Pc, SeqNum};
 use std::collections::VecDeque;
 
+/// Up-front reservation for a queue of the given configured capacity: the
+/// full capacity for realistic sizes, a sane cap for the limit study's
+/// `usize::MAX`, so steady-state growth never reallocates mid-run.
+fn bounded_reserve(capacity: usize) -> usize {
+    capacity.min(1024)
+}
+
 /// One store queue entry with the address once known.
 #[derive(Debug, Clone, Copy)]
 struct StoreEntry {
@@ -26,10 +33,20 @@ struct StoreEntry {
 }
 
 /// The store queue.
+///
+/// Entries are kept in allocation order (which is program order except under
+/// delayed LQ/SQ allocation, where a released parked store can allocate after
+/// a younger store). While the queue is allocation-sorted — the common case —
+/// the seq→slot lookups used by address capture and release are a binary
+/// search instead of the seed's linear scan; a rare out-of-order allocation
+/// drops back to the scan until the queue drains, preserving the exact
+/// forwarding semantics of the seed.
 #[derive(Debug, Clone)]
 pub struct StoreQueue {
     capacity: usize,
     entries: VecDeque<StoreEntry>,
+    /// Whether `entries` is currently sorted by sequence number.
+    sorted: bool,
     peak: usize,
 }
 
@@ -44,8 +61,19 @@ impl StoreQueue {
         assert!(capacity > 0, "SQ needs at least one entry");
         StoreQueue {
             capacity,
-            entries: VecDeque::new(),
+            entries: VecDeque::with_capacity(bounded_reserve(capacity)),
+            sorted: true,
             peak: 0,
+        }
+    }
+
+    /// Slot of the entry for store `seq`: binary search while the queue is
+    /// allocation-sorted, linear scan otherwise.
+    fn position_of(&self, seq: SeqNum) -> Option<usize> {
+        if self.sorted {
+            self.entries.binary_search_by_key(&seq.0, |e| e.seq.0).ok()
+        } else {
+            self.entries.iter().position(|e| e.seq == seq)
         }
     }
 
@@ -86,6 +114,9 @@ impl StoreQueue {
     /// Panics if the queue is full.
     pub fn allocate(&mut self, seq: SeqNum, was_parked: bool) {
         assert!(self.has_space(), "allocating into a full SQ");
+        if self.entries.back().is_some_and(|b| b.seq >= seq) {
+            self.sorted = false;
+        }
         self.entries.push_back(StoreEntry {
             seq,
             line_addr: None,
@@ -98,7 +129,8 @@ impl StoreQueue {
     /// Records the address (and data-ready cycle) of store `seq` once its
     /// address generation has executed.
     pub fn set_address(&mut self, seq: SeqNum, line_addr: u64, data_ready_cycle: u64) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
+        if let Some(pos) = self.position_of(seq) {
+            let e = &mut self.entries[pos];
             e.line_addr = Some(line_addr);
             e.data_ready_cycle = Some(data_ready_cycle);
         }
@@ -123,8 +155,11 @@ impl StoreQueue {
     /// Frees the entry of store `seq` (at/after commit). Returns whether an
     /// entry was removed.
     pub fn release(&mut self, seq: SeqNum) -> bool {
-        if let Some(pos) = self.entries.iter().position(|e| e.seq == seq) {
+        if let Some(pos) = self.position_of(seq) {
             self.entries.remove(pos);
+            if self.entries.is_empty() {
+                self.sorted = true;
+            }
             true
         } else {
             false
@@ -132,11 +167,15 @@ impl StoreQueue {
     }
 }
 
-/// The load queue: a bounded pool of in-flight loads.
+/// The load queue: a bounded pool of in-flight loads, kept sorted by
+/// sequence number so allocation and release are a binary search (the seed
+/// scanned linearly). Under delayed LQ allocation a released parked load can
+/// allocate out of order, which is a mid-queue insert; the common in-order
+/// case appends at the back.
 #[derive(Debug, Clone)]
 pub struct LoadQueue {
     capacity: usize,
-    entries: Vec<SeqNum>,
+    entries: VecDeque<SeqNum>,
     peak: usize,
 }
 
@@ -151,7 +190,7 @@ impl LoadQueue {
         assert!(capacity > 0, "LQ needs at least one entry");
         LoadQueue {
             capacity,
-            entries: Vec::new(),
+            entries: VecDeque::with_capacity(bounded_reserve(capacity)),
             peak: 0,
         }
     }
@@ -193,14 +232,18 @@ impl LoadQueue {
     /// Panics if the queue is full.
     pub fn allocate(&mut self, seq: SeqNum) {
         assert!(self.has_space(), "allocating into a full LQ");
-        self.entries.push(seq);
+        if self.entries.back().is_none_or(|&b| b < seq) {
+            self.entries.push_back(seq);
+        } else if let Err(pos) = self.entries.binary_search(&seq) {
+            self.entries.insert(pos, seq);
+        }
         self.peak = self.peak.max(self.entries.len());
     }
 
     /// Frees the entry of load `seq`. Returns whether an entry was removed.
     pub fn release(&mut self, seq: SeqNum) -> bool {
-        if let Some(pos) = self.entries.iter().position(|&s| s == seq) {
-            self.entries.swap_remove(pos);
+        if let Ok(pos) = self.entries.binary_search(&seq) {
+            self.entries.remove(pos);
             true
         } else {
             false

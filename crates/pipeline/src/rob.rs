@@ -64,10 +64,21 @@ impl RobEntry {
 }
 
 /// The reorder buffer: a bounded FIFO of [`RobEntry`].
+///
+/// Sequence numbers are dense along the trace and every renamed instruction
+/// pushes an entry, so an entry's slot is arithmetically derivable from its
+/// sequence number (`seq - head.seq`) — [`Rob::get`] / [`Rob::get_mut`] are
+/// O(1) rather than a search. The §3.2 Non-Urgent wakeup boundary is served
+/// from `ll_incomplete`, a sorted index of incomplete long-latency entries
+/// maintained incrementally by [`Rob::push`], [`Rob::mark_issued`],
+/// [`Rob::complete`] and [`Rob::try_commit`], so the per-cycle boundary query
+/// no longer scans the whole window.
 #[derive(Debug, Clone)]
 pub struct Rob {
     capacity: usize,
     entries: VecDeque<RobEntry>,
+    /// Sequence numbers of incomplete long-latency entries, ascending.
+    ll_incomplete: Vec<u64>,
 }
 
 impl Rob {
@@ -81,7 +92,34 @@ impl Rob {
         assert!(capacity > 0, "ROB needs at least one entry");
         Rob {
             capacity,
-            entries: VecDeque::new(),
+            entries: VecDeque::with_capacity(capacity.min(1024)),
+            ll_incomplete: Vec::with_capacity(64),
+        }
+    }
+
+    /// Slot of the entry with sequence number `seq`, derived arithmetically
+    /// from the dense sequence numbering (with a search fallback for
+    /// synthetic non-dense test streams).
+    fn position_of(&self, seq: SeqNum) -> Option<usize> {
+        let front = self.entries.front()?;
+        let idx = seq.0.checked_sub(front.seq.0)? as usize;
+        if let Some(e) = self.entries.get(idx) {
+            if e.seq == seq {
+                return Some(idx);
+            }
+        }
+        self.entries.binary_search_by_key(&seq.0, |e| e.seq.0).ok()
+    }
+
+    fn ll_insert(&mut self, seq: SeqNum) {
+        if let Err(pos) = self.ll_incomplete.binary_search(&seq.0) {
+            self.ll_incomplete.insert(pos, seq.0);
+        }
+    }
+
+    fn ll_remove(&mut self, seq: SeqNum) {
+        if let Ok(pos) = self.ll_incomplete.binary_search(&seq.0) {
+            self.ll_incomplete.remove(pos);
         }
     }
 
@@ -122,6 +160,9 @@ impl Rob {
                 "ROB entries must be pushed in program order"
             );
         }
+        if entry.long_latency && !entry.is_completed() {
+            self.ll_insert(entry.seq);
+        }
         self.entries.push_back(entry);
     }
 
@@ -149,29 +190,63 @@ impl Rob {
             .map(RobEntry::is_completed)
             .unwrap_or(false)
         {
-            self.entries.pop_front()
+            let entry = self.entries.pop_front();
+            if let Some(e) = &entry {
+                // A committing entry is complete, so it normally left the
+                // index in `complete`; entries driven to Completed through
+                // `get_mut` (tests) are swept here.
+                if e.long_latency {
+                    self.ll_remove(e.seq);
+                }
+            }
+            entry
         } else {
             None
         }
     }
 
+    /// Marks the entry as issued to a functional unit: state, completion
+    /// cycle and (for loads discovered to miss, divides, square roots) the
+    /// long-latency flag. Keeps the wakeup-boundary index coherent.
+    pub fn mark_issued(&mut self, seq: SeqNum, completion_cycle: Cycle, long_latency: bool) {
+        let Some(idx) = self.position_of(seq) else {
+            return;
+        };
+        let e = &mut self.entries[idx];
+        e.state = RobState::Executing;
+        e.completion_cycle = completion_cycle;
+        if long_latency && !e.long_latency {
+            e.long_latency = true;
+            self.ll_insert(seq);
+        }
+    }
+
+    /// Marks the entry completed (writeback), removing it from the
+    /// wakeup-boundary index, and returns it for inspection.
+    pub fn complete(&mut self, seq: SeqNum) -> Option<&RobEntry> {
+        let idx = self.position_of(seq)?;
+        let e = &mut self.entries[idx];
+        e.state = RobState::Completed;
+        if e.long_latency {
+            self.ll_remove(seq);
+        }
+        Some(&self.entries[idx])
+    }
+
     /// Mutable access to the entry with sequence number `seq`.
+    ///
+    /// Callers must not flip `state` to [`RobState::Completed`] or raise
+    /// `long_latency` through this handle — use [`Rob::complete`] /
+    /// [`Rob::mark_issued`] so the wakeup-boundary index stays coherent.
     pub fn get_mut(&mut self, seq: SeqNum) -> Option<&mut RobEntry> {
-        // Entries are in program order, so a binary search by seq works.
-        let idx = self
-            .entries
-            .binary_search_by_key(&seq.0, |e| e.seq.0)
-            .ok()?;
+        let idx = self.position_of(seq)?;
         self.entries.get_mut(idx)
     }
 
     /// Shared access to the entry with sequence number `seq`.
     #[must_use]
     pub fn get(&self, seq: SeqNum) -> Option<&RobEntry> {
-        let idx = self
-            .entries
-            .binary_search_by_key(&seq.0, |e| e.seq.0)
-            .ok()?;
+        let idx = self.position_of(seq)?;
         self.entries.get(idx)
     }
 
@@ -190,6 +265,21 @@ impl Rob {
     /// the boundary is one past the ROB tail (wake everything).
     #[must_use]
     pub fn nu_wake_boundary(&self) -> SeqNum {
+        let boundary = match self.ll_incomplete.get(1) {
+            Some(&seq) => SeqNum(seq),
+            None => self.tail_boundary(),
+        };
+        debug_assert_eq!(
+            boundary,
+            self.nu_wake_boundary_scan(),
+            "incremental long-latency index diverged from the window scan"
+        );
+        boundary
+    }
+
+    /// Reference implementation of the boundary (full window scan), kept for
+    /// the debug cross-check above.
+    fn nu_wake_boundary_scan(&self) -> SeqNum {
         let mut seen = 0;
         for e in &self.entries {
             if e.long_latency && !e.is_completed() {

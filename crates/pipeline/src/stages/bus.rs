@@ -16,9 +16,9 @@
 //!   (see [`crate::Processor::run_observed`]), which is what the invariant
 //!   test-suite hooks into.
 
+use crate::stages::wheel::TimingWheel;
 use ltp_isa::{OpClass, PhysReg, SeqNum};
 use ltp_mem::Cycle;
-use std::collections::BinaryHeap;
 
 /// One instruction leaving the machine through the commit stage this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,15 +31,20 @@ pub struct CommitSlot {
     pub was_parked: bool,
 }
 
+/// Default timing-wheel horizon when the bus is built without a machine
+/// configuration (covers every fixed FU latency and a typical DRAM access).
+const DEFAULT_HORIZON: u64 = 1024;
+
 /// Typed per-cycle latched signals exchanged between the pipeline stages.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StageBus {
-    /// Issue → writeback: `(cycle, seq)` completion events, popped when due.
-    completions: BinaryHeap<std::cmp::Reverse<(Cycle, u64)>>,
+    /// Issue → writeback: `(cycle, seq)` completion events, kept in a timing
+    /// wheel and popped when due.
+    completions: TimingWheel,
     /// Issue → writeback: early completion signals of long-latency
     /// instructions (tag hit / divide countdown), used to clear tickets a few
     /// cycles before the result arrives (§3.2).
-    ll_signals: BinaryHeap<std::cmp::Reverse<(Cycle, u64)>>,
+    ll_signals: TimingWheel,
     /// Rename (cycle N) → release (cycle N+1): rename stalled for resources
     /// while instructions were parked, so the release stage should consider a
     /// forced release. Latched across the cycle boundary.
@@ -62,11 +67,35 @@ pub struct StageBus {
     pub releases: Vec<SeqNum>,
 }
 
+impl Default for StageBus {
+    fn default() -> StageBus {
+        StageBus::with_horizon(DEFAULT_HORIZON)
+    }
+}
+
 impl StageBus {
-    /// Creates an empty bus.
+    /// Creates an empty bus with the default delayed-signal horizon.
     #[must_use]
     pub fn new() -> StageBus {
         StageBus::default()
+    }
+
+    /// Creates an empty bus whose timing wheels are sized for delays up to
+    /// `horizon` cycles (the worst functional-unit or DRAM latency of the
+    /// machine); longer delays remain correct through the wheels' far level.
+    #[must_use]
+    pub fn with_horizon(horizon: u64) -> StageBus {
+        StageBus {
+            completions: TimingWheel::new(horizon),
+            ll_signals: TimingWheel::new(horizon),
+            force_release: false,
+            reg_wakeups: Vec::new(),
+            seq_wakeups: Vec::new(),
+            ticket_clears: Vec::new(),
+            commits: Vec::new(),
+            reg_frees: Vec::new(),
+            releases: Vec::new(),
+        }
     }
 
     /// Clears the per-cycle records. Delayed signals and cross-cycle latches
@@ -82,34 +111,22 @@ impl StageBus {
 
     /// Schedules the completion of `seq` at `cycle`.
     pub(crate) fn schedule_completion(&mut self, cycle: Cycle, seq: SeqNum) {
-        self.completions.push(std::cmp::Reverse((cycle, seq.0)));
+        self.completions.schedule(cycle, seq.0);
     }
 
     /// Schedules the early long-latency signal of `seq` at `cycle`.
     pub(crate) fn schedule_ll_signal(&mut self, cycle: Cycle, seq: SeqNum) {
-        self.ll_signals.push(std::cmp::Reverse((cycle, seq.0)));
+        self.ll_signals.schedule(cycle, seq.0);
     }
 
     /// Pops the next completion that is due at or before `now`.
     pub(crate) fn pop_due_completion(&mut self, now: Cycle) -> Option<SeqNum> {
-        Self::pop_due(&mut self.completions, now)
+        self.completions.pop_due(now).map(SeqNum)
     }
 
     /// Pops the next early long-latency signal due at or before `now`.
     pub(crate) fn pop_due_ll_signal(&mut self, now: Cycle) -> Option<SeqNum> {
-        Self::pop_due(&mut self.ll_signals, now)
-    }
-
-    fn pop_due(
-        heap: &mut BinaryHeap<std::cmp::Reverse<(Cycle, u64)>>,
-        now: Cycle,
-    ) -> Option<SeqNum> {
-        let &std::cmp::Reverse((cycle, seq)) = heap.peek()?;
-        if cycle > now {
-            return None;
-        }
-        heap.pop();
-        Some(SeqNum(seq))
+        self.ll_signals.pop_due(now).map(SeqNum)
     }
 
     /// Raises the force-release latch (rename stalled on resources while the
@@ -134,6 +151,23 @@ impl StageBus {
     #[must_use]
     pub fn pending_completions(&self) -> usize {
         self.completions.len()
+    }
+}
+
+#[cfg(test)]
+mod horizon_tests {
+    use super::*;
+
+    /// A delay far beyond the wheel horizon must still deliver, in order.
+    #[test]
+    fn beyond_horizon_completions_deliver() {
+        let mut bus = StageBus::with_horizon(8);
+        bus.schedule_completion(5_000, SeqNum(1));
+        bus.schedule_completion(3, SeqNum(0));
+        assert_eq!(bus.pop_due_completion(3), Some(SeqNum(0)));
+        assert_eq!(bus.pop_due_completion(4_999), None);
+        assert_eq!(bus.pop_due_completion(5_000), Some(SeqNum(1)));
+        assert_eq!(bus.pending_completions(), 0);
     }
 }
 

@@ -5,7 +5,6 @@
 //! arithmetic) and schedules the resulting completion and early
 //! long-latency signals on the [`StageBus`] for the writeback stage.
 
-use crate::rob::RobState;
 use crate::stages::StageBus;
 use crate::state::PipelineState;
 use ltp_isa::{DynInst, OpClass};
@@ -14,19 +13,30 @@ use ltp_mem::{AccessKind, Cycle, MemoryRequest};
 /// Runs the issue stage for one cycle.
 pub(crate) fn run(state: &mut PipelineState, bus: &mut StageBus) {
     let now = state.now;
-    let PipelineState { iq, fu, .. } = state;
-    let picked = iq.select(state.cfg.issue_width, |kind| {
-        // Reserve the unit immediately; unpipelined units use their
-        // worst-case occupancy.
-        let latency = match kind {
-            ltp_isa::FuKind::IntMulDiv => OpClass::IntDiv.exec_latency().cycles(),
-            ltp_isa::FuKind::FpDivSqrt => OpClass::FpSqrt.exec_latency().cycles(),
-            _ => 1,
-        };
-        fu.acquire(kind, now, latency)
-    });
+    let width = state.cfg.issue_width;
+    // The selection scratch lives in the machine state so the hot loop never
+    // allocates; `select_into` appends in selection order.
+    let mut picked = std::mem::take(&mut state.issue_scratch);
+    debug_assert!(picked.is_empty());
+    {
+        let PipelineState { iq, fu, .. } = state;
+        iq.select_into(
+            width,
+            |kind| {
+                // Reserve the unit immediately; unpipelined units use their
+                // worst-case occupancy.
+                let latency = match kind {
+                    ltp_isa::FuKind::IntMulDiv => OpClass::IntDiv.exec_latency().cycles(),
+                    ltp_isa::FuKind::FpDivSqrt => OpClass::FpSqrt.exec_latency().cycles(),
+                    _ => 1,
+                };
+                fu.acquire(kind, now, latency)
+            },
+            &mut picked,
+        );
+    }
 
-    for entry in picked {
+    for entry in picked.drain(..) {
         let seq = entry.seq;
         state.activity.iq_issues += 1;
         let (inst, n_srcs) = {
@@ -61,16 +71,13 @@ pub(crate) fn run(state: &mut PipelineState, bus: &mut StageBus) {
             }
         };
 
-        if let Some(e) = state.rob.get_mut(seq) {
-            e.state = RobState::Executing;
-            e.completion_cycle = completion;
-            e.long_latency = e.long_latency || long_latency;
-        }
+        state.rob.mark_issued(seq, completion, long_latency);
         bus.schedule_completion(completion, seq);
         if let Some(signal) = ll_signal {
             bus.schedule_ll_signal(signal.max(state.now), seq);
         }
     }
+    state.issue_scratch = picked;
 }
 
 /// Executes a load: address generation, store forwarding check, cache

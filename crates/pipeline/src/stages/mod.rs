@@ -13,6 +13,7 @@ pub(crate) mod commit;
 pub(crate) mod issue;
 pub(crate) mod release;
 pub(crate) mod rename;
+mod wheel;
 pub(crate) mod writeback;
 
 pub use bus::{CommitSlot, StageBus};

@@ -32,8 +32,7 @@ pub(crate) fn run(state: &mut PipelineState, bus: &mut StageBus) {
         if !state.can_place_released(entry) {
             break;
         }
-        let released = state.ltp.release_in_order(boundary, 1, state.now);
-        let Some(parked) = released.into_iter().next() else {
+        let Some(parked) = state.ltp.pop_release_in_order(boundary, state.now) else {
             break;
         };
         place_released(state, bus, parked, false);
@@ -53,8 +52,7 @@ pub(crate) fn run(state: &mut PipelineState, bus: &mut StageBus) {
             {
                 break;
             }
-            let released = state.ltp.release_ready_out_of_order(1, state.now);
-            let Some(parked) = released.into_iter().next() else {
+            let Some(parked) = state.ltp.pop_release_ready_out_of_order(state.now) else {
                 break;
             };
             place_released(state, bus, parked, false);
@@ -142,11 +140,13 @@ fn place_released(state: &mut PipelineState, bus: &mut StageBus, parked: ParkedI
     }
 
     let wait_phys = src_phys
-        .into_iter()
+        .iter()
+        .copied()
         .filter(|p| !state.completed_regs.contains(p))
         .collect();
     let wait_seqs = src_seqs
-        .into_iter()
+        .iter()
+        .copied()
         .filter(|s| !state.is_seq_done(*s))
         .collect();
     let entry = IqEntry {

@@ -18,6 +18,7 @@ use crate::rat::RegSource;
 use crate::rob::{RobEntry, RobState};
 use crate::stages::StageBus;
 use crate::state::{InFlight, PipelineState};
+use inlinevec::InlineVec;
 use ltp_core::RenamedInst;
 use ltp_isa::{DynInst, InstStream, PhysReg, RegClass, SeqNum};
 
@@ -26,8 +27,8 @@ use ltp_isa::{DynInst, InstStream, PhysReg, RegClass, SeqNum};
 #[derive(Debug, Clone)]
 struct PendingDispatch {
     inst: DynInst,
-    src_phys: Vec<PhysReg>,
-    src_seqs: Vec<SeqNum>,
+    src_phys: InlineVec<PhysReg, 4>,
+    src_seqs: InlineVec<SeqNum, 2>,
     long_latency_hint: bool,
 }
 
@@ -180,8 +181,8 @@ fn park_instruction(state: &mut PipelineState, inst: &DynInst, long_latency_hint
 fn try_place_dispatch(
     state: &mut PipelineState,
     inst: &DynInst,
-    src_phys: Vec<PhysReg>,
-    src_seqs: Vec<SeqNum>,
+    src_phys: InlineVec<PhysReg, 4>,
+    src_seqs: InlineVec<SeqNum, 2>,
     long_latency_hint: bool,
 ) -> bool {
     let op = inst.op();
@@ -267,11 +268,13 @@ fn try_place_dispatch(
     });
 
     let wait_phys = src_phys
-        .into_iter()
+        .iter()
+        .copied()
         .filter(|p| !state.completed_regs.contains(p))
         .collect();
     let wait_seqs = src_seqs
-        .into_iter()
+        .iter()
+        .copied()
         .filter(|s| !state.is_seq_done(*s))
         .collect();
     state.iq.dispatch(IqEntry {

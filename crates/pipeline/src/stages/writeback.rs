@@ -6,7 +6,6 @@
 //! wakeups) on the bus and applies it to the issue queue, and clears LTP
 //! tickets so Non-Ready descendants can be released in time (§3.2).
 
-use crate::rob::RobState;
 use crate::stages::StageBus;
 use crate::state::PipelineState;
 
@@ -14,8 +13,7 @@ use crate::state::PipelineState;
 pub(crate) fn run(state: &mut PipelineState, bus: &mut StageBus) {
     // Instruction completions.
     while let Some(seq) = bus.pop_due_completion(state.now) {
-        if let Some(entry) = state.rob.get_mut(seq) {
-            entry.state = RobState::Completed;
+        if let Some(entry) = state.rob.complete(seq) {
             if let Some(p) = entry.dest_phys {
                 state.completed_regs.insert(p);
                 bus.reg_wakeups.push(p);

@@ -11,12 +11,13 @@
 
 use crate::config::PipelineConfig;
 use crate::free_list::FreeList;
-use crate::iq::IssueQueue;
+use crate::iq::{IqEntry, IssueQueue};
 use crate::lsq::{LoadQueue, MemDepPredictor, StoreQueue};
 use crate::rat::{Rat, RegSource};
 use crate::result::{ActivityCounters, OccupancyReport};
 use crate::rob::{Rob, RobEntry};
 use crate::FuPool;
+use inlinevec::InlineVec;
 use ltp_core::LtpUnit;
 use ltp_isa::{DynInst, PhysReg, RegClass, SeqNum};
 use ltp_mem::{Cycle, MemoryHierarchy};
@@ -31,10 +32,10 @@ pub(crate) const FP_PHYS_OFFSET: u32 = 1 << 20;
 pub(crate) struct InFlight {
     pub(crate) inst: DynInst,
     /// Source operands resolved at rename time: physical registers...
-    pub(crate) src_phys: Vec<PhysReg>,
+    pub(crate) src_phys: InlineVec<PhysReg, 4>,
     /// ... and producers that were parked at rename time (waited on by
     /// sequence number).
-    pub(crate) src_seqs: Vec<SeqNum>,
+    pub(crate) src_seqs: InlineVec<SeqNum, 2>,
 }
 
 /// All machine state shared between the pipeline stages.
@@ -53,6 +54,9 @@ pub(crate) struct PipelineState {
     pub(crate) sq: StoreQueue,
     pub(crate) memdep: MemDepPredictor,
     pub(crate) fu: FuPool,
+    /// Reused by the issue stage for the per-cycle selection, so the hot
+    /// loop never allocates.
+    pub(crate) issue_scratch: Vec<IqEntry>,
     pub(crate) inflight: HashMap<u64, InFlight>,
     pub(crate) completed_regs: HashSet<PhysReg>,
     pub(crate) released_parked_regs: HashMap<u64, PhysReg>,
@@ -99,9 +103,12 @@ impl PipelineState {
         self.rob.get(seq).map(|e| e.is_completed()).unwrap_or(true)
     }
 
-    pub(crate) fn resolve_sources(&self, inst: &DynInst) -> (Vec<PhysReg>, Vec<SeqNum>) {
-        let mut phys = Vec::new();
-        let mut seqs = Vec::new();
+    pub(crate) fn resolve_sources(
+        &self,
+        inst: &DynInst,
+    ) -> (InlineVec<PhysReg, 4>, InlineVec<SeqNum, 2>) {
+        let mut phys = InlineVec::new();
+        let mut seqs = InlineVec::new();
         for src in inst.static_inst().dataflow_srcs() {
             match self.rat.source(src) {
                 RegSource::Ready => {}

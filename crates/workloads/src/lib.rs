@@ -148,6 +148,21 @@ pub fn replay(name: &str, trace: Vec<DynInst>) -> ltp_isa::VecStream {
     ltp_isa::VecStream::new(name, trace)
 }
 
+/// A stream replaying a *borrowed* trace: benchmark iterations and sweep
+/// points replay the same trace many times, and this variant shares the one
+/// allocation instead of cloning the trace per run.
+#[must_use]
+pub fn replay_slice<'a>(name: &'a str, trace: &'a [DynInst]) -> ltp_isa::SliceStream<'a> {
+    ltp_isa::SliceStream::new(name, trace)
+}
+
+/// A stream replaying a reference-counted trace (for fan-out across threads
+/// with independent lifetimes).
+#[must_use]
+pub fn replay_shared(name: &str, trace: std::sync::Arc<[DynInst]>) -> ltp_isa::ArcStream {
+    ltp_isa::ArcStream::new(name, trace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Runs the pipeline_throughput benchmark and writes a JSON snapshot of
+# simulated-instructions-per-second for every machine × classifier point.
+#
+# Usage:
+#   scripts/bench_snapshot.sh [OUTPUT.json]
+#
+# The in-tree criterion stand-in is already "quick mode": each benchmark is
+# calibrated to a ~300 ms sampling budget, so a full snapshot takes well
+# under a minute. CI runs this on every push and uploads the snapshot as a
+# workflow artifact, seeding the bench trajectory; the committed
+# BENCH_pipeline.json additionally carries the pre-optimisation baseline for
+# before/after comparisons.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_pipeline.json.new}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+cargo bench --bench pipeline_throughput | tee "$RAW" >&2
+
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+# Lines look like:
+#   pipeline_throughput/machine/baseline_iq64:  9284.046 µs/iter (30 iters)  646270 elem/s
+awk -v commit="$COMMIT" '
+    BEGIN {
+        n = 0
+    }
+    /elem\/s/ {
+        name = $1
+        sub(/:$/, "", name)
+        us = $2
+        rate = $(NF - 1)
+        names[n] = name
+        uss[n] = us
+        rates[n] = rate
+        n++
+    }
+    END {
+        if (n == 0) {
+            print "bench_snapshot: no \"elem/s\" lines in bench output — format drift?" > "/dev/stderr"
+            exit 1
+        }
+        printf "{\n"
+        printf "  \"bench\": \"pipeline_throughput\",\n"
+        printf "  \"unit\": \"simulated_insts_per_sec\",\n"
+        printf "  \"commit\": \"%s\",\n", commit
+        printf "  \"results\": {\n"
+        for (i = 0; i < n; i++) {
+            comma = (i < n - 1) ? "," : ""
+            printf "    \"%s\": {\"insts_per_sec\": %s, \"us_per_iter\": %s}%s\n", names[i], rates[i], uss[i], comma
+        }
+        printf "  }\n"
+        printf "}\n"
+    }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2

@@ -1,0 +1,121 @@
+//! Steady-state allocation audit of the hot cycle loop.
+//!
+//! The scheduling rewrite (indexed IQ wakeup, timing-wheel stage bus,
+//! indexed LTP queue, scratch-buffer reuse) claims the per-cycle hot path
+//! performs **no heap allocation in steady state**. This test pins that: a
+//! counting global allocator watches a full simulation of the mixed kernel
+//! on the proposed LTP machine, and once the machine has reached steady
+//! state (capacities grown, tables warm) every subsequent cycle must
+//! allocate nothing.
+//!
+//! The trace and configuration are fixed, so the test is deterministic; a
+//! failure means a per-cycle allocation crept back into the IQ, stage-bus,
+//! release or commit path.
+
+use ltp_pipeline::{PipelineConfig, Processor};
+use ltp_workloads::{replay_slice, trace, WorkloadKind};
+use std::sync::atomic::Ordering;
+
+// The counting allocator needs `unsafe impl GlobalAlloc`; the workspace
+// otherwise denies unsafe code, so the exemption is scoped to this shim.
+#[allow(unsafe_code)]
+mod counting {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Number of allocation (and reallocation) calls observed.
+    pub static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: counting::CountingAlloc = counting::CountingAlloc;
+
+fn alloc_calls() -> u64 {
+    counting::ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// Runs `kind` on `cfg` and returns `(steady_cycles, allocating_cycles)`
+/// for the window after `warm_committed` instructions have committed.
+fn audit(cfg: PipelineConfig, kind: WorkloadKind, insts: u64, warm_committed: u64) -> (u64, u64) {
+    let warm = trace(kind, 7, 2_000);
+    let detail = trace(kind, 8, insts as usize);
+    let mut cpu = Processor::new(cfg);
+    cpu.warm_caches(&warm);
+
+    let mut last = alloc_calls();
+    let mut steady_cycles = 0u64;
+    let mut allocating_cycles = 0u64;
+    cpu.run_observed(replay_slice(kind.name(), &detail), insts, |view| {
+        let now = alloc_calls();
+        if view.committed > warm_committed {
+            steady_cycles += 1;
+            if now != last {
+                allocating_cycles += 1;
+            }
+        }
+        last = now;
+    })
+    .expect("no deadlock");
+    (steady_cycles, allocating_cycles)
+}
+
+/// The proposed LTP machine on the mixed kernel: after warm-up, the cycle
+/// loop (wakeup, select, release, commit, stage-bus traffic) is
+/// allocation-free.
+#[test]
+fn steady_state_cycles_do_not_allocate() {
+    let (steady, allocating) = audit(
+        PipelineConfig::ltp_proposed(),
+        WorkloadKind::MixedPhases,
+        6_000,
+        3_000,
+    );
+    assert!(
+        steady > 500,
+        "audit window too small to be meaningful: {steady} cycles"
+    );
+    assert_eq!(
+        allocating, 0,
+        "{allocating} of {steady} steady-state cycles performed a heap allocation"
+    );
+}
+
+/// Same audit for the baseline (LTP off) machine, which exercises the pure
+/// IQ/bus path without the parking queue.
+#[test]
+fn baseline_steady_state_cycles_do_not_allocate() {
+    let (steady, allocating) = audit(
+        PipelineConfig::micro2015_baseline(),
+        WorkloadKind::MixedPhases,
+        6_000,
+        3_000,
+    );
+    assert!(steady > 500, "audit window too small: {steady} cycles");
+    assert_eq!(
+        allocating, 0,
+        "{allocating} of {steady} steady-state cycles performed a heap allocation"
+    );
+}

@@ -181,8 +181,8 @@ proptest! {
             iq.dispatch(IqEntry {
                 seq: SeqNum(s as u64),
                 fu: OpClass::IntAlu.fu_kind(),
-                wait_phys: wait,
-                wait_seqs: vec![],
+                wait_phys: wait.into_iter().collect(),
+                wait_seqs: Default::default(),
             });
         }
         let picked = iq.select(ready_flags.len(), |_| true);
