@@ -10,8 +10,8 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ltp_core::ClassifierKind;
 use ltp_isa::DynInst;
-use ltp_pipeline::{PipelineConfig, Processor};
-use ltp_workloads::{replay_slice, trace, WorkloadKind};
+use ltp_pipeline::{PipelineConfig, Processor, SharePolicy};
+use ltp_workloads::{co_trace, replay_slice, trace, WorkloadKind};
 
 /// Instruction budget per iteration: large enough to reach steady state in
 /// the mixed kernel's compute and memory phases.
@@ -66,5 +66,53 @@ fn classifier_dimension(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, machine_configs, classifier_dimension);
+/// Simulation-machinery cost of the 2-way SMT co-run path (two streams, per
+/// thread state, shared-capacity checks): simulated instructions per second
+/// of host time across both threads. The snapshot JSON tracks these points
+/// alongside the single-thread numbers.
+fn smt_co_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_throughput/smt");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2 * INSTS));
+    let warm: Vec<Vec<DynInst>> = (0u8..2)
+        .map(|tid| co_trace(WorkloadKind::IndirectStream, 7 + u64::from(tid), 2_000, tid))
+        .collect();
+    let detail: Vec<Vec<DynInst>> = (0u8..2)
+        .map(|tid| {
+            co_trace(
+                WorkloadKind::IndirectStream,
+                9 + u64::from(tid),
+                INSTS as usize,
+                tid,
+            )
+        })
+        .collect();
+    for (label, cfg) in [
+        (
+            "co_run_baseline",
+            PipelineConfig::small_no_ltp().smt(SharePolicy::Shared),
+        ),
+        (
+            "co_run_ltp",
+            PipelineConfig::ltp_proposed().smt(SharePolicy::Shared),
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cpu = Processor::new(cfg);
+                for w in &warm {
+                    cpu.warm_caches(w);
+                }
+                let streams = detail
+                    .iter()
+                    .map(|d| replay_slice("indirect_stream", d))
+                    .collect();
+                cpu.run_smt(streams, INSTS).expect("no deadlock").cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, machine_configs, classifier_dimension, smt_co_run);
 criterion_main!(benches);

@@ -102,8 +102,12 @@ pub fn run(opts: &RunOptions) -> String {
         ("mlp_insensitive", &insensitive),
     ] {
         for cfg in Fig1Config::ALL {
-            let cpi = group_mean(group, |k| by_point[&(k, cfg)].cpi());
-            let mlp = group_mean(group, |k| by_point[&(k, cfg)].avg_outstanding_misses());
+            // An empty group (possible under quick options) has no mean.
+            let Some(cpi) = group_mean(group, |k| by_point[&(k, cfg)].cpi()) else {
+                continue;
+            };
+            let mlp = group_mean(group, |k| by_point[&(k, cfg)].avg_outstanding_misses())
+                .expect("group is non-empty");
             table.add_row(vec![
                 group_name.to_string(),
                 cfg.label().to_string(),
@@ -122,18 +126,23 @@ pub fn run(opts: &RunOptions) -> String {
         ("mlp_sensitive", &sensitive),
         ("mlp_insensitive", &insensitive),
     ] {
-        let rf = group_mean(group, |k| {
+        let Some(rf) = group_mean(group, |k| {
             by_point[&(k, Fig1Config::Iq256)].occupancy.regs.mean()
-        });
+        }) else {
+            continue;
+        };
         let iq = group_mean(group, |k| {
             by_point[&(k, Fig1Config::Iq256)].occupancy.iq.mean()
-        });
+        })
+        .expect("group is non-empty");
         let lq = group_mean(group, |k| {
             by_point[&(k, Fig1Config::Iq256)].occupancy.lq.mean()
-        });
+        })
+        .expect("group is non-empty");
         let sq = group_mean(group, |k| {
             by_point[&(k, Fig1Config::Iq256)].occupancy.sq.mean()
-        });
+        })
+        .expect("group is non-empty");
         res_table.add_row(vec![
             group_name.to_string(),
             format!("{rf:.1}"),
@@ -149,17 +158,22 @@ pub fn run(opts: &RunOptions) -> String {
     // applications speed up by 18%", "Adding LTP to a 32-entry IQ increases
     // MLP by 19%").
     if !sensitive.is_empty() {
-        let cpi32 = group_mean(&sensitive, |k| by_point[&(k, Fig1Config::Iq32)].cpi());
-        let cpi256 = group_mean(&sensitive, |k| by_point[&(k, Fig1Config::Iq256)].cpi());
+        let cpi32 =
+            group_mean(&sensitive, |k| by_point[&(k, Fig1Config::Iq32)].cpi()).expect("non-empty");
+        let cpi256 =
+            group_mean(&sensitive, |k| by_point[&(k, Fig1Config::Iq256)].cpi()).expect("non-empty");
         let mlp32 = group_mean(&sensitive, |k| {
             by_point[&(k, Fig1Config::Iq32)].avg_outstanding_misses()
-        });
+        })
+        .expect("non-empty");
         let mlp_ltp = group_mean(&sensitive, |k| {
             by_point[&(k, Fig1Config::Iq32Ltp)].avg_outstanding_misses()
-        });
+        })
+        .expect("non-empty");
         let mlp256 = group_mean(&sensitive, |k| {
             by_point[&(k, Fig1Config::Iq256)].avg_outstanding_misses()
-        });
+        })
+        .expect("non-empty");
         out.push_str(&format!(
             "\nMLP-sensitive: IQ 32 -> 256 speedup: {:+.1}%  (paper: ~+18%)\n",
             (cpi32 / cpi256 - 1.0) * 100.0

@@ -110,10 +110,12 @@ pub fn run(opts: &RunOptions) -> String {
         if group.is_empty() {
             continue;
         }
-        let base_cpi = group_mean(group, |k| by_job[&(Point::Baseline, k)].cpi());
+        let base_cpi =
+            group_mean(group, |k| by_job[&(Point::Baseline, k)].cpi()).expect("group is non-empty");
         let base_ed2p = group_mean(group, |k| {
             ed2p_of(Point::Baseline, &by_job[&(Point::Baseline, k)])
-        });
+        })
+        .expect("group is non-empty");
 
         let mut table = TextTable::with_columns(&[
             "ltp entries",
@@ -122,10 +124,12 @@ pub fn run(opts: &RunOptions) -> String {
             "IQ/RF ED2P vs base %",
         ]);
         // The red line: IQ 32 / RF 96 without LTP.
-        let no_ltp_cpi = group_mean(group, |k| by_job[&(Point::NoLtpSmall, k)].cpi());
+        let no_ltp_cpi = group_mean(group, |k| by_job[&(Point::NoLtpSmall, k)].cpi())
+            .expect("group is non-empty");
         let no_ltp_ed2p = group_mean(group, |k| {
             ed2p_of(Point::NoLtpSmall, &by_job[&(Point::NoLtpSmall, k)])
-        });
+        })
+        .expect("group is non-empty");
         table.add_row(vec![
             "no LTP".to_string(),
             "-".to_string(),
@@ -135,8 +139,9 @@ pub fn run(opts: &RunOptions) -> String {
         for entries in ENTRIES {
             for ports in PORTS {
                 let p = Point::Ltp { entries, ports };
-                let cpi = group_mean(group, |k| by_job[&(p, k)].cpi());
-                let ed2p = group_mean(group, |k| ed2p_of(p, &by_job[&(p, k)]));
+                let cpi = group_mean(group, |k| by_job[&(p, k)].cpi()).expect("group is non-empty");
+                let ed2p = group_mean(group, |k| ed2p_of(p, &by_job[&(p, k)]))
+                    .expect("group is non-empty");
                 table.add_row(vec![
                     if entries == usize::MAX {
                         "inf".into()

@@ -71,9 +71,10 @@ pub fn run(opts: &RunOptions) -> String {
         if group.is_empty() {
             continue;
         }
-        let base = group_mean(group, |k| by_job[&(Point::Baseline, k)].cpi());
+        let base =
+            group_mean(group, |k| by_job[&(Point::Baseline, k)].cpi()).expect("group is non-empty");
         let perf = |p: Point| {
-            let cpi = group_mean(group, |k| by_job[&(p, k)].cpi());
+            let cpi = group_mean(group, |k| by_job[&(p, k)].cpi()).expect("group is non-empty");
             (base / cpi - 1.0) * 100.0
         };
         let mut table = TextTable::with_columns(&["config", "perf vs base %"]);

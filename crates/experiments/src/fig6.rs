@@ -210,8 +210,10 @@ pub fn run_resources(opts: &RunOptions, resources: &[SweptResource]) -> String {
                             } else {
                                 let base = group_mean(group, |k| {
                                     cpi[&(res, LtpMode::Off, res.baseline_size(), k)]
-                                });
-                                let this = group_mean(group, |k| cpi[&(res, mode, size, k)]);
+                                })
+                                .expect("group is non-empty");
+                                let this = group_mean(group, |k| cpi[&(res, mode, size, k)])
+                                    .expect("group is non-empty");
                                 (base / this - 1.0) * 100.0
                             }
                         }

@@ -63,7 +63,9 @@ pub fn run(opts: &RunOptions) -> String {
             if group.is_empty() {
                 continue;
             }
-            let m = |f: &dyn Fn(&RunResult) -> f64| group_mean(group, |k| f(&by_point[&(k, mode)]));
+            let m = |f: &dyn Fn(&RunResult) -> f64| {
+                group_mean(group, |k| f(&by_point[&(k, mode)])).expect("group is non-empty")
+            };
             table.add_row(vec![
                 (*label).to_string(),
                 mode.label().to_string(),

@@ -21,6 +21,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig6;
 pub mod fig7;
+pub mod fig_smt;
 pub mod parallel;
 pub mod runner;
 pub mod sim;
@@ -28,7 +29,7 @@ pub mod table1;
 pub mod uit_sweep;
 
 pub use runner::{run_point, try_run_point, MlpGrouping, RunOptions};
-pub use sim::SimBuilder;
+pub use sim::{CoRunBuilder, SimBuilder};
 
 /// The experiments that can be run from the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,11 +52,13 @@ pub enum Experiment {
     UitSweep,
     /// Ablations of design choices (prefetcher, monitor, release reserve).
     Ablation,
+    /// SMT co-runs: LTP freeing shared resources for a co-runner.
+    FigSmt,
 }
 
 impl Experiment {
     /// All experiments in report order.
-    pub const ALL: [Experiment; 9] = [
+    pub const ALL: [Experiment; 10] = [
         Experiment::Table1,
         Experiment::Fig1,
         Experiment::Classification,
@@ -65,6 +68,7 @@ impl Experiment {
         Experiment::Fig11,
         Experiment::UitSweep,
         Experiment::Ablation,
+        Experiment::FigSmt,
     ];
 
     /// Command-line name of the experiment.
@@ -80,6 +84,7 @@ impl Experiment {
             Experiment::Fig11 => "fig11",
             Experiment::UitSweep => "uit",
             Experiment::Ablation => "ablation",
+            Experiment::FigSmt => "fig_smt",
         }
     }
 
@@ -102,6 +107,7 @@ impl Experiment {
             Experiment::Fig11 => fig11::run(opts),
             Experiment::UitSweep => uit_sweep::run(opts),
             Experiment::Ablation => ablation::run(opts),
+            Experiment::FigSmt => fig_smt::run(opts),
         }
     }
 }

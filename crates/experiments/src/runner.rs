@@ -11,15 +11,18 @@ pub const DEFAULT_DETAIL_INSTS: u64 = 30_000;
 /// How many instructions are used to warm the caches before detailed
 /// simulation (the paper warms for 250 M instructions on real SPEC; the
 /// synthetic kernels reach steady state much sooner).
-pub const DEFAULT_WARM_INSTS: usize = 20_000;
+pub const DEFAULT_WARM_INSTS: u64 = 20_000;
 
 /// Options controlling a batch of experiment runs.
+///
+/// Both instruction budgets are `u64` (they used to mix `u64` and `usize`,
+/// which forced casts at every boundary between them).
 #[derive(Debug, Clone, Copy)]
 pub struct RunOptions {
     /// Detailed instructions per simulation point.
     pub detail_insts: u64,
     /// Cache-warming instructions per simulation point.
-    pub warm_insts: usize,
+    pub warm_insts: u64,
     /// Seed for the workload generators.
     pub seed: u64,
 }
@@ -96,6 +99,7 @@ impl MlpGrouping {
     pub fn derive(opts: &RunOptions) -> MlpGrouping {
         let mut sensitive = Vec::new();
         let mut insensitive = Vec::new();
+        let l2_latency = PipelineConfig::micro2015_baseline().mem.l2.latency;
         for kind in WorkloadKind::ALL {
             let small = run_point(
                 kind,
@@ -107,7 +111,6 @@ impl MlpGrouping {
                 PipelineConfig::limit_study_unlimited().with_iq(256),
                 opts,
             );
-            let l2_latency = PipelineConfig::micro2015_baseline().mem.l2.latency;
             if large.is_mlp_sensitive_vs(&small, l2_latency) {
                 sensitive.push(kind);
             } else {
@@ -128,16 +131,24 @@ impl MlpGrouping {
 }
 
 /// Average of a per-workload metric over a group of workloads.
+///
+/// Returns `None` for an empty group. (An empty MLP-sensitive or
+/// MLP-insensitive set is reachable under [`RunOptions::quick`]; the mean of
+/// nothing used to come back as NaN and silently propagate into figure
+/// tables, so the empty case is explicit — callers skip the row.)
 #[must_use]
-pub fn group_mean<F>(group: &[WorkloadKind], mut metric: F) -> f64
+pub fn group_mean<F>(group: &[WorkloadKind], mut metric: F) -> Option<f64>
 where
     F: FnMut(WorkloadKind) -> f64,
 {
+    if group.is_empty() {
+        return None;
+    }
     let mut acc = MeanAccumulator::new();
     for &k in group {
         acc.add(metric(k));
     }
-    acc.mean()
+    Some(acc.mean())
 }
 
 /// Builds the limit-study configuration for a given LTP mode: unlimited
@@ -193,8 +204,20 @@ mod tests {
             } else {
                 3.0
             }
-        });
+        })
+        .expect("non-empty group");
         assert!((mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_mean_of_empty_group_is_none_not_nan() {
+        let mut calls = 0;
+        let mean = group_mean(&[], |_| {
+            calls += 1;
+            f64::NAN
+        });
+        assert_eq!(mean, None, "empty group must be explicit, not NaN");
+        assert_eq!(calls, 0, "the metric must not be evaluated");
     }
 
     #[test]

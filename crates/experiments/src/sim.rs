@@ -9,8 +9,8 @@
 use crate::runner::{RunOptions, DEFAULT_DETAIL_INSTS, DEFAULT_WARM_INSTS};
 use ltp_core::OracleAnalysis;
 use ltp_isa::DynInst;
-use ltp_pipeline::{PipelineConfig, Processor, RunError, RunResult};
-use ltp_workloads::{replay_slice, trace, WorkloadKind};
+use ltp_pipeline::{PipelineConfig, Processor, RunError, RunResult, SharePolicy, SmtRunResult};
+use ltp_workloads::{co_trace, replay_slice, trace, WorkloadKind};
 
 /// Builds and runs one simulation point: configuration → traces → cache
 /// warming → classifier (oracle analysis when configured) → detailed run.
@@ -39,7 +39,7 @@ pub struct SimBuilder {
     cfg: PipelineConfig,
     kind: WorkloadKind,
     seed: u64,
-    warm_insts: usize,
+    warm_insts: u64,
     detail_insts: u64,
 }
 
@@ -76,7 +76,7 @@ impl SimBuilder {
 
     /// Sets the cache-warming instruction budget (0 skips warming).
     #[must_use]
-    pub fn warm_insts(mut self, warm_insts: usize) -> SimBuilder {
+    pub fn warm_insts(mut self, warm_insts: u64) -> SimBuilder {
         self.warm_insts = warm_insts;
         self
     }
@@ -113,7 +113,7 @@ impl SimBuilder {
     fn build_against(&self, detail: &[DynInst]) -> Processor {
         let mut cpu = Processor::new(self.cfg);
         if self.warm_insts > 0 {
-            let warm = trace(self.kind, self.seed, self.warm_insts);
+            let warm = trace(self.kind, self.seed, self.warm_insts as usize);
             cpu.warm_caches(&warm);
         }
         if self.cfg.needs_oracle() {
@@ -148,6 +148,152 @@ impl SimBuilder {
     pub fn run_on(&self, detail: &[DynInst]) -> Result<RunResult, RunError> {
         let mut cpu = self.build_against(detail);
         cpu.run(replay_slice(self.kind.name(), detail), self.detail_insts)
+    }
+
+    /// Starts a builder for a 2-way SMT co-run of workloads `a` (thread 0)
+    /// and `b` (thread 1) sharing one back end.
+    ///
+    /// When `cfg` is not already SMT-configured the dynamic
+    /// [`SharePolicy::Shared`] policy is applied — the policy under which
+    /// resources freed by LTP parking are visibly consumed by the co-runner.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ltp_experiments::SimBuilder;
+    /// use ltp_pipeline::PipelineConfig;
+    /// use ltp_workloads::WorkloadKind;
+    ///
+    /// let result = SimBuilder::co_run(
+    ///     PipelineConfig::ltp_proposed(),
+    ///     WorkloadKind::IndirectStream,
+    ///     WorkloadKind::GatherFp,
+    /// )
+    /// .seed(7)
+    /// .warm_insts(500)
+    /// .detail_insts(1_500)
+    /// .run()
+    /// .expect("no deadlock");
+    /// assert_eq!(result.threads.len(), 2);
+    /// assert_eq!(result.total_instructions(), 3_000);
+    /// ```
+    #[must_use]
+    pub fn co_run(cfg: PipelineConfig, a: WorkloadKind, b: WorkloadKind) -> CoRunBuilder {
+        let cfg = if cfg.smt.is_smt() {
+            cfg
+        } else {
+            cfg.smt(SharePolicy::Shared)
+        };
+        let defaults = RunOptions::default();
+        CoRunBuilder {
+            cfg,
+            kinds: [a, b],
+            seed: defaults.seed,
+            warm_insts: DEFAULT_WARM_INSTS,
+            detail_insts: DEFAULT_DETAIL_INSTS,
+        }
+    }
+}
+
+/// Builds and runs one 2-way SMT co-run simulation point (see
+/// [`SimBuilder::co_run`]): per-thread traces in disjoint address regions,
+/// shared cache warming with both warm traces, a per-thread oracle analysis
+/// when the configuration selects the oracle classifier, and a
+/// [`Processor::run_smt`] co-run.
+///
+/// Seed discipline: thread `t` warms with `seed + 2t` and runs `seed + 2t + 1`,
+/// so all four traces are distinct dynamic instances. Thread 0's traces are
+/// identical to a [`SimBuilder`] run of the same kind and seed.
+#[derive(Debug, Clone)]
+pub struct CoRunBuilder {
+    cfg: PipelineConfig,
+    kinds: [WorkloadKind; 2],
+    seed: u64,
+    warm_insts: u64,
+    detail_insts: u64,
+}
+
+impl CoRunBuilder {
+    /// Applies the budgets and seed of a [`RunOptions`].
+    #[must_use]
+    pub fn options(mut self, opts: &RunOptions) -> CoRunBuilder {
+        self.seed = opts.seed;
+        self.warm_insts = opts.warm_insts;
+        self.detail_insts = opts.detail_insts;
+        self
+    }
+
+    /// Sets the workload seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> CoRunBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-thread cache-warming instruction budget (0 skips it).
+    #[must_use]
+    pub fn warm_insts(mut self, warm_insts: u64) -> CoRunBuilder {
+        self.warm_insts = warm_insts;
+        self
+    }
+
+    /// Sets the per-thread detailed-simulation instruction budget.
+    #[must_use]
+    pub fn detail_insts(mut self, detail_insts: u64) -> CoRunBuilder {
+        self.detail_insts = detail_insts;
+        self
+    }
+
+    /// Builds the SMT processor and runs the co-run to completion (both
+    /// streams drained).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError::Deadlock`] from the pipeline when the
+    /// configuration starves itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration requests more than two hardware threads
+    /// (the builder prepares exactly two streams).
+    pub fn run(&self) -> Result<SmtRunResult, RunError> {
+        assert_eq!(
+            self.cfg.smt.threads, 2,
+            "CoRunBuilder drives exactly two hardware threads"
+        );
+        let details: Vec<Vec<DynInst>> = (0u8..2)
+            .map(|tid| {
+                co_trace(
+                    self.kinds[tid as usize],
+                    self.seed.wrapping_add(2 * u64::from(tid) + 1),
+                    self.detail_insts as usize,
+                    tid,
+                )
+            })
+            .collect();
+        let mut cpu = Processor::new(self.cfg);
+        for tid in 0u8..2 {
+            if self.warm_insts > 0 {
+                let warm = co_trace(
+                    self.kinds[tid as usize],
+                    self.seed.wrapping_add(2 * u64::from(tid)),
+                    self.warm_insts as usize,
+                    tid,
+                );
+                cpu.warm_caches(&warm);
+            }
+            if self.cfg.needs_oracle() {
+                let oracle = OracleAnalysis::new(self.cfg.rob_size.min(4096) as u64)
+                    .analyze(&details[tid as usize], &self.cfg.mem);
+                cpu.set_oracle_for(tid as usize, oracle);
+            }
+        }
+        let streams = details
+            .iter()
+            .zip(self.kinds)
+            .map(|(d, k)| replay_slice(k.name(), d))
+            .collect();
+        cpu.run_smt(streams, self.detail_insts)
     }
 }
 

@@ -49,10 +49,11 @@ pub fn run(opts: &RunOptions) -> String {
         if group.is_empty() {
             continue;
         }
-        let base = group_mean(group, |k| by_point[&(None, k)].cpi());
+        let base = group_mean(group, |k| by_point[&(None, k)].cpi()).expect("group is non-empty");
         let mut table = TextTable::with_columns(&["UIT entries", "perf vs base %"]);
         for size in UIT_SIZES {
-            let cpi = group_mean(group, |k| by_point[&(Some(size), k)].cpi());
+            let cpi = group_mean(group, |k| by_point[&(Some(size), k)].cpi())
+                .expect("group is non-empty");
             table.add_row(vec![
                 if size == usize::MAX {
                     "inf".into()

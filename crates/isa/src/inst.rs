@@ -32,6 +32,31 @@ impl std::fmt::Display for SeqNum {
     }
 }
 
+/// Identity of the hardware thread (SMT context) an instruction belongs to.
+///
+/// Sequence numbers are dense *per thread*: two instructions of different
+/// threads may carry the same [`SeqNum`], so any structure shared between
+/// threads must key on `(ThreadId, SeqNum)` or be replicated per thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u8);
+
+impl ThreadId {
+    /// Thread 0, the only thread of a single-threaded machine.
+    pub const T0: ThreadId = ThreadId(0);
+
+    /// The thread id as a dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
 /// A static instruction: the per-PC information the front end sees.
 ///
 /// Built with a lightweight builder style:
@@ -85,6 +110,14 @@ impl StaticInst {
         assert!(n < MAX_SRCS, "at most {MAX_SRCS} sources are supported");
         self.srcs[n] = Some(src);
         self.n_srcs += 1;
+        self
+    }
+
+    /// Returns a copy whose PC is shifted by `offset` bytes. Used to move a
+    /// thread's code into a disjoint address region for SMT co-runs.
+    #[must_use]
+    pub fn rebased(mut self, offset: u64) -> StaticInst {
+        self.pc = Pc(self.pc.0.wrapping_add(offset));
         self
     }
 
@@ -188,17 +221,20 @@ pub struct BranchInfo {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DynInst {
     seq: SeqNum,
+    tid: ThreadId,
     sinst: StaticInst,
     mem: Option<MemAccess>,
     branch: Option<BranchInfo>,
 }
 
 impl DynInst {
-    /// Creates a dynamic instance of `sinst` with sequence number `seq`.
+    /// Creates a dynamic instance of `sinst` with sequence number `seq`,
+    /// belonging to thread 0.
     #[must_use]
     pub fn new(seq: u64, sinst: StaticInst) -> DynInst {
         DynInst {
             seq: SeqNum(seq),
+            tid: ThreadId::T0,
             sinst,
             mem: None,
             branch: None,
@@ -244,10 +280,43 @@ impl DynInst {
         self
     }
 
-    /// Sequence number (program order position).
+    /// Assigns the instruction to a hardware thread (SMT co-run preparation).
+    #[must_use]
+    pub fn with_tid(mut self, tid: ThreadId) -> DynInst {
+        self.tid = tid;
+        self
+    }
+
+    /// Returns a copy moved into a disjoint address space: the PC (and branch
+    /// target) shift by `code_offset` and the effective data address by
+    /// `data_offset`. SMT co-runs rebase each thread's trace so two threads
+    /// sharing one cache hierarchy contend for capacity (as real co-runners
+    /// do) without artificially hitting each other's lines.
+    #[must_use]
+    pub fn rebased(mut self, code_offset: u64, data_offset: u64) -> DynInst {
+        self.sinst = self.sinst.rebased(code_offset);
+        if let Some(m) = self.mem {
+            self.mem = Some(MemAccess::new(m.addr().wrapping_add(data_offset), m.size()));
+        }
+        if let Some(b) = self.branch {
+            self.branch = Some(BranchInfo {
+                taken: b.taken,
+                target: Pc(b.target.0.wrapping_add(code_offset)),
+            });
+        }
+        self
+    }
+
+    /// Sequence number (program order position within the thread).
     #[must_use]
     pub fn seq(&self) -> SeqNum {
         self.seq
+    }
+
+    /// Hardware thread this instruction belongs to.
+    #[must_use]
+    pub fn tid(&self) -> ThreadId {
+        self.tid
     }
 
     /// The static instruction this is an instance of.
@@ -400,6 +469,33 @@ mod tests {
             .with_seq(42);
         assert_eq!(d.seq(), SeqNum(42));
         assert!(d.branch_info().unwrap().taken);
+    }
+
+    #[test]
+    fn thread_id_and_rebase() {
+        assert_eq!(ThreadId::default(), ThreadId::T0);
+        assert_eq!(ThreadId(1).index(), 1);
+        assert_eq!(ThreadId(1).to_string(), "t1");
+
+        let d = DynInst::new(3, sample_load())
+            .with_mem(MemAccess::qword(0x4000))
+            .with_tid(ThreadId(1))
+            .rebased(0x100, 0x1_0000);
+        assert_eq!(d.tid(), ThreadId(1));
+        assert_eq!(d.pc(), Pc(0x200));
+        assert_eq!(d.mem_access().unwrap().addr(), 0x1_4000);
+        assert_eq!(d.mem_access().unwrap().size(), 8);
+        assert_eq!(d.seq(), SeqNum(3), "rebasing does not renumber");
+
+        let br = StaticInst::new(Pc(0x20), OpClass::Branch);
+        let b = DynInst::new(0, br)
+            .with_branch(BranchInfo {
+                taken: true,
+                target: Pc(0x40),
+            })
+            .rebased(0x1000, 0);
+        assert_eq!(b.branch_info().unwrap().target, Pc(0x1040));
+        assert_eq!(b.pc(), Pc(0x1020));
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod op;
 mod reg;
 mod stream;
 
-pub use inst::{BranchInfo, DynInst, SeqNum, StaticInst, MAX_SRCS};
+pub use inst::{BranchInfo, DynInst, SeqNum, StaticInst, ThreadId, MAX_SRCS};
 pub use mem_access::MemAccess;
 pub use op::{ExecLatency, FuKind, OpClass};
 pub use reg::{ArchReg, PhysReg, RegClass, NUM_ARCH_FP_REGS, NUM_ARCH_INT_REGS, NUM_ARCH_REGS};

@@ -36,6 +36,70 @@ impl FuCounts {
     }
 }
 
+/// How the sized back-end structures (ROB, IQ, LQ/SQ, physical registers)
+/// are divided between the hardware threads of an SMT machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharePolicy {
+    /// Every structure is statically split into equal per-thread partitions;
+    /// a thread can never consume capacity its co-runner is not using.
+    StaticPartition,
+    /// Fully dynamic sharing: a thread may occupy any entry as long as the
+    /// *combined* occupancy stays within the configured size. This is the
+    /// policy under which LTP's parking visibly frees resources for the
+    /// co-runner. Front-end bandwidth alternates round-robin.
+    Shared,
+    /// Dynamic sharing with ICOUNT-style fetch arbitration: each cycle the
+    /// thread with the fewest instructions in the front end and issue queue
+    /// fetches, renames, issues and commits first.
+    Icount,
+}
+
+impl SharePolicy {
+    /// Short label used in reports and bench names.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SharePolicy::StaticPartition => "static",
+            SharePolicy::Shared => "shared",
+            SharePolicy::Icount => "icount",
+        }
+    }
+}
+
+/// SMT configuration of the core: number of hardware threads and the
+/// back-end sharing policy. The default is a single-threaded machine, which
+/// behaves (and must stay) bit-for-bit identical to the pre-SMT pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmtConfig {
+    /// Number of hardware threads (1..=4; 1 = no SMT).
+    pub threads: usize,
+    /// How the back-end structures are shared between threads.
+    pub policy: SharePolicy,
+}
+
+impl SmtConfig {
+    /// A single-threaded machine (the policy is irrelevant and unused).
+    #[must_use]
+    pub fn single() -> SmtConfig {
+        SmtConfig {
+            threads: 1,
+            policy: SharePolicy::Shared,
+        }
+    }
+
+    /// A 2-way SMT machine with the given sharing policy.
+    #[must_use]
+    pub fn two_way(policy: SharePolicy) -> SmtConfig {
+        SmtConfig { threads: 2, policy }
+    }
+
+    /// Whether more than one hardware thread is configured.
+    #[must_use]
+    pub fn is_smt(&self) -> bool {
+        self.threads > 1
+    }
+}
+
 /// Full configuration of the out-of-order core.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
@@ -79,6 +143,8 @@ pub struct PipelineConfig {
     /// Number of instructions of detailed pipeline warming before statistics
     /// are collected (the paper warms the pipeline for 100 k instructions).
     pub warmup_insts: u64,
+    /// SMT configuration: thread count and back-end sharing policy.
+    pub smt: SmtConfig,
 }
 
 impl PipelineConfig {
@@ -104,6 +170,7 @@ impl PipelineConfig {
             mem: MemoryConfig::micro2015_baseline(),
             ltp: LtpConfig::disabled(),
             warmup_insts: 0,
+            smt: SmtConfig::single(),
         }
     }
 
@@ -226,6 +293,23 @@ impl PipelineConfig {
         self
     }
 
+    /// Returns a copy configured as a 2-way SMT machine with the given
+    /// back-end sharing policy. The sized structures keep their configured
+    /// *total* sizes; the policy decides how the two threads divide them.
+    #[must_use]
+    pub fn smt(mut self, policy: SharePolicy) -> PipelineConfig {
+        self.smt = SmtConfig::two_way(policy);
+        self
+    }
+
+    /// Returns a copy with an arbitrary SMT configuration (thread count and
+    /// policy); `SmtConfig::single()` restores the single-threaded machine.
+    #[must_use]
+    pub fn with_smt(mut self, smt: SmtConfig) -> PipelineConfig {
+        self.smt = smt;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
@@ -245,6 +329,22 @@ impl PipelineConfig {
             self.int_regs > 0 && self.fp_regs > 0,
             "register file must have entries"
         );
+        assert!(
+            (1..=4).contains(&self.smt.threads),
+            "SMT thread count must be in 1..=4"
+        );
+        if self.smt.is_smt() && self.smt.policy == SharePolicy::StaticPartition {
+            let n = self.smt.threads;
+            assert!(
+                self.rob_size / n > 0
+                    && self.iq_size / n > 0
+                    && self.lq_size / n > 0
+                    && self.sq_size / n > 0
+                    && self.int_regs / n > 0
+                    && self.fp_regs / n > 0,
+                "static partitioning needs at least one entry per thread in every structure"
+            );
+        }
         self.ltp.validate();
     }
 
@@ -318,6 +418,32 @@ mod tests {
     #[should_panic(expected = "IQ must have entries")]
     fn zero_iq_panics() {
         PipelineConfig::micro2015_baseline().with_iq(0).validate();
+    }
+
+    #[test]
+    fn smt_builders_apply() {
+        let c = PipelineConfig::micro2015_baseline();
+        assert_eq!(c.smt, SmtConfig::single());
+        assert!(!c.smt.is_smt());
+        let c = c.smt(SharePolicy::Icount);
+        assert_eq!(c.smt.threads, 2);
+        assert_eq!(c.smt.policy, SharePolicy::Icount);
+        assert!(c.smt.is_smt());
+        c.validate();
+        let c = c.with_smt(SmtConfig::single());
+        assert!(!c.smt.is_smt());
+        assert_eq!(SharePolicy::StaticPartition.label(), "static");
+        assert_eq!(SharePolicy::Shared.label(), "shared");
+        assert_eq!(SharePolicy::Icount.label(), "icount");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry per thread")]
+    fn static_partition_needs_entries_per_thread() {
+        PipelineConfig::micro2015_baseline()
+            .with_sq(1)
+            .smt(SharePolicy::StaticPartition)
+            .validate();
     }
 
     #[test]

@@ -1,32 +1,48 @@
 //! The cycle-level out-of-order processor model: a thin orchestrator.
 //!
-//! [`Processor`] owns the shared machine substrate (`PipelineState`: ROB, IQ,
-//! RAT, free lists, LQ/SQ, functional units, memory hierarchy, LTP unit) and
-//! a [`StageBus`], and advances one cycle at a time by invoking the stage
-//! modules in back-to-front order (writeback → commit → release → issue →
-//! rename; see [`crate::stages`]). The model is timing-only: values are never
-//! computed, only the dependence, resource and latency behaviour is
-//! simulated, which is the level of modelling the paper's analysis requires.
+//! [`Processor`] owns the machine substrate (`PipelineState`: the shared
+//! free lists, functional units and memory hierarchy plus one `ThreadState`
+//! — ROB, IQ, RAT, LQ/SQ, LTP unit — per hardware thread) and one
+//! [`StageBus`] per thread, and advances one cycle at a time by invoking the
+//! stage modules in back-to-front order (writeback → commit → release →
+//! issue → rename; see [`crate::stages`]). The model is timing-only: values
+//! are never computed, only the dependence, resource and latency behaviour
+//! is simulated, which is the level of modelling the paper's analysis
+//! requires.
+//!
+//! With a single hardware thread (the default) the cycle loop is exactly the
+//! pre-SMT pipeline. Under SMT ([`PipelineConfig::smt`]) every stage runs
+//! once per thread per cycle — the per-cycle thread order and the shared
+//! front-end/issue/commit width split are decided by the configured
+//! [`crate::SharePolicy`] — and [`Processor::run_smt`] drives two (or more)
+//! independent instruction streams to a per-thread [`RunResult`] over one
+//! shared cycle timeline.
 
-use crate::config::PipelineConfig;
+use crate::config::{PipelineConfig, SharePolicy};
 use crate::free_list::FreeList;
 use crate::frontend::FrontEnd;
 use crate::iq::IssueQueue;
 use crate::lsq::{LoadQueue, MemDepPredictor, StoreQueue};
 use crate::rat::Rat;
-use crate::result::{ActivityCounters, DeadlockSnapshot, OccupancyReport, RunError, RunResult};
+use crate::result::{
+    ActivityCounters, DeadlockSnapshot, OccupancyReport, RunError, RunResult, SmtRunResult,
+};
 use crate::rob::Rob;
 use crate::stages::{commit, issue, release, writeback, RenameStage, StageBus};
-use crate::state::PipelineState;
+use crate::state::{PipelineState, ThreadState};
 use crate::FuPool;
 use ltp_core::{CriticalityClassifier, LtpUnit, OracleClassifier};
-use ltp_isa::{DynInst, InstStream};
+use ltp_isa::{DynInst, InstStream, ThreadId};
 use ltp_mem::{AccessKind, Cycle, MemoryHierarchy, MemoryRequest};
 use std::collections::{HashMap, HashSet};
 
 /// If no instruction commits for this many cycles the simulation aborts with
 /// a [`RunError::Deadlock`]: it indicates a resource-accounting deadlock.
 const DEADLOCK_CYCLES: u64 = 500_000;
+
+/// Upper bound on hardware threads (enforced by `PipelineConfig::validate`),
+/// used to keep the per-cycle thread ordering allocation-free.
+const MAX_THREADS: usize = 4;
 
 /// A snapshot of one free list, exposed to per-cycle observers.
 #[derive(Debug, Clone, Copy)]
@@ -73,8 +89,22 @@ pub struct CycleView<'a> {
 #[derive(Debug)]
 pub struct Processor {
     state: PipelineState,
-    bus: StageBus,
-    rename: RenameStage,
+    /// One signal bus per hardware thread (sequence numbers are dense per
+    /// thread, so delayed signals must not mix threads).
+    buses: Vec<StageBus>,
+    /// One rename skid buffer per hardware thread.
+    renames: Vec<RenameStage>,
+}
+
+/// Per-thread structure size under the configured sharing policy: static
+/// partitioning splits the total, dynamic sharing gives every thread the
+/// full size and bounds the combined occupancy in the capacity checks.
+fn per_thread_size(total: usize, cfg: &PipelineConfig) -> usize {
+    if cfg.smt.is_smt() && cfg.smt.policy == SharePolicy::StaticPartition && total != usize::MAX {
+        (total / cfg.smt.threads).max(1)
+    } else {
+        total
+    }
 }
 
 impl Processor {
@@ -92,52 +122,99 @@ impl Processor {
         // a DRAM access behind the full cache hierarchy plus slack for bank
         // queueing. Longer delays still deliver via the wheels' far level.
         let signal_horizon = monitor_timeout + 64;
+        let n = cfg.smt.threads;
+        let static_split = cfg.smt.is_smt() && cfg.smt.policy == SharePolicy::StaticPartition;
+        let reg_quota = |total: usize| {
+            if static_split && total != usize::MAX {
+                (total / n).max(1)
+            } else {
+                usize::MAX
+            }
+        };
+        let mut threads: Vec<Box<ThreadState>> = (0..n)
+            .map(|tid| {
+                Box::new(ThreadState {
+                    tid: ThreadId(tid as u8),
+                    ltp: LtpUnit::new(cfg.ltp, monitor_timeout),
+                    rob: Rob::new(per_thread_size(cfg.rob_size, &cfg)),
+                    iq: IssueQueue::new(per_thread_size(cfg.iq_size, &cfg)),
+                    rat: Rat::new(),
+                    lq: LoadQueue::new(per_thread_size(cfg.lq_size, &cfg)),
+                    sq: StoreQueue::new(per_thread_size(cfg.sq_size, &cfg)),
+                    memdep: MemDepPredictor::new(),
+                    inflight: HashMap::with_capacity(cfg.rob_size.min(1024) * 2),
+                    completed_regs: HashSet::with_capacity(
+                        (cfg.int_regs.min(1024) + cfg.fp_regs.min(1024)) * 2,
+                    ),
+                    released_parked_regs: HashMap::with_capacity(64),
+                    committed: 0,
+                    loads_committed: 0,
+                    stores_committed: 0,
+                    llc_miss_loads: 0,
+                    last_commit_cycle: 0,
+                    occupancy: OccupancyReport::default(),
+                    activity: ActivityCounters::default(),
+                    int_regs_used: 0,
+                    fp_regs_used: 0,
+                    int_quota: reg_quota(cfg.int_regs),
+                    fp_quota: reg_quota(cfg.fp_regs),
+                })
+            })
+            .collect();
+        let thread0 = threads.remove(0);
         Processor {
             state: PipelineState {
                 now: 0,
-                ltp: LtpUnit::new(cfg.ltp, monitor_timeout),
-                rob: Rob::new(cfg.rob_size),
-                iq: IssueQueue::new(cfg.iq_size),
-                rat: Rat::new(),
+                mem,
+                fu: FuPool::new(&cfg.fu),
                 int_free: FreeList::new(cfg.int_regs),
                 fp_free: FreeList::new(cfg.fp_regs),
-                lq: LoadQueue::new(cfg.lq_size),
-                sq: StoreQueue::new(cfg.sq_size),
-                memdep: MemDepPredictor::new(),
-                fu: FuPool::new(&cfg.fu),
                 issue_scratch: Vec::with_capacity(cfg.issue_width.min(64)),
-                inflight: HashMap::with_capacity(cfg.rob_size.min(1024) * 2),
-                completed_regs: HashSet::with_capacity(
-                    (cfg.int_regs.min(1024) + cfg.fp_regs.min(1024)) * 2,
-                ),
-                released_parked_regs: HashMap::with_capacity(64),
-                committed: 0,
-                loads_committed: 0,
-                stores_committed: 0,
-                llc_miss_loads: 0,
-                last_commit_cycle: 0,
-                occupancy: OccupancyReport::default(),
-                activity: ActivityCounters::default(),
-                mem,
+                thread: thread0,
+                parked_threads: threads,
+                active: 0,
                 cfg,
             },
-            bus: StageBus::with_horizon(signal_horizon),
-            rename: RenameStage::default(),
+            buses: (0..n)
+                .map(|_| StageBus::with_horizon(signal_horizon))
+                .collect(),
+            renames: (0..n).map(|_| RenameStage::default()).collect(),
         }
     }
 
-    /// Attaches an oracle classifier (perfect classification, limit study).
+    /// Attaches an oracle classifier (perfect classification, limit study)
+    /// to thread 0.
     pub fn set_oracle(&mut self, oracle: OracleClassifier) {
-        self.state.ltp.set_oracle(oracle);
+        self.set_oracle_for(0, oracle);
     }
 
-    /// Replaces the criticality classifier driving the LTP unit.
+    /// Attaches an oracle classifier to the given hardware thread. Each
+    /// thread of an SMT machine is analysed against its own trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn set_oracle_for(&mut self, tid: usize, oracle: OracleClassifier) {
+        self.state.thread_mut(tid).ltp.set_oracle(oracle);
+    }
+
+    /// Replaces the criticality classifier driving thread 0's LTP unit.
     pub fn set_classifier(&mut self, classifier: Box<dyn CriticalityClassifier>) {
-        self.state.ltp.set_classifier(classifier);
+        self.set_classifier_for(0, classifier);
+    }
+
+    /// Replaces the criticality classifier of the given hardware thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn set_classifier_for(&mut self, tid: usize, classifier: Box<dyn CriticalityClassifier>) {
+        self.state.thread_mut(tid).ltp.set_classifier(classifier);
     }
 
     /// Warms the caches by replaying memory accesses of `trace` functionally
-    /// (no timing). The paper warms the caches before every simulation point.
+    /// (no timing). The paper warms the caches before every simulation point;
+    /// an SMT co-run warms with each thread's trace in turn.
     pub fn warm_caches(&mut self, trace: &[DynInst]) {
         for inst in trace {
             if let Some(access) = inst.mem_access() {
@@ -178,6 +255,10 @@ impl Processor {
     /// long time, which indicates a resource-accounting deadlock (or an
     /// intentionally starved configuration) rather than a valid simulation
     /// outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an SMT-configured machine; use [`Processor::run_smt`] there.
     pub fn run<S: InstStream>(&mut self, stream: S, max_insts: u64) -> Result<RunResult, RunError> {
         self.run_observed(stream, max_insts, |_| {})
     }
@@ -190,6 +271,10 @@ impl Processor {
     ///
     /// Returns [`RunError::Deadlock`] under the same conditions as
     /// [`Processor::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an SMT-configured machine; use [`Processor::run_smt`] there.
     pub fn run_observed<S, F>(
         &mut self,
         stream: S,
@@ -200,35 +285,42 @@ impl Processor {
         S: InstStream,
         F: FnMut(&CycleView<'_>),
     {
+        assert_eq!(
+            self.state.nthreads(),
+            1,
+            "run/run_observed drive a single-threaded machine; use run_smt for SMT co-runs"
+        );
         // An oracle-configured machine must have had its analysed oracle (or
         // a deliberate classifier override) attached; running on the built-in
         // fallback would silently produce wrongly-labelled results.
-        if self.state.cfg.needs_oracle() && !self.state.ltp.classifier_attached() {
+        if self.state.cfg.needs_oracle() && !self.state.thread.ltp.classifier_attached() {
             return Err(RunError::OracleNotAttached);
         }
         let workload = stream.name().to_string();
-        let mut fe = FrontEnd::new(
+        let mut fes = [FrontEnd::new(
             stream,
             self.state.cfg.frontend_delay,
             self.state.cfg.mispredict_penalty,
-        );
+        )];
         let warmup = self.state.cfg.warmup_insts;
         let mut warmup_done_at: Option<(Cycle, u64)> = None;
 
-        while self.state.committed < max_insts && !(fe.is_drained() && self.state.rob.is_empty()) {
-            self.cycle(&mut fe);
+        while self.state.thread.committed < max_insts
+            && !(fes[0].is_drained() && self.state.thread.rob.is_empty())
+        {
+            self.cycle(&mut fes, u64::MAX);
             observer(&CycleView {
                 cycle: self.state.now - 1,
-                bus: &self.bus,
+                bus: &self.buses[0],
                 int_regs: RegFileSnapshot::of(&self.state.int_free),
                 fp_regs: RegFileSnapshot::of(&self.state.fp_free),
-                rob_len: self.state.rob.len(),
-                committed: self.state.committed,
+                rob_len: self.state.thread.rob.len(),
+                committed: self.state.thread.committed,
             });
-            if warmup > 0 && warmup_done_at.is_none() && self.state.committed >= warmup {
-                warmup_done_at = Some((self.state.now, self.state.committed));
+            if warmup > 0 && warmup_done_at.is_none() && self.state.thread.committed >= warmup {
+                warmup_done_at = Some((self.state.now, self.state.thread.committed));
             }
-            if self.state.now - self.state.last_commit_cycle >= DEADLOCK_CYCLES {
+            if self.state.now - self.state.thread.last_commit_cycle >= DEADLOCK_CYCLES {
                 return Err(RunError::Deadlock {
                     cycle: self.state.now,
                     snapshot: Box::new(self.deadlock_snapshot(workload)),
@@ -237,53 +329,259 @@ impl Processor {
         }
 
         let (start_cycle, start_insts) = warmup_done_at.unwrap_or((0, 0));
-        let state = &self.state;
+        let t = &self.state.thread;
         Ok(RunResult {
             workload,
-            cycles: state.now.saturating_sub(start_cycle).max(1),
-            instructions: state.committed.saturating_sub(start_insts),
-            occupancy: state.occupancy.clone(),
-            activity: state.activity,
-            ltp: state.ltp.stats().clone(),
-            ltp_enabled_fraction: state.ltp.enabled_fraction(state.now.max(1)),
-            mem: state.mem.stats(),
-            branch_mispredict_rate: fe.branch_predictor().misprediction_rate(),
-            loads: state.loads_committed,
-            stores: state.stores_committed,
-            llc_miss_loads: state.llc_miss_loads,
+            cycles: self.state.now.saturating_sub(start_cycle).max(1),
+            instructions: t.committed.saturating_sub(start_insts),
+            occupancy: t.occupancy.clone(),
+            activity: t.activity,
+            ltp: t.ltp.stats().clone(),
+            ltp_enabled_fraction: t.ltp.enabled_fraction(self.state.now.max(1)),
+            mem: self.state.mem.stats(),
+            branch_mispredict_rate: fes[0].branch_predictor().misprediction_rate(),
+            loads: t.loads_committed,
+            stores: t.stores_committed,
+            llc_miss_loads: t.llc_miss_loads,
         })
     }
 
+    /// Runs an SMT co-run: one independent instruction stream per hardware
+    /// thread over the shared back end, until every stream has drained or
+    /// reached its `max_insts_per_thread` budget. A thread that reaches the
+    /// budget stops fetching and renaming and drains its back end (its
+    /// committed count can therefore exceed the budget by the instructions
+    /// already in flight); the co-run ends when every thread has drained.
+    /// Returns one [`RunResult`] per thread on the shared cycle timeline.
+    ///
+    /// Pipeline warm-up (`PipelineConfig::warmup_insts`) is not applied to
+    /// co-runs; statistics cover the whole run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Deadlock`] when no thread commits for a very long
+    /// time, and [`RunError::OracleNotAttached`] when the configuration
+    /// selects the oracle classifier but not every thread has one attached
+    /// (see [`Processor::set_oracle_for`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of streams does not match the configured thread
+    /// count.
+    pub fn run_smt<S: InstStream>(
+        &mut self,
+        streams: Vec<S>,
+        max_insts_per_thread: u64,
+    ) -> Result<SmtRunResult, RunError> {
+        assert_eq!(
+            streams.len(),
+            self.state.nthreads(),
+            "one instruction stream per configured hardware thread"
+        );
+        if self.state.cfg.needs_oracle()
+            && !self
+                .state
+                .all_threads()
+                .all(|t| t.ltp.classifier_attached())
+        {
+            return Err(RunError::OracleNotAttached);
+        }
+        let workloads: Vec<String> = streams.iter().map(|s| s.name().to_string()).collect();
+        let mut fes: Vec<FrontEnd<S>> = streams
+            .into_iter()
+            .map(|s| {
+                FrontEnd::new(
+                    s,
+                    self.state.cfg.frontend_delay,
+                    self.state.cfg.mispredict_penalty,
+                )
+            })
+            .collect();
+
+        let n = self.state.nthreads();
+        let thread_active = |t: &ThreadState, fe: &FrontEnd<S>| {
+            let starved = fe.is_drained() || t.committed >= max_insts_per_thread;
+            !(starved && t.rob.is_empty())
+        };
+        // Cycle at which each thread drained, so per-thread IPC is measured
+        // over the thread's own active window rather than being diluted by a
+        // co-runner's tail (the usual co-run methodology).
+        let mut finish: Vec<Option<Cycle>> = vec![None; n];
+        while (0..n).any(|i| thread_active(self.state.thread_ref(i), &fes[i])) {
+            self.cycle(&mut fes, max_insts_per_thread);
+            for (i, done) in finish.iter_mut().enumerate() {
+                if done.is_none() && !thread_active(self.state.thread_ref(i), &fes[i]) {
+                    *done = Some(self.state.now);
+                }
+            }
+            let last_commit = self
+                .state
+                .all_threads()
+                .map(|t| t.last_commit_cycle)
+                .max()
+                .unwrap_or(0);
+            if self.state.now - last_commit >= DEADLOCK_CYCLES {
+                return Err(RunError::Deadlock {
+                    cycle: self.state.now,
+                    snapshot: Box::new(self.deadlock_snapshot(workloads.join("+"))),
+                });
+            }
+        }
+
+        let cycles = self.state.now.max(1);
+        let mem_stats = self.state.mem.stats();
+        let threads = workloads
+            .into_iter()
+            .zip(finish)
+            .enumerate()
+            .map(|(i, (workload, done))| {
+                let t = self.state.thread_ref(i);
+                RunResult {
+                    workload,
+                    cycles: done.unwrap_or(cycles).max(1),
+                    instructions: t.committed,
+                    occupancy: t.occupancy.clone(),
+                    activity: t.activity,
+                    ltp: t.ltp.stats().clone(),
+                    ltp_enabled_fraction: t.ltp.enabled_fraction(done.unwrap_or(cycles).max(1)),
+                    mem: mem_stats,
+                    branch_mispredict_rate: fes[i].branch_predictor().misprediction_rate(),
+                    loads: t.loads_committed,
+                    stores: t.stores_committed,
+                    llc_miss_loads: t.llc_miss_loads,
+                }
+            })
+            .collect();
+        Ok(SmtRunResult { cycles, threads })
+    }
+
+    /// The per-cycle thread order: the primary thread gets first claim on
+    /// the shared front-end, issue and commit bandwidth. Round-robin by
+    /// cycle parity for the static and plain-shared policies, fewest
+    /// front-end + IQ instructions first (ICOUNT) for `SharePolicy::Icount`.
+    fn thread_order<S: InstStream>(&self, fes: &[FrontEnd<S>]) -> ([usize; MAX_THREADS], usize) {
+        let n = self.state.nthreads();
+        let mut order = [0usize; MAX_THREADS];
+        if n == 1 {
+            return (order, 1);
+        }
+        match self.state.cfg.smt.policy {
+            SharePolicy::Icount => {
+                for (i, slot) in order.iter_mut().take(n).enumerate() {
+                    *slot = i;
+                }
+                order[..n].sort_unstable_by_key(|&t| {
+                    (self.state.thread_ref(t).iq.len() + fes[t].backlog(), t)
+                });
+            }
+            SharePolicy::StaticPartition | SharePolicy::Shared => {
+                let primary = (self.state.now as usize) % n;
+                for (i, slot) in order.iter_mut().take(n).enumerate() {
+                    *slot = (primary + i) % n;
+                }
+            }
+        }
+        (order, n)
+    }
+
     /// Advances the machine by one cycle, driving the stages back-to-front.
-    fn cycle<S: InstStream>(&mut self, fe: &mut FrontEnd<S>) {
-        let state = &mut self.state;
-        let bus = &mut self.bus;
-        bus.begin_cycle();
+    /// Under SMT every stage runs once per thread (in the policy's priority
+    /// order) before the next stage — the faithful model of SMT stages
+    /// operating concurrently — so, e.g., both threads' release stages see
+    /// the IQ entries freed by both threads' commits before either thread's
+    /// rename claims shared capacity. The commit, issue, front-end and fetch
+    /// widths are shared budgets; the primary thread has first claim.
+    ///
+    /// A thread whose committed count has reached `insts_cap` no longer
+    /// renames or fetches (it drains in flight). Single-thread runs pass
+    /// `u64::MAX`: their run loop stops the whole simulation at the cap
+    /// instead, which keeps that path bit-identical to the pre-SMT machine.
+    fn cycle<S: InstStream>(&mut self, fes: &mut [FrontEnd<S>], insts_cap: u64) {
+        let (order, n) = self.thread_order(fes);
+        let order = &order[..n];
+        let Processor {
+            state,
+            buses,
+            renames,
+        } = self;
+        for &t in order {
+            buses[t].begin_cycle();
+        }
         state.fu.new_cycle();
-        writeback::run(state, bus);
-        commit::run(state, bus);
-        release::run(state, bus);
-        issue::run(state, bus);
-        self.rename.run(state, bus, fe);
-        fe.fetch(state.now, state.cfg.front_width);
-        state.sample_occupancy();
+        for &t in order {
+            state.activate(t);
+            writeback::run(state, &mut buses[t]);
+        }
+        let mut commit_budget = state.cfg.commit_width;
+        for &t in order {
+            state.activate(t);
+            commit_budget =
+                commit_budget.saturating_sub(commit::run(state, &mut buses[t], commit_budget));
+        }
+        for &t in order {
+            state.activate(t);
+            release::run(state, &mut buses[t]);
+        }
+        let mut issue_budget = state.cfg.issue_width;
+        for &t in order {
+            state.activate(t);
+            issue_budget =
+                issue_budget.saturating_sub(issue::run(state, &mut buses[t], issue_budget));
+        }
+        let mut rename_budget = state.cfg.front_width;
+        for &t in order {
+            state.activate(t);
+            if state.thread.committed >= insts_cap {
+                continue;
+            }
+            // The pending-dispatch retry does not consume budget it was not
+            // given, so a thread can rename one instruction past an exhausted
+            // share; saturate rather than underflow.
+            rename_budget = rename_budget.saturating_sub(renames[t].run(
+                state,
+                &mut buses[t],
+                &mut fes[t],
+                rename_budget,
+            ));
+        }
+        let mut fetch_budget = state.cfg.front_width;
+        for &t in order {
+            if state.thread_ref(t).committed >= insts_cap {
+                continue;
+            }
+            let before = fes[t].fetched();
+            fes[t].fetch(state.now, fetch_budget);
+            fetch_budget = fetch_budget.saturating_sub((fes[t].fetched() - before) as usize);
+            if fetch_budget == 0 {
+                break;
+            }
+        }
+        let outstanding = state.mem.outstanding_misses(state.now) as u64;
+        for &t in order {
+            state.activate(t);
+            state.sample_occupancy(outstanding);
+        }
         state.now += 1;
     }
 
     fn deadlock_snapshot(&self, workload: String) -> DeadlockSnapshot {
         let state = &self.state;
+        let head_thread = state
+            .all_threads()
+            .find(|t| !t.rob.is_empty())
+            .unwrap_or(&state.thread);
         DeadlockSnapshot {
             workload,
-            committed: state.committed,
-            rob_len: state.rob.len(),
-            iq_len: state.iq.len(),
-            ltp_occupancy: state.ltp.occupancy(),
-            head: state.rob.head().map(|e| (e.seq, e.state, e.op)),
+            committed: state.all_threads().map(|t| t.committed).sum(),
+            rob_len: state.all_threads().map(|t| t.rob.len()).sum(),
+            iq_len: state.iq_total(),
+            ltp_occupancy: state.all_threads().map(|t| t.ltp.occupancy()).sum(),
+            head: head_thread.rob.head().map(|e| (e.seq, e.state, e.op)),
             iq_size: state.cfg.iq_size,
             int_regs_available: state.int_free.available(),
             fp_regs_available: state.fp_free.available(),
-            lq_len: state.lq.len(),
-            sq_len: state.sq.len(),
+            lq_len: state.all_threads().map(|t| t.lq.len()).sum(),
+            sq_len: state.all_threads().map(|t| t.sq.len()).sum(),
             ltp_mode: state.cfg.ltp.mode,
         }
     }

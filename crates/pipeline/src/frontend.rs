@@ -55,6 +55,13 @@ impl<S: InstStream> FrontEnd<S> {
         self.fetched
     }
 
+    /// Instructions currently buffered in the front-end pipe (fetched but not
+    /// yet renamed), the front-end half of the ICOUNT fetch priority.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.pipe.len()
+    }
+
     /// The branch predictor (for misprediction statistics).
     #[must_use]
     pub fn branch_predictor(&self) -> &BranchPredictor {

@@ -59,7 +59,7 @@ mod state;
 mod tests;
 
 pub use branch::BranchPredictor;
-pub use config::{FuCounts, PipelineConfig};
+pub use config::{FuCounts, PipelineConfig, SharePolicy, SmtConfig};
 pub use core::{CycleView, Processor, RegFileSnapshot};
 pub use free_list::FreeList;
 pub use frontend::FrontEnd;
@@ -67,6 +67,8 @@ pub use fu::FuPool;
 pub use iq::{IqEntry, IssueQueue};
 pub use lsq::{LoadQueue, MemDepPredictor, StoreQueue};
 pub use rat::{Rat, RegSource};
-pub use result::{ActivityCounters, DeadlockSnapshot, OccupancyReport, RunError, RunResult};
+pub use result::{
+    ActivityCounters, DeadlockSnapshot, OccupancyReport, RunError, RunResult, SmtRunResult,
+};
 pub use rob::{Rob, RobEntry, RobState};
-pub use stages::{CommitSlot, StageBus};
+pub use stages::{CommitSlot, StageBus, TimingWheel};

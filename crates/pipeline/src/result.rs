@@ -126,6 +126,55 @@ impl RunResult {
     }
 }
 
+/// The result of an SMT co-run: one [`RunResult`] per hardware thread over a
+/// single shared-cycle timeline.
+///
+/// Each thread's result carries the thread's own statistics with `cycles`
+/// set to the cycle at which *that thread* drained, so per-thread IPC covers
+/// the thread's active window and is not diluted by a co-runner's tail. The
+/// aggregate metrics use the shared timeline ([`SmtRunResult::cycles`], the
+/// cycle the whole co-run finished). The memory statistics inside each
+/// thread's result are those of the *shared* hierarchy (they cannot be
+/// attributed to one thread).
+#[derive(Debug, Clone)]
+pub struct SmtRunResult {
+    /// Simulated cycles of the whole co-run (all threads drained).
+    pub cycles: u64,
+    /// Per-thread results, indexed by thread id.
+    pub threads: Vec<RunResult>,
+}
+
+impl SmtRunResult {
+    /// Total instructions committed across all threads.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.threads.iter().map(|t| t.instructions).sum()
+    }
+
+    /// Aggregate throughput in instructions per cycle (the SMT headline
+    /// metric: total committed work divided by the shared cycle count).
+    #[must_use]
+    pub fn aggregate_ipc(&self) -> f64 {
+        self.total_instructions() as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Per-thread instructions per cycle over the thread's own active window
+    /// (zero for a thread that committed nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    #[must_use]
+    pub fn thread_ipc(&self, tid: usize) -> f64 {
+        let t = &self.threads[tid];
+        if t.instructions == 0 {
+            0.0
+        } else {
+            t.ipc()
+        }
+    }
+}
+
 /// A frozen view of the machine at the moment a deadlock was detected,
 /// carried by [`RunError::Deadlock`] so a stuck configuration surfaces as
 /// inspectable data instead of a panic string.

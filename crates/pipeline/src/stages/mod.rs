@@ -18,3 +18,4 @@ pub(crate) mod writeback;
 
 pub use bus::{CommitSlot, StageBus};
 pub(crate) use rename::RenameStage;
+pub use wheel::TimingWheel;

@@ -9,30 +9,37 @@
 //! 3. **Forced** (deadlock avoidance): when rename stalled on resources (the
 //!    [`StageBus`] force-release latch) or nothing committed for a while, the
 //!    oldest parked instruction is pushed out through the reserved bypass.
+//!
+//! Under SMT each thread has its own LTP unit and release stage; the
+//! resource checks go through the shared-capacity helpers on
+//! [`PipelineState`], so a release only proceeds when the *combined*
+//! occupancy allows it.
 
 use crate::iq::IqEntry;
 use crate::rob::RobState;
 use crate::stages::StageBus;
 use crate::state::PipelineState;
 use ltp_core::ParkedInst;
+use ltp_isa::RegClass;
 
-/// Runs the release stage for one cycle.
+/// Runs the release stage of the active thread for one cycle.
 pub(crate) fn run(state: &mut PipelineState, bus: &mut StageBus) {
-    let boundary = state.rob.nu_wake_boundary();
+    let boundary = state.t().rob.nu_wake_boundary();
     let mut released_any = false;
 
     // In-order (ROB proximity) releases, §3.2 / §5.2.
-    while let Some(seq) = state.ltp.oldest_parked() {
+    while let Some(seq) = state.t().ltp.oldest_parked() {
         if !seq.is_older_than(boundary) {
             break;
         }
-        let Some(entry) = state.rob.get(seq) else {
+        let Some(entry) = state.t().rob.get(seq) else {
             break;
         };
         if !state.can_place_released(entry) {
             break;
         }
-        let Some(parked) = state.ltp.pop_release_in_order(boundary, state.now) else {
+        let now = state.now;
+        let Some(parked) = state.tm().ltp.pop_release_in_order(boundary, now) else {
             break;
         };
         place_released(state, bus, parked, false);
@@ -41,18 +48,19 @@ pub(crate) fn run(state: &mut PipelineState, bus: &mut StageBus) {
 
     // Out-of-order releases of Urgent instructions whose tickets cleared
     // (only meaningful when Non-Ready parking is enabled, appendix A).
-    if state.ltp.config().mode.parks_non_ready() {
+    if state.t().ltp.config().mode.parks_non_ready() {
         loop {
             // Out-of-order releases are never the ROB head, so they must
             // always leave the last register of each class untouched.
-            if !state.iq.has_space()
-                || state.int_free.available() <= 1
-                || state.fp_free.available() <= 1
-                || (state.cfg.delay_lsq_alloc && (!state.lq.has_space() || !state.sq.has_space()))
+            if !state.iq_has_space()
+                || state.regs_available(RegClass::Int) <= 1
+                || state.regs_available(RegClass::Fp) <= 1
+                || (state.cfg.delay_lsq_alloc && (!state.lq_has_space() || !state.sq_has_space()))
             {
                 break;
             }
-            let Some(parked) = state.ltp.pop_release_ready_out_of_order(state.now) else {
+            let now = state.now;
+            let Some(parked) = state.tm().ltp.pop_release_ready_out_of_order(now) else {
                 break;
             };
             place_released(state, bus, parked, false);
@@ -65,22 +73,23 @@ pub(crate) fn run(state: &mut PipelineState, bus: &mut StageBus) {
     // progress, force the oldest parked instruction out (through the
     // reserved bypass) so it can eventually commit and free resources.
     let force_requested = bus.take_force_release();
-    let stalled_long = state.now.saturating_sub(state.last_commit_cycle) > 64;
-    let bypass_has_room = state.cfg.iq_size == usize::MAX
-        || state.iq.len() < state.cfg.iq_size.saturating_add(state.cfg.ltp_reserve);
+    let stalled_long = state.now.saturating_sub(state.t().last_commit_cycle) > 64;
+    let bypass_has_room = state.iq_bypass_has_room();
     if (force_requested || stalled_long)
         && !released_any
-        && state.ltp.occupancy() > 0
+        && state.t().ltp.occupancy() > 0
         && bypass_has_room
     {
-        if let Some(seq) = state.ltp.oldest_parked() {
+        if let Some(seq) = state.t().ltp.oldest_parked() {
             let can = state
+                .t()
                 .rob
                 .get(seq)
                 .map(|e| state.can_force_release(e))
                 .unwrap_or(false);
             if can {
-                if let Some(parked) = state.ltp.force_release_oldest(state.now) {
+                let now = state.now;
+                if let Some(parked) = state.tm().ltp.force_release_oldest(now) {
                     place_released(state, bus, parked, true);
                 }
             }
@@ -95,6 +104,7 @@ fn place_released(state: &mut PipelineState, bus: &mut StageBus, parked: ParkedI
     let seq = parked.seq;
     let (src_phys, src_seqs, op) = {
         let infl = state
+            .t()
             .inflight
             .get(&seq.0)
             .expect("released instruction must be in flight");
@@ -103,22 +113,20 @@ fn place_released(state: &mut PipelineState, bus: &mut StageBus, parked: ParkedI
 
     // Allocate the destination register through the "second RAT".
     let mut dest_phys = None;
-    if let Some(entry) = state.rob.get(seq) {
-        if let Some(dst) = entry.dst {
-            let phys = state
-                .alloc_dest(dst.class())
-                .expect("release resource check guarantees a register");
-            dest_phys = Some(phys);
-            if !state.rat.resolve_parked(dst, seq, phys) {
-                // A younger writer renamed the register meanwhile; its
-                // commit frees this register through the parked map.
-                state.released_parked_regs.insert(seq.0, phys);
-            }
+    if let Some(dst) = state.t().rob.get(seq).and_then(|entry| entry.dst) {
+        let phys = state
+            .alloc_dest(dst.class())
+            .expect("release resource check guarantees a register");
+        dest_phys = Some(phys);
+        if !state.tm().rat.resolve_parked(dst, seq, phys) {
+            // A younger writer renamed the register meanwhile; its
+            // commit frees this register through the parked map.
+            state.tm().released_parked_regs.insert(seq.0, phys);
         }
     }
 
     let delay_lsq = state.cfg.delay_lsq_alloc;
-    if let Some(entry) = state.rob.get_mut(seq) {
+    if let Some(entry) = state.tm().rob.get_mut(seq) {
         entry.dest_phys = dest_phys;
         entry.state = RobState::InQueue;
         if delay_lsq {
@@ -132,17 +140,17 @@ fn place_released(state: &mut PipelineState, bus: &mut StageBus, parked: ParkedI
     }
     if delay_lsq {
         if op.is_load() {
-            state.lq.allocate(seq);
+            state.tm().lq.allocate(seq);
         }
         if op.is_store() {
-            state.sq.allocate(seq, true);
+            state.tm().sq.allocate(seq, true);
         }
     }
 
     let wait_phys = src_phys
         .iter()
         .copied()
-        .filter(|p| !state.completed_regs.contains(p))
+        .filter(|p| !state.t().completed_regs.contains(p))
         .collect();
     let wait_seqs = src_seqs
         .iter()
@@ -155,12 +163,13 @@ fn place_released(state: &mut PipelineState, bus: &mut StageBus, parked: ParkedI
         wait_phys,
         wait_seqs,
     };
+    let t = state.tm();
     if forced {
-        state.iq.force_dispatch(entry);
+        t.iq.force_dispatch(entry);
     } else {
-        state.iq.dispatch(entry);
+        t.iq.dispatch(entry);
     }
     bus.releases.push(seq);
-    state.activity.ltp_reads += 1;
-    state.activity.iq_writes += 1;
+    t.activity.ltp_reads += 1;
+    t.activity.iq_writes += 1;
 }

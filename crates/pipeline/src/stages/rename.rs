@@ -10,7 +10,10 @@
 //!
 //! The retry slot for a classified-but-unplaceable instruction
 //! ([`RenameStage::pending`]) is stage-local state, mirroring the skid
-//! buffer a real rename stage would keep.
+//! buffer a real rename stage would keep. Under SMT one `RenameStage`
+//! instance exists per hardware thread, and the threads share the front-end
+//! width: the budget handed to [`RenameStage::run`] is what the co-runner
+//! left over.
 
 use crate::frontend::FrontEnd;
 use crate::iq::IqEntry;
@@ -32,20 +35,23 @@ struct PendingDispatch {
     long_latency_hint: bool,
 }
 
-/// The rename stage and its skid buffer.
+/// The rename stage and its skid buffer (one per hardware thread).
 #[derive(Debug, Default)]
 pub(crate) struct RenameStage {
     pending: Option<PendingDispatch>,
 }
 
 impl RenameStage {
-    /// Runs the rename stage for one cycle.
+    /// Runs the rename stage of the active thread for one cycle, renaming at
+    /// most `budget` instructions (the front-end width share left for this
+    /// thread). Returns how many instructions were renamed.
     pub(crate) fn run<S: InstStream>(
         &mut self,
         state: &mut PipelineState,
         bus: &mut StageBus,
         fe: &mut FrontEnd<S>,
-    ) {
+        budget: usize,
+    ) -> usize {
         let mut renamed = 0;
 
         // First, retry a dispatch that was classified earlier but could not
@@ -60,16 +66,16 @@ impl RenameStage {
             ) {
                 renamed += 1;
             } else {
-                if state.ltp.occupancy() > 0 {
+                if state.t().ltp.occupancy() > 0 {
                     bus.request_force_release();
                 }
                 self.pending = Some(pending);
-                return;
+                return renamed;
             }
         }
 
-        while renamed < state.cfg.front_width {
-            if !state.rob.has_space() {
+        while renamed < budget {
+            if !state.rob_has_space() {
                 break;
             }
             let Some(peek) = fe.peek_ready(state.now) else {
@@ -81,22 +87,29 @@ impl RenameStage {
             // entry (checked) and, unless LQ/SQ allocation is delayed, an
             // LQ/SQ entry for memory operations.
             if !state.cfg.delay_lsq_alloc {
-                if op.is_load() && !state.lq.has_space() {
+                if op.is_load() && !state.lq_has_space() {
                     break;
                 }
-                if op.is_store() && !state.sq.has_space() {
+                if op.is_store() && !state.sq_has_space() {
                     break;
                 }
             }
 
             let inst = fe.pop_ready(state.now).expect("peeked instruction exists");
+            debug_assert_eq!(
+                inst.tid(),
+                state.t().tid,
+                "instruction fetched into the wrong thread context"
+            );
             let (src_phys, src_seqs) = state.resolve_sources(&inst);
 
-            let mem_dep_parked = op.is_load() && state.memdep.predicts_parked_dependence(inst.pc());
+            let mem_dep_parked =
+                op.is_load() && state.tm().memdep.predicts_parked_dependence(inst.pc());
             let rinst = RenamedInst::from_dyn(&inst).with_mem_dep_parked(mem_dep_parked);
-            let decision = state.ltp.at_rename(&rinst, state.now);
+            let now = state.now;
+            let decision = state.tm().ltp.at_rename(&rinst, now);
 
-            state.inflight.insert(
+            state.tm().inflight.insert(
                 inst.seq().0,
                 InFlight {
                     inst,
@@ -107,7 +120,7 @@ impl RenameStage {
 
             if decision.parked() {
                 park_instruction(state, &inst, decision.long_latency_hint);
-                state.activity.ltp_writes += 1;
+                state.tm().activity.ltp_writes += 1;
                 renamed += 1;
             } else if try_place_dispatch(
                 state,
@@ -119,7 +132,7 @@ impl RenameStage {
                 renamed += 1;
             } else {
                 // Could not place: remember it and stall rename.
-                if state.ltp.occupancy() > 0 {
+                if state.t().ltp.occupancy() > 0 {
                     bus.request_force_release();
                 }
                 self.pending = Some(PendingDispatch {
@@ -131,6 +144,7 @@ impl RenameStage {
                 break;
             }
         }
+        renamed
     }
 }
 
@@ -142,7 +156,7 @@ fn park_instruction(state: &mut PipelineState, inst: &DynInst, long_latency_hint
     let dst = inst.static_inst().dst().filter(|d| !d.is_zero());
 
     let prev_mapping = match dst {
-        Some(d) => state.rat.set_parked(d, seq),
+        Some(d) => state.tm().rat.set_parked(d, seq),
         None => RegSource::Ready,
     };
 
@@ -150,16 +164,16 @@ fn park_instruction(state: &mut PipelineState, inst: &DynInst, long_latency_hint
     let mut holds_sq = false;
     if !state.cfg.delay_lsq_alloc {
         if op.is_load() {
-            state.lq.allocate(seq);
+            state.tm().lq.allocate(seq);
             holds_lq = true;
         }
         if op.is_store() {
-            state.sq.allocate(seq, true);
+            state.tm().sq.allocate(seq, true);
             holds_sq = true;
         }
     }
 
-    state.rob.push(RobEntry {
+    state.tm().rob.push(RobEntry {
         seq,
         pc: inst.pc(),
         op,
@@ -189,7 +203,7 @@ fn try_place_dispatch(
     let seq = inst.seq();
     let dst = inst.static_inst().dst().filter(|d| !d.is_zero());
 
-    if !state.iq.has_space() {
+    if !state.iq_has_space() {
         return false;
     }
     // Reserve a few entries of commit-freed resources for instructions
@@ -213,16 +227,12 @@ fn try_place_dispatch(
     }
     if state.cfg.delay_lsq_alloc {
         if op.is_load()
-            && !state
-                .lq
-                .has_space_beyond_reserve(base_reserve.min(state.cfg.lq_size / 4))
+            && !state.lq_has_space_beyond_reserve(base_reserve.min(state.cfg.lq_size / 4))
         {
             return false;
         }
         if op.is_store()
-            && !state
-                .sq
-                .has_space_beyond_reserve(base_reserve.min(state.cfg.sq_size / 4))
+            && !state.sq_has_space_beyond_reserve(base_reserve.min(state.cfg.sq_size / 4))
         {
             return false;
         }
@@ -236,7 +246,7 @@ fn try_place_dispatch(
                 .alloc_dest(d.class())
                 .expect("availability checked above");
             dest_phys = Some(phys);
-            state.rat.set_phys(d, phys)
+            state.tm().rat.set_phys(d, phys)
         }
         None => RegSource::Ready,
     };
@@ -244,15 +254,15 @@ fn try_place_dispatch(
     let mut holds_lq = false;
     let mut holds_sq = false;
     if op.is_load() {
-        state.lq.allocate(seq);
+        state.tm().lq.allocate(seq);
         holds_lq = true;
     }
     if op.is_store() {
-        state.sq.allocate(seq, false);
+        state.tm().sq.allocate(seq, false);
         holds_sq = true;
     }
 
-    state.rob.push(RobEntry {
+    state.tm().rob.push(RobEntry {
         seq,
         pc: inst.pc(),
         op,
@@ -270,19 +280,19 @@ fn try_place_dispatch(
     let wait_phys = src_phys
         .iter()
         .copied()
-        .filter(|p| !state.completed_regs.contains(p))
+        .filter(|p| !state.t().completed_regs.contains(p))
         .collect();
     let wait_seqs = src_seqs
         .iter()
         .copied()
         .filter(|s| !state.is_seq_done(*s))
         .collect();
-    state.iq.dispatch(IqEntry {
+    state.tm().iq.dispatch(IqEntry {
         seq,
         fu: op.fu_kind(),
         wait_phys,
         wait_seqs,
     });
-    state.activity.iq_writes += 1;
+    state.tm().activity.iq_writes += 1;
     true
 }

@@ -19,7 +19,7 @@ use ltp_mem::Cycle;
 
 /// A two-level timing wheel of `(cycle, payload)` events.
 #[derive(Debug, Clone)]
-pub(crate) struct TimingWheel {
+pub struct TimingWheel {
     /// Power-of-two slot array; slot `c & mask` holds events for cycle `c`
     /// (and, transiently, for `c + k·len` until those migrate on advance).
     slots: Vec<Vec<(Cycle, u64)>>,
@@ -41,7 +41,7 @@ impl TimingWheel {
     /// Creates a wheel able to hold events up to `horizon` cycles ahead
     /// without touching the far level. The horizon is rounded up to a power
     /// of two; events beyond it remain correct (they take the far path).
-    pub(crate) fn new(horizon: u64) -> TimingWheel {
+    pub fn new(horizon: u64) -> TimingWheel {
         let size = horizon.max(2).next_power_of_two();
         // Pre-size every slot so the steady-state loop never grows one: a
         // slot holds the events of one cycle, bounded in practice by the
@@ -64,14 +64,19 @@ impl TimingWheel {
     }
 
     /// Number of scheduled events not yet popped.
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 
     /// Schedules `payload` for `cycle`. Scheduling in the past (relative to
     /// the latest `pop_due` cycle) is allowed; the event becomes due
     /// immediately, ordered by its original cycle.
-    pub(crate) fn schedule(&mut self, cycle: Cycle, payload: u64) {
+    pub fn schedule(&mut self, cycle: Cycle, payload: u64) {
         self.len += 1;
         if cycle <= self.drained_through {
             self.staging.push((cycle, payload));
@@ -86,7 +91,7 @@ impl TimingWheel {
 
     /// Pops the next event due at or before `now`, in `(cycle, payload)`
     /// order, or `None` when nothing is due.
-    pub(crate) fn pop_due(&mut self, now: Cycle) -> Option<u64> {
+    pub fn pop_due(&mut self, now: Cycle) -> Option<u64> {
         if now > self.drained_through {
             self.advance(now);
         }
@@ -103,15 +108,29 @@ impl TimingWheel {
     /// Moves everything due at or before `now` into the staging buffer and
     /// migrates far events that entered the horizon into the wheel.
     fn advance(&mut self, now: Cycle) {
-        for c in (self.drained_through + 1)..=now {
-            let slot = &mut self.slots[(c & self.mask) as usize];
-            let mut i = 0;
-            while i < slot.len() {
-                if slot[i].0 <= now {
-                    self.staging.push(slot.swap_remove(i));
+        if now - self.drained_through > self.mask {
+            // The jump covers the whole wheel: every wheel-resident event has
+            // `cycle <= drained_through + mask < now`, so one pass over the
+            // slots drains them all. (The previous per-cycle loop rescanned
+            // the slot array once per elapsed cycle — O(gap) instead of
+            // O(size) on a large jump.)
+            for slot in &mut self.slots {
+                if !slot.is_empty() {
+                    self.staging.append(slot);
                     self.staging_sorted = false;
-                } else {
-                    i += 1;
+                }
+            }
+        } else {
+            for c in (self.drained_through + 1)..=now {
+                let slot = &mut self.slots[(c & self.mask) as usize];
+                let mut i = 0;
+                while i < slot.len() {
+                    if slot[i].0 <= now {
+                        self.staging.push(slot.swap_remove(i));
+                        self.staging_sorted = false;
+                    } else {
+                        i += 1;
+                    }
                 }
             }
         }
@@ -197,6 +216,37 @@ mod tests {
         assert_eq!(w.pop_due(2), Some(20));
         assert_eq!(w.pop_due(2), None);
         assert_eq!(w.pop_due(6), Some(60));
+    }
+
+    /// A jump of ~1M cycles must drain in one pass over the slots (the bug
+    /// was an O(gap) rescan), preserving pop order and the length counter —
+    /// including events parked in the far level and events scheduled after
+    /// the jump.
+    #[test]
+    fn million_cycle_jump_preserves_order_and_len() {
+        let mut w = TimingWheel::new(8);
+        // In-wheel events, a far event beyond the horizon, and duplicates.
+        for (c, p) in [(3u64, 30u64), (7, 70), (7, 71), (500, 5000), (9, 90)] {
+            w.schedule(c, p);
+        }
+        assert_eq!(w.len(), 5);
+        let jump = 1_000_000;
+        let mut out = Vec::new();
+        while let Some(p) = w.pop_due(jump) {
+            out.push(p);
+        }
+        assert_eq!(out, vec![30, 70, 71, 90, 5000]);
+        assert_eq!(w.len(), 0);
+        // The wheel keeps working after the jump, including another jump.
+        w.schedule(jump + 2, 1);
+        w.schedule(jump + 5, 2);
+        w.schedule(jump + 3_000_000, 3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop_due(jump + 1), None);
+        assert_eq!(w.pop_due(jump + 2), Some(1));
+        assert_eq!(w.pop_due(jump + 3_000_000), Some(2));
+        assert_eq!(w.pop_due(jump + 3_000_000), Some(3));
+        assert_eq!(w.len(), 0);
     }
 
     #[test]

@@ -4,20 +4,25 @@
 //! stage scheduled on the [`StageBus`], marks the ROB entries completed,
 //! publishes the wakeup broadcast (physical-register and sequence-number
 //! wakeups) on the bus and applies it to the issue queue, and clears LTP
-//! tickets so Non-Ready descendants can be released in time (§3.2).
+//! tickets so Non-Ready descendants can be released in time (§3.2). Under
+//! SMT each thread has its own bus and runs this stage on its own ROB/IQ;
+//! physical registers are allocated from the shared pool but always by a
+//! single thread, so the per-thread wakeup broadcast reaches every consumer.
 
 use crate::stages::StageBus;
 use crate::state::PipelineState;
 
-/// Runs the writeback stage for one cycle.
+/// Runs the writeback stage of the active thread for one cycle.
 pub(crate) fn run(state: &mut PipelineState, bus: &mut StageBus) {
+    let now = state.now;
     // Instruction completions.
-    while let Some(seq) = bus.pop_due_completion(state.now) {
-        if let Some(entry) = state.rob.complete(seq) {
+    while let Some(seq) = bus.pop_due_completion(now) {
+        let t = state.tm();
+        if let Some(entry) = t.rob.complete(seq) {
             if let Some(p) = entry.dest_phys {
-                state.completed_regs.insert(p);
+                t.completed_regs.insert(p);
                 bus.reg_wakeups.push(p);
-                state.activity.rf_writes += 1;
+                t.activity.rf_writes += 1;
             }
         }
         bus.seq_wakeups.push(seq);
@@ -25,22 +30,23 @@ pub(crate) fn run(state: &mut PipelineState, bus: &mut StageBus) {
         // did, a completed instruction's ticket must be cleared so its
         // Non-Ready descendants can leave the LTP (a load predicted to
         // miss may actually have hit and never produced an early signal).
-        let _ = state.ltp.on_long_latency_completing(seq, state.now);
+        let _ = t.ltp.on_long_latency_completing(seq, now);
     }
     // Early completion signals of long-latency instructions (tag hit /
     // divide countdown): clear their tickets so Non-Ready instructions
     // can be released in time (§3.2).
-    while let Some(seq) = bus.pop_due_ll_signal(state.now) {
+    while let Some(seq) = bus.pop_due_ll_signal(now) {
         bus.ticket_clears.push(seq);
-        let _ = state.ltp.on_long_latency_completing(seq, state.now);
+        let _ = state.tm().ltp.on_long_latency_completing(seq, now);
     }
     // Apply the wakeup broadcast to the issue queue. The issue stage runs
     // later in the cycle, so consumers woken here can be selected this cycle,
     // exactly as when the wakeups were applied inline per completion.
+    let t = state.tm();
     for &p in &bus.reg_wakeups {
-        state.iq.wake_phys(p);
+        t.iq.wake_phys(p);
     }
     for &s in &bus.seq_wakeups {
-        state.iq.wake_seq(s);
+        t.iq.wake_seq(s);
     }
 }

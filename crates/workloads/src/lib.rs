@@ -141,6 +141,31 @@ pub fn trace(kind: WorkloadKind, seed: u64, n: usize) -> Vec<DynInst> {
     out
 }
 
+/// Byte stride separating the address spaces of SMT co-runners. Large
+/// enough that two kernels never touch the same lines, while preserving the
+/// low (set-index) bits so the threads still contend for cache capacity the
+/// way two real co-scheduled processes do.
+pub const THREAD_ADDRESS_STRIDE: u64 = 1 << 40;
+
+/// Collects the first `n` dynamic instructions of a workload prepared for
+/// hardware thread `tid` of an SMT co-run: each instruction is stamped with
+/// the thread id and rebased into the thread's own address region (code and
+/// data shifted by `tid * THREAD_ADDRESS_STRIDE`).
+///
+/// Thread 0's co-trace is identical to [`trace`] (zero offset), so a co-run
+/// with an idle second thread replays exactly the single-thread trace.
+#[must_use]
+pub fn co_trace(kind: WorkloadKind, seed: u64, n: usize, tid: u8) -> Vec<DynInst> {
+    let offset = u64::from(tid) * THREAD_ADDRESS_STRIDE;
+    trace(kind, seed, n)
+        .into_iter()
+        .map(|inst| {
+            inst.with_tid(ltp_isa::ThreadId(tid))
+                .rebased(offset, offset)
+        })
+        .collect()
+}
+
 /// A boxed instruction stream replaying a pre-collected trace (used when the
 /// same instructions must be fed to the oracle analysis and the timing run).
 #[must_use]
@@ -197,6 +222,27 @@ mod tests {
         let insensitive = WorkloadKind::ALL.len() - sensitive;
         assert!(sensitive >= 3);
         assert!(insensitive >= 2);
+    }
+
+    #[test]
+    fn co_trace_rebases_per_thread() {
+        use ltp_isa::ThreadId;
+        let base = trace(WorkloadKind::IndirectStream, 3, 100);
+        let t0 = co_trace(WorkloadKind::IndirectStream, 3, 100, 0);
+        let t1 = co_trace(WorkloadKind::IndirectStream, 3, 100, 1);
+        assert_eq!(base, t0, "thread 0 is the unshifted trace");
+        for (a, b) in base.iter().zip(&t1) {
+            assert_eq!(b.tid(), ThreadId(1));
+            assert_eq!(b.seq(), a.seq());
+            assert_eq!(b.pc().0, a.pc().0 + THREAD_ADDRESS_STRIDE);
+            match (a.mem_access(), b.mem_access()) {
+                (Some(ma), Some(mb)) => {
+                    assert_eq!(mb.addr(), ma.addr() + THREAD_ADDRESS_STRIDE);
+                }
+                (None, None) => {}
+                _ => panic!("rebasing must not add or drop memory accesses"),
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Runs the pipeline_throughput benchmark and writes a JSON snapshot of
-# simulated-instructions-per-second for every machine × classifier point.
+# simulated-instructions-per-second for every machine × classifier point,
+# plus the 2-way SMT co-run points (pipeline_throughput/smt/*) so the
+# snapshot tracks aggregate SMT throughput alongside the single-thread
+# numbers.
 #
 # Usage:
 #   scripts/bench_snapshot.sh [OUTPUT.json]
@@ -56,5 +59,12 @@ awk -v commit="$COMMIT" '
         printf "}\n"
     }
 ' "$RAW" > "$OUT"
+
+# The SMT co-run point must be part of every snapshot: losing it would
+# silently drop aggregate-SMT-throughput tracking from the trajectory.
+if ! grep -q '"pipeline_throughput/smt/co_run_' "$OUT"; then
+    echo "bench_snapshot: no SMT co-run point in the snapshot — bench group renamed or dropped?" >&2
+    exit 1
+fi
 
 echo "wrote $OUT" >&2

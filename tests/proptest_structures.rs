@@ -5,9 +5,13 @@
 use ltp_core::{Criticality, LtpQueue, ParkedInst, TicketSet, Uit};
 use ltp_isa::{ArchReg, OpClass, Pc, SeqNum, StaticInst};
 use ltp_mem::{Cache, CacheConfig, MshrFile, MshrOutcome};
-use ltp_pipeline::{FreeList, IqEntry, IssueQueue, RegSource, Rob, RobEntry, RobState};
+use ltp_pipeline::{
+    FreeList, IqEntry, IssueQueue, RegSource, Rob, RobEntry, RobState, TimingWheel,
+};
 use ltp_stats::{Histogram, OccupancyTracker};
 use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 fn small_cache() -> Cache {
     Cache::new(CacheConfig {
@@ -223,6 +227,80 @@ proptest! {
         prop_assert!(t.mean() <= t.peak() as f64 + 1e-9);
         prop_assert!(t.mean() >= 0.0);
         prop_assert_eq!(t.cycles(), samples.len() as u64);
+    }
+
+    /// The stage-bus timing wheel behaves exactly like a `(cycle, payload)`
+    /// min-heap (the seed implementation) on arbitrary interleavings of
+    /// schedules and advances: same pop order, same due-ness, same length —
+    /// including past scheduling (relative to the last drain point), events
+    /// far beyond the wheel horizon, and `now` jumps much larger than the
+    /// slot array.
+    #[test]
+    fn timing_wheel_matches_heap_reference(
+        raw_ops in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u8>()), 1..200),
+    ) {
+        let mut wheel = TimingWheel::new(16);
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut next_payload = 0u64;
+        let schedule = |wheel: &mut TimingWheel,
+                            heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                            cycle: u64,
+                            payload: u64| {
+            wheel.schedule(cycle, payload);
+            heap.push(Reverse((cycle, payload)));
+        };
+        for (kind, a, b) in raw_ops {
+            match kind % 4 {
+                // Schedule ahead of `now`: within the wheel for small
+                // offsets, in the far level beyond ~16 cycles.
+                0 => {
+                    schedule(&mut wheel, &mut heap, now + u64::from(a), next_payload);
+                    next_payload += 1;
+                }
+                // Schedule at or before `now` (a zero-latency event issued
+                // "last cycle"): due immediately, ordered by its cycle.
+                1 => {
+                    let cycle = now.saturating_sub(u64::from(b));
+                    schedule(&mut wheel, &mut heap, cycle, next_payload);
+                    next_payload += 1;
+                }
+                // Advance a little or a lot and drain everything due,
+                // comparing pop-by-pop against the heap.
+                _ => {
+                    now += match b % 4 {
+                        0 => 1,
+                        1 => u64::from(b),
+                        2 => u64::from(a),
+                        _ => 100_000 + u64::from(a), // far past the wheel size
+                    };
+                    loop {
+                        let got = wheel.pop_due(now);
+                        let expected = match heap.peek() {
+                            Some(&Reverse((cycle, _))) if cycle <= now => {
+                                heap.pop().map(|Reverse((_, p))| p)
+                            }
+                            _ => None,
+                        };
+                        prop_assert_eq!(got, expected, "divergence at now={}", now);
+                        if got.is_none() {
+                            break;
+                        }
+                    }
+                    prop_assert_eq!(wheel.len(), heap.len());
+                    prop_assert_eq!(wheel.is_empty(), heap.is_empty());
+                }
+            }
+        }
+        // Final drain far beyond everything scheduled: both must empty in
+        // the same order.
+        now += 10_000_000;
+        while let Some(got) = wheel.pop_due(now) {
+            let expected = heap.pop().map(|Reverse((_, p))| p);
+            prop_assert_eq!(Some(got), expected);
+        }
+        prop_assert!(heap.is_empty());
+        prop_assert_eq!(wheel.len(), 0);
     }
 
     /// A static instruction never exposes the zero register or zero-idiom
