@@ -1,0 +1,68 @@
+//! Benchmarks the snapshot subsystem: capturing a mid-run checkpoint of the
+//! proposed machine, encoding it to bytes, and decoding + restoring it.
+//!
+//! These numbers bound the fixed per-interval cost of sampled simulation
+//! (`experiments sample`): a checkpoint cycle that costs milliseconds would
+//! eat the wall-clock budget the sampling exists to save.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ltp_isa::DynInst;
+use ltp_pipeline::{PipelineConfig, Processor, Snapshot};
+use ltp_workloads::{replay_slice, trace, WorkloadKind};
+
+fn checkpoint_trace() -> Vec<DynInst> {
+    trace(WorkloadKind::MixedPhases, 2016, 8_000)
+}
+
+fn mid_run_snapshot(detail: &[DynInst]) -> Snapshot {
+    let mut cpu = Processor::new(PipelineConfig::ltp_proposed());
+    cpu.run_to_snapshot(replay_slice("mixed_phases", detail), 4_000)
+        .expect("no deadlock")
+}
+
+fn capture(c: &mut Criterion) {
+    let detail = checkpoint_trace();
+    let mut group = c.benchmark_group("snapshot");
+    group.throughput(Throughput::Elements(1));
+    // `run_and_capture_4k` includes the 4,000-instruction detailed run that
+    // reaches the checkpoint; `sim_4k_no_capture` is the same run without a
+    // checkpoint, so capture cost = the difference between the two. (Capture
+    // itself has no standalone public entry point — it clones the machine
+    // mid-run — so it is measured differentially.)
+    group.bench_function("run_and_capture_4k", |b| {
+        b.iter(|| mid_run_snapshot(&detail));
+    });
+    group.bench_function("sim_4k_no_capture", |b| {
+        b.iter(|| {
+            let mut cpu = Processor::new(PipelineConfig::ltp_proposed());
+            cpu.run(replay_slice("mixed_phases", &detail), 4_000)
+                .expect("no deadlock")
+        });
+    });
+    group.finish();
+}
+
+fn encode_decode(c: &mut Criterion) {
+    let detail = checkpoint_trace();
+    let snap = mid_run_snapshot(&detail);
+    let bytes = snap.to_bytes();
+    let mut group = c.benchmark_group("snapshot");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| snap.to_bytes()));
+    group.bench_function("decode", |b| {
+        b.iter(|| Snapshot::from_bytes(&bytes).expect("decode"));
+    });
+    group.bench_function("restore_and_finish", |b| {
+        b.iter(|| {
+            Snapshot::from_bytes(&bytes)
+                .expect("decode")
+                .resume()
+                .run(replay_slice("mixed_phases", &detail), 8_000)
+                .expect("no deadlock")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, capture, encode_decode);
+criterion_main!(benches);

@@ -83,6 +83,57 @@ pub trait CriticalityClassifier: std::fmt::Debug + Send {
 
     /// Clones the classifier behind the object-safe interface.
     fn box_clone(&self) -> Box<dyn CriticalityClassifier>;
+
+    /// Exports the classifier's full learned state for checkpointing, or
+    /// `None` when the implementation does not support snapshots (custom
+    /// classifiers outside this crate). Built-in classifiers all return
+    /// `Some`, so every shipped configuration can be checkpointed.
+    fn snapshot_state(&self) -> Option<ClassifierState> {
+        None
+    }
+
+    /// Whether [`CriticalityClassifier::snapshot_state`] returns `Some`,
+    /// answerable without building (cloning) the state — the support *check*
+    /// runs on every capture, including ones that carry a whole-trace oracle.
+    /// Implementations overriding `snapshot_state` should override this too;
+    /// the default stays conservative by actually asking.
+    fn supports_snapshot(&self) -> bool {
+        self.snapshot_state().is_some()
+    }
+}
+
+/// The complete serialisable state of a built-in criticality classifier,
+/// used by machine snapshots to round-trip the `Box<dyn
+/// CriticalityClassifier>` inside [`crate::LtpUnit`] — including everything
+/// the classifier has *learned* so far (UIT contents, hit/miss predictor
+/// counters, the random stream position), so a restored machine classifies
+/// bit-for-bit like the original.
+#[derive(Debug, Clone)]
+pub enum ClassifierState {
+    /// UIT + hit/miss predictor state.
+    Uit(UitClassifier),
+    /// The analysed oracle (per-seq classes and long-latency flags).
+    Oracle(crate::OracleClassifier),
+    /// Random classifier: calibration and xorshift stream position.
+    Random(RandomClassifier),
+    /// Stateless always-ready control.
+    AlwaysReady,
+    /// Stateless park-everything control.
+    ParkEverything,
+}
+
+impl ClassifierState {
+    /// Rebuilds the boxed classifier this state was exported from.
+    #[must_use]
+    pub fn into_classifier(self) -> Box<dyn CriticalityClassifier> {
+        match self {
+            ClassifierState::Uit(c) => Box::new(c),
+            ClassifierState::Oracle(c) => Box::new(c),
+            ClassifierState::Random(c) => Box::new(c),
+            ClassifierState::AlwaysReady => Box::new(AlwaysReadyClassifier),
+            ClassifierState::ParkEverything => Box::new(ParkEverythingClassifier),
+        }
+    }
 }
 
 impl Clone for Box<dyn CriticalityClassifier> {
@@ -174,8 +225,8 @@ impl ClassifierKind {
 /// identifying prospective long-latency loads.
 #[derive(Debug, Clone)]
 pub struct UitClassifier {
-    uit: crate::Uit,
-    predictor: HitMissPredictor,
+    pub(crate) uit: crate::Uit,
+    pub(crate) predictor: HitMissPredictor,
 }
 
 impl UitClassifier {
@@ -237,6 +288,14 @@ impl CriticalityClassifier for UitClassifier {
     fn box_clone(&self) -> Box<dyn CriticalityClassifier> {
         Box::new(self.clone())
     }
+
+    fn snapshot_state(&self) -> Option<ClassifierState> {
+        Some(ClassifierState::Uit(self.clone()))
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
 }
 
 impl CriticalityClassifier for crate::OracleClassifier {
@@ -259,6 +318,14 @@ impl CriticalityClassifier for crate::OracleClassifier {
     fn box_clone(&self) -> Box<dyn CriticalityClassifier> {
         Box::new(self.clone())
     }
+
+    fn snapshot_state(&self) -> Option<ClassifierState> {
+        Some(ClassifierState::Oracle(self.clone()))
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
 }
 
 /// Classifies a configurable fraction of instructions Non-Urgent, at random.
@@ -270,8 +337,8 @@ impl CriticalityClassifier for crate::OracleClassifier {
 /// speedup comes from).
 #[derive(Debug, Clone)]
 pub struct RandomClassifier {
-    non_urgent_percent: u8,
-    state: u64,
+    pub(crate) non_urgent_percent: u8,
+    pub(crate) state: u64,
 }
 
 impl RandomClassifier {
@@ -321,6 +388,14 @@ impl CriticalityClassifier for RandomClassifier {
     fn box_clone(&self) -> Box<dyn CriticalityClassifier> {
         Box::new(self.clone())
     }
+
+    fn snapshot_state(&self) -> Option<ClassifierState> {
+        Some(ClassifierState::Random(self.clone()))
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
 }
 
 /// Calls every instruction Urgent + Ready: nothing is ever parkable, so the
@@ -344,6 +419,14 @@ impl CriticalityClassifier for AlwaysReadyClassifier {
     fn box_clone(&self) -> Box<dyn CriticalityClassifier> {
         Box::new(*self)
     }
+
+    fn snapshot_state(&self) -> Option<ClassifierState> {
+        Some(ClassifierState::AlwaysReady)
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
 }
 
 /// Calls every instruction Non-Urgent: maximal parking pressure, the
@@ -366,6 +449,14 @@ impl CriticalityClassifier for ParkEverythingClassifier {
 
     fn box_clone(&self) -> Box<dyn CriticalityClassifier> {
         Box::new(*self)
+    }
+
+    fn snapshot_state(&self) -> Option<ClassifierState> {
+        Some(ClassifierState::ParkEverything)
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
     }
 }
 

@@ -59,13 +59,14 @@ mod monitor;
 mod oracle;
 mod queue;
 mod rat_ext;
+mod snap;
 mod tickets;
 mod uit;
 mod unit;
 
 pub use class::{Criticality, InstClass};
 pub use classifier::{
-    AlwaysReadyClassifier, Classification, ClassifierKind, CriticalityClassifier,
+    AlwaysReadyClassifier, Classification, ClassifierKind, ClassifierState, CriticalityClassifier,
     ParkEverythingClassifier, ProducerLookup, RandomClassifier, UitClassifier,
 };
 pub use config::{LtpConfig, LtpMode};

@@ -13,14 +13,14 @@ use crate::Cycle;
 /// Timer-based monitor deciding whether LTP is currently enabled.
 #[derive(Debug, Clone)]
 pub struct DramTimerMonitor {
-    timeout: u64,
+    pub(crate) timeout: u64,
     /// Cycle until which LTP stays enabled (exclusive); `None` = never armed.
-    enabled_until: Option<Cycle>,
+    pub(crate) enabled_until: Option<Cycle>,
     /// Accounting of enabled time for the Figure 7 "Enabled (Powered On)" row.
-    enabled_cycles: u64,
-    last_observed: Cycle,
-    was_enabled: bool,
-    activations: u64,
+    pub(crate) enabled_cycles: u64,
+    pub(crate) last_observed: Cycle,
+    pub(crate) was_enabled: bool,
+    pub(crate) activations: u64,
 }
 
 impl DramTimerMonitor {

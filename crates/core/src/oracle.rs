@@ -22,8 +22,8 @@ use ltp_mem::{AccessKind, MemoryConfig, MemoryHierarchy, MemoryRequest};
 /// number.
 #[derive(Debug, Clone)]
 pub struct OracleClassifier {
-    classes: Vec<Criticality>,
-    long_latency: Vec<bool>,
+    pub(crate) classes: Vec<Criticality>,
+    pub(crate) long_latency: Vec<bool>,
 }
 
 impl OracleClassifier {

@@ -54,28 +54,28 @@ pub struct ParkedInst {
 ///   on park/release instead of being recounted by iteration.
 #[derive(Debug, Clone)]
 pub struct LtpQueue {
-    capacity: usize,
-    ports: usize,
-    entries: VecDeque<ParkedInst>,
-    enqueued_this_cycle: usize,
-    dequeued_this_cycle: usize,
-    current_cycle: Cycle,
-    total_parked: u64,
-    total_released: u64,
-    full_rejections: u64,
-    port_rejections: u64,
+    pub(crate) capacity: usize,
+    pub(crate) ports: usize,
+    pub(crate) entries: VecDeque<ParkedInst>,
+    pub(crate) enqueued_this_cycle: usize,
+    pub(crate) dequeued_this_cycle: usize,
+    pub(crate) current_cycle: Cycle,
+    pub(crate) total_parked: u64,
+    pub(crate) total_released: u64,
+    pub(crate) full_rejections: u64,
+    pub(crate) port_rejections: u64,
     /// Parked instructions that will need a destination register.
-    writers: usize,
+    pub(crate) writers: usize,
     /// Parked loads.
-    loads: usize,
+    pub(crate) loads: usize,
     /// Parked stores.
-    stores: usize,
+    pub(crate) stores: usize,
     /// Ticket id → seqs of parked holders (may include already-released
     /// stale seqs, skipped on broadcast). Indexed by ticket id; ids are
     /// recycled by the ticket file so this stays dense and small.
-    ticket_holders: Vec<Vec<u64>>,
+    pub(crate) ticket_holders: Vec<Vec<u64>>,
     /// Seq-sorted Urgent entries with an empty ticket set.
-    ready_urgent: Vec<u64>,
+    pub(crate) ready_urgent: Vec<u64>,
 }
 
 impl LtpQueue {

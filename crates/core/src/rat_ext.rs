@@ -24,17 +24,17 @@ use ltp_isa::{ArchReg, Pc, SeqNum, NUM_ARCH_REGS};
 
 /// Per-register extension entry.
 #[derive(Debug, Clone, Default)]
-struct Entry {
-    producer_pc: Option<Pc>,
-    producer_seq: Option<SeqNum>,
-    parked: bool,
-    tickets: TicketSet,
+pub(crate) struct Entry {
+    pub(crate) producer_pc: Option<Pc>,
+    pub(crate) producer_seq: Option<SeqNum>,
+    pub(crate) parked: bool,
+    pub(crate) tickets: TicketSet,
 }
 
 /// The LTP extension of the register allocation table.
 #[derive(Debug, Clone)]
 pub struct RatExtension {
-    entries: Vec<Entry>,
+    pub(crate) entries: Vec<Entry>,
 }
 
 impl Default for RatExtension {

@@ -32,7 +32,7 @@ impl std::fmt::Display for Ticket {
 /// can depend on several long latency instructions".
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TicketSet {
-    tickets: BTreeSet<Ticket>,
+    pub(crate) tickets: BTreeSet<Ticket>,
 }
 
 impl TicketSet {
@@ -92,11 +92,11 @@ impl FromIterator<Ticket> for TicketSet {
 /// The pool of hardware tickets.
 #[derive(Debug, Clone)]
 pub struct TicketFile {
-    capacity: usize,
-    free: Vec<Ticket>,
-    next_unallocated: u32,
-    in_flight: BTreeSet<Ticket>,
-    exhausted_allocations: u64,
+    pub(crate) capacity: usize,
+    pub(crate) free: Vec<Ticket>,
+    pub(crate) next_unallocated: u32,
+    pub(crate) in_flight: BTreeSet<Ticket>,
+    pub(crate) exhausted_allocations: u64,
 }
 
 impl TicketFile {

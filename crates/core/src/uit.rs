@@ -21,15 +21,15 @@ use std::collections::HashSet;
 /// to an unbounded hash set (the paper's "unlimited UIT").
 #[derive(Debug, Clone)]
 pub struct Uit {
-    capacity: usize,
-    ways: usize,
+    pub(crate) capacity: usize,
+    pub(crate) ways: usize,
     /// Finite variant: sets[set] = most-recent-first list of PC tags.
-    sets: Vec<Vec<u64>>,
+    pub(crate) sets: Vec<Vec<u64>>,
     /// Unlimited variant.
-    unlimited: HashSet<u64>,
-    insertions: u64,
-    hits: u64,
-    lookups: u64,
+    pub(crate) unlimited: HashSet<u64>,
+    pub(crate) insertions: u64,
+    pub(crate) hits: u64,
+    pub(crate) lookups: u64,
 }
 
 impl Uit {

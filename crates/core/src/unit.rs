@@ -158,20 +158,20 @@ impl LtpStats {
 /// The Long Term Parking unit: classification, parking and wakeup.
 #[derive(Debug, Clone)]
 pub struct LtpUnit {
-    cfg: LtpConfig,
-    classifier: Box<dyn CriticalityClassifier>,
-    rat_ext: RatExtension,
-    queue: LtpQueue,
-    tickets: TicketFile,
-    monitor: DramTimerMonitor,
+    pub(crate) cfg: LtpConfig,
+    pub(crate) classifier: Box<dyn CriticalityClassifier>,
+    pub(crate) rat_ext: RatExtension,
+    pub(crate) queue: LtpQueue,
+    pub(crate) tickets: TicketFile,
+    pub(crate) monitor: DramTimerMonitor,
     /// Whether the default classifier built from the configuration was
     /// replaced through [`LtpUnit::set_oracle`] / [`LtpUnit::set_classifier`]
     /// (the pipeline refuses to run an Oracle-configured machine that never
     /// had anything attached).
-    classifier_attached: bool,
+    pub(crate) classifier_attached: bool,
     /// seq -> ticket owned by that (predicted long-latency) instruction.
-    ticket_owner: HashMap<u64, Ticket>,
-    stats: LtpStats,
+    pub(crate) ticket_owner: HashMap<u64, Ticket>,
+    pub(crate) stats: LtpStats,
 }
 
 impl LtpUnit {

@@ -4,7 +4,7 @@
 //! experiments [EXPERIMENT ...] [--quick] [--insts N] [--seed S] [--out DIR]
 //!
 //! EXPERIMENT: all | table1 | fig1 | fig2 | fig6 | fig7 | fig10 | fig11 | uit
-//!           | ablation | fig_smt
+//!           | ablation | fig_smt | sample
 //! ```
 //!
 //! Reports are printed to stdout and written to `<out>/<experiment>.txt`
@@ -83,7 +83,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: experiments [all|table1|fig1|fig2|fig6|fig7|fig10|fig11|uit|ablation|fig_smt ...] \
+        "usage: experiments [all|table1|fig1|fig2|fig6|fig7|fig10|fig11|uit|ablation|fig_smt|sample ...] \
          [--quick] [--insts N] [--seed S] [--out DIR]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });

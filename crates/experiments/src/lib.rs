@@ -24,6 +24,7 @@ pub mod fig7;
 pub mod fig_smt;
 pub mod parallel;
 pub mod runner;
+pub mod sampled;
 pub mod sim;
 pub mod table1;
 pub mod uit_sweep;
@@ -54,11 +55,13 @@ pub enum Experiment {
     Ablation,
     /// SMT co-runs: LTP freeing shared resources for a co-runner.
     FigSmt,
+    /// Checkpointed sampled simulation vs full detail (speed-up and error).
+    Sample,
 }
 
 impl Experiment {
     /// All experiments in report order.
-    pub const ALL: [Experiment; 10] = [
+    pub const ALL: [Experiment; 11] = [
         Experiment::Table1,
         Experiment::Fig1,
         Experiment::Classification,
@@ -69,6 +72,7 @@ impl Experiment {
         Experiment::UitSweep,
         Experiment::Ablation,
         Experiment::FigSmt,
+        Experiment::Sample,
     ];
 
     /// Command-line name of the experiment.
@@ -85,6 +89,7 @@ impl Experiment {
             Experiment::UitSweep => "uit",
             Experiment::Ablation => "ablation",
             Experiment::FigSmt => "fig_smt",
+            Experiment::Sample => "sample",
         }
     }
 
@@ -108,6 +113,7 @@ impl Experiment {
             Experiment::UitSweep => uit_sweep::run(opts),
             Experiment::Ablation => ablation::run(opts),
             Experiment::FigSmt => fig_smt::run(opts),
+            Experiment::Sample => sampled::run(opts),
         }
     }
 }

@@ -74,6 +74,79 @@ where
     out
 }
 
+/// Greedy LPT (Longest Processing Time first) assignment: jobs are visited in
+/// descending cost order and each goes to the currently least-loaded worker.
+/// Graham's classic bound guarantees a makespan within 4/3 − 1/(3m) of
+/// optimal, which is exactly the right discipline for heterogeneous
+/// sample-interval simulations (interval cost varies with the miss behaviour
+/// of the region, so contiguous chunking can leave one worker with all the
+/// memory-bound intervals).
+///
+/// Returns one index list per worker (workers may be empty when there are
+/// fewer jobs than workers). Ties are broken towards the lower worker index,
+/// so the assignment is deterministic.
+#[must_use]
+pub fn lpt_assign(costs: &[u64], workers: usize) -> Vec<Vec<usize>> {
+    let workers = workers.max(1);
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    // Descending cost; ties by index for determinism.
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut load = vec![0u64; workers];
+    for i in order {
+        let w = (0..workers)
+            .min_by_key(|&w| (load[w], w))
+            .expect(">=1 worker");
+        load[w] += costs[i];
+        assignment[w].push(i);
+    }
+    assignment
+}
+
+/// Applies `f` to every item in parallel with LPT load balancing: `cost`
+/// estimates each item's processing time, and items are distributed over the
+/// workers longest-first so no thread is left running one expensive tail job
+/// while the others idle. Results come back in item order.
+pub fn par_map_lpt<T, R, F, C>(items: Vec<T>, cost: C, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    C: Fn(&T) -> u64,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = thread_count(n);
+    let costs: Vec<u64> = items.iter().map(&cost).collect();
+    let assignment = lpt_assign(&costs, workers);
+
+    let mut results: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let items_ref = &items;
+        let f_ref = &f;
+        let mut handles = Vec::with_capacity(workers);
+        for worker_items in &assignment {
+            if worker_items.is_empty() {
+                continue;
+            }
+            handles.push(scope.spawn(move || {
+                worker_items
+                    .iter()
+                    .map(|&i| (i, f_ref(&items_ref[i])))
+                    .collect::<Vec<(usize, R)>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    results.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(results.len(), n);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +191,68 @@ mod tests {
     fn thread_count_clamps_to_items() {
         assert_eq!(thread_count(1), 1);
         assert!(thread_count(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn lpt_puts_longest_jobs_first_on_least_loaded_workers() {
+        // Classic example: jobs 5,4,3,3,3 on 2 workers. LPT gives {5,3} and
+        // {4,3,3} (makespan 10); naive contiguous chunking of the sorted list
+        // would give {5,4,3} = 12.
+        let assignment = lpt_assign(&[3, 5, 3, 4, 3], 2);
+        let mut loads: Vec<u64> = assignment
+            .iter()
+            .map(|idx| idx.iter().map(|&i| [3u64, 5, 3, 4, 3][i]).sum())
+            .collect();
+        loads.sort_unstable();
+        assert_eq!(loads, vec![8, 10]);
+        // Every job appears exactly once.
+        let mut all: Vec<usize> = assignment.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn lpt_handles_degenerate_shapes() {
+        assert_eq!(lpt_assign(&[], 4), vec![Vec::<usize>::new(); 4]);
+        let one = lpt_assign(&[7], 3);
+        assert_eq!(one.iter().map(Vec::len).sum::<usize>(), 1);
+        // Zero workers is clamped to one.
+        let clamped = lpt_assign(&[1, 2], 0);
+        assert_eq!(clamped.len(), 1);
+        assert_eq!(clamped[0].len(), 2);
+    }
+
+    #[test]
+    fn lpt_makespan_beats_contiguous_chunking_on_skewed_costs() {
+        // A skewed cost vector: one huge job at the end of the list plus many
+        // small ones — the shape contiguous chunking handles worst.
+        let mut costs = vec![1u64; 15];
+        costs.push(20);
+        let workers = 4;
+        let makespan = |assign: &[Vec<usize>]| -> u64 {
+            assign
+                .iter()
+                .map(|idx| idx.iter().map(|&i| costs[i]).sum::<u64>())
+                .max()
+                .unwrap_or(0)
+        };
+        let lpt = lpt_assign(&costs, workers);
+        // Optimal makespan here is 20 (the huge job alone); LPT achieves it.
+        assert_eq!(makespan(&lpt), 20);
+        // Contiguous chunks of 4 put the huge job with 3 small ones -> 23.
+        let chunked: Vec<Vec<usize>> = (0..4).map(|w| (w * 4..w * 4 + 4).collect()).collect();
+        assert_eq!(makespan(&chunked), 23);
+    }
+
+    #[test]
+    fn par_map_lpt_preserves_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let out = par_map_lpt(items, |&x| x % 7 + 1, |&x| x * 3);
+        assert_eq!(out.len(), 97);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+        let empty: Vec<u64> = par_map_lpt(Vec::<u64>::new(), |_| 1, |&x| x);
+        assert!(empty.is_empty());
     }
 }

@@ -240,7 +240,11 @@ mod tests {
         let r = try_run_point(WorkloadKind::StencilStream, cfg, &opts);
         match r {
             Ok(res) => assert_eq!(res.instructions, 1_000),
-            Err(e @ (RunError::Deadlock { .. } | RunError::OracleNotAttached)) => {
+            Err(
+                e @ (RunError::Deadlock { .. }
+                | RunError::OracleNotAttached
+                | RunError::SnapshotUnsupported(_)),
+            ) => {
                 panic!("unexpected run error: {e}")
             }
         }

@@ -1,0 +1,515 @@
+//! Checkpointed sampled simulation: the `SampledRunner` and the `sample`
+//! experiment.
+//!
+//! Full-detail simulation of production-length traces is the slowest part of
+//! the repo; interval sampling is the standard way simulators scale
+//! (SMARTS/SimPoint). The runner here:
+//!
+//! 1. makes a single **functional fast-forward** pass over the trace
+//!    ([`ltp_pipeline::FunctionalFastForward`]): caches, branch predictor and
+//!    LTP learned state advance at far above detailed-simulation speed;
+//! 2. drops an encoded [`Snapshot`] checkpoint at each interval boundary,
+//!    weighted by the functional LLC-miss count of the interval (a cost
+//!    proxy: memory-bound intervals simulate slower in detail);
+//! 3. fans the detailed interval simulations out over worker threads
+//!    **longest-interval-first** ([`crate::parallel::par_map_lpt`], classic
+//!    LPT scheduling) — each worker decodes its checkpoint, runs a short
+//!    detailed warm-up (pipeline fill), and measures the interval's IPC;
+//! 4. aggregates per-interval IPC into a mean with a Student-t 95 %
+//!    confidence interval ([`ltp_stats::ConfidenceInterval`]).
+//!
+//! The `sample` experiment compares this estimate (and its wall-clock) to
+//! the full-detail run of the same trace, reporting the IPC error and the
+//! speed-up per simulation point.
+
+use crate::parallel::par_map_lpt;
+use crate::runner::{limit_study_config, RunOptions};
+use ltp_core::{LtpMode, OracleClassifier};
+use ltp_isa::DynInst;
+use ltp_pipeline::{FunctionalFastForward, PipelineConfig, RunError, Snapshot};
+use ltp_stats::{ConfidenceInterval, TextTable};
+use ltp_workloads::{replay_slice, trace, WorkloadKind};
+
+/// Shape of one sampled-simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleSpec {
+    /// Total trace length in instructions.
+    pub total_insts: u64,
+    /// Number of sample intervals (evenly spaced over the trace).
+    pub intervals: usize,
+    /// Detailed warm-up instructions per interval (pipeline fill, excluded
+    /// from the measurement).
+    pub detail_warm: u64,
+    /// Measured detailed instructions per interval.
+    pub detail_measure: u64,
+    /// Workload seed (the detailed trace uses `seed + 1`, the cache-warming
+    /// prefix `seed`, matching [`crate::SimBuilder`]).
+    pub seed: u64,
+    /// Cache-warming instructions replayed functionally before the trace
+    /// starts (the same discipline as [`crate::SimBuilder`]).
+    pub warm_insts: u64,
+}
+
+impl SampleSpec {
+    /// Derives a spec from run options: the trace is `8×` the full-detail
+    /// budget, split into 12 intervals with a ~17 % detail fraction.
+    #[must_use]
+    pub fn from_options(opts: &RunOptions) -> SampleSpec {
+        let total_insts = opts.detail_insts * 8;
+        let intervals = 12usize;
+        let stride = total_insts / intervals as u64;
+        SampleSpec {
+            total_insts,
+            intervals,
+            detail_warm: stride / 16,
+            detail_measure: stride / 10,
+            seed: opts.seed,
+            warm_insts: opts.warm_insts,
+        }
+    }
+
+    /// Fraction of the trace simulated in detail (warm-up + measurement).
+    #[must_use]
+    pub fn detail_fraction(&self) -> f64 {
+        (self.detail_warm + self.detail_measure) as f64 * self.intervals as f64
+            / self.total_insts as f64
+    }
+
+    fn validate(&self) {
+        assert!(self.intervals > 0, "need at least one interval");
+        let stride = self.total_insts / self.intervals as u64;
+        assert!(
+            self.detail_warm + self.detail_measure <= stride,
+            "detailed window ({} + {}) exceeds the interval stride ({stride})",
+            self.detail_warm,
+            self.detail_measure
+        );
+    }
+}
+
+/// One measured sample interval.
+#[derive(Debug, Clone)]
+pub struct IntervalMeasurement {
+    /// Interval index in trace order.
+    pub index: usize,
+    /// Trace position (instructions) of the checkpoint.
+    pub start: u64,
+    /// Measured instructions (can be short by one commit group).
+    pub instructions: u64,
+    /// Measured cycles.
+    pub cycles: u64,
+    /// IPC of the measured window.
+    pub ipc: f64,
+    /// LPT cost weight (functional LLC misses in the interval).
+    pub weight: u64,
+    /// Encoded checkpoint size in bytes.
+    pub checkpoint_bytes: usize,
+}
+
+/// The aggregate of a sampled run.
+#[derive(Debug, Clone)]
+pub struct SampledResult {
+    /// Workload name.
+    pub workload: String,
+    /// Mean per-interval IPC with its 95 % confidence interval.
+    pub ipc: ConfidenceInterval,
+    /// Per-interval measurements, in trace order.
+    pub intervals: Vec<IntervalMeasurement>,
+    /// Instructions simulated in detail (warm-up + measured), all intervals.
+    pub detailed_insts: u64,
+    /// Trace length.
+    pub total_insts: u64,
+}
+
+impl SampledResult {
+    /// Aggregate IPC weighted by measured instructions (total work over
+    /// total measured time), the estimator compared against full-detail IPC.
+    #[must_use]
+    pub fn weighted_ipc(&self) -> f64 {
+        let insts: u64 = self.intervals.iter().map(|i| i.instructions).sum();
+        let cycles: u64 = self.intervals.iter().map(|i| i.cycles).sum();
+        if cycles == 0 {
+            0.0
+        } else {
+            insts as f64 / cycles as f64
+        }
+    }
+}
+
+/// Runs one workload through sampled simulation (see the module docs).
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from any interval's detailed simulation, and the
+/// snapshot errors of unsupported configurations as
+/// [`RunError::SnapshotUnsupported`].
+///
+/// # Panics
+///
+/// Panics if `spec` is inconsistent (zero intervals, detailed window larger
+/// than the interval stride).
+pub fn run_sampled(
+    cfg: PipelineConfig,
+    kind: WorkloadKind,
+    spec: &SampleSpec,
+) -> Result<SampledResult, RunError> {
+    let detail = trace(kind, spec.seed.wrapping_add(1), spec.total_insts as usize);
+    run_sampled_on(cfg, kind, &detail, spec)
+}
+
+/// Like [`run_sampled`], over a caller-provided trace (which must be the one
+/// [`run_sampled`] would generate for the oracle analysis to be sound).
+/// Callers comparing sampled against full detail share one trace allocation
+/// this way.
+///
+/// # Errors
+///
+/// Same as [`run_sampled`].
+///
+/// # Panics
+///
+/// Same as [`run_sampled`].
+pub fn run_sampled_on(
+    cfg: PipelineConfig,
+    kind: WorkloadKind,
+    detail: &[DynInst],
+    spec: &SampleSpec,
+) -> Result<SampledResult, RunError> {
+    spec.validate();
+    let total = detail.len() as u64;
+    let intervals = spec.intervals.min(total.max(1) as usize);
+    let stride = total / intervals as u64;
+    // The spec validated against its own nominal length; a caller-provided
+    // trace that came up short shrinks the real stride, which would make
+    // detailed windows overlap the next interval (double-measured regions)
+    // without this check.
+    assert!(
+        spec.detail_warm + spec.detail_measure <= stride,
+        "trace of {total} insts gives a {stride}-inst stride, smaller than the detailed \
+         window ({} + {})",
+        spec.detail_warm,
+        spec.detail_measure
+    );
+
+    // An oracle-classified configuration gets one whole-trace analysis shared
+    // by every interval — the same analysis a full-detail run would use.
+    let oracle: Option<OracleClassifier> = if cfg.needs_oracle() {
+        Some(crate::sim::analyze_oracle(&cfg, detail))
+    } else {
+        None
+    };
+
+    // Serial functional pass: cache warming, then a checkpoint at each
+    // interval boundary with the interval's functional miss count as weight.
+    let mut ff = FunctionalFastForward::new(cfg);
+    if spec.warm_insts > 0 {
+        let warm = trace(kind, spec.seed, spec.warm_insts as usize);
+        ff.warm_caches(&warm);
+    }
+    let mut jobs: Vec<(usize, u64, Vec<u8>, u64)> = Vec::with_capacity(intervals);
+    for i in 0..intervals {
+        let start = i as u64 * stride;
+        debug_assert_eq!(ff.consumed(), start);
+        let snap = ff
+            .checkpoint()
+            .map_err(|e| RunError::SnapshotUnsupported(e.to_string()))?;
+        let end = if i + 1 == intervals {
+            total
+        } else {
+            (i as u64 + 1) * stride
+        };
+        ff.feed_all(&detail[start as usize..end as usize]);
+        let weight = ff.take_llc_misses();
+        jobs.push((i, start, snap.to_bytes(), weight));
+    }
+
+    // Detailed interval simulations, longest (most misses) first over the
+    // worker pool.
+    let name = kind.name();
+    let detail_ref = detail;
+    let measurements: Vec<Result<IntervalMeasurement, RunError>> = par_map_lpt(
+        jobs,
+        // LPT cost: the detailed window length is constant, so the miss
+        // weight is the differentiating term; +1 keeps zero-miss intervals
+        // schedulable.
+        |(_, _, _, weight)| weight + 1,
+        |(i, start, bytes, weight)| {
+            let snap = Snapshot::from_bytes(bytes)
+                .map_err(|e| RunError::SnapshotUnsupported(e.to_string()))?;
+            let mut resumed = snap.resume();
+            if let Some(oracle) = &oracle {
+                resumed.set_oracle(oracle.clone());
+            }
+            let max_insts = (start + spec.detail_warm + spec.detail_measure).min(total);
+            let result = resumed.run_measured_from(
+                replay_slice(name, detail_ref),
+                max_insts,
+                start + spec.detail_warm,
+            )?;
+            Ok(IntervalMeasurement {
+                index: *i,
+                start: *start,
+                instructions: result.instructions,
+                cycles: result.cycles,
+                ipc: result.instructions as f64 / result.cycles.max(1) as f64,
+                weight: *weight,
+                checkpoint_bytes: bytes.len(),
+            })
+        },
+    );
+
+    // `par_map_lpt` returns results in item (= trace) order.
+    let mut intervals_out = Vec::with_capacity(measurements.len());
+    for m in measurements {
+        intervals_out.push(m?);
+    }
+    debug_assert!(intervals_out.windows(2).all(|w| w[0].index < w[1].index));
+    let samples: Vec<f64> = intervals_out.iter().map(|m| m.ipc).collect();
+    Ok(SampledResult {
+        workload: name.to_string(),
+        ipc: ConfidenceInterval::from_samples(&samples),
+        detailed_insts: intervals_out
+            .iter()
+            .map(|m| m.instructions + spec.detail_warm)
+            .sum(),
+        total_insts: total,
+        intervals: intervals_out,
+    })
+}
+
+/// The three Figure-1 configurations the `sample` experiment covers.
+fn fig1_configs() -> [(&'static str, PipelineConfig); 3] {
+    [
+        ("IQ:32", PipelineConfig::limit_study_unlimited().with_iq(32)),
+        ("IQ:32+LTP", limit_study_config(LtpMode::Both).with_iq(32)),
+        (
+            "IQ:256",
+            PipelineConfig::limit_study_unlimited().with_iq(256),
+        ),
+    ]
+}
+
+/// Runs the full-detail reference for one point over the *same* trace the
+/// sampled run uses, so the error column isolates the sampling methodology.
+/// Delegates to [`SimBuilder`] so the warm-trace seed discipline and oracle
+/// recipe stay defined in exactly one place.
+fn full_detail_ipc(
+    cfg: PipelineConfig,
+    kind: WorkloadKind,
+    detail: &[DynInst],
+    spec: &SampleSpec,
+) -> Result<f64, RunError> {
+    let r = crate::SimBuilder::new(cfg, kind)
+        .seed(spec.seed)
+        .warm_insts(spec.warm_insts)
+        .detail_insts(spec.total_insts)
+        .run_on(detail)?;
+    Ok(r.instructions as f64 / r.cycles.max(1) as f64)
+}
+
+/// Runs the `sample` experiment: Figure-1-style points simulated both ways,
+/// with IPC error, confidence interval and wall-clock speed-up per point.
+#[must_use]
+pub fn run(opts: &RunOptions) -> String {
+    let spec = SampleSpec::from_options(opts);
+    let kinds = WorkloadKind::ALL;
+
+    let mut out = String::new();
+    out.push_str("Sampled simulation vs full detail (Figure-1 configurations)\n");
+    out.push_str(&format!(
+        "trace {} insts, {} intervals x ({} warm + {} measured) detailed \
+         ({:.1}% detail fraction), functional fast-forward between intervals\n\n",
+        spec.total_insts,
+        spec.intervals,
+        spec.detail_warm,
+        spec.detail_measure,
+        spec.detail_fraction() * 100.0
+    ));
+
+    let mut table = TextTable::with_columns(&[
+        "workload",
+        "config",
+        "full IPC",
+        "sampled IPC (95% CI)",
+        "err%",
+        "full s",
+        "sampled s",
+        "speedup",
+    ]);
+    let mut total_full_secs = 0.0;
+    let mut total_sampled_secs = 0.0;
+    let mut worst_err = 0.0f64;
+    let mut checkpoint_bytes = 0usize;
+
+    for kind in kinds {
+        // Trace generation is identical preparation for both methodologies,
+        // so it happens once per workload outside the timed regions.
+        let detail = trace(kind, spec.seed.wrapping_add(1), spec.total_insts as usize);
+        for (label, cfg) in fig1_configs() {
+            let t0 = std::time::Instant::now();
+            let full = match full_detail_ipc(cfg, kind, &detail, &spec) {
+                Ok(ipc) => ipc,
+                Err(e) => {
+                    table.add_row(vec![
+                        kind.name().to_string(),
+                        label.to_string(),
+                        format!("error: {e}"),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                    ]);
+                    continue;
+                }
+            };
+            let full_secs = t0.elapsed().as_secs_f64();
+
+            let t1 = std::time::Instant::now();
+            let sampled = match run_sampled_on(cfg, kind, &detail, &spec) {
+                Ok(s) => s,
+                Err(e) => {
+                    table.add_row(vec![
+                        kind.name().to_string(),
+                        label.to_string(),
+                        format!("{full:.4}"),
+                        format!("error: {e}"),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                    ]);
+                    continue;
+                }
+            };
+            let sampled_secs = t1.elapsed().as_secs_f64();
+
+            let estimate = sampled.weighted_ipc();
+            let err = (estimate - full).abs() / full * 100.0;
+            worst_err = worst_err.max(err);
+            total_full_secs += full_secs;
+            total_sampled_secs += sampled_secs;
+            checkpoint_bytes = checkpoint_bytes.max(
+                sampled
+                    .intervals
+                    .iter()
+                    .map(|i| i.checkpoint_bytes)
+                    .max()
+                    .unwrap_or(0),
+            );
+            table.add_row(vec![
+                kind.name().to_string(),
+                label.to_string(),
+                format!("{full:.4}"),
+                format!(
+                    "{:.4} ± {:.4} (±{:.2}%)",
+                    sampled.ipc.mean,
+                    sampled.ipc.half_width,
+                    sampled.ipc.relative_percent()
+                ),
+                format!("{err:.2}"),
+                format!("{full_secs:.2}"),
+                format!("{sampled_secs:.2}"),
+                format!("{:.2}x", full_secs / sampled_secs.max(1e-9)),
+            ]);
+        }
+    }
+
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\ntotal wall-clock: full {total_full_secs:.2}s, sampled {total_sampled_secs:.2}s \
+         -> {:.2}x speedup; worst per-point IPC error {worst_err:.2}%; \
+         largest checkpoint {checkpoint_bytes} bytes\n",
+        total_full_secs / total_sampled_secs.max(1e-9)
+    ));
+    out.push_str(
+        "(sampled side = 1 functional fast-forward pass + LPT-scheduled parallel \
+         detailed intervals; full side = 1 serial full-detail run per point)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> SampleSpec {
+        // Cheaper than the default spec (smaller measured windows) but the
+        // same trace length: short traces bias the *reference* (a 48k
+        // compute-bound run under-reports steady IPC by ~2% of cold-start
+        // ramp all by itself), so accuracy must be judged at a length where
+        // the full-detail run has amortized its own transient.
+        SampleSpec {
+            total_insts: 240_000,
+            intervals: 12,
+            detail_warm: 1_000,
+            detail_measure: 2_000,
+            seed: 2015,
+            warm_insts: 4_000,
+        }
+    }
+
+    #[test]
+    fn sampled_run_reports_interval_and_ci() {
+        let spec = quick_spec();
+        let r = run_sampled(
+            PipelineConfig::ltp_proposed(),
+            WorkloadKind::IndirectStream,
+            &spec,
+        )
+        .expect("no deadlock");
+        assert_eq!(r.intervals.len(), 12);
+        assert_eq!(r.ipc.n, 12);
+        assert!(r.ipc.mean > 0.0);
+        assert!(r.ipc.half_width.is_finite());
+        assert!(r.detailed_insts < r.total_insts / 4);
+        // Intervals are in trace order with increasing starts.
+        for w in r.intervals.windows(2) {
+            assert!(w[0].start < w[1].start);
+        }
+        // Checkpoints are compact (~200 kB warm, dominated by cache tags)
+        // and must stay so: the runner holds one per interval in memory.
+        for i in &r.intervals {
+            assert!(i.checkpoint_bytes < 400_000, "{} bytes", i.checkpoint_bytes);
+        }
+    }
+
+    #[test]
+    fn sampled_ipc_is_close_to_full_detail() {
+        // The headline accuracy claim, deterministic: <= 2% IPC error on the
+        // Figure-1 configurations (the configurations the `sample`
+        // experiment's speed-up claim covers) at a ~15% detail fraction.
+        let spec = quick_spec();
+        for kind in [WorkloadKind::IndirectStream, WorkloadKind::ComputeBound] {
+            let detail = trace(kind, spec.seed.wrapping_add(1), spec.total_insts as usize);
+            for (label, cfg) in fig1_configs() {
+                let full = full_detail_ipc(cfg, kind, &detail, &spec).expect("no deadlock");
+                let sampled = run_sampled_on(cfg, kind, &detail, &spec).expect("no deadlock");
+                let err = (sampled.weighted_ipc() - full).abs() / full * 100.0;
+                assert!(
+                    err <= 2.0,
+                    "{}/{label}: sampled {:.4} vs full {:.4} -> {err:.2}% error",
+                    kind.name(),
+                    sampled.weighted_ipc(),
+                    full
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_configs_are_sampleable() {
+        let spec = SampleSpec {
+            total_insts: 24_000,
+            intervals: 4,
+            detail_warm: 500,
+            detail_measure: 1_000,
+            seed: 7,
+            warm_insts: 2_000,
+        };
+        let cfg = limit_study_config(LtpMode::NonUrgentOnly).with_iq(32);
+        let r = run_sampled(cfg, WorkloadKind::IndirectStream, &spec).expect("oracle sampled run");
+        assert_eq!(r.intervals.len(), 4);
+        assert!(r.ipc.mean > 0.0);
+    }
+}

@@ -117,9 +117,7 @@ impl SimBuilder {
             cpu.warm_caches(&warm);
         }
         if self.cfg.needs_oracle() {
-            let oracle = OracleAnalysis::new(self.cfg.rob_size.min(4096) as u64)
-                .analyze(detail, &self.cfg.mem);
-            cpu.set_oracle(oracle);
+            cpu.set_oracle(analyze_oracle(&self.cfg, detail));
         }
         cpu
     }
@@ -193,6 +191,18 @@ impl SimBuilder {
             detail_insts: DEFAULT_DETAIL_INSTS,
         }
     }
+}
+
+/// The one place the oracle-analysis recipe lives: the in-flight window is
+/// the ROB size (clamped for the limit study's unlimited machines), analysed
+/// against the exact trace the detailed run will consume. Every harness —
+/// [`SimBuilder`], the co-run builder, the sampled runner — must analyse
+/// through here so their oracles never diverge.
+pub(crate) fn analyze_oracle(
+    cfg: &PipelineConfig,
+    detail: &[DynInst],
+) -> ltp_core::OracleClassifier {
+    OracleAnalysis::new(cfg.rob_size.min(4096) as u64).analyze(detail, &cfg.mem)
 }
 
 /// Builds and runs one 2-way SMT co-run simulation point (see
@@ -283,9 +293,10 @@ impl CoRunBuilder {
                 cpu.warm_caches(&warm);
             }
             if self.cfg.needs_oracle() {
-                let oracle = OracleAnalysis::new(self.cfg.rob_size.min(4096) as u64)
-                    .analyze(&details[tid as usize], &self.cfg.mem);
-                cpu.set_oracle_for(tid as usize, oracle);
+                cpu.set_oracle_for(
+                    tid as usize,
+                    analyze_oracle(&self.cfg, &details[tid as usize]),
+                );
             }
         }
         let streams = details

@@ -41,6 +41,7 @@ mod inst;
 mod mem_access;
 mod op;
 mod reg;
+mod snap;
 mod stream;
 
 pub use inst::{BranchInfo, DynInst, SeqNum, StaticInst, ThreadId, MAX_SRCS};

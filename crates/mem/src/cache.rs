@@ -248,6 +248,70 @@ impl Cache {
     }
 }
 
+/// Plain-data mirror of one cache line for the snapshot codec.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LineSnap {
+    pub(crate) tag: u64,
+    pub(crate) valid: bool,
+    pub(crate) dirty: bool,
+    pub(crate) prefetched: bool,
+    pub(crate) lru: u64,
+}
+
+impl Cache {
+    /// Exports the full cache state for the snapshot codec. Way order inside
+    /// each set is preserved verbatim: it decides which invalid way a fill
+    /// picks, so it is part of the timing-visible state.
+    pub(crate) fn snap_parts(&self) -> (CacheConfig, Vec<Vec<LineSnap>>, u64, CacheStats) {
+        let sets = self
+            .sets
+            .iter()
+            .map(|set| {
+                set.iter()
+                    .map(|l| LineSnap {
+                        tag: l.tag,
+                        valid: l.valid,
+                        dirty: l.dirty,
+                        prefetched: l.prefetched,
+                        lru: l.lru,
+                    })
+                    .collect()
+            })
+            .collect();
+        (self.cfg, sets, self.lru_clock, self.stats)
+    }
+
+    /// Rebuilds a cache from exported state, validating the geometry.
+    pub(crate) fn from_snap_parts(
+        cfg: CacheConfig,
+        sets: Vec<Vec<LineSnap>>,
+        lru_clock: u64,
+        stats: CacheStats,
+    ) -> Result<Cache, ltp_snapshot::SnapError> {
+        let mut cache = Cache::new(cfg);
+        if sets.len() != cache.sets.len() {
+            return Err(ltp_snapshot::SnapError::Invalid("cache set count"));
+        }
+        for (dst, src) in cache.sets.iter_mut().zip(sets) {
+            if src.len() != dst.len() {
+                return Err(ltp_snapshot::SnapError::Invalid("cache way count"));
+            }
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = Line {
+                    tag: s.tag,
+                    valid: s.valid,
+                    dirty: s.dirty,
+                    prefetched: s.prefetched,
+                    lru: s.lru,
+                };
+            }
+        }
+        cache.lru_clock = lru_clock;
+        cache.stats = stats;
+        Ok(cache)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

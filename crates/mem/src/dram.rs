@@ -106,6 +106,36 @@ impl DramModel {
     }
 }
 
+impl DramModel {
+    /// Exports `(config, per-bank (open_row, busy_until), stats)` for the
+    /// snapshot codec.
+    pub(crate) fn snap_parts(&self) -> (DramConfig, Vec<(Option<u64>, Cycle)>, DramStats) {
+        let banks = self
+            .banks
+            .iter()
+            .map(|b| (b.open_row, b.busy_until))
+            .collect();
+        (self.cfg, banks, self.stats)
+    }
+
+    pub(crate) fn from_snap_parts(
+        cfg: DramConfig,
+        banks: Vec<(Option<u64>, Cycle)>,
+        stats: DramStats,
+    ) -> Result<DramModel, ltp_snapshot::SnapError> {
+        let mut model = DramModel::new(cfg);
+        if banks.len() != model.banks.len() {
+            return Err(ltp_snapshot::SnapError::Invalid("DRAM bank count"));
+        }
+        for (dst, (open_row, busy_until)) in model.banks.iter_mut().zip(banks) {
+            dst.open_row = open_row;
+            dst.busy_until = busy_until;
+        }
+        model.stats = stats;
+        Ok(model)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -259,18 +259,67 @@ impl MemoryHierarchy {
     /// phase before detailed simulation (the paper warms caches for 250 M
     /// instructions before each simulation point).
     pub fn warm(&mut self, req: &MemoryRequest) {
-        let is_write = req.kind == AccessKind::Store;
-        let addr = req.addr;
+        let _ = self.warm_observing(req);
+    }
+
+    /// The shared functional demand path of every warming mode: `None` on an
+    /// L1 hit, otherwise `Some(missed_llc)` after the L2/L3 probes and fills.
+    fn warm_demand(&mut self, addr: u64, is_write: bool) -> Option<bool> {
         if self.l1d.access(addr, is_write) {
-            return;
+            return None;
         }
+        let mut missed_llc = false;
         if !self.l2.access(addr, false) {
             if !self.l3.access(addr, false) {
+                missed_llc = true;
                 self.l3.fill(addr, false, false);
             }
             self.l2.fill(addr, false, false);
         }
         self.l1d.fill(addr, false, is_write);
+        Some(missed_llc)
+    }
+
+    /// Like [`MemoryHierarchy::warm`], but additionally reports whether the
+    /// access functionally missed every cache level (it would have gone to
+    /// DRAM). The functional fast-forward mode of sampled simulation feeds
+    /// this outcome to the LTP classifier and on/off monitor, so UIT learning
+    /// and monitor arming continue between detailed intervals. The cache
+    /// operations are exactly those of `warm` (which delegates here).
+    pub fn warm_observing(&mut self, req: &MemoryRequest) -> bool {
+        self.warm_demand(req.addr, req.kind == AccessKind::Store)
+            .unwrap_or(false)
+    }
+
+    /// Functional access with prefetcher modelling: like
+    /// [`MemoryHierarchy::warm_observing`], but additionally trains the
+    /// stride prefetcher on L1 misses and installs its prefetch lines into
+    /// L2/L3, mirroring the detailed access path (minus all timing). The
+    /// functional fast-forward mode of sampled simulation uses this so
+    /// prefetch-friendly workloads keep their steady-state cache contents
+    /// between detailed intervals; plain [`MemoryHierarchy::warm`] stays
+    /// prefetcher-free because the established cache-warming recipe (and the
+    /// golden fingerprints pinned on it) predates the prefetcher model.
+    /// Statistics are untouched, like every warming path.
+    pub fn warm_with_prefetch(&mut self, req: &MemoryRequest) -> bool {
+        let addr = req.addr;
+        let Some(missed_llc) = self.warm_demand(addr, req.kind == AccessKind::Store) else {
+            return false; // L1 hit: the detailed path never trains on these either
+        };
+        let mut prefetch_lines = std::mem::take(&mut self.pf_scratch);
+        prefetch_lines.clear();
+        self.prefetcher
+            .observe_into(req.pc, addr, &mut prefetch_lines);
+        for &pf_line in &prefetch_lines {
+            if !self.l3.probe(pf_line) {
+                self.l3.fill(pf_line, true, false);
+            }
+            if !self.l2.probe(pf_line) {
+                self.l2.fill(pf_line, true, false);
+            }
+        }
+        self.pf_scratch = prefetch_lines;
+        missed_llc
     }
 
     /// Performs a demand access at cycle `now` and returns its timing.
@@ -394,6 +443,50 @@ impl MemoryHierarchy {
             tag_known_cycle: tag_known,
             level,
         }
+    }
+}
+
+/// Exported hierarchy state for the snapshot codec.
+#[derive(Debug)]
+pub(crate) struct HierarchySnap {
+    pub(crate) cfg: MemoryConfig,
+    pub(crate) l1d: Cache,
+    pub(crate) l2: Cache,
+    pub(crate) l3: Cache,
+    pub(crate) dram: DramModel,
+    pub(crate) mshrs: MshrFile,
+    pub(crate) prefetcher: StridePrefetcher,
+    pub(crate) stats: MemoryStats,
+}
+
+impl MemoryHierarchy {
+    pub(crate) fn snap_parts(&self) -> HierarchySnap {
+        HierarchySnap {
+            cfg: self.cfg,
+            l1d: self.l1d.clone(),
+            l2: self.l2.clone(),
+            l3: self.l3.clone(),
+            dram: self.dram.clone(),
+            mshrs: self.mshrs.clone(),
+            prefetcher: self.prefetcher.clone(),
+            stats: self.stats,
+        }
+    }
+
+    pub(crate) fn from_snap_parts(
+        snap: HierarchySnap,
+    ) -> Result<MemoryHierarchy, ltp_snapshot::SnapError> {
+        Ok(MemoryHierarchy {
+            cfg: snap.cfg,
+            l1d: snap.l1d,
+            l2: snap.l2,
+            l3: snap.l3,
+            dram: snap.dram,
+            mshrs: snap.mshrs,
+            prefetcher: snap.prefetcher,
+            pf_scratch: Vec::new(),
+            stats: snap.stats,
+        })
     }
 }
 

@@ -120,6 +120,42 @@ impl HitMissPredictor {
     }
 }
 
+/// Exported predictor state for the snapshot codec.
+#[derive(Debug)]
+pub(crate) struct HitMissSnap {
+    pub(crate) history: Vec<u8>,
+    pub(crate) counters: Vec<u8>,
+    pub(crate) predictions: u64,
+    pub(crate) correct: u64,
+}
+
+impl HitMissPredictor {
+    pub(crate) fn snap_parts(&self) -> HitMissSnap {
+        HitMissSnap {
+            history: self.history.clone(),
+            counters: self.counters.clone(),
+            predictions: self.predictions,
+            correct: self.correct,
+        }
+    }
+
+    pub(crate) fn from_snap_parts(
+        snap: HitMissSnap,
+    ) -> Result<HitMissPredictor, ltp_snapshot::SnapError> {
+        if !snap.history.len().is_power_of_two() || !snap.counters.len().is_power_of_two() {
+            return Err(ltp_snapshot::SnapError::Invalid(
+                "hit/miss predictor table size",
+            ));
+        }
+        let mut p = HitMissPredictor::new(snap.history.len(), snap.counters.len());
+        p.history = snap.history;
+        p.counters = snap.counters;
+        p.predictions = snap.predictions;
+        p.correct = snap.correct;
+        Ok(p)
+    }
+}
+
 impl Default for HitMissPredictor {
     fn default() -> Self {
         HitMissPredictor::default_sized()

@@ -67,6 +67,8 @@ pub use hitmiss::HitMissPredictor;
 pub use mshr::{MshrFile, MshrOutcome};
 pub use prefetcher::StridePrefetcher;
 
+mod snap;
+
 /// A cycle timestamp. The simulation uses absolute cycle numbers from the
 /// start of the detailed simulation.
 pub type Cycle = u64;

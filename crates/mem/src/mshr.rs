@@ -176,6 +176,44 @@ impl MshrFile {
     }
 }
 
+/// Exported MSHR state for the snapshot codec.
+#[derive(Debug)]
+pub(crate) struct MshrSnap {
+    pub(crate) capacity: usize,
+    pub(crate) outstanding: HashMap<u64, Cycle>,
+    pub(crate) peak_occupancy: usize,
+    pub(crate) total_allocations: u64,
+    pub(crate) total_merges: u64,
+    pub(crate) full_stall_cycles: u64,
+}
+
+impl MshrFile {
+    pub(crate) fn snap_parts(&self) -> MshrSnap {
+        MshrSnap {
+            capacity: self.capacity,
+            outstanding: self.outstanding.clone(),
+            peak_occupancy: self.peak_occupancy,
+            total_allocations: self.total_allocations,
+            total_merges: self.total_merges,
+            full_stall_cycles: self.full_stall_cycles,
+        }
+    }
+
+    pub(crate) fn from_snap_parts(snap: MshrSnap) -> MshrFile {
+        let mut file = MshrFile::new(snap.capacity.max(1));
+        file.capacity = snap.capacity.max(1);
+        // Extend into the constructor's deliberately pre-sized map instead
+        // of replacing it, so a restored machine keeps the never-rehash-
+        // mid-run capacity guarantee the hot loop relies on.
+        file.outstanding.extend(snap.outstanding);
+        file.peak_occupancy = snap.peak_occupancy;
+        file.total_allocations = snap.total_allocations;
+        file.total_merges = snap.total_merges;
+        file.full_stall_cycles = snap.full_stall_cycles;
+        file
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

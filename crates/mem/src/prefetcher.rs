@@ -144,6 +144,55 @@ impl StridePrefetcher {
     }
 }
 
+/// Plain-data mirror of one stride-table entry for the snapshot codec.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StrideSnap {
+    pub(crate) pc_tag: u64,
+    pub(crate) last_addr: u64,
+    pub(crate) stride: i64,
+    pub(crate) confidence: u8,
+    pub(crate) valid: bool,
+}
+
+impl StridePrefetcher {
+    pub(crate) fn snap_parts(&self) -> (PrefetcherConfig, Vec<StrideSnap>, u64) {
+        let table = self
+            .table
+            .iter()
+            .map(|e| StrideSnap {
+                pc_tag: e.pc_tag,
+                last_addr: e.last_addr,
+                stride: e.stride,
+                confidence: e.confidence,
+                valid: e.valid,
+            })
+            .collect();
+        (self.cfg, table, self.issued)
+    }
+
+    pub(crate) fn from_snap_parts(
+        cfg: PrefetcherConfig,
+        table: Vec<StrideSnap>,
+        issued: u64,
+    ) -> Result<StridePrefetcher, ltp_snapshot::SnapError> {
+        let mut pf = StridePrefetcher::new(cfg);
+        if table.len() != pf.table.len() {
+            return Err(ltp_snapshot::SnapError::Invalid("prefetcher table size"));
+        }
+        for (dst, s) in pf.table.iter_mut().zip(table) {
+            *dst = StrideEntry {
+                pc_tag: s.pc_tag,
+                last_addr: s.last_addr,
+                stride: s.stride,
+                confidence: s.confidence,
+                valid: s.valid,
+            };
+        }
+        pf.issued = issued;
+        Ok(pf)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

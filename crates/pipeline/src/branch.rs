@@ -12,12 +12,12 @@ use ltp_isa::Pc;
 /// A gshare branch direction predictor.
 #[derive(Debug, Clone)]
 pub struct BranchPredictor {
-    counters: Vec<u8>,
-    mask: usize,
-    history: u64,
-    history_bits: u32,
-    predictions: u64,
-    mispredictions: u64,
+    pub(crate) counters: Vec<u8>,
+    pub(crate) mask: usize,
+    pub(crate) history: u64,
+    pub(crate) history_bits: u32,
+    pub(crate) predictions: u64,
+    pub(crate) mispredictions: u64,
 }
 
 impl BranchPredictor {

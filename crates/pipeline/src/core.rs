@@ -88,12 +88,12 @@ pub struct CycleView<'a> {
 /// The out-of-order core.
 #[derive(Debug)]
 pub struct Processor {
-    state: PipelineState,
+    pub(crate) state: PipelineState,
     /// One signal bus per hardware thread (sequence numbers are dense per
     /// thread, so delayed signals must not mix threads).
-    buses: Vec<StageBus>,
+    pub(crate) buses: Vec<StageBus>,
     /// One rename skid buffer per hardware thread.
-    renames: Vec<RenameStage>,
+    pub(crate) renames: Vec<RenameStage>,
 }
 
 /// Per-thread structure size under the configured sharing policy: static
@@ -305,6 +305,11 @@ impl Processor {
         let warmup = self.state.cfg.warmup_insts;
         let mut warmup_done_at: Option<(Cycle, u64)> = None;
 
+        // NOTE: this loop is the canonical single-thread run loop. Two
+        // mirrors exist with different stop/measure conditions —
+        // `Processor::run_to_snapshot` (below) and `ResumedRun::run_inner`
+        // (snapshot.rs) — and must track any semantic change here; the
+        // restore-equivalence tests (`tests/snapshot.rs`) fail on drift.
         while self.state.thread.committed < max_insts
             && !(fes[0].is_drained() && self.state.thread.rob.is_empty())
         {
@@ -320,17 +325,97 @@ impl Processor {
             if warmup > 0 && warmup_done_at.is_none() && self.state.thread.committed >= warmup {
                 warmup_done_at = Some((self.state.now, self.state.thread.committed));
             }
-            if self.state.now - self.state.thread.last_commit_cycle >= DEADLOCK_CYCLES {
-                return Err(RunError::Deadlock {
-                    cycle: self.state.now,
-                    snapshot: Box::new(self.deadlock_snapshot(workload)),
-                });
+            if let Some(err) = self.deadlock_check(&workload) {
+                return Err(err);
             }
         }
 
-        let (start_cycle, start_insts) = warmup_done_at.unwrap_or((0, 0));
+        Ok(self.assemble_result(
+            workload,
+            warmup_done_at.unwrap_or((0, 0)),
+            fes[0].branch_predictor().misprediction_rate(),
+        ))
+    }
+
+    /// Runs the machine in detail until `checkpoint_at` instructions have
+    /// committed (or the stream drains first) and captures a [`crate::Snapshot`] of
+    /// the complete machine state at that cycle boundary. Restoring the
+    /// snapshot ([`crate::Snapshot::resume`]) and finishing the run is bit-for-bit
+    /// identical to never having stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Deadlock`] / [`RunError::OracleNotAttached`] under
+    /// the same conditions as [`Processor::run`], and
+    /// [`RunError::SnapshotUnsupported`] when the machine cannot be
+    /// checkpointed (SMT configuration, or a custom classifier without
+    /// snapshot support).
+    pub fn run_to_snapshot<S: InstStream>(
+        &mut self,
+        stream: S,
+        checkpoint_at: u64,
+    ) -> Result<crate::Snapshot, RunError> {
+        if self.state.nthreads() != 1 {
+            return Err(RunError::SnapshotUnsupported(
+                crate::SnapshotError::SmtUnsupported.to_string(),
+            ));
+        }
+        if self.state.cfg.needs_oracle() && !self.state.thread.ltp.classifier_attached() {
+            return Err(RunError::OracleNotAttached);
+        }
+        let workload = stream.name().to_string();
+        let mut fes = [FrontEnd::new(
+            stream,
+            self.state.cfg.frontend_delay,
+            self.state.cfg.mispredict_penalty,
+        )];
+        let warmup = self.state.cfg.warmup_insts;
+        let mut warmup_done_at: Option<(Cycle, u64)> = None;
+
+        while self.state.thread.committed < checkpoint_at
+            && !(fes[0].is_drained() && self.state.thread.rob.is_empty())
+        {
+            self.cycle(&mut fes, u64::MAX);
+            if warmup > 0 && warmup_done_at.is_none() && self.state.thread.committed >= warmup {
+                warmup_done_at = Some((self.state.now, self.state.thread.committed));
+            }
+            if let Some(err) = self.deadlock_check(&workload) {
+                return Err(err);
+            }
+        }
+
+        crate::Snapshot::capture(
+            self,
+            fes[0].export_state(),
+            self.renames[0].pending.clone(),
+            warmup_done_at,
+        )
+        .map_err(|e| RunError::SnapshotUnsupported(e.to_string()))
+    }
+
+    /// Single-thread deadlock watchdog shared by every run loop.
+    pub(crate) fn deadlock_check(&self, workload: &str) -> Option<RunError> {
+        if self.state.now - self.state.thread.last_commit_cycle >= DEADLOCK_CYCLES {
+            Some(RunError::Deadlock {
+                cycle: self.state.now,
+                snapshot: Box::new(self.deadlock_snapshot(workload.to_string())),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Builds the [`RunResult`] of the active single-thread run, measuring
+    /// from `start` (`(cycle, committed)` at the warmup boundary, or zeros).
+    pub(crate) fn assemble_result(
+        &self,
+        workload: String,
+        start: (Cycle, u64),
+        branch_mispredict_rate: f64,
+    ) -> RunResult {
+        let (start_cycle, start_insts) = start;
         let t = &self.state.thread;
-        Ok(RunResult {
+        RunResult {
             workload,
             cycles: self.state.now.saturating_sub(start_cycle).max(1),
             instructions: t.committed.saturating_sub(start_insts),
@@ -339,11 +424,11 @@ impl Processor {
             ltp: t.ltp.stats().clone(),
             ltp_enabled_fraction: t.ltp.enabled_fraction(self.state.now.max(1)),
             mem: self.state.mem.stats(),
-            branch_mispredict_rate: fes[0].branch_predictor().misprediction_rate(),
+            branch_mispredict_rate,
             loads: t.loads_committed,
             stores: t.stores_committed,
             llc_miss_loads: t.llc_miss_loads,
-        })
+        }
     }
 
     /// Runs an SMT co-run: one independent instruction stream per hardware
@@ -496,7 +581,7 @@ impl Processor {
     /// renames or fetches (it drains in flight). Single-thread runs pass
     /// `u64::MAX`: their run loop stops the whole simulation at the cap
     /// instead, which keeps that path bit-identical to the pre-SMT machine.
-    fn cycle<S: InstStream>(&mut self, fes: &mut [FrontEnd<S>], insts_cap: u64) {
+    pub(crate) fn cycle<S: InstStream>(&mut self, fes: &mut [FrontEnd<S>], insts_cap: u64) {
         let (order, n) = self.thread_order(fes);
         let order = &order[..n];
         let Processor {

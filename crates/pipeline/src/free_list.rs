@@ -11,12 +11,12 @@ use ltp_isa::PhysReg;
 /// A free list of physical registers for one register class.
 #[derive(Debug, Clone)]
 pub struct FreeList {
-    capacity: usize,
-    free: Vec<PhysReg>,
-    next_never_allocated: u32,
-    allocated: usize,
-    peak_allocated: usize,
-    alloc_failures: u64,
+    pub(crate) capacity: usize,
+    pub(crate) free: Vec<PhysReg>,
+    pub(crate) next_never_allocated: u32,
+    pub(crate) allocated: usize,
+    pub(crate) peak_allocated: usize,
+    pub(crate) alloc_failures: u64,
 }
 
 impl FreeList {

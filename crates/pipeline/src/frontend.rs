@@ -130,6 +130,63 @@ impl<S: InstStream> FrontEnd<S> {
     }
 }
 
+/// The full serialisable state of a front end, minus the stream itself.
+///
+/// The stream is reconstructed at restore time by skipping `fetched`
+/// instructions of the same trace, so a snapshot never stores trace content
+/// that the caller already has. Everything else — the in-flight pipe
+/// (fetched-but-not-renamed instructions with their ready cycles), the
+/// redirect stall, the exhaustion flag and the branch predictor including its
+/// statistics — is captured verbatim, which is what makes a restored run
+/// bit-for-bit identical.
+#[derive(Debug, Clone)]
+pub struct FrontEndState {
+    pub(crate) pipe: std::collections::VecDeque<(Cycle, DynInst)>,
+    pub(crate) redirect_until: Cycle,
+    pub(crate) exhausted: bool,
+    pub(crate) fetched: u64,
+    pub(crate) predictor: BranchPredictor,
+}
+
+impl<S: InstStream> FrontEnd<S> {
+    /// Exports the front-end state for a snapshot (see [`FrontEndState`]).
+    pub(crate) fn export_state(&self) -> FrontEndState {
+        FrontEndState {
+            pipe: self.pipe.clone(),
+            redirect_until: self.redirect_until,
+            exhausted: self.exhausted,
+            fetched: self.fetched,
+            predictor: self.predictor.clone(),
+        }
+    }
+
+    /// Rebuilds a front end from exported state over a fresh `stream` of the
+    /// same trace, consuming the `fetched` instructions the original already
+    /// pulled. The pipe depth and redirect penalty come from the machine
+    /// configuration (the snapshot stores them once, inside its
+    /// `PipelineConfig`), exactly as [`FrontEnd::new`] receives them.
+    pub(crate) fn from_state(
+        mut stream: S,
+        state: FrontEndState,
+        frontend_delay: u64,
+        mispredict_penalty: u64,
+    ) -> FrontEnd<S> {
+        for _ in 0..state.fetched {
+            let _ = stream.next_inst();
+        }
+        FrontEnd {
+            stream,
+            predictor: state.predictor,
+            pipe: state.pipe,
+            redirect_until: state.redirect_until,
+            frontend_delay,
+            mispredict_penalty,
+            exhausted: state.exhausted,
+            fetched: state.fetched,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,14 +9,14 @@ use ltp_isa::FuKind;
 use ltp_mem::Cycle;
 
 #[derive(Debug, Clone)]
-struct UnitPool {
+pub(crate) struct UnitPool {
     /// For pipelined units: number of issues granted this cycle.
-    issued_this_cycle: usize,
+    pub(crate) issued_this_cycle: usize,
     /// Number of units of this kind.
-    count: usize,
+    pub(crate) count: usize,
     /// For unpipelined units: busy-until cycle per unit.
-    busy_until: Vec<Cycle>,
-    pipelined: bool,
+    pub(crate) busy_until: Vec<Cycle>,
+    pub(crate) pipelined: bool,
 }
 
 impl UnitPool {
@@ -61,12 +61,12 @@ impl UnitPool {
 /// The pool of functional units of the core.
 #[derive(Debug, Clone)]
 pub struct FuPool {
-    int_alu: UnitPool,
-    int_muldiv: UnitPool,
-    fp_alu: UnitPool,
-    fp_divsqrt: UnitPool,
-    mem: UnitPool,
-    branch: UnitPool,
+    pub(crate) int_alu: UnitPool,
+    pub(crate) int_muldiv: UnitPool,
+    pub(crate) fp_alu: UnitPool,
+    pub(crate) fp_divsqrt: UnitPool,
+    pub(crate) mem: UnitPool,
+    pub(crate) branch: UnitPool,
 }
 
 impl FuPool {

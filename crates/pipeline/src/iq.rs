@@ -64,32 +64,32 @@ impl IqEntry {
 /// Internal slot state: the entry's identity plus its outstanding-source
 /// counter. The wait lists themselves live in the dependency index.
 #[derive(Debug, Clone, Copy, Default)]
-struct Slot {
-    seq: u64,
-    fu: FuKind,
-    pending: u32,
-    active: bool,
+pub(crate) struct Slot {
+    pub(crate) seq: u64,
+    pub(crate) fu: FuKind,
+    pub(crate) pending: u32,
+    pub(crate) active: bool,
 }
 
 /// The issue queue.
 #[derive(Debug, Clone)]
 pub struct IssueQueue {
-    capacity: usize,
+    pub(crate) capacity: usize,
     /// Slab of slots; freed slot ids are recycled through `free_slots`.
-    slots: Vec<Slot>,
-    free_slots: Vec<u32>,
-    occupancy: usize,
+    pub(crate) slots: Vec<Slot>,
+    pub(crate) free_slots: Vec<u32>,
+    pub(crate) occupancy: usize,
     /// Dense physical-register → waiting-slots index (see [`dense_reg`]).
-    phys_waiters: Vec<InlineVec<u32, INLINE_WAITERS>>,
+    pub(crate) phys_waiters: Vec<InlineVec<u32, INLINE_WAITERS>>,
     /// Producer sequence number → waiting slots (parked producers only).
-    seq_waiters: HashMap<u64, InlineVec<u32, INLINE_WAITERS>>,
+    pub(crate) seq_waiters: HashMap<u64, InlineVec<u32, INLINE_WAITERS>>,
     /// Min-heap of `(seq, slot)` for entries whose counter reached zero.
-    ready: BinaryHeap<Reverse<(u64, u32)>>,
+    pub(crate) ready: BinaryHeap<Reverse<(u64, u32)>>,
     /// Reused by `select_into` for ready entries skipped by the FU check.
-    skipped: Vec<(u64, u32)>,
-    peak: usize,
-    dispatched: u64,
-    issued: u64,
+    pub(crate) skipped: Vec<(u64, u32)>,
+    pub(crate) peak: usize,
+    pub(crate) dispatched: u64,
+    pub(crate) issued: u64,
 }
 
 /// Maps a [`PhysReg`] to a dense index: integer registers occupy the even

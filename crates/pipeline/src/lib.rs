@@ -53,6 +53,8 @@ mod lsq;
 mod rat;
 mod result;
 mod rob;
+mod sampling;
+mod snapshot;
 mod stages;
 mod state;
 #[cfg(test)]
@@ -62,7 +64,7 @@ pub use branch::BranchPredictor;
 pub use config::{FuCounts, PipelineConfig, SharePolicy, SmtConfig};
 pub use core::{CycleView, Processor, RegFileSnapshot};
 pub use free_list::FreeList;
-pub use frontend::FrontEnd;
+pub use frontend::{FrontEnd, FrontEndState};
 pub use fu::FuPool;
 pub use iq::{IqEntry, IssueQueue};
 pub use lsq::{LoadQueue, MemDepPredictor, StoreQueue};
@@ -71,4 +73,6 @@ pub use result::{
     ActivityCounters, DeadlockSnapshot, OccupancyReport, RunError, RunResult, SmtRunResult,
 };
 pub use rob::{Rob, RobEntry, RobState};
+pub use sampling::FunctionalFastForward;
+pub use snapshot::{ResumedRun, Snapshot, SnapshotError};
 pub use stages::{CommitSlot, StageBus, TimingWheel};

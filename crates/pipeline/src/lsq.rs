@@ -25,11 +25,11 @@ fn bounded_reserve(capacity: usize) -> usize {
 
 /// One store queue entry with the address once known.
 #[derive(Debug, Clone, Copy)]
-struct StoreEntry {
-    seq: SeqNum,
-    line_addr: Option<u64>,
-    data_ready_cycle: Option<u64>,
-    was_parked: bool,
+pub(crate) struct StoreEntry {
+    pub(crate) seq: SeqNum,
+    pub(crate) line_addr: Option<u64>,
+    pub(crate) data_ready_cycle: Option<u64>,
+    pub(crate) was_parked: bool,
 }
 
 /// The store queue.
@@ -43,11 +43,11 @@ struct StoreEntry {
 /// forwarding semantics of the seed.
 #[derive(Debug, Clone)]
 pub struct StoreQueue {
-    capacity: usize,
-    entries: VecDeque<StoreEntry>,
+    pub(crate) capacity: usize,
+    pub(crate) entries: VecDeque<StoreEntry>,
     /// Whether `entries` is currently sorted by sequence number.
-    sorted: bool,
-    peak: usize,
+    pub(crate) sorted: bool,
+    pub(crate) peak: usize,
 }
 
 impl StoreQueue {
@@ -174,9 +174,9 @@ impl StoreQueue {
 /// case appends at the back.
 #[derive(Debug, Clone)]
 pub struct LoadQueue {
-    capacity: usize,
-    entries: VecDeque<SeqNum>,
-    peak: usize,
+    pub(crate) capacity: usize,
+    pub(crate) entries: VecDeque<SeqNum>,
+    pub(crate) peak: usize,
 }
 
 impl LoadQueue {
@@ -254,8 +254,8 @@ impl LoadQueue {
 /// Predicts which loads depend on (parked) stores, keyed by load PC (§5.3).
 #[derive(Debug, Clone, Default)]
 pub struct MemDepPredictor {
-    dependent_loads: std::collections::HashSet<u64>,
-    hits: u64,
+    pub(crate) dependent_loads: std::collections::HashSet<u64>,
+    pub(crate) hits: u64,
 }
 
 impl MemDepPredictor {

@@ -20,7 +20,7 @@ pub enum RegSource {
 /// The architectural-to-physical register allocation table.
 #[derive(Debug, Clone)]
 pub struct Rat {
-    map: Vec<RegSource>,
+    pub(crate) map: Vec<RegSource>,
 }
 
 impl Default for Rat {

@@ -246,6 +246,11 @@ pub enum RunError {
     /// [`ltp_core::OracleClassifier`] was attached before the run, so the
     /// results would silently come from the fallback classifier.
     OracleNotAttached,
+    /// The machine state cannot be checkpointed (SMT configuration, or a
+    /// custom criticality classifier without snapshot support); carried as a
+    /// message so `RunError` does not grow a type dependency on the snapshot
+    /// module.
+    SnapshotUnsupported(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -261,6 +266,9 @@ impl std::fmt::Display for RunError {
                 "the configuration selects ClassifierKind::Oracle but no analysed \
                  OracleClassifier was attached (Processor::set_oracle) before the run"
             ),
+            RunError::SnapshotUnsupported(msg) => {
+                write!(f, "machine state cannot be checkpointed: {msg}")
+            }
         }
     }
 }

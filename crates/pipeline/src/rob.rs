@@ -75,10 +75,10 @@ impl RobEntry {
 /// no longer scans the whole window.
 #[derive(Debug, Clone)]
 pub struct Rob {
-    capacity: usize,
-    entries: VecDeque<RobEntry>,
+    pub(crate) capacity: usize,
+    pub(crate) entries: VecDeque<RobEntry>,
     /// Sequence numbers of incomplete long-latency entries, ascending.
-    ll_incomplete: Vec<u64>,
+    pub(crate) ll_incomplete: Vec<u64>,
 }
 
 impl Rob {

@@ -1,0 +1,221 @@
+//! Functional warm-up mode for sampled simulation.
+//!
+//! Interval sampling (SMARTS-style) needs a way to move *between* detailed
+//! samples that is much cheaper than detailed simulation but keeps the
+//! long-lived microarchitectural state warm. [`FunctionalFastForward`]
+//! provides that mode: it replays the trace **functionally** — cache contents
+//! via [`ltp_mem::MemoryHierarchy::warm_observing`], the gshare branch
+//! predictor, and the LTP unit's learned state (UIT insertions, hit/miss
+//! predictor training and the on/off monitor via
+//! [`ltp_core::LtpUnit::on_load_outcome`]) — without modelling any pipeline
+//! timing, at an order of magnitude above detailed-simulation speed.
+//!
+//! At any instruction boundary [`FunctionalFastForward::checkpoint`] emits a
+//! [`Snapshot`] with an **empty pipeline** over the warm state: the detailed
+//! interval simulation resumes from it, runs a short detailed warm-up to fill
+//! the window structures, and then measures. Unlike a mid-run detailed
+//! checkpoint this is an approximation (the pipeline starts drained and the
+//! clock advances one cycle per instruction during fast-forward); the
+//! `experiments sample` harness measures the resulting IPC error, which is
+//! within a couple of percent on the bundled kernels.
+
+use crate::branch::BranchPredictor;
+use crate::config::PipelineConfig;
+use crate::snapshot::{Snapshot, SnapshotError};
+use crate::Processor;
+use ltp_isa::DynInst;
+use ltp_mem::{AccessKind, Cycle, MemoryRequest};
+
+/// Functional (no-timing) machine state advanced between detailed samples.
+#[derive(Debug)]
+pub struct FunctionalFastForward {
+    cpu: Processor,
+    predictor: BranchPredictor,
+    consumed: u64,
+    llc_misses: u64,
+}
+
+impl FunctionalFastForward {
+    /// Creates the functional machine for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent or SMT-configured
+    /// (sampling drives single-thread points).
+    #[must_use]
+    pub fn new(cfg: PipelineConfig) -> FunctionalFastForward {
+        assert!(
+            !cfg.smt.is_smt(),
+            "functional fast-forward drives single-threaded machines"
+        );
+        // Reuse the full constructor so the LTP monitor timeout and every
+        // derived parameter match the detailed machine exactly.
+        let cpu = Processor::new(cfg);
+        FunctionalFastForward {
+            cpu,
+            predictor: BranchPredictor::default_sized(),
+            consumed: 0,
+            llc_misses: 0,
+        }
+    }
+
+    /// Replays a cache-warming trace through the functional hierarchy
+    /// without advancing the trace position or touching the predictors — the
+    /// same pre-run cache-warming discipline detailed simulation points use.
+    pub fn warm_caches(&mut self, warm: &[DynInst]) {
+        self.cpu.warm_caches(warm);
+    }
+
+    /// Instructions consumed so far (the trace position of the next
+    /// checkpoint).
+    #[must_use]
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Functional LLC misses observed since the last
+    /// [`FunctionalFastForward::take_llc_misses`] call — the sampled runner's
+    /// per-interval cost estimate for LPT scheduling.
+    pub fn take_llc_misses(&mut self) -> u64 {
+        std::mem::take(&mut self.llc_misses)
+    }
+
+    /// Advances the functional machine over one instruction: caches, branch
+    /// predictor and LTP classifier/monitor state are updated; nothing else.
+    /// The functional clock advances one cycle per instruction.
+    pub fn feed(&mut self, inst: &DynInst) {
+        let now: Cycle = self.consumed;
+        if let Some(branch) = inst.branch_info() {
+            let _ = self.predictor.predict_and_update(inst.pc(), branch.taken);
+        }
+        if let Some(access) = inst.mem_access() {
+            let kind = if inst.op().is_store() {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            let missed_llc = self.cpu.state.mem.warm_with_prefetch(&MemoryRequest::new(
+                inst.pc(),
+                access.addr(),
+                kind,
+            ));
+            if missed_llc {
+                self.llc_misses += 1;
+            }
+            if inst.op().is_load() {
+                // Keep UIT learning, hit/miss predictor training and the
+                // on/off monitor warm across the fast-forward gap.
+                self.cpu
+                    .state
+                    .thread
+                    .ltp
+                    .on_load_outcome(inst.pc(), missed_llc, now);
+            }
+        }
+        self.consumed += 1;
+    }
+
+    /// Feeds a slice of instructions (see [`FunctionalFastForward::feed`]).
+    pub fn feed_all(&mut self, insts: &[DynInst]) {
+        for inst in insts {
+            self.feed(inst);
+        }
+    }
+
+    /// Emits an empty-pipeline checkpoint at the current trace position: the
+    /// warm caches, predictors and LTP learned state over a drained pipeline
+    /// whose committed count equals the instructions consumed, so a resumed
+    /// detailed run continues at the right trace offset with correctly
+    /// aligned sequence numbers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::ClassifierUnsupported`] for custom
+    /// classifiers without snapshot support.
+    pub fn checkpoint(&self) -> Result<Snapshot, SnapshotError> {
+        let mut cpu = Processor::new(self.cpu.state.cfg);
+        let now = self.consumed;
+        cpu.state.now = now;
+        cpu.state.mem = self.cpu.state.mem.clone();
+        cpu.state.thread.ltp = self.cpu.state.thread.ltp.clone();
+        cpu.state.thread.committed = self.consumed;
+        cpu.state.thread.last_commit_cycle = now;
+        let frontend = crate::frontend::FrontEndState {
+            pipe: std::collections::VecDeque::new(),
+            redirect_until: 0,
+            exhausted: false,
+            fetched: self.consumed,
+            predictor: self.predictor.clone(),
+        };
+        // Statistics start at the checkpoint; the sampled runner narrows the
+        // window further with `ResumedRun::run_measured_from`.
+        Snapshot::capture(&cpu, frontend, None, Some((now, self.consumed)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltp_isa::{ArchReg, MemAccess, OpClass, Pc, SliceStream, StaticInst};
+
+    fn mem_trace(n: u64) -> Vec<DynInst> {
+        (0..n)
+            .map(|i| {
+                DynInst::new(
+                    i,
+                    StaticInst::new(Pc(0x400 + (i % 16) * 4), OpClass::Load)
+                        .with_dst(ArchReg::int(((i % 6) + 1) as usize))
+                        .with_src(ArchReg::int(1)),
+                )
+                .with_mem(MemAccess::qword(0x20_000 + (i * 8191) % 400_000))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_forward_warms_caches_and_positions_the_stream() {
+        let trace = mem_trace(2_000);
+        let cfg = PipelineConfig::ltp_proposed();
+        let mut ff = FunctionalFastForward::new(cfg);
+        ff.feed_all(&trace[..1_000]);
+        assert_eq!(ff.consumed(), 1_000);
+        assert!(ff.take_llc_misses() > 0);
+        assert_eq!(ff.take_llc_misses(), 0, "counter is take-and-reset");
+
+        let snap = ff.checkpoint().expect("checkpointable");
+        assert_eq!(snap.committed(), 1_000);
+        assert_eq!(snap.fetched(), 1_000);
+
+        // The resumed interval commits exactly the remaining instructions,
+        // measured from the checkpoint.
+        let result = snap
+            .resume()
+            .run(SliceStream::new("ff", &trace), 2_000)
+            .expect("no deadlock");
+        assert_eq!(result.instructions, 1_000);
+        assert!(result.cycles > 0);
+    }
+
+    #[test]
+    fn measured_window_excludes_detailed_warmup() {
+        let trace = mem_trace(3_000);
+        let cfg = PipelineConfig::ltp_proposed();
+        let mut ff = FunctionalFastForward::new(cfg);
+        ff.feed_all(&trace[..1_000]);
+        let snap = ff.checkpoint().expect("checkpointable");
+        // Warm in detail over [1000, 1500), measure [1500, 3000). The
+        // boundary quantizes to the commit that crosses it (same semantics
+        // as the configuration's warm-up budget), so the measured count can
+        // be short by up to one commit group.
+        let result = snap
+            .resume()
+            .run_measured_from(SliceStream::new("ff", &trace), 3_000, 1_500)
+            .expect("no deadlock");
+        let commit_width = PipelineConfig::ltp_proposed().commit_width as u64;
+        assert!(
+            result.instructions <= 1_500 && result.instructions >= 1_500 - commit_width,
+            "measured {} instructions",
+            result.instructions
+        );
+    }
+}

@@ -36,7 +36,7 @@ pub struct CommitSlot {
 const DEFAULT_HORIZON: u64 = 1024;
 
 /// Typed per-cycle latched signals exchanged between the pipeline stages.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StageBus {
     /// Issue → writeback: `(cycle, seq)` completion events, kept in a timing
     /// wheel and popped when due.
@@ -151,6 +151,31 @@ impl StageBus {
     #[must_use]
     pub fn pending_completions(&self) -> usize {
         self.completions.len()
+    }
+}
+
+impl ltp_snapshot::Codec for StageBus {
+    /// Only cross-cycle state travels: the delayed-signal wheels and the
+    /// force-release latch. The per-cycle record vectors are cleared by
+    /// `begin_cycle` before any stage reads them, so a snapshot taken on a
+    /// cycle boundary restores them empty.
+    fn write(&self, w: &mut ltp_snapshot::Writer) {
+        self.completions.write(w);
+        self.ll_signals.write(w);
+        self.force_release.write(w);
+    }
+    fn read(r: &mut ltp_snapshot::Reader<'_>) -> Result<Self, ltp_snapshot::SnapError> {
+        Ok(StageBus {
+            completions: TimingWheel::read(r)?,
+            ll_signals: TimingWheel::read(r)?,
+            force_release: bool::read(r)?,
+            reg_wakeups: Vec::new(),
+            seq_wakeups: Vec::new(),
+            ticket_clears: Vec::new(),
+            commits: Vec::new(),
+            reg_frees: Vec::new(),
+            releases: Vec::new(),
+        })
     }
 }
 

@@ -28,17 +28,17 @@ use ltp_isa::{DynInst, InstStream, PhysReg, RegClass, SeqNum};
 /// A dispatch that passed classification but could not be placed yet because
 /// the IQ, register file or LQ/SQ was full; retried the next cycle.
 #[derive(Debug, Clone)]
-struct PendingDispatch {
-    inst: DynInst,
-    src_phys: InlineVec<PhysReg, 4>,
-    src_seqs: InlineVec<SeqNum, 2>,
-    long_latency_hint: bool,
+pub(crate) struct PendingDispatch {
+    pub(crate) inst: DynInst,
+    pub(crate) src_phys: InlineVec<PhysReg, 4>,
+    pub(crate) src_seqs: InlineVec<SeqNum, 2>,
+    pub(crate) long_latency_hint: bool,
 }
 
 /// The rename stage and its skid buffer (one per hardware thread).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct RenameStage {
-    pending: Option<PendingDispatch>,
+    pub(crate) pending: Option<PendingDispatch>,
 }
 
 impl RenameStage {

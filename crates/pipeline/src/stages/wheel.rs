@@ -158,6 +158,40 @@ impl TimingWheel {
     }
 }
 
+impl ltp_snapshot::Codec for TimingWheel {
+    /// Encodes `(size, drained_through, events)` with the pending events
+    /// sorted ascending. Pop order only depends on `(cycle, payload)` order —
+    /// staging is re-sorted before every pop and wheel slots drain through
+    /// that same sort — so the sorted form is canonical *and* behaviourally
+    /// exact.
+    fn write(&self, w: &mut ltp_snapshot::Writer) {
+        (self.mask + 1).write(w);
+        self.drained_through.write(w);
+        let mut events: Vec<(Cycle, u64)> = Vec::with_capacity(self.len);
+        events.extend(self.staging.iter().copied());
+        for slot in &self.slots {
+            events.extend(slot.iter().copied());
+        }
+        events.extend(self.far.iter().copied());
+        events.sort_unstable();
+        events.write(w);
+    }
+    fn read(r: &mut ltp_snapshot::Reader<'_>) -> Result<Self, ltp_snapshot::SnapError> {
+        let size = u64::read(r)?;
+        if !size.is_power_of_two() {
+            return Err(ltp_snapshot::SnapError::Invalid("timing wheel size"));
+        }
+        let drained_through = Cycle::read(r)?;
+        let events = Vec::<(Cycle, u64)>::read(r)?;
+        let mut wheel = TimingWheel::new(size);
+        wheel.drained_through = drained_through;
+        for (cycle, payload) in events {
+            wheel.schedule(cycle, payload);
+        }
+        Ok(wheel)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,7 +64,7 @@ pub(crate) struct InFlight {
 ///
 /// Sequence numbers are dense *per thread*, so every structure indexed by
 /// [`SeqNum`] lives here rather than in the shared substrate.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct ThreadState {
     pub(crate) tid: ThreadId,
     pub(crate) ltp: LtpUnit,

@@ -1,0 +1,153 @@
+//! Confidence intervals for sampled-simulation aggregates.
+//!
+//! Interval sampling (SMARTS-style) reports the mean of per-interval IPC
+//! samples; the statistical story is only honest with an error bar. This
+//! module computes a Student-t confidence interval from the sample mean and
+//! the sample standard deviation, with the usual caveat that systematic
+//! sampling of a phased program is not i.i.d. — the interval is a first-order
+//! error estimate, not a guarantee.
+
+/// Two-sided 95 % Student-t critical values for `df = 1..=30`; larger sample
+/// counts fall back to the normal approximation (1.96).
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The two-sided 95 % Student-t critical value for `df` degrees of freedom.
+#[must_use]
+pub fn t95(df: usize) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= T95.len() {
+        T95[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Mean of a set of samples with a 95 % confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95 % confidence interval (`mean ± half_width`).
+    pub half_width: f64,
+    /// Sample standard deviation (Bessel-corrected).
+    pub stddev: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl ConfidenceInterval {
+    /// Computes the 95 % confidence interval of `samples`.
+    ///
+    /// With zero samples everything is zero; with one sample the mean is that
+    /// sample and the half-width is infinite (one observation says nothing
+    /// about variance), which forces callers to surface "need more intervals"
+    /// instead of printing a fake ±0.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> ConfidenceInterval {
+        let n = samples.len();
+        if n == 0 {
+            return ConfidenceInterval {
+                mean: 0.0,
+                half_width: 0.0,
+                stddev: 0.0,
+                n: 0,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return ConfidenceInterval {
+                mean,
+                half_width: f64::INFINITY,
+                stddev: 0.0,
+                n: 1,
+            };
+        }
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n as f64 - 1.0);
+        let stddev = var.sqrt();
+        let half_width = t95(n - 1) * stddev / (n as f64).sqrt();
+        ConfidenceInterval {
+            mean,
+            half_width,
+            stddev,
+            n,
+        }
+    }
+
+    /// Half-width as a percentage of the mean (zero when the mean is zero).
+    #[must_use]
+    pub fn relative_percent(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.half_width / self.mean.abs() * 100.0
+        }
+    }
+
+    /// Renders as `mean ± half (±rel%)`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.n <= 1 {
+            return format!("{:.4} (n={}, no interval)", self.mean, self.n);
+        }
+        format!(
+            "{:.4} ± {:.4} (±{:.2}%, n={})",
+            self.mean,
+            self.half_width,
+            self.relative_percent(),
+            self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = ConfidenceInterval::from_samples(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = ConfidenceInterval::from_samples(&[2.5]);
+        assert_eq!(s.mean, 2.5);
+        assert!(s.half_width.is_infinite());
+        assert!(s.render().contains("no interval"));
+    }
+
+    #[test]
+    fn identical_samples_have_zero_width() {
+        let ci = ConfidenceInterval::from_samples(&[1.5; 8]);
+        assert!((ci.mean - 1.5).abs() < 1e-12);
+        assert!(ci.half_width.abs() < 1e-12);
+        assert_eq!(ci.relative_percent(), 0.0);
+    }
+
+    #[test]
+    fn known_interval() {
+        // Samples 1..=5: mean 3, stddev sqrt(2.5), t95(4) = 2.776.
+        let ci = ConfidenceInterval::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((ci.mean - 3.0).abs() < 1e-12);
+        assert!((ci.stddev - 2.5f64.sqrt()).abs() < 1e-12);
+        let expected = 2.776 * 2.5f64.sqrt() / 5f64.sqrt();
+        assert!((ci.half_width - expected).abs() < 1e-9);
+        assert!(ci.render().contains('±'));
+    }
+
+    #[test]
+    fn t_table_boundaries() {
+        assert!(t95(0).is_infinite());
+        assert!((t95(1) - 12.706).abs() < 1e-9);
+        assert!((t95(30) - 2.042).abs() < 1e-9);
+        assert!((t95(31) - 1.96).abs() < 1e-9);
+        // The table must be monotonically decreasing towards the normal value.
+        for df in 1..40 {
+            assert!(t95(df + 1) <= t95(df));
+            assert!(t95(df) >= 1.96);
+        }
+    }
+}

@@ -9,11 +9,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod ci;
 mod histogram;
 mod occupancy;
 mod summary;
 mod table;
 
+pub use ci::{t95, ConfidenceInterval};
 pub use histogram::Histogram;
 pub use occupancy::OccupancyTracker;
 pub use summary::{geometric_mean, ratio, speedup_percent, MeanAccumulator};

@@ -66,6 +66,21 @@ impl OccupancyTracker {
     }
 }
 
+impl ltp_snapshot::Codec for OccupancyTracker {
+    fn write(&self, w: &mut ltp_snapshot::Writer) {
+        self.weighted_sum.write(w);
+        self.cycles.write(w);
+        self.peak.write(w);
+    }
+    fn read(r: &mut ltp_snapshot::Reader<'_>) -> Result<Self, ltp_snapshot::SnapError> {
+        Ok(OccupancyTracker {
+            weighted_sum: u128::read(r)?,
+            cycles: u64::read(r)?,
+            peak: u64::read(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Bench regression gate: compares a fresh bench snapshot (produced by
+# scripts/bench_snapshot.sh) against the committed BENCH_pipeline.json
+# "current" and "smt" sections, and fails if any tracked point regressed by
+# more than the tolerance (default 15 %).
+#
+# Usage:
+#   scripts/bench_check.sh FRESH.json [TOLERANCE_PERCENT]
+#   scripts/bench_check.sh --self-test
+#
+# Absolute insts/sec numbers are machine-dependent, so the gate normalizes by
+# the median fresh/committed ratio across all shared points: a uniformly
+# slower machine (CI runner vs the dev box) shifts every ratio equally and
+# passes, while a genuine single-point regression falls >TOL% below the
+# median ratio and fails. (A regression that slows *every* point uniformly is
+# indistinguishable from a slow machine and is not caught here — that is what
+# refreshing the committed snapshot per optimisation PR is for.)
+#
+# --self-test injects a synthetic >15 % single-point regression into a copy
+# of the committed snapshot and asserts the gate fails on it (and passes on
+# an un-tampered scaled copy), so CI proves the gate actually gates.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BASELINE="BENCH_pipeline.json"
+
+check() {
+    # check FRESH TOLERANCE -> exit 1 on regression
+    python3 - "$BASELINE" "$1" "$2" <<'PY'
+import json, statistics, sys
+
+baseline_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(baseline_path) as f:
+    committed = json.load(f)
+with open(fresh_path) as f:
+    fresh = json.load(f)
+
+tracked = {}
+for section in ("current", "smt"):
+    for name, point in committed.get(section, {}).get("results", {}).items():
+        tracked[name] = float(point["insts_per_sec"])
+
+fresh_results = fresh.get("results", {})
+shared = {
+    name: (committed_rate, float(fresh_results[name]["insts_per_sec"]))
+    for name, committed_rate in tracked.items()
+    if name in fresh_results
+}
+if len(shared) < 3:
+    print(
+        f"bench_check: only {len(shared)} tracked points shared between "
+        f"{baseline_path} and {fresh_path} — bench renamed or snapshot broken?",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+
+ratios = {name: fresh_rate / committed_rate for name, (committed_rate, fresh_rate) in shared.items()}
+scale = statistics.median(ratios.values())
+floor = scale * (1.0 - tol / 100.0)
+
+print(f"bench_check: {len(shared)} tracked points, machine scale {scale:.3f}, "
+      f"tolerance {tol:.0f}% -> per-point floor {floor:.3f}")
+failed = []
+for name in sorted(ratios):
+    committed_rate, fresh_rate = shared[name]
+    ratio = ratios[name]
+    verdict = "ok" if ratio >= floor else "REGRESSED"
+    print(f"  {name}: committed {committed_rate:.0f}, fresh {fresh_rate:.0f}, "
+          f"ratio {ratio:.3f} [{verdict}]")
+    if ratio < floor:
+        failed.append(name)
+
+missing = sorted(set(tracked) - set(fresh_results))
+if missing:
+    print(f"bench_check: tracked points missing from the fresh snapshot: "
+          f"{', '.join(missing)}", file=sys.stderr)
+    failed.extend(missing)
+
+if failed:
+    print(f"bench_check: FAIL — {len(failed)} point(s) regressed beyond "
+          f"{tol:.0f}%: {', '.join(failed)}", file=sys.stderr)
+    sys.exit(1)
+print("bench_check: PASS")
+PY
+}
+
+self_test() {
+    local tmp_ok tmp_bad
+    tmp_ok="$(mktemp)"
+    tmp_bad="$(mktemp)"
+    trap 'rm -f "$tmp_ok" "$tmp_bad"' RETURN
+
+    # A uniformly 2x-slower machine must PASS...
+    python3 - "$BASELINE" "$tmp_ok" 1.0 <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    committed = json.load(f)
+results = {}
+for section in ("current", "smt"):
+    for name, point in committed.get(section, {}).get("results", {}).items():
+        results[name] = {"insts_per_sec": float(point["insts_per_sec"]) / 2.0}
+json.dump({"bench": "pipeline_throughput", "results": results}, open(sys.argv[2], "w"))
+PY
+    if ! check "$tmp_ok" 15 >/dev/null; then
+        echo "bench_check self-test: FAILED (uniform slowdown was rejected)" >&2
+        return 1
+    fi
+
+    # ... while the same snapshot with one point slowed a further 20% must FAIL.
+    python3 - "$tmp_ok" "$tmp_bad" <<'PY'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+victim = sorted(snap["results"])[0]
+snap["results"][victim]["insts_per_sec"] *= 0.80
+json.dump(snap, open(sys.argv[2], "w"))
+PY
+    if check "$tmp_bad" 15 >/dev/null 2>&1; then
+        echo "bench_check self-test: FAILED (injected 20% regression passed the gate)" >&2
+        return 1
+    fi
+    echo "bench_check self-test: PASS (uniform slowdown accepted, injected regression rejected)"
+}
+
+if [[ "${1:-}" == "--self-test" ]]; then
+    self_test
+    exit $?
+fi
+
+FRESH="${1:?usage: scripts/bench_check.sh FRESH.json [TOLERANCE_PERCENT] | --self-test}"
+TOL="${2:-15}"
+check "$FRESH" "$TOL"

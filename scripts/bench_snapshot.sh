@@ -21,7 +21,17 @@ OUT="${1:-BENCH_pipeline.json.new}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-cargo bench --bench pipeline_throughput | tee "$RAW" >&2
+# `pipefail` already propagates a bench failure through the pipe; the
+# explicit PIPESTATUS check keeps that guarantee even if someone sources this
+# script or trims the `set` line, and names the failing stage in the error.
+cargo bench --bench pipeline_throughput | tee "$RAW" >&2 || {
+    status=("${PIPESTATUS[@]}")
+    echo "bench_snapshot: cargo bench exited ${status[0]} (tee ${status[1]})" >&2
+    # Propagate cargo's code when it failed; if only tee failed, still exit
+    # nonzero (the snapshot was not captured).
+    [[ "${status[0]:-1}" != "0" ]] && exit "${status[0]}"
+    exit 1
+}
 
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 

@@ -1,0 +1,188 @@
+//! Checkpoint/restore regression tests.
+//!
+//! The contract under test: capturing a [`Snapshot`] mid-run, serializing it
+//! through the versioned binary codec, restoring it in a fresh process-like
+//! context and finishing the run is **bit-for-bit** identical to never having
+//! stopped. The uninterrupted runs used as references here are themselves
+//! pinned by `tests/golden_stats.rs` (24 golden fingerprints), so these tests
+//! transitively pin checkpoint/restore to the seed simulator's behaviour.
+
+use ltp_core::{ClassifierKind, LtpConfig, LtpMode};
+use ltp_experiments::runner::{limit_study_config, RunOptions};
+use ltp_experiments::SimBuilder;
+use ltp_pipeline::{PipelineConfig, RunResult, Snapshot};
+use ltp_workloads::{replay_slice, WorkloadKind};
+use proptest::prelude::*;
+
+/// The golden-run options (`tests/golden_stats.rs`).
+fn opts() -> RunOptions {
+    RunOptions {
+        detail_insts: 6_000,
+        warm_insts: 4_000,
+        seed: 2015,
+    }
+}
+
+/// The full stable fingerprint of a run (superset of the golden-stats one:
+/// adds memory and branch statistics so divergence anywhere shows up).
+fn fingerprint(r: &RunResult) -> String {
+    format!(
+        "cycles={} insts={} parked={} rel_io={} rel_ooo={} forced={} iqw={} iqi={} rfr={} rfw={} \
+         llc={} loads={} stores={} mem_acc={} mem_lat={} bmr={:.9} ltp_occ={:.6} ltp_peak={} \
+         iq_occ={:.6} regs_occ={:.6} rob_occ={:.6} out_occ={:.6}",
+        r.cycles,
+        r.instructions,
+        r.ltp.total_parked(),
+        r.ltp.released_in_order,
+        r.ltp.released_out_of_order,
+        r.ltp.force_released,
+        r.activity.iq_writes,
+        r.activity.iq_issues,
+        r.activity.rf_reads,
+        r.activity.rf_writes,
+        r.llc_miss_loads,
+        r.loads,
+        r.stores,
+        r.mem.accesses,
+        r.mem.total_latency,
+        r.branch_mispredict_rate,
+        r.occupancy.ltp.mean(),
+        r.occupancy.ltp.peak(),
+        r.occupancy.iq.mean(),
+        r.occupancy.regs.mean(),
+        r.occupancy.rob.mean(),
+        r.occupancy.outstanding_misses.mean(),
+    )
+}
+
+/// The realistic (UIT-classified) machine of the golden suite.
+fn realistic(mode: LtpMode) -> PipelineConfig {
+    match mode {
+        LtpMode::Off => PipelineConfig::small_no_ltp(),
+        m => {
+            let ltp = LtpConfig {
+                mode: m,
+                ..LtpConfig::nu_only_128x4()
+            };
+            PipelineConfig::ltp_proposed().with_ltp(ltp)
+        }
+    }
+}
+
+/// Runs one golden point uninterrupted, then again with a mid-run
+/// checkpoint → serialize → deserialize → resume, and asserts identical
+/// fingerprints.
+fn assert_restore_equivalent(kind: WorkloadKind, cfg: PipelineConfig, checkpoint_at: u64) {
+    let o = opts();
+    let builder = SimBuilder::new(cfg, kind).options(&o);
+    let detail = builder.detail_trace();
+
+    let full = builder.run_on(&detail).expect("uninterrupted run");
+
+    let mut cpu = builder.build();
+    let snap = cpu
+        .run_to_snapshot(replay_slice(kind.name(), &detail), checkpoint_at)
+        .expect("checkpoint");
+    drop(cpu); // the rest of the run uses only the serialized state
+
+    let bytes = snap.to_bytes();
+    let restored = Snapshot::from_bytes(&bytes).expect("decode");
+    assert_eq!(restored.to_bytes(), bytes, "canonical snapshot bytes");
+    let resumed = restored
+        .resume()
+        .run(replay_slice(kind.name(), &detail), o.detail_insts)
+        .expect("resumed run");
+
+    assert_eq!(
+        fingerprint(&resumed),
+        fingerprint(&full),
+        "restore diverged: {} checkpoint@{checkpoint_at}",
+        kind.name()
+    );
+}
+
+#[test]
+fn restore_is_bit_for_bit_on_the_uit_path() {
+    for mode in [LtpMode::Off, LtpMode::NonUrgentOnly, LtpMode::Both] {
+        for kind in [WorkloadKind::IndirectStream, WorkloadKind::GatherFp] {
+            assert_restore_equivalent(kind, realistic(mode), 3_000);
+        }
+    }
+}
+
+#[test]
+fn restore_is_bit_for_bit_on_the_oracle_path() {
+    // Oracle classifier state (the analysed per-seq classes) rides inside
+    // the snapshot, so the resumed run needs no re-attachment.
+    for mode in [LtpMode::NonUrgentOnly, LtpMode::Both] {
+        assert_restore_equivalent(
+            WorkloadKind::MixedPhases,
+            limit_study_config(mode).with_iq(32),
+            2_500,
+        );
+    }
+}
+
+#[test]
+fn restore_is_bit_for_bit_for_sweep_classifiers() {
+    // Random classifier: the xorshift stream position must resume exactly.
+    let cfg = PipelineConfig::ltp_proposed().with_classifier(ClassifierKind::Random {
+        non_urgent_percent: 50,
+        seed: 0x5eed,
+    });
+    assert_restore_equivalent(WorkloadKind::HashProbe, cfg, 1_777);
+}
+
+#[test]
+fn checkpoint_near_the_end_still_matches() {
+    // A checkpoint in the drain phase (past most of the trace).
+    assert_restore_equivalent(
+        WorkloadKind::IndirectStream,
+        realistic(LtpMode::NonUrgentOnly),
+        5_900,
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Round-trip property over real machine states: a checkpoint taken at a
+    /// random commit count of a random golden workload/mode encodes
+    /// canonically (encode ∘ decode ∘ encode = encode) and resumes to the
+    /// uninterrupted run's fingerprint.
+    #[test]
+    fn snapshot_roundtrip_at_random_checkpoints(
+        raw_point in 0u64..4_000,
+        mode_idx in 0usize..3,
+        kind_idx in 0usize..3,
+    ) {
+        let mode = [LtpMode::Off, LtpMode::NonUrgentOnly, LtpMode::Both][mode_idx];
+        let kind = [
+            WorkloadKind::IndirectStream,
+            WorkloadKind::MixedPhases,
+            WorkloadKind::GatherFp,
+        ][kind_idx];
+        // Keep the proptest cases cheap: short runs, early checkpoints.
+        let o = RunOptions {
+            detail_insts: 4_500,
+            warm_insts: 1_000,
+            seed: 2015,
+        };
+        let builder = SimBuilder::new(realistic(mode), kind).options(&o);
+        let detail = builder.detail_trace();
+        let full = builder.run_on(&detail).expect("uninterrupted run");
+
+        let mut cpu = builder.build();
+        let snap = cpu
+            .run_to_snapshot(replay_slice(kind.name(), &detail), 500 + raw_point)
+            .expect("checkpoint");
+        let bytes = snap.to_bytes();
+        let decoded = Snapshot::from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(decoded.to_bytes(), bytes, "non-canonical bytes");
+        let resumed = decoded
+            .resume()
+            .run(replay_slice(kind.name(), &detail), o.detail_insts)
+            .expect("resumed run");
+        prop_assert_eq!(fingerprint(&resumed), fingerprint(&full));
+    }
+}
