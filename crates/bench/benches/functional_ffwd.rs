@@ -1,0 +1,85 @@
+//! Functional fast-forward throughput: instructions per second of host time
+//! for the decode-once functional interpreter that moves sampled simulation
+//! between detailed intervals.
+//!
+//! Sampled simulation's wall-clock is `functional pass + slowest detailed
+//! tail`, so the functional rate bounds the achievable speed-up; the
+//! `BENCH_*.json` "functional" section tracks these points so a regression in
+//! the batched warm/train/classify paths (or in `DecodedTrace` itself) shows
+//! up in CI. The decode point isolates the one-time pre-decode cost paid per
+//! sampled run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ltp_isa::{DecodedTrace, DynInst};
+use ltp_pipeline::{FunctionalFastForward, PipelineConfig};
+use ltp_workloads::{trace, WorkloadKind};
+
+/// Trace length per iteration: long enough that the per-iteration machine
+/// construction is amortized and cache behaviour reaches steady state (the
+/// sampled runner replays this much per interval stride and more).
+const INSTS: u64 = 240_000;
+
+fn workload(kind: WorkloadKind) -> (Vec<DynInst>, DecodedTrace) {
+    let detail = trace(kind, 8, INSTS as usize);
+    let dec = DecodedTrace::from_insts(&detail);
+    (detail, dec)
+}
+
+/// Decode-once interpreter over the pre-decoded trace — the sampled runner's
+/// hot path. Decoding happens outside the timed region, matching the runner
+/// (one decode per run, many interval advances).
+fn decoded_advance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_ffwd/decoded");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(INSTS));
+    for (label, kind) in [
+        ("mixed_phases", WorkloadKind::MixedPhases),
+        ("indirect_stream", WorkloadKind::IndirectStream),
+        ("compute_bound", WorkloadKind::ComputeBound),
+    ] {
+        let (_detail, dec) = workload(kind);
+        let cfg = PipelineConfig::ltp_proposed();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut ff = FunctionalFastForward::new(cfg);
+                ff.advance_on(&dec, dec.len());
+                ff.take_llc_misses()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The per-instruction reference interpreter (`feed_all`) on the same kernel:
+/// the ratio of this point to `decoded/mixed_phases` is the decode-once
+/// speed-up itself.
+fn per_inst_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_ffwd/per_inst");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(INSTS));
+    let detail = trace(WorkloadKind::MixedPhases, 8, INSTS as usize);
+    let cfg = PipelineConfig::ltp_proposed();
+    group.bench_function("mixed_phases", |b| {
+        b.iter(|| {
+            let mut ff = FunctionalFastForward::new(cfg);
+            ff.feed_all(&detail);
+            ff.take_llc_misses()
+        })
+    });
+    group.finish();
+}
+
+/// One-time pre-decode cost of a sampled run (trace -> event lists).
+fn decode_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_ffwd/decode");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(INSTS));
+    let detail = trace(WorkloadKind::MixedPhases, 8, INSTS as usize);
+    group.bench_function("mixed_phases", |b| {
+        b.iter(|| DecodedTrace::from_insts(&detail).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, decoded_advance, per_inst_reference, decode_cost);
+criterion_main!(benches);

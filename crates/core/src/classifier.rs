@@ -35,6 +35,20 @@ use ltp_mem::HitMissPredictor;
 /// lookups, and only on the instructions that need them.
 pub type ProducerLookup<'a> = dyn Fn(ArchReg) -> Option<Pc> + 'a;
 
+/// One observed load outcome, as fed to the batched classifier/LTP-unit
+/// feedback paths ([`CriticalityClassifier::on_load_outcomes`],
+/// [`crate::LtpUnit::on_load_outcomes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadOutcome {
+    /// Program counter of the load.
+    pub pc: Pc,
+    /// Whether the load missed the LLC (a long-latency access).
+    pub missed_llc: bool,
+    /// Cycle at which the outcome was observed (the functional clock during
+    /// fast-forward); arms the on/off monitor.
+    pub now: crate::Cycle,
+}
+
 /// What a classifier reports about one instruction at rename time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Classification {
@@ -63,13 +77,25 @@ pub struct Classification {
 /// producer. `producer_pc` lazily resolves a source register to the PC of
 /// its in-flight producer, when one exists; the UIT's iterative backward
 /// dependency analysis (§5.1) is built on it.
-pub trait CriticalityClassifier: std::fmt::Debug + Send {
+pub trait CriticalityClassifier: std::fmt::Debug + Send + Sync {
     /// Classifies one instruction at rename time.
     fn assess(&mut self, inst: &RenamedInst, producer_pc: &ProducerLookup<'_>) -> Classification;
 
     /// Feedback from load execution: the load at `pc` hit or missed the LLC.
     fn on_load_outcome(&mut self, pc: Pc, was_llc_miss: bool) {
         let _ = (pc, was_llc_miss);
+    }
+
+    /// Batched load-outcome feedback: equivalent to calling
+    /// [`CriticalityClassifier::on_load_outcome`] for each element in order,
+    /// but behind **one** virtual dispatch. The functional fast-forward mode
+    /// of sampled simulation feeds a whole interval's load outcomes at once;
+    /// learned classifiers override this with a monomorphic inner loop so the
+    /// warm-up hot path pays no per-load dynamic dispatch.
+    fn on_load_outcomes(&mut self, outcomes: &[LoadOutcome]) {
+        for o in outcomes {
+            self.on_load_outcome(o.pc, o.missed_llc);
+        }
     }
 
     /// Marks the instruction at `pc` as urgent (ancestor seed), when the
@@ -274,6 +300,17 @@ impl CriticalityClassifier for UitClassifier {
         self.predictor.update(pc, was_llc_miss);
         if was_llc_miss {
             self.uit.insert(pc);
+        }
+    }
+
+    fn on_load_outcomes(&mut self, outcomes: &[LoadOutcome]) {
+        // Monomorphic inner loop: one virtual dispatch per batch instead of
+        // one per load, with direct predictor/UIT access inside.
+        for o in outcomes {
+            self.predictor.update(o.pc, o.missed_llc);
+            if o.missed_llc {
+                self.uit.insert(o.pc);
+            }
         }
     }
 

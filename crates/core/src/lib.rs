@@ -67,7 +67,7 @@ mod unit;
 pub use class::{Criticality, InstClass};
 pub use classifier::{
     AlwaysReadyClassifier, Classification, ClassifierKind, ClassifierState, CriticalityClassifier,
-    ParkEverythingClassifier, ProducerLookup, RandomClassifier, UitClassifier,
+    LoadOutcome, ParkEverythingClassifier, ProducerLookup, RandomClassifier, UitClassifier,
 };
 pub use config::{LtpConfig, LtpMode};
 pub use monitor::DramTimerMonitor;

@@ -411,6 +411,21 @@ impl LtpUnit {
         }
     }
 
+    /// Batched [`LtpUnit::on_load_outcome`]: feeds a whole run of observed
+    /// load outcomes (in order) with one classifier dispatch. Classifier
+    /// state and monitor state are disjoint, so updating the classifier for
+    /// the whole batch before replaying the monitor arms leaves the unit in
+    /// exactly the state the per-load calls would have produced. This is the
+    /// functional fast-forward hot path: one call per sample interval.
+    pub fn on_load_outcomes(&mut self, outcomes: &[crate::LoadOutcome]) {
+        self.classifier.on_load_outcomes(outcomes);
+        for o in outcomes {
+            if o.missed_llc {
+                self.monitor.note_llc_miss(o.now);
+            }
+        }
+    }
+
     /// Marks the instruction at `pc` as long-latency (ancestor seed). Useful
     /// when the caller identifies long-latency work that is not a load, e.g.
     /// a divide whose consumers should be treated as Non-Ready.

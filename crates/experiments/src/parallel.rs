@@ -147,6 +147,185 @@ where
     results.into_iter().map(|(_, r)| r).collect()
 }
 
+/// The producer-side handle of [`stream_map_lpt`]: push one job with an LPT
+/// cost estimate. Pushing blocks while the bounded queue is full, which keeps
+/// at most a few encoded jobs in memory regardless of how far the producer
+/// runs ahead of the workers.
+#[derive(Debug)]
+pub struct StreamQueue<'a, T> {
+    shared: &'a StreamShared<T>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct StreamShared<T> {
+    state: std::sync::Mutex<StreamState<T>>,
+    not_empty: std::sync::Condvar,
+    not_full: std::sync::Condvar,
+}
+
+#[derive(Debug)]
+struct StreamState<T> {
+    /// Jobs pushed but not yet claimed: `(push index, cost, item)`.
+    pending: Vec<(usize, u64, T)>,
+    /// Set when the producer finishes (or either side unwinds): workers
+    /// drain `pending` and exit, pushes become no-ops.
+    closed: bool,
+    pushed: usize,
+}
+
+impl<T> StreamQueue<'_, T> {
+    /// Enqueues one job. Blocks while the queue holds `capacity` unclaimed
+    /// jobs; returns without pushing if the stream was force-closed by a
+    /// panicking worker (the panic propagates once the scope joins, so the
+    /// dropped job is never observed).
+    pub fn push(&self, cost: u64, item: T) {
+        let mut st = self.shared.state.lock().expect("stream queue poisoned");
+        while st.pending.len() >= self.capacity && !st.closed {
+            st = self
+                .shared
+                .not_full
+                .wait(st)
+                .expect("stream queue poisoned");
+        }
+        if st.closed {
+            return;
+        }
+        let idx = st.pushed;
+        st.pushed += 1;
+        st.pending.push((idx, cost, item));
+        drop(st);
+        self.shared.not_empty.notify_one();
+    }
+}
+
+/// Closes the stream on drop — including when the closing scope unwinds — so
+/// blocked workers and producers always wake up instead of deadlocking under
+/// a panic.
+struct StreamCloseGuard<'a, T> {
+    shared: &'a StreamShared<T>,
+}
+
+impl<T> Drop for StreamCloseGuard<'_, T> {
+    fn drop(&mut self) {
+        self.shared
+            .state
+            .lock()
+            .expect("stream queue poisoned")
+            .closed = true;
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+}
+
+/// Streaming variant of [`par_map_lpt`]: the producer closure runs on the
+/// caller's thread and *emits* jobs one at a time through a bounded
+/// [`StreamQueue`], while worker threads consume them concurrently — each
+/// worker claims the **heaviest currently available** job (ties to the
+/// earliest pushed), the online adaptation of LPT scheduling for jobs whose
+/// costs are only discovered as the producer advances.
+///
+/// Compared to produce-all-then-[`par_map_lpt`], the first worker starts the
+/// moment the first job lands instead of after the whole production pass, so
+/// a serial production phase overlaps the parallel consumption phase; and the
+/// bounded queue (twice the worker count) caps how many encoded jobs exist at
+/// once.
+///
+/// `expected_jobs` sizes the worker pool (same `LTP_THREADS`-aware policy as
+/// the other helpers); it is a hint, not a limit — the producer may push any
+/// number of jobs. Results come back in push order.
+pub fn stream_map_lpt<T, R, P, F>(expected_jobs: usize, produce: P, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    P: FnOnce(&StreamQueue<'_, T>),
+    F: Fn(T) -> R + Sync,
+{
+    let workers = thread_count(expected_jobs.max(1));
+    let shared = StreamShared {
+        state: std::sync::Mutex::new(StreamState {
+            pending: Vec::new(),
+            closed: false,
+            pushed: 0,
+        }),
+        not_empty: std::sync::Condvar::new(),
+        not_full: std::sync::Condvar::new(),
+    };
+
+    let mut results: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let shared_ref = &shared;
+        let f_ref = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    // If `f` unwinds, close the stream so the producer (and
+                    // peers waiting on an empty queue) cannot block forever;
+                    // the panic itself surfaces at join below.
+                    let guard = StreamCloseGuard { shared: shared_ref };
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let job = {
+                            let mut st = shared_ref.state.lock().expect("stream queue poisoned");
+                            loop {
+                                // Online LPT: heaviest pending job, ties to
+                                // the earliest pushed for determinism.
+                                let best = st
+                                    .pending
+                                    .iter()
+                                    .enumerate()
+                                    .max_by_key(|(_, (idx, cost, _))| {
+                                        (*cost, std::cmp::Reverse(*idx))
+                                    })
+                                    .map(|(pos, _)| pos);
+                                if let Some(pos) = best {
+                                    break Some(st.pending.swap_remove(pos));
+                                }
+                                if st.closed {
+                                    break None;
+                                }
+                                st = shared_ref
+                                    .not_empty
+                                    .wait(st)
+                                    .expect("stream queue poisoned");
+                            }
+                        };
+                        match job {
+                            Some((idx, _, item)) => {
+                                shared_ref.not_full.notify_one();
+                                out.push((idx, f_ref(item)));
+                            }
+                            None => break,
+                        }
+                    }
+                    // Normal exit: disarm by forgetting nothing — closing an
+                    // already-closed stream is harmless, so just drop.
+                    drop(guard);
+                    out
+                })
+            })
+            .collect();
+
+        {
+            // Producer runs on the caller's thread; the guard closes the
+            // stream when it returns *or unwinds*, releasing the workers.
+            let _close = StreamCloseGuard { shared: shared_ref };
+            let queue = StreamQueue {
+                shared: shared_ref,
+                capacity: (workers * 2).max(1),
+            };
+            produce(&queue);
+        }
+
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("stream worker panicked"))
+            .collect()
+    });
+
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +421,86 @@ mod tests {
         // Contiguous chunks of 4 put the huge job with 3 small ones -> 23.
         let chunked: Vec<Vec<usize>> = (0..4).map(|w| (w * 4..w * 4 + 4).collect()).collect();
         assert_eq!(makespan(&chunked), 23);
+    }
+
+    #[test]
+    fn stream_map_preserves_push_order() {
+        let out = stream_map_lpt(
+            97,
+            |q| {
+                for i in 0..97u64 {
+                    q.push(i % 7 + 1, i);
+                }
+            },
+            |x| x * 3,
+        );
+        assert_eq!(out.len(), 97);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn stream_map_empty_producer() {
+        let out: Vec<u64> = stream_map_lpt(0, |_q| {}, |x: u64| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stream_map_survives_producer_outrunning_capacity() {
+        // Push far more jobs than the bounded queue holds while workers are
+        // artificially slowed: every job must still come back, in order.
+        let n = 500u64;
+        let out = stream_map_lpt(
+            n as usize,
+            |q| {
+                for i in 0..n {
+                    q.push(1, i);
+                }
+            },
+            |x| {
+                if x % 50 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                x
+            },
+        );
+        assert_eq!(out, (0..n).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn stream_map_slow_producer_keeps_workers_fed() {
+        // The streaming point: jobs produced with a delay are consumed as
+        // they arrive rather than after production completes.
+        let out = stream_map_lpt(
+            8,
+            |q| {
+                for i in 0..8u64 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    q.push(8 - i, i);
+                }
+            },
+            |x| x + 100,
+        );
+        assert_eq!(out, (100..108).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn stream_map_matches_par_map_lpt_results() {
+        // The streaming distributor is a drop-in for the two-phase one:
+        // identical inputs produce identical ordered outputs.
+        let items: Vec<u64> = (0..64).map(|i| (i * 37) % 19).collect();
+        let two_phase = par_map_lpt(items.clone(), |&x| x + 1, |&x| x * x);
+        let streamed = stream_map_lpt(
+            items.len(),
+            |q| {
+                for &x in &items {
+                    q.push(x + 1, x);
+                }
+            },
+            |x| x * x,
+        );
+        assert_eq!(two_phase, streamed);
     }
 
     #[test]

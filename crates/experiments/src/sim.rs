@@ -7,7 +7,7 @@
 //! the examples and the benches all build on it.
 
 use crate::runner::{RunOptions, DEFAULT_DETAIL_INSTS, DEFAULT_WARM_INSTS};
-use ltp_core::OracleAnalysis;
+use ltp_core::{OracleAnalysis, OracleClassifier};
 use ltp_isa::DynInst;
 use ltp_pipeline::{PipelineConfig, Processor, RunError, RunResult, SharePolicy, SmtRunResult};
 use ltp_workloads::{co_trace, replay_slice, trace, WorkloadKind};
@@ -41,6 +41,7 @@ pub struct SimBuilder {
     seed: u64,
     warm_insts: u64,
     detail_insts: u64,
+    oracle: Option<OracleClassifier>,
 }
 
 impl SimBuilder {
@@ -55,6 +56,7 @@ impl SimBuilder {
             seed: defaults.seed,
             warm_insts: DEFAULT_WARM_INSTS,
             detail_insts: DEFAULT_DETAIL_INSTS,
+            oracle: None,
         }
     }
 
@@ -88,6 +90,20 @@ impl SimBuilder {
         self
     }
 
+    /// Supplies a pre-computed oracle analysis instead of analysing inside
+    /// [`SimBuilder::build`]. The analysis is a pure function of the
+    /// configuration and the detailed trace, so callers running the same
+    /// point through several harnesses (the `sample` experiment runs
+    /// full-detail *and* sampled) analyse once and share it; it must be the
+    /// analysis for this builder's configuration and trace (see the
+    /// crate-internal `analyze_oracle` recipe). Ignored when the
+    /// configuration does not use the oracle classifier.
+    #[must_use]
+    pub fn oracle(mut self, oracle: OracleClassifier) -> SimBuilder {
+        self.oracle = Some(oracle);
+        self
+    }
+
     /// Generates the detailed trace this builder would run.
     #[must_use]
     pub fn detail_trace(&self) -> Vec<DynInst> {
@@ -117,7 +133,11 @@ impl SimBuilder {
             cpu.warm_caches(&warm);
         }
         if self.cfg.needs_oracle() {
-            cpu.set_oracle(analyze_oracle(&self.cfg, detail));
+            cpu.set_oracle(
+                self.oracle
+                    .clone()
+                    .unwrap_or_else(|| analyze_oracle(&self.cfg, detail)),
+            );
         }
         cpu
     }

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod decoded;
 mod inst;
 mod mem_access;
 mod op;
@@ -44,6 +45,7 @@ mod reg;
 mod snap;
 mod stream;
 
+pub use decoded::{BranchEvent, DecodedTrace, MemEvent};
 pub use inst::{BranchInfo, DynInst, SeqNum, StaticInst, ThreadId, MAX_SRCS};
 pub use mem_access::MemAccess;
 pub use op::{ExecLatency, FuKind, OpClass};

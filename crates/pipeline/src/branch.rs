@@ -77,6 +77,21 @@ impl BranchPredictor {
         mispredicted
     }
 
+    /// Batched [`BranchPredictor::predict_and_update`] over a run of resolved
+    /// branches, discarding the per-branch misprediction flags (functional
+    /// replay trains the predictor; nothing redirects). State updates —
+    /// counters, history, prediction/misprediction totals — are exactly those
+    /// of the per-branch calls, in the same order; the batch amortizes the
+    /// cross-crate call dispatch over a whole sample interval.
+    pub fn train_batch<I>(&mut self, outcomes: I)
+    where
+        I: IntoIterator<Item = (Pc, bool)>,
+    {
+        for (pc, taken) in outcomes {
+            let _ = self.predict_and_update(pc, taken);
+        }
+    }
+
     /// Number of branches predicted.
     #[must_use]
     pub fn predictions(&self) -> u64 {

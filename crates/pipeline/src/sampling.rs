@@ -23,7 +23,8 @@ use crate::branch::BranchPredictor;
 use crate::config::PipelineConfig;
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::Processor;
-use ltp_isa::DynInst;
+use ltp_core::LoadOutcome;
+use ltp_isa::{DecodedTrace, DynInst};
 use ltp_mem::{AccessKind, Cycle, MemoryRequest};
 
 /// Functional (no-timing) machine state advanced between detailed samples.
@@ -33,6 +34,10 @@ pub struct FunctionalFastForward {
     predictor: BranchPredictor,
     consumed: u64,
     llc_misses: u64,
+    // Scratch buffers reused across `advance_on` calls so the hot functional
+    // loop allocates nothing after the first interval.
+    mem_out_scratch: Vec<bool>,
+    ltp_scratch: Vec<LoadOutcome>,
 }
 
 impl FunctionalFastForward {
@@ -56,6 +61,8 @@ impl FunctionalFastForward {
             predictor: BranchPredictor::default_sized(),
             consumed: 0,
             llc_misses: 0,
+            mem_out_scratch: Vec::new(),
+            ltp_scratch: Vec::new(),
         }
     }
 
@@ -122,6 +129,91 @@ impl FunctionalFastForward {
         }
     }
 
+    /// Advances the functional machine from its current position to absolute
+    /// trace position `target` using a pre-decoded trace — the decode-once /
+    /// execute-many fast path.
+    ///
+    /// Instead of interpreting each [`DynInst`] (branch? memory op? load or
+    /// store?) on every pass, the [`DecodedTrace`] resolved those questions
+    /// once up front into flat per-kind event lists keyed by absolute
+    /// instruction index. Straight-line runs of non-memory, non-branch
+    /// instructions occupy no events at all, so the functional clock crosses
+    /// them in one batched step. The three pieces of functional state are
+    /// disjoint machines — the cache hierarchy + prefetcher see only memory
+    /// operations in order, the gshare predictor only branches in order, and
+    /// the LTP unit only load outcomes stamped with the instruction index —
+    /// so running one batched pass per kind produces **bit-identical** state
+    /// to the interleaved per-instruction [`FunctionalFastForward::feed`]
+    /// loop (the differential tests below and `tests/sampled_stream.rs` hold
+    /// the two paths to byte-identical checkpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is behind the current position or beyond the
+    /// decoded trace's length.
+    pub fn advance_on(&mut self, dec: &DecodedTrace, target: u64) {
+        let start = self.consumed;
+        assert!(
+            target >= start,
+            "cannot rewind the functional machine: at {start}, asked for {target}"
+        );
+        assert!(
+            target <= dec.len(),
+            "target {target} beyond decoded trace of {} instructions",
+            dec.len()
+        );
+        if target == start {
+            return;
+        }
+
+        // Memory pass: one batched walk of the hierarchy over every memory
+        // event in [start, target), LLC-miss outcome per event.
+        let mem_events = dec.mem_events_in(start, target);
+        let mut outcomes = std::mem::take(&mut self.mem_out_scratch);
+        outcomes.clear();
+        self.cpu.state.mem.warm_with_prefetch_batch(
+            mem_events.iter().map(|e| {
+                let kind = if e.is_store {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
+                MemoryRequest::new(e.pc, e.addr, kind)
+            }),
+            &mut outcomes,
+        );
+
+        // LTP pass: misses count for every memory op (matching `feed`), but
+        // only loads train the classifier/monitor, stamped with the
+        // instruction index as the functional clock.
+        let mut loads = std::mem::take(&mut self.ltp_scratch);
+        loads.clear();
+        for (e, &missed_llc) in mem_events.iter().zip(&outcomes) {
+            if missed_llc {
+                self.llc_misses += 1;
+            }
+            if e.is_load() {
+                loads.push(LoadOutcome {
+                    pc: e.pc,
+                    missed_llc,
+                    now: e.idx,
+                });
+            }
+        }
+        self.cpu.state.thread.ltp.on_load_outcomes(&loads);
+
+        // Branch pass: batched gshare training in program order.
+        self.predictor.train_batch(
+            dec.branch_events_in(start, target)
+                .iter()
+                .map(|e| (e.pc, e.taken)),
+        );
+
+        self.mem_out_scratch = outcomes;
+        self.ltp_scratch = loads;
+        self.consumed = target;
+    }
+
     /// Emits an empty-pipeline checkpoint at the current trace position: the
     /// warm caches, predictors and LTP learned state over a drained pipeline
     /// whose committed count equals the instructions consumed, so a resumed
@@ -156,7 +248,113 @@ impl FunctionalFastForward {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ltp_isa::{ArchReg, MemAccess, OpClass, Pc, SliceStream, StaticInst};
+    use ltp_isa::{ArchReg, BranchInfo, MemAccess, OpClass, Pc, SliceStream, StaticInst};
+
+    /// A trace mixing every event kind the functional machine reacts to:
+    /// strided and pseudo-random loads, stores, loop-like and data-dependent
+    /// branches, and straight-line ALU stretches that decode to no events.
+    fn mixed_trace(n: u64) -> Vec<DynInst> {
+        let mut x = 0x9e3779b97f4a7c15u64;
+        (0..n)
+            .map(|i| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                match i % 7 {
+                    0 | 3 => DynInst::new(
+                        i,
+                        StaticInst::new(Pc(0x400 + (i % 24) * 4), OpClass::Load)
+                            .with_dst(ArchReg::int(((i % 6) + 1) as usize))
+                            .with_src(ArchReg::int(1)),
+                    )
+                    .with_mem(MemAccess::qword(0x20_000 + (i * 8191) % 600_000)),
+                    1 => DynInst::new(
+                        i,
+                        StaticInst::new(Pc(0x500 + (i % 8) * 4), OpClass::Store)
+                            .with_src(ArchReg::int(2)),
+                    )
+                    .with_mem(MemAccess::qword(0x80_000 + (x % 300_000))),
+                    2 => DynInst::new(i, StaticInst::new(Pc(0x600 + (i % 4) * 4), OpClass::Branch))
+                        .with_branch(BranchInfo {
+                            taken: (i % 5 != 0) ^ ((x >> 33) & 1 == 1),
+                            target: Pc(0x400),
+                        }),
+                    _ => DynInst::new(
+                        i,
+                        StaticInst::new(Pc(0x700 + (i % 12) * 4), OpClass::IntAlu)
+                            .with_dst(ArchReg::int(((i % 5) + 1) as usize))
+                            .with_src(ArchReg::int(3)),
+                    ),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn decoded_advance_matches_feed_byte_identically() {
+        let trace = mixed_trace(6_000);
+        let dec = DecodedTrace::from_insts(&trace);
+        let cfg = PipelineConfig::ltp_proposed();
+
+        let mut reference = FunctionalFastForward::new(cfg);
+        let mut decoded = FunctionalFastForward::new(cfg);
+
+        // Advance in deliberately uneven chunks (including an empty one) and
+        // compare against the per-instruction reference at each boundary.
+        let boundaries = [0u64, 1, 137, 137, 1_338, 4_099, 6_000];
+        let mut pos = 0u64;
+        for &b in &boundaries {
+            reference.feed_all(&trace[pos as usize..b as usize]);
+            decoded.advance_on(&dec, b);
+            pos = b;
+            assert_eq!(decoded.consumed(), reference.consumed());
+
+            let ref_bytes = reference.checkpoint().expect("ref checkpoint").to_bytes();
+            let dec_bytes = decoded.checkpoint().expect("dec checkpoint").to_bytes();
+            assert_eq!(ref_bytes, dec_bytes, "checkpoint diverged at boundary {b}");
+        }
+        assert_eq!(
+            decoded.take_llc_misses(),
+            reference.take_llc_misses(),
+            "LPT cost estimate must match"
+        );
+    }
+
+    #[test]
+    fn decoded_advance_llc_misses_count_stores_too() {
+        // Stores that miss the LLC must contribute to the interval weight
+        // exactly as in `feed` (which counts every missing memory op).
+        let trace: Vec<DynInst> = (0..512u64)
+            .map(|i| {
+                DynInst::new(
+                    i,
+                    StaticInst::new(Pc(0x500), OpClass::Store).with_src(ArchReg::int(2)),
+                )
+                .with_mem(MemAccess::qword(0x100_000 + i * 4096))
+            })
+            .collect();
+        let dec = DecodedTrace::from_insts(&trace);
+        let cfg = PipelineConfig::ltp_proposed();
+
+        let mut reference = FunctionalFastForward::new(cfg);
+        reference.feed_all(&trace);
+        let mut decoded = FunctionalFastForward::new(cfg);
+        decoded.advance_on(&dec, dec.len());
+
+        let want = reference.take_llc_misses();
+        assert!(want > 0, "cold stores must miss");
+        assert_eq!(decoded.take_llc_misses(), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rewind")]
+    fn decoded_advance_rejects_rewind() {
+        let trace = mixed_trace(64);
+        let dec = DecodedTrace::from_insts(&trace);
+        let mut ff = FunctionalFastForward::new(PipelineConfig::ltp_proposed());
+        ff.advance_on(&dec, 32);
+        ff.advance_on(&dec, 16);
+    }
 
     fn mem_trace(n: u64) -> Vec<DynInst> {
         (0..n)

@@ -43,10 +43,13 @@ pub struct ConfidenceInterval {
 impl ConfidenceInterval {
     /// Computes the 95 % confidence interval of `samples`.
     ///
-    /// With zero samples everything is zero; with one sample the mean is that
-    /// sample and the half-width is infinite (one observation says nothing
-    /// about variance), which forces callers to surface "need more intervals"
-    /// instead of printing a fake ±0.
+    /// Degenerate sample counts stay well-defined: with zero samples
+    /// everything is zero; with one sample the mean is that sample and the
+    /// half-width is zero — the absence of an interval (one observation says
+    /// nothing about variance) is reported through `n` and
+    /// [`ConfidenceInterval::render`]'s "no interval" form rather than a
+    /// poisonous non-finite half-width that breaks downstream arithmetic and
+    /// formatting. Zero-variance samples produce an exactly zero half-width.
     #[must_use]
     pub fn from_samples(samples: &[f64]) -> ConfidenceInterval {
         let n = samples.len();
@@ -62,14 +65,20 @@ impl ConfidenceInterval {
         if n == 1 {
             return ConfidenceInterval {
                 mean,
-                half_width: f64::INFINITY,
+                half_width: 0.0,
                 stddev: 0.0,
                 n: 1,
             };
         }
         let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n as f64 - 1.0);
         let stddev = var.sqrt();
-        let half_width = t95(n - 1) * stddev / (n as f64).sqrt();
+        let half_width = if stddev == 0.0 {
+            // Exact zero even if a wider t-table ever returns a non-finite
+            // critical value (0 × ∞ would be NaN).
+            0.0
+        } else {
+            t95(n - 1) * stddev / (n as f64).sqrt()
+        };
         ConfidenceInterval {
             mean,
             half_width,
@@ -113,10 +122,33 @@ mod tests {
         let e = ConfidenceInterval::from_samples(&[]);
         assert_eq!(e.n, 0);
         assert_eq!(e.mean, 0.0);
+        assert_eq!(e.half_width, 0.0);
+        // A single sample has no variance information: the mean carries, the
+        // half-width stays a well-defined zero (not ∞/NaN, which poisons
+        // downstream `mean ± half_width` arithmetic), and rendering reports
+        // the missing interval explicitly.
         let s = ConfidenceInterval::from_samples(&[2.5]);
         assert_eq!(s.mean, 2.5);
-        assert!(s.half_width.is_infinite());
+        assert_eq!(s.n, 1);
+        assert_eq!(s.half_width, 0.0);
+        assert!(s.half_width.is_finite());
+        assert_eq!(s.relative_percent(), 0.0);
         assert!(s.render().contains("no interval"));
+    }
+
+    #[test]
+    fn degenerate_inputs_never_produce_non_finite_interval() {
+        // 1-sample, zero-variance and near-zero-variance inputs must all
+        // yield finite (and for the first two, exactly zero) half-widths.
+        for samples in [&[0.0][..], &[7.25][..], &[3.0, 3.0][..], &[1e-300; 5][..]] {
+            let ci = ConfidenceInterval::from_samples(samples);
+            assert!(ci.half_width.is_finite(), "samples {samples:?}");
+            assert!(ci.mean.is_finite());
+        }
+        assert_eq!(
+            ConfidenceInterval::from_samples(&[4.0, 4.0]).half_width,
+            0.0
+        );
     }
 
     #[test]

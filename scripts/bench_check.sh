@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Bench regression gate: compares a fresh bench snapshot (produced by
 # scripts/bench_snapshot.sh) against the committed BENCH_pipeline.json
-# "current" and "smt" sections, and fails if any tracked point regressed by
-# more than the tolerance (default 15 %).
+# "current", "smt" and "functional" sections, and fails if any tracked point
+# regressed by more than the tolerance (default 15 %).
 #
 # Usage:
 #   scripts/bench_check.sh FRESH.json [TOLERANCE_PERCENT]
@@ -36,7 +36,7 @@ with open(fresh_path) as f:
     fresh = json.load(f)
 
 tracked = {}
-for section in ("current", "smt"):
+for section in ("current", "smt", "functional"):
     for name, point in committed.get(section, {}).get("results", {}).items():
         tracked[name] = float(point["insts_per_sec"])
 
@@ -96,7 +96,7 @@ import json, sys
 with open(sys.argv[1]) as f:
     committed = json.load(f)
 results = {}
-for section in ("current", "smt"):
+for section in ("current", "smt", "functional"):
     for name, point in committed.get(section, {}).get("results", {}).items():
         results[name] = {"insts_per_sec": float(point["insts_per_sec"]) / 2.0}
 json.dump({"bench": "pipeline_throughput", "results": results}, open(sys.argv[2], "w"))

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Runs the pipeline_throughput benchmark and writes a JSON snapshot of
-# simulated-instructions-per-second for every machine × classifier point,
-# plus the 2-way SMT co-run points (pipeline_throughput/smt/*) so the
-# snapshot tracks aggregate SMT throughput alongside the single-thread
-# numbers.
+# Runs the pipeline_throughput and functional_ffwd benchmarks and writes a
+# JSON snapshot of simulated-instructions-per-second for every machine ×
+# classifier point, the 2-way SMT co-run points (pipeline_throughput/smt/*),
+# and the functional fast-forward points (functional_ffwd/*) that bound the
+# sampled-simulation speed-up.
 #
 # Usage:
 #   scripts/bench_snapshot.sh [OUTPUT.json]
@@ -24,14 +24,16 @@ trap 'rm -f "$RAW"' EXIT
 # `pipefail` already propagates a bench failure through the pipe; the
 # explicit PIPESTATUS check keeps that guarantee even if someone sources this
 # script or trims the `set` line, and names the failing stage in the error.
-cargo bench --bench pipeline_throughput | tee "$RAW" >&2 || {
-    status=("${PIPESTATUS[@]}")
-    echo "bench_snapshot: cargo bench exited ${status[0]} (tee ${status[1]})" >&2
-    # Propagate cargo's code when it failed; if only tee failed, still exit
-    # nonzero (the snapshot was not captured).
-    [[ "${status[0]:-1}" != "0" ]] && exit "${status[0]}"
-    exit 1
-}
+for BENCH in pipeline_throughput functional_ffwd; do
+    cargo bench --bench "$BENCH" | tee -a "$RAW" >&2 || {
+        status=("${PIPESTATUS[@]}")
+        echo "bench_snapshot: cargo bench $BENCH exited ${status[0]} (tee ${status[1]})" >&2
+        # Propagate cargo's code when it failed; if only tee failed, still
+        # exit nonzero (the snapshot was not captured).
+        [[ "${status[0]:-1}" != "0" ]] && exit "${status[0]}"
+        exit 1
+    }
+done
 
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
@@ -74,6 +76,13 @@ awk -v commit="$COMMIT" '
 # silently drop aggregate-SMT-throughput tracking from the trajectory.
 if ! grep -q '"pipeline_throughput/smt/co_run_' "$OUT"; then
     echo "bench_snapshot: no SMT co-run point in the snapshot — bench group renamed or dropped?" >&2
+    exit 1
+fi
+
+# Likewise the functional fast-forward points: they bound the sampled
+# simulation speed-up and gate the decode-once interpreter.
+if ! grep -q '"functional_ffwd/decoded/' "$OUT"; then
+    echo "bench_snapshot: no functional fast-forward point in the snapshot — bench group renamed or dropped?" >&2
     exit 1
 fi
 
