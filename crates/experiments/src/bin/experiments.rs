@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments [EXPERIMENT ...] [--quick] [--insts N] [--seed S] [--out DIR]
+//!             [--journal DIR] [--resume DIR] [--inject SPEC] [--retries N]
 //!
 //! EXPERIMENT: all | table1 | fig1 | fig2 | fig6 | fig7 | fig10 | fig11 | uit
 //!           | ablation | fig_smt | sample
@@ -10,15 +11,87 @@
 //! Reports are printed to stdout and written to `<out>/<experiment>.txt`
 //! (default `results/`). Run with `--release`; the debug build is an order of
 //! magnitude slower.
+//!
+//! The fault-tolerance flags apply to the `sample` experiment: `--journal DIR`
+//! appends completed intervals to per-point journals under `DIR`, `--resume
+//! DIR` replays matching journals (and implies journaling to the same
+//! directory), `--retries N` bounds attempts per interval, and `--inject
+//! SPEC` (or the `LTP_FAULT_PLAN` environment variable) injects a
+//! deterministic fault plan — see `ltp_experiments::fault::FaultPlan::parse`
+//! for the grammar.
+//!
+//! Exit codes: 0 success, 2 usage/configuration error, 3 a simulation failed
+//! outright, 4 everything ran but at least one sampled point is partial
+//! (lost intervals, flagged in the report).
 
-use ltp_experiments::{Experiment, RunOptions};
+use ltp_experiments::fault::FaultPlan;
+use ltp_experiments::sampled::{SampleRunControl, SampleRunStatus};
+use ltp_experiments::{sampled, Experiment, RunOptions};
 use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
+/// Exit code for usage and configuration errors.
+const EXIT_CONFIG: u8 = 2;
+/// Exit code when a simulation failed outright.
+const EXIT_SIM_ERROR: u8 = 3;
+/// Exit code when every experiment ran but a sampled point is partial.
+const EXIT_PARTIAL: u8 = 4;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(status) => {
+            if status.error_points > 0 {
+                ExitCode::from(EXIT_SIM_ERROR)
+            } else if status.partial_points > 0 {
+                ExitCode::from(EXIT_PARTIAL)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(CliError { message, code }) => {
+            eprintln!("error: {message}");
+            if code == EXIT_CONFIG {
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(code)
+        }
+    }
+}
+
+/// A fatal CLI failure with the exit code it maps to.
+struct CliError {
+    message: String,
+    code: u8,
+}
+
+impl CliError {
+    fn config(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: EXIT_CONFIG,
+        }
+    }
+
+    fn io(what: &str, path: &str, e: &std::io::Error) -> CliError {
+        CliError {
+            message: format!("{what} `{path}`: {e}"),
+            code: EXIT_CONFIG,
+        }
+    }
+}
+
+const USAGE: &str = "usage: experiments \
+[all|table1|fig1|fig2|fig6|fig7|fig10|fig11|uit|ablation|fig_smt|sample ...] \
+[--quick] [--insts N] [--seed S] [--out DIR] \
+[--journal DIR] [--resume DIR] [--inject SPEC] [--retries N]";
+
+fn run() -> Result<SampleRunStatus, CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiments: Vec<Experiment> = Vec::new();
     let mut opts = RunOptions::default();
     let mut out_dir = String::from("results");
+    let mut control = SampleRunControl::default();
 
     let mut i = 0;
     while i < args.len() {
@@ -26,44 +99,91 @@ fn main() {
             "--quick" => opts = RunOptions::quick(),
             "--insts" => {
                 i += 1;
-                opts.detail_insts = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--insts needs a number"));
+                opts.detail_insts = parse_flag_value(&args, i, "--insts", "a number")?;
             }
             "--seed" => {
                 i += 1;
-                opts.seed = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--seed needs a number"));
+                opts.seed = parse_flag_value(&args, i, "--seed", "a number")?;
             }
             "--out" => {
                 i += 1;
                 out_dir = args
                     .get(i)
                     .cloned()
-                    .unwrap_or_else(|| usage("--out needs a path"));
+                    .ok_or_else(|| CliError::config("--out needs a path"))?;
+            }
+            "--journal" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| CliError::config("--journal needs a directory"))?;
+                control.journal_dir = Some(PathBuf::from(dir));
+            }
+            "--resume" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| CliError::config("--resume needs a directory"))?;
+                control.journal_dir = Some(PathBuf::from(dir));
+                control.resume = true;
+            }
+            "--inject" => {
+                i += 1;
+                let spec = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| CliError::config("--inject needs a fault spec"))?;
+                control.faults = FaultPlan::parse(&spec)
+                    .map_err(|e| CliError::config(format!("bad --inject spec: {e}")))?;
+            }
+            "--retries" => {
+                i += 1;
+                let n: u32 = parse_flag_value(&args, i, "--retries", "a number")?;
+                let mut policy = ltp_experiments::parallel::RetryPolicy::default_sampled();
+                policy.max_attempts = n.max(1);
+                control.retry = Some(policy);
             }
             "all" => experiments.extend(Experiment::ALL),
-            "--help" | "-h" => usage(""),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(SampleRunStatus::default());
+            }
             name => match Experiment::from_name(name) {
                 Some(e) => experiments.push(e),
-                None => usage(&format!("unknown experiment '{name}'")),
+                None => return Err(CliError::config(format!("unknown experiment '{name}'"))),
             },
         }
         i += 1;
+    }
+    if control.faults.is_empty() {
+        if let Ok(spec) = std::env::var("LTP_FAULT_PLAN") {
+            control.faults = FaultPlan::parse(&spec)
+                .map_err(|e| CliError::config(format!("bad LTP_FAULT_PLAN: {e}")))?;
+        }
     }
     if experiments.is_empty() {
         experiments.extend(Experiment::ALL);
     }
 
-    std::fs::create_dir_all(&out_dir).expect("cannot create the output directory");
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| CliError::io("cannot create the output directory", &out_dir, &e))?;
 
+    let mut status = SampleRunStatus::default();
     for experiment in experiments {
         let started = std::time::Instant::now();
         eprintln!("== running {} ...", experiment.name());
-        let report = experiment.run(&opts);
+        // The `sample` experiment carries the fault-tolerance controls and
+        // reports how degraded the run was; everything else runs plainly.
+        let report = if experiment == Experiment::Sample {
+            let (report, run_status) = sampled::run_with_control(&opts, &control);
+            status.partial_points += run_status.partial_points;
+            status.error_points += run_status.error_points;
+            report
+        } else {
+            experiment.run(&opts)
+        };
         let elapsed = started.elapsed();
         println!("{report}");
         println!(
@@ -72,19 +192,22 @@ fn main() {
             elapsed.as_secs_f64()
         );
         let path = format!("{out_dir}/{}.txt", experiment.name());
-        let mut file = std::fs::File::create(&path).expect("cannot create the report file");
+        let mut file = std::fs::File::create(&path)
+            .map_err(|e| CliError::io("cannot create the report file", &path, &e))?;
         file.write_all(report.as_bytes())
-            .expect("cannot write the report file");
+            .map_err(|e| CliError::io("cannot write the report file", &path, &e))?;
     }
+    Ok(status)
 }
 
-fn usage(msg: &str) -> ! {
-    if !msg.is_empty() {
-        eprintln!("error: {msg}");
-    }
-    eprintln!(
-        "usage: experiments [all|table1|fig1|fig2|fig6|fig7|fig10|fig11|uit|ablation|fig_smt|sample ...] \
-         [--quick] [--insts N] [--seed S] [--out DIR]"
-    );
-    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+/// Parses the value following a flag, with a usage error naming the flag.
+fn parse_flag_value<T: std::str::FromStr>(
+    args: &[String],
+    i: usize,
+    flag: &str,
+    what: &str,
+) -> Result<T, CliError> {
+    args.get(i)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CliError::config(format!("{flag} needs {what}")))
 }

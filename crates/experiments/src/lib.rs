@@ -16,12 +16,14 @@
 
 pub mod ablation;
 pub mod classification;
+pub mod fault;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
 pub mod fig6;
 pub mod fig7;
 pub mod fig_smt;
+pub mod journal;
 pub mod parallel;
 pub mod runner;
 pub mod sampled;

@@ -13,6 +13,16 @@
 //! The `LTP_THREADS` environment variable overrides the detected parallelism
 //! (useful for reproducible CI runs and for pinning experiments to a core
 //! budget); invalid or zero values fall back to the detected count.
+//!
+//! The `_ft` variants ([`stream_map_lpt_ft`], [`par_map_lpt_ft`]) add a
+//! fault-tolerance layer: each task runs under [`catch_unwind`], a panicking
+//! or deadline-overrunning attempt is retried with exponential backoff per a
+//! [`RetryPolicy`], and a task whose attempts are exhausted comes back as a
+//! structured [`TaskFailure`] instead of tearing down the whole scope.
+//!
+//! [`catch_unwind`]: std::panic::catch_unwind
+
+use std::time::{Duration, Instant};
 
 /// Number of worker threads: the `LTP_THREADS` override when set and valid,
 /// otherwise the machine's available parallelism, clamped to `[1, n]`.
@@ -147,6 +157,25 @@ where
     results.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Locks a mutex, recovering the data if a previous holder panicked while
+/// the lock was held. The queue state is only mutated through small,
+/// panic-free critical sections, so its invariants survive a poisoned
+/// unlock; the fault-tolerant runners must keep going when one worker dies
+/// rather than cascade the panic through every thread touching the queue.
+fn lock_recover<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`](std::sync::Condvar::wait) with the same poison recovery
+/// as [`lock_recover`].
+fn wait_recover<'a, T>(
+    cv: &std::sync::Condvar,
+    guard: std::sync::MutexGuard<'a, T>,
+) -> std::sync::MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// The producer-side handle of [`stream_map_lpt`]: push one job with an LPT
 /// cost estimate. Pushing blocks while the bounded queue is full, which keeps
 /// at most a few encoded jobs in memory regardless of how far the producer
@@ -166,8 +195,10 @@ struct StreamShared<T> {
 
 #[derive(Debug)]
 struct StreamState<T> {
-    /// Jobs pushed but not yet claimed: `(push index, cost, item)`.
-    pending: Vec<(usize, u64, T)>,
+    /// Jobs pushed but not yet claimed: `(push index, cost, attempt, item)`.
+    /// Producer pushes always carry attempt 0; the fault-tolerant runners
+    /// re-enqueue failed jobs with the attempt count bumped.
+    pending: Vec<(usize, u64, u32, T)>,
     /// Set when the producer finishes (or either side unwinds): workers
     /// drain `pending` and exit, pushes become no-ops.
     closed: bool,
@@ -180,22 +211,51 @@ impl<T> StreamQueue<'_, T> {
     /// panicking worker (the panic propagates once the scope joins, so the
     /// dropped job is never observed).
     pub fn push(&self, cost: u64, item: T) {
-        let mut st = self.shared.state.lock().expect("stream queue poisoned");
+        let mut st = lock_recover(&self.shared.state);
         while st.pending.len() >= self.capacity && !st.closed {
-            st = self
-                .shared
-                .not_full
-                .wait(st)
-                .expect("stream queue poisoned");
+            st = wait_recover(&self.shared.not_full, st);
         }
         if st.closed {
             return;
         }
         let idx = st.pushed;
         st.pushed += 1;
-        st.pending.push((idx, cost, item));
+        st.pending.push((idx, cost, 0, item));
         drop(st);
         self.shared.not_empty.notify_one();
+    }
+}
+
+/// Re-enqueues a failed job for another attempt. Bypasses the capacity bound
+/// (the job was already admitted once; blocking here could wedge the last
+/// live worker) and ignores `closed` — closed only means the producer is
+/// done, and workers drain every pending retry before exiting.
+fn push_retry<T>(shared: &StreamShared<T>, idx: usize, cost: u64, attempt: u32, item: T) {
+    let mut st = lock_recover(&shared.state);
+    st.pending.push((idx, cost, attempt, item));
+    drop(st);
+    shared.not_empty.notify_one();
+}
+
+/// Claims the heaviest pending job, ties to the earliest pushed (online LPT),
+/// blocking while the queue is empty but still open. Returns `None` once the
+/// stream is closed and fully drained.
+fn claim_heaviest<T>(shared: &StreamShared<T>) -> Option<(usize, u64, u32, T)> {
+    let mut st = lock_recover(&shared.state);
+    loop {
+        let best = st
+            .pending
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (idx, cost, _, _))| (*cost, std::cmp::Reverse(*idx)))
+            .map(|(pos, _)| pos);
+        if let Some(pos) = best {
+            return Some(st.pending.swap_remove(pos));
+        }
+        if st.closed {
+            return None;
+        }
+        st = wait_recover(&shared.not_empty, st);
     }
 }
 
@@ -208,11 +268,7 @@ struct StreamCloseGuard<'a, T> {
 
 impl<T> Drop for StreamCloseGuard<'_, T> {
     fn drop(&mut self) {
-        self.shared
-            .state
-            .lock()
-            .expect("stream queue poisoned")
-            .closed = true;
+        lock_recover(&self.shared.state).closed = true;
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
     }
@@ -263,39 +319,9 @@ where
                     // the panic itself surfaces at join below.
                     let guard = StreamCloseGuard { shared: shared_ref };
                     let mut out: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let job = {
-                            let mut st = shared_ref.state.lock().expect("stream queue poisoned");
-                            loop {
-                                // Online LPT: heaviest pending job, ties to
-                                // the earliest pushed for determinism.
-                                let best = st
-                                    .pending
-                                    .iter()
-                                    .enumerate()
-                                    .max_by_key(|(_, (idx, cost, _))| {
-                                        (*cost, std::cmp::Reverse(*idx))
-                                    })
-                                    .map(|(pos, _)| pos);
-                                if let Some(pos) = best {
-                                    break Some(st.pending.swap_remove(pos));
-                                }
-                                if st.closed {
-                                    break None;
-                                }
-                                st = shared_ref
-                                    .not_empty
-                                    .wait(st)
-                                    .expect("stream queue poisoned");
-                            }
-                        };
-                        match job {
-                            Some((idx, _, item)) => {
-                                shared_ref.not_full.notify_one();
-                                out.push((idx, f_ref(item)));
-                            }
-                            None => break,
-                        }
+                    while let Some((idx, _, _, item)) = claim_heaviest(shared_ref) {
+                        shared_ref.not_full.notify_one();
+                        out.push((idx, f_ref(item)));
                     }
                     // Normal exit: disarm by forgetting nothing — closing an
                     // already-closed stream is harmless, so just drop.
@@ -324,6 +350,311 @@ where
 
     results.sort_by_key(|(i, _)| *i);
     results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Retry discipline for the fault-tolerant runners.
+///
+/// A task attempt fails when the task closure panics or (if `deadline` is
+/// set) when it runs longer than the deadline. Failed attempts are retried —
+/// after an exponential backoff — until `max_attempts` attempts have been
+/// consumed, at which point the task is abandoned with a [`TaskFailure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per task, including the first (clamped to ≥1).
+    pub max_attempts: u32,
+    /// Backoff before retry `k` is `base_backoff << k` (k = 0 for the first
+    /// retry), capping the shift at 10 doublings.
+    pub base_backoff: Duration,
+    /// Per-attempt wall-clock deadline. The check is post-hoc — the attempt
+    /// is not interrupted, its result is discarded once the overrun is
+    /// observed — which is enough because the simulator bounds true hangs
+    /// with its own deadlock watchdog, and task results are deterministic so
+    /// a discarded value equals the retried one.
+    pub deadline: Option<Duration>,
+}
+
+impl RetryPolicy {
+    /// No fault tolerance: a single attempt, no deadline. A panic still
+    /// surfaces as a [`TaskFailure`] rather than unwinding the scope.
+    #[must_use]
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            deadline: None,
+        }
+    }
+
+    /// The default policy for sampled simulation: three attempts with a
+    /// 10 ms initial backoff and a generous per-interval deadline (a quick
+    /// interval simulates in milliseconds; a minute means the worker is
+    /// wedged or the machine is badly oversubscribed).
+    #[must_use]
+    pub fn default_sampled() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            deadline: Some(Duration::from_secs(60)),
+        }
+    }
+
+    fn backoff_for(&self, attempt: u32) -> Duration {
+        self.base_backoff.saturating_mul(1 << attempt.min(10))
+    }
+}
+
+/// Why one attempt of a task failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The task closure panicked; the payload's message, when it had one.
+    Panic(String),
+    /// The attempt finished but overran the policy deadline.
+    DeadlineExceeded {
+        /// How long the attempt actually took.
+        elapsed: Duration,
+        /// The policy deadline it overran.
+        deadline: Duration,
+    },
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic(msg) => write!(f, "panicked: {msg}"),
+            FailureKind::DeadlineExceeded { elapsed, deadline } => write!(
+                f,
+                "deadline exceeded: ran {:.3}s against a {:.3}s deadline",
+                elapsed.as_secs_f64(),
+                deadline.as_secs_f64()
+            ),
+        }
+    }
+}
+
+/// A task abandoned after exhausting its retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// Push index of the failed task.
+    pub index: usize,
+    /// Attempts consumed (equals the policy's effective `max_attempts`).
+    pub attempts: u32,
+    /// The failure observed on the final attempt.
+    pub failure: FailureKind,
+}
+
+impl std::fmt::Display for TaskFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "task {} failed after {} attempt{}: {}",
+            self.index,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.failure
+        )
+    }
+}
+
+impl std::error::Error for TaskFailure {}
+
+/// The outcome of one fault-isolated task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskOutcome<R> {
+    /// The task produced a value, possibly after retries.
+    Done {
+        /// The value the task closure returned.
+        value: R,
+        /// Attempts consumed, including the successful one.
+        attempts: u32,
+    },
+    /// Every permitted attempt failed.
+    Failed(TaskFailure),
+}
+
+impl<R> TaskOutcome<R> {
+    /// The computed value, if the task succeeded.
+    #[must_use]
+    pub fn value(&self) -> Option<&R> {
+        match self {
+            TaskOutcome::Done { value, .. } => Some(value),
+            TaskOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure record, if the task was abandoned.
+    #[must_use]
+    pub fn failure(&self) -> Option<&TaskFailure> {
+        match self {
+            TaskOutcome::Done { .. } => None,
+            TaskOutcome::Failed(fail) => Some(fail),
+        }
+    }
+
+    /// Attempts this task consumed, whether it succeeded or not.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        match self {
+            TaskOutcome::Done { attempts, .. } => *attempts,
+            TaskOutcome::Failed(fail) => fail.attempts,
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fault-tolerant [`stream_map_lpt`]: same bounded queue and online-LPT
+/// claiming, but every task attempt runs under
+/// [`catch_unwind`](std::panic::catch_unwind), so one panicking job reports
+/// a structured failure instead of tearing down the scope. A failed attempt
+/// (panic or deadline overrun) is re-enqueued — after the policy backoff,
+/// with its attempt count bumped — so *another* worker can pick it up; a
+/// task that exhausts `policy.max_attempts` comes back as
+/// [`TaskOutcome::Failed`].
+///
+/// The task closure receives the job by reference plus the zero-based
+/// attempt number (a panicking attempt must not consume the job — it is
+/// needed again for the retry). Results come back in push order. A worker
+/// that claims the last pending job stays alive across its own retries, so
+/// progress is guaranteed even after its peers have drained out.
+pub fn stream_map_lpt_ft<T, R, P, F>(
+    expected_jobs: usize,
+    policy: RetryPolicy,
+    produce: P,
+    f: F,
+) -> Vec<TaskOutcome<R>>
+where
+    T: Send,
+    R: Send,
+    P: FnOnce(&StreamQueue<'_, T>),
+    F: Fn(&T, u32) -> R + Sync,
+{
+    let max_attempts = policy.max_attempts.max(1);
+    let workers = thread_count(expected_jobs.max(1));
+    let shared = StreamShared {
+        state: std::sync::Mutex::new(StreamState {
+            pending: Vec::new(),
+            closed: false,
+            pushed: 0,
+        }),
+        not_empty: std::sync::Condvar::new(),
+        not_full: std::sync::Condvar::new(),
+    };
+
+    let mut results: Vec<(usize, TaskOutcome<R>)> = std::thread::scope(|scope| {
+        let shared_ref = &shared;
+        let f_ref = &f;
+        let policy_ref = &policy;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, TaskOutcome<R>)> = Vec::new();
+                    while let Some((idx, cost, attempt, item)) = claim_heaviest(shared_ref) {
+                        shared_ref.not_full.notify_one();
+                        let started = Instant::now();
+                        let attempt_result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                f_ref(&item, attempt)
+                            }));
+                        let elapsed = started.elapsed();
+                        let failure = match attempt_result {
+                            Ok(value) => match policy_ref.deadline {
+                                Some(deadline) if elapsed > deadline => {
+                                    FailureKind::DeadlineExceeded { elapsed, deadline }
+                                }
+                                _ => {
+                                    out.push((
+                                        idx,
+                                        TaskOutcome::Done {
+                                            value,
+                                            attempts: attempt + 1,
+                                        },
+                                    ));
+                                    continue;
+                                }
+                            },
+                            Err(payload) => FailureKind::Panic(panic_message(payload.as_ref())),
+                        };
+                        if attempt + 1 < max_attempts {
+                            std::thread::sleep(policy_ref.backoff_for(attempt));
+                            push_retry(shared_ref, idx, cost, attempt + 1, item);
+                        } else {
+                            out.push((
+                                idx,
+                                TaskOutcome::Failed(TaskFailure {
+                                    index: idx,
+                                    attempts: attempt + 1,
+                                    failure,
+                                }),
+                            ));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+
+        {
+            // Producer runs on the caller's thread; the guard closes the
+            // stream when it returns *or unwinds*, releasing the workers.
+            let _close = StreamCloseGuard { shared: shared_ref };
+            let queue = StreamQueue {
+                shared: shared_ref,
+                capacity: (workers * 2).max(1),
+            };
+            produce(&queue);
+        }
+
+        handles
+            .into_iter()
+            // Task panics are caught inside the worker loop; a join failure
+            // here would be a bug in the runner itself.
+            .flat_map(|h| {
+                h.join()
+                    .expect("fault-tolerant worker died outside task isolation")
+            })
+            .collect()
+    });
+
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Fault-tolerant [`par_map_lpt`]: applies `f` to every item with LPT load
+/// balancing and the panic/deadline/retry isolation of
+/// [`stream_map_lpt_ft`]. Outcomes come back in item order.
+pub fn par_map_lpt_ft<T, R, C, F>(
+    items: Vec<T>,
+    policy: RetryPolicy,
+    cost: C,
+    f: F,
+) -> Vec<TaskOutcome<R>>
+where
+    T: Send,
+    R: Send,
+    C: Fn(&T) -> u64,
+    F: Fn(&T, u32) -> R + Sync,
+{
+    let n = items.len();
+    stream_map_lpt_ft(
+        n,
+        policy,
+        move |q| {
+            for item in items {
+                let c = cost(&item);
+                q.push(c, item);
+            }
+        },
+        f,
+    )
 }
 
 #[cfg(test)]
@@ -501,6 +832,161 @@ mod tests {
             |x| x * x,
         );
         assert_eq!(two_phase, streamed);
+    }
+
+    #[test]
+    fn lock_recover_recovers_poisoned_mutex() {
+        let m = std::sync::Arc::new(std::sync::Mutex::new(7u64));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().expect("fresh mutex");
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex should be poisoned");
+        assert_eq!(*lock_recover(&m), 7);
+    }
+
+    #[test]
+    fn ft_matches_plain_when_fault_free() {
+        let items: Vec<u64> = (0..64).map(|i| (i * 37) % 19).collect();
+        let plain = par_map_lpt(items.clone(), |&x| x + 1, |&x| x * x);
+        let ft = par_map_lpt_ft(items, RetryPolicy::none(), |&x| x + 1, |&x, _| x * x);
+        assert_eq!(ft.len(), plain.len());
+        for (out, expect) in ft.iter().zip(plain) {
+            assert_eq!(out.value(), Some(&expect));
+            assert_eq!(out.attempts(), 1);
+        }
+    }
+
+    #[test]
+    fn ft_panicking_task_retries_and_succeeds() {
+        let items: Vec<u64> = (0..40).collect();
+        let out = par_map_lpt_ft(
+            items,
+            RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::ZERO,
+                deadline: None,
+            },
+            |_| 1,
+            |&x, attempt| {
+                if x == 17 && attempt == 0 {
+                    panic!("injected fault at item 17");
+                }
+                x * 2
+            },
+        );
+        assert_eq!(out.len(), 40);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.value(), Some(&(i as u64 * 2)), "item {i}");
+            let expected_attempts = if i == 17 { 2 } else { 1 };
+            assert_eq!(o.attempts(), expected_attempts, "item {i}");
+        }
+    }
+
+    #[test]
+    fn ft_exhausted_retries_report_structured_failure() {
+        let out = par_map_lpt_ft(
+            (0..8u64).collect(),
+            RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::ZERO,
+                deadline: None,
+            },
+            |_| 1,
+            |&x, _| {
+                if x == 3 {
+                    panic!("item {x} always fails");
+                }
+                x
+            },
+        );
+        let fail = out[3].failure().expect("item 3 must fail");
+        assert_eq!(fail.index, 3);
+        assert_eq!(fail.attempts, 3);
+        match &fail.failure {
+            FailureKind::Panic(msg) => assert!(msg.contains("always fails"), "got {msg:?}"),
+            other => panic!("expected a panic failure, got {other:?}"),
+        }
+        assert!(fail.to_string().contains("after 3 attempts"));
+        // Every other item still completed on the first attempt.
+        for (i, o) in out.iter().enumerate() {
+            if i != 3 {
+                assert_eq!(o.value(), Some(&(i as u64)));
+                assert_eq!(o.attempts(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ft_deadline_overrun_discards_and_retries() {
+        let out = par_map_lpt_ft(
+            (0..4u64).collect(),
+            RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::ZERO,
+                deadline: Some(Duration::from_millis(20)),
+            },
+            |_| 1,
+            |&x, attempt| {
+                if x == 2 && attempt == 0 {
+                    std::thread::sleep(Duration::from_millis(60));
+                }
+                x + 100
+            },
+        );
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.value(), Some(&(i as u64 + 100)), "item {i}");
+        }
+        assert_eq!(out[2].attempts(), 2, "slow first attempt must be retried");
+    }
+
+    #[test]
+    fn ft_single_worker_survives_its_own_retries() {
+        // expected_jobs = 1 sizes the pool to exactly one worker; the retry
+        // re-enqueue must not deadlock when the failing worker is the only
+        // one left to pick the job back up.
+        let out = stream_map_lpt_ft(
+            1,
+            RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::ZERO,
+                deadline: None,
+            },
+            |q| {
+                for i in 0..5u64 {
+                    q.push(1, i);
+                }
+            },
+            |&x, attempt| {
+                if attempt == 0 && x % 2 == 0 {
+                    panic!("first attempt of even items fails");
+                }
+                x * 10
+            },
+        );
+        assert_eq!(out.len(), 5);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.value(), Some(&(i as u64 * 10)));
+            let expected = if i % 2 == 0 { 2 } else { 1 };
+            assert_eq!(o.attempts(), expected, "item {i}");
+        }
+    }
+
+    #[test]
+    fn retry_policy_backoff_grows_and_saturates() {
+        let p = RetryPolicy {
+            max_attempts: 100,
+            base_backoff: Duration::from_millis(2),
+            deadline: None,
+        };
+        assert_eq!(p.backoff_for(0), Duration::from_millis(2));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(4));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(16));
+        // Shift is capped: huge attempt counts don't overflow.
+        assert_eq!(p.backoff_for(64), Duration::from_millis(2 * 1024));
+        assert_eq!(RetryPolicy::none().backoff_for(9), Duration::ZERO);
     }
 
     #[test]

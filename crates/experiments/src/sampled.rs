@@ -37,14 +37,18 @@
 //! the full-detail run of the same trace, reporting the IPC error and the
 //! speed-up per simulation point.
 
-use crate::parallel::{par_map_lpt, stream_map_lpt};
+use crate::fault::FaultPlan;
+use crate::journal::{self, JournalHeader, JournalRecord, JournalWriter};
+use crate::parallel::{par_map_lpt, stream_map_lpt_ft, RetryPolicy, TaskFailure, TaskOutcome};
 use crate::runner::{limit_study_config, RunOptions};
 use ltp_core::{LtpMode, OracleClassifier};
 use ltp_isa::{DecodedTrace, DynInst};
 use ltp_pipeline::{FunctionalFastForward, PipelineConfig, RunError, Snapshot};
 use ltp_stats::{ConfidenceInterval, TextTable};
 use ltp_workloads::{replay_slice, trace, WorkloadKind};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Shape of one sampled-simulation run.
@@ -165,6 +169,13 @@ pub struct SampledTiming {
     pub detail_cpu_secs: f64,
     /// Per-interval IPC aggregation into the confidence interval.
     pub aggregate_secs: f64,
+    /// Total journaling cost: loading/replaying resumed records at setup,
+    /// encoding each checkpoint as the producer captures it (cache-hot),
+    /// buffering each completed interval's pre-encoded bytes on the worker
+    /// that measured it, and the single-threaded end-of-run drain that
+    /// frames and writes the journal file (zero when the run is not
+    /// journaled).
+    pub journal_secs: f64,
     /// End-to-end wall clock of the sampled run.
     pub total_secs: f64,
 }
@@ -184,6 +195,86 @@ pub struct IntervalMeasurement {
     pub ipc: f64,
     /// LPT cost weight (functional LLC misses in the interval).
     pub weight: u64,
+}
+
+/// Why one interval produced no measurement.
+#[derive(Debug, Clone)]
+pub enum IntervalError {
+    /// A deterministic simulation error (e.g. a detected deadlock, with its
+    /// diagnostic snapshot attached). Deterministic errors are *not*
+    /// retried: the same inputs would fail the same way.
+    Run(RunError),
+    /// The fault-tolerance layer abandoned the interval after exhausting its
+    /// retry budget (worker panics and/or deadline overruns).
+    Task(TaskFailure),
+}
+
+impl std::fmt::Display for IntervalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntervalError::Run(e) => write!(f, "simulation error: {e}"),
+            IntervalError::Task(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A sample interval that produced no measurement; the run degrades to a
+/// partial result instead of failing outright.
+#[derive(Debug, Clone)]
+pub struct IntervalFailure {
+    /// Interval index in trace order.
+    pub index: usize,
+    /// Trace position (instructions) of the interval's checkpoint.
+    pub start: u64,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+    /// What went wrong.
+    pub error: IntervalError,
+}
+
+impl std::fmt::Display for IntervalFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "interval {} (at inst {}) lost after {} attempt{}: {}",
+            self.index,
+            self.start,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.error
+        )
+    }
+}
+
+/// Fault-tolerance and persistence controls for one sampled point.
+#[derive(Debug, Clone)]
+pub struct SampleControl {
+    /// Retry discipline for interval simulation attempts.
+    pub retry: RetryPolicy,
+    /// Deterministic fault plan injected into interval attempts.
+    pub faults: FaultPlan,
+    /// Journal file for this point: completed intervals are appended as they
+    /// finish, and `resume` replays them.
+    pub journal: Option<PathBuf>,
+    /// Replay completed intervals from `journal` before simulating; only a
+    /// journal whose header matches this run field-for-field is trusted, and
+    /// a missing or damaged journal silently degrades to a fresh run.
+    pub resume: bool,
+    /// Configuration label recorded in (and checked against) the journal
+    /// header.
+    pub config_label: String,
+}
+
+impl Default for SampleControl {
+    fn default() -> SampleControl {
+        SampleControl {
+            retry: RetryPolicy::none(),
+            faults: FaultPlan::new(),
+            journal: None,
+            resume: false,
+            config_label: String::new(),
+        }
+    }
 }
 
 /// The aggregate of a sampled run.
@@ -206,9 +297,26 @@ pub struct SampledResult {
     /// Wall-clock breakdown (functional pass / detailed intervals /
     /// aggregation).
     pub timing: SampledTiming,
+    /// Intervals that produced no measurement (empty on a clean run). When
+    /// non-empty the result is *partial*: `ipc` covers the measured
+    /// intervals only and its confidence interval is widened for the missing
+    /// ones ([`ConfidenceInterval::widened_for_missing`]).
+    pub failures: Vec<IntervalFailure>,
+    /// Intervals the run planned to measure.
+    pub planned_intervals: usize,
+    /// Intervals replayed from the journal instead of simulated.
+    pub resumed_intervals: usize,
+    /// First journaling I/O error, if any — journaling is best-effort and
+    /// never fails the run, but silence would hide a dead journal.
+    pub journal_error: Option<String>,
 }
 
 impl SampledResult {
+    /// Whether any planned interval was lost (the result is degraded).
+    #[must_use]
+    pub fn is_partial(&self) -> bool {
+        !self.failures.is_empty()
+    }
     /// Aggregate IPC weighted by measured instructions (total work over
     /// total measured time), the estimator compared against full-detail IPC.
     #[must_use]
@@ -289,6 +397,63 @@ pub fn run_sampled_prepared(
     oracle: Option<&OracleClassifier>,
     spec: &SampleSpec,
 ) -> Result<SampledResult, RunError> {
+    let mut r = run_sampled_controlled(
+        cfg,
+        kind,
+        detail,
+        dec,
+        oracle,
+        spec,
+        &SampleControl::default(),
+    )?;
+    // This entry point predates partial results: a lost interval keeps the
+    // historical contract — deterministic errors propagate, anything else
+    // (a genuine bug panic, since no faults are injected here) resurfaces.
+    if !r.failures.is_empty() {
+        let first = r.failures.remove(0);
+        return match first.error {
+            IntervalError::Run(e) => Err(e),
+            IntervalError::Task(t) => panic!("{t}"),
+        };
+    }
+    Ok(r)
+}
+
+/// The fully controlled streaming runner: [`run_sampled_prepared`] plus the
+/// fault-tolerance layer. Interval attempts run isolated under
+/// [`stream_map_lpt_ft`] with `control.retry`; a deterministic [`RunError`]
+/// (e.g. a detected deadlock) is *not* retried and surfaces as an
+/// [`IntervalFailure`] carrying the error, while panics and deadline
+/// overruns are retried per policy before the interval is declared lost.
+/// Lost intervals degrade the result to a clearly flagged partial one
+/// ([`SampledResult::is_partial`]) with a widened confidence interval rather
+/// than failing the run.
+///
+/// With `control.journal` set, every completed interval is appended to an
+/// on-disk, checksummed journal as it finishes; with `control.resume` also
+/// set, intervals already in a matching journal are replayed instead of
+/// re-simulated (if *all* intervals replay, the functional pass is skipped
+/// entirely). Per-interval measurements are deterministic, so a resumed or
+/// fault-recovered run aggregates bit-identically to an uninterrupted one.
+///
+/// # Errors
+///
+/// Same as [`run_sampled`] for whole-run failures (e.g. unsupported
+/// snapshot configurations). Per-interval failures come back *inside* the
+/// result, not as `Err`.
+///
+/// # Panics
+///
+/// Same as [`run_sampled`].
+pub fn run_sampled_controlled(
+    cfg: PipelineConfig,
+    kind: WorkloadKind,
+    detail: &[DynInst],
+    dec: &DecodedTrace,
+    oracle: Option<&OracleClassifier>,
+    spec: &SampleSpec,
+    control: &SampleControl,
+) -> Result<SampledResult, RunError> {
     spec.validate();
     assert_eq!(
         dec.len(),
@@ -301,98 +466,312 @@ pub fn run_sampled_prepared(
     let stride = total / intervals as u64;
     let (warm_eff, measure_eff) = spec.effective_window(stride);
     let starts = spec.interval_starts(total);
+    let name = kind.name();
+
+    // Resume: replay completed intervals from a journal whose header matches
+    // this run exactly. A missing, damaged or mismatched journal is not an
+    // error — the run simply starts fresh.
+    let journal_t0 = Instant::now();
+    let header = (control.journal.is_some() || control.resume)
+        .then(|| JournalHeader::for_run(spec, name, &control.config_label, &cfg));
+    let mut replayed: Vec<(IntervalMeasurement, Vec<u8>)> = Vec::new();
+    if control.resume {
+        if let Some(path) = control.journal.as_deref() {
+            if let Ok(loaded) = journal::load_journal(path) {
+                if Some(&loaded.header) == header.as_ref() {
+                    for rec in loaded.records {
+                        let idx = usize::try_from(rec.index).unwrap_or(usize::MAX);
+                        if idx < intervals && starts.get(idx) == Some(&rec.start) {
+                            replayed.push((
+                                IntervalMeasurement {
+                                    index: idx,
+                                    start: rec.start,
+                                    instructions: rec.instructions,
+                                    cycles: rec.cycles,
+                                    ipc: rec.instructions as f64 / rec.cycles.max(1) as f64,
+                                    weight: rec.weight,
+                                },
+                                rec.snapshot,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let done: std::collections::HashSet<usize> = replayed.iter().map(|(m, _)| m.index).collect();
+    let resumed_intervals = done.len();
+    let all_done = resumed_intervals == intervals;
+
+    let journal_setup_secs = journal_t0.elapsed().as_secs_f64();
+    let journal_nanos = AtomicU64::new(0);
+    let journal_encode_ns: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+    // Journaling is best-effort: an I/O failure is reported on the result
+    // but never fails (or retries) the simulation. The producer encodes
+    // each checkpoint the moment it captures it (cache-hot — see
+    // `IntervalJob::snap_bytes`); a worker only buffers the completed
+    // interval's pre-encoded bytes (a refcount bump); the journal file
+    // itself is created and written in one single-threaded drain after the
+    // parallel stream ends, so I/O stays off the simulation's critical
+    // path and the drain's elapsed time is an exact (not
+    // preemption-inflated) measurement on single-core hosts. One point's
+    // run is tens of milliseconds, so a crash loses at most the in-flight
+    // point's journal — earlier points' journals are already on disk.
+    let journal_on = control.journal.is_some() && header.is_some();
+    let journal_pending: Mutex<Vec<PendingRecord>> = Mutex::new(Vec::new());
 
     // An oracle-classified configuration gets one whole-trace analysis shared
-    // by every interval — the same analysis a full-detail run would use.
-    let analysed: Option<OracleClassifier> = if oracle.is_none() && cfg.needs_oracle() {
+    // by every interval — the same analysis a full-detail run would use (and
+    // none at all when the journal already covers every interval).
+    let analysed: Option<OracleClassifier> = if !all_done && oracle.is_none() && cfg.needs_oracle()
+    {
         Some(crate::sim::analyze_oracle(&cfg, detail))
     } else {
         None
     };
     let oracle = oracle.or(analysed.as_ref());
-    let name = kind.name();
-
-    // Functional producer state: warm the caches, then fast-forward over the
-    // pre-decoded event lists.
-    let func_t0 = Instant::now();
-    let mut ff = FunctionalFastForward::new(cfg);
-    if spec.warm_insts > 0 {
-        let warm = trace(kind, spec.seed, spec.warm_insts as usize);
-        ff.warm_caches(&warm);
-    }
 
     // Streaming pipeline: the functional pass runs on this thread and emits
     // each interval's checkpoint into the bounded queue the moment its
     // boundary is reached; workers start the detailed simulation of an
     // interval immediately, heaviest (most functional misses) first. The
     // detailed phase therefore overlaps all of the functional pass after the
-    // first interval boundary.
+    // first interval boundary. Replayed intervals are fast-forwarded over
+    // without checkpointing; when everything replayed, the pass is skipped.
     let mut producer_err: Option<RunError> = None;
     let mut functional_secs = 0.0f64;
-    let mut checkpoint_bytes = 0usize;
+    let mut checkpoint_bytes = replayed
+        .iter()
+        .find(|(m, _)| m.index == 0)
+        .map_or(0, |(_, bytes)| bytes.len());
     let detail_nanos = AtomicU64::new(0);
-    let measurements: Vec<Result<IntervalMeasurement, RunError>> = stream_map_lpt(
-        intervals,
-        |queue| {
-            for (i, &start) in starts.iter().enumerate() {
-                ff.advance_on(dec, start);
-                let snap = match ff.checkpoint() {
-                    Ok(snap) => snap,
-                    Err(e) => {
-                        producer_err = Some(RunError::SnapshotUnsupported(e.to_string()));
+    let outcomes: Vec<TaskOutcome<Result<IntervalMeasurement, RunError>>> = if all_done {
+        Vec::new()
+    } else {
+        let func_t0 = Instant::now();
+        let mut ff = FunctionalFastForward::new(cfg);
+        if spec.warm_insts > 0 {
+            let warm = trace(kind, spec.seed, spec.warm_insts as usize);
+            ff.warm_caches(&warm);
+        }
+        stream_map_lpt_ft(
+            intervals - resumed_intervals,
+            control.retry,
+            |queue| {
+                for (i, &start) in starts.iter().enumerate() {
+                    ff.advance_on(dec, start);
+                    if !done.contains(&i) {
+                        let snap = match ff.checkpoint() {
+                            Ok(snap) => snap,
+                            Err(e) => {
+                                producer_err = Some(RunError::SnapshotUnsupported(e.to_string()));
+                                break;
+                            }
+                        };
+                        // Journaled runs encode the checkpoint here, right
+                        // after capture, while its machine state is still
+                        // hot in cache — deferring the encode to the drain
+                        // costs 2-4x more once the state has been evicted.
+                        let snap_bytes = if journal_on {
+                            let j0 = Instant::now();
+                            let bytes = Arc::new(snap.to_bytes());
+                            journal_encode_ns
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .push(u64::try_from(j0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                            Some(bytes)
+                        } else {
+                            None
+                        };
+                        if i == 0 {
+                            // Report what persisting a checkpoint costs;
+                            // reuse the journal encoding when there is one.
+                            checkpoint_bytes = snap_bytes
+                                .as_ref()
+                                .map_or_else(|| snap.to_bytes().len(), |b| b.len());
+                        }
+                        let end = starts.get(i + 1).copied().unwrap_or(total);
+                        ff.advance_on(dec, end);
+                        let weight = ff.take_llc_misses();
+                        // LPT cost: the detailed window length is constant,
+                        // so the miss weight is the differentiating term; +1
+                        // keeps zero-miss intervals schedulable.
+                        queue.push(
+                            weight + 1,
+                            IntervalJob {
+                                index: i,
+                                start,
+                                snap: Arc::new(snap),
+                                snap_bytes,
+                                weight,
+                            },
+                        );
+                    } else {
+                        let end = starts.get(i + 1).copied().unwrap_or(total);
+                        ff.advance_on(dec, end);
+                        let _ = ff.take_llc_misses();
+                    }
+                }
+                functional_secs = func_t0.elapsed().as_secs_f64();
+            },
+            |job, attempt| {
+                control.faults.inject(job.index, attempt);
+                let t0 = Instant::now();
+                let m = simulate_interval(job, oracle, name, detail, warm_eff, measure_eff);
+                detail_nanos.fetch_add(
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    Ordering::Relaxed,
+                );
+                if let (Ok(m), Some(bytes)) = (&m, &job.snap_bytes) {
+                    let j0 = Instant::now();
+                    let pending = PendingRecord {
+                        index: job.index,
+                        start: job.start,
+                        weight: job.weight,
+                        instructions: m.instructions,
+                        cycles: m.cycles,
+                        snap_bytes: bytes.clone(),
+                    };
+                    journal_pending
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .push(pending);
+                    journal_nanos.fetch_add(
+                        u64::try_from(j0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        Ordering::Relaxed,
+                    );
+                }
+                m
+            },
+        )
+    };
+    // Single-threaded journal drain: the parallel stream is over, so this
+    // runs with the machine to itself and its elapsed time is the true
+    // wall-clock journaling adds. The journal is rewritten from scratch on
+    // every run — replayed records are re-appended first, so a resumed
+    // journal sheds any damaged tail; the first I/O error kills the journal
+    // (best-effort) without failing the run.
+    let journal_tail_t0 = Instant::now();
+    let mut journal_error: Option<String> = None;
+    if let (true, Some(path), Some(h)) = (journal_on, control.journal.as_deref(), header.as_ref()) {
+        let mut pending = journal_pending
+            .into_inner()
+            .unwrap_or_else(|p| p.into_inner());
+        pending.sort_by_key(|p| p.index);
+        match JournalWriter::create(path, h) {
+            Ok(mut w) => {
+                let records = replayed
+                    .iter()
+                    .map(|(m, snap_bytes)| JournalRecord {
+                        index: m.index as u64,
+                        start: m.start,
+                        weight: m.weight,
+                        instructions: m.instructions,
+                        cycles: m.cycles,
+                        snapshot: snap_bytes.clone(),
+                    })
+                    .chain(pending.drain(..).map(|p| JournalRecord {
+                        index: p.index as u64,
+                        start: p.start,
+                        weight: p.weight,
+                        instructions: p.instructions,
+                        cycles: p.cycles,
+                        // The job holding the other handle is long dropped,
+                        // so this moves the bytes rather than copying them.
+                        snapshot:
+                            Arc::try_unwrap(p.snap_bytes).unwrap_or_else(|a| a.as_ref().clone()),
+                    }));
+                for rec in records {
+                    if let Err(e) = w.append(&rec) {
+                        journal_error = Some(e.to_string());
                         break;
                     }
-                };
-                if i == 0 {
-                    // Encode one checkpoint per run to report what persisting
-                    // a checkpoint would cost; the rest stay in memory only.
-                    checkpoint_bytes = snap.to_bytes().len();
                 }
-                let end = starts.get(i + 1).copied().unwrap_or(total);
-                ff.advance_on(dec, end);
-                let weight = ff.take_llc_misses();
-                // LPT cost: the detailed window length is constant, so the
-                // miss weight is the differentiating term; +1 keeps
-                // zero-miss intervals schedulable.
-                queue.push(
-                    weight + 1,
-                    IntervalJob {
-                        index: i,
-                        start,
-                        snap,
-                        weight,
-                    },
-                );
             }
-            functional_secs = func_t0.elapsed().as_secs_f64();
-        },
-        |job| {
-            let t0 = Instant::now();
-            let m = simulate_interval(&job, oracle, name, detail, warm_eff, measure_eff);
-            detail_nanos.fetch_add(
-                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                Ordering::Relaxed,
-            );
-            m
-        },
-    );
+            Err(e) => journal_error = Some(e.to_string()),
+        }
+    }
+    let journal_tail_secs = journal_tail_t0.elapsed().as_secs_f64();
+    // Capture-time encodes run inside the concurrent region, where a
+    // scheduler preemption mid-timer bills another thread's entire slice to
+    // one ~200us encode. Capping every sample at 8x the median keeps real
+    // per-checkpoint variation (snapshots grow as caches fill) while
+    // rejecting those spikes, so the reported journal cost tracks the work
+    // journaling actually does.
+    let journal_encode_secs = {
+        let mut ns = journal_encode_ns
+            .into_inner()
+            .unwrap_or_else(|p| p.into_inner());
+        if ns.is_empty() {
+            0.0
+        } else {
+            ns.sort_unstable();
+            let cap = ns[ns.len() / 2].saturating_mul(8);
+            ns.iter().map(|&d| d.min(cap) as f64).sum::<f64>() / 1e9
+        }
+    };
+    if std::env::var_os("LTP_JOURNAL_DEBUG").is_some() {
+        eprintln!(
+            "journal debug: setup {:.4}s encode {:.4}s handoff {:.4}s drain {:.4}s",
+            journal_setup_secs,
+            journal_encode_secs,
+            journal_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            journal_tail_secs,
+        );
+    }
     if let Some(e) = producer_err {
         return Err(e);
     }
 
     let agg_t0 = Instant::now();
-    // `stream_map_lpt` returns results in push (= trace) order.
-    let mut intervals_out = Vec::with_capacity(measurements.len());
-    for m in measurements {
-        intervals_out.push(m?);
+    // Jobs were pushed in trace order for exactly the non-replayed
+    // intervals, and `stream_map_lpt_ft` returns outcomes in push order —
+    // map them back to interval indices.
+    let pushed: Vec<usize> = (0..intervals).filter(|i| !done.contains(i)).collect();
+    debug_assert_eq!(outcomes.len(), pushed.len());
+    let mut intervals_out: Vec<IntervalMeasurement> =
+        replayed.into_iter().map(|(m, _)| m).collect();
+    let mut failures: Vec<IntervalFailure> = Vec::new();
+    for (k, outcome) in outcomes.into_iter().enumerate() {
+        let index = pushed[k];
+        let start = starts[index];
+        match outcome {
+            TaskOutcome::Done { value: Ok(m), .. } => intervals_out.push(m),
+            TaskOutcome::Done {
+                value: Err(e),
+                attempts,
+            } => failures.push(IntervalFailure {
+                index,
+                start,
+                attempts,
+                error: IntervalError::Run(e),
+            }),
+            TaskOutcome::Failed(mut t) => {
+                // The task layer knows only push indices; report trace ones.
+                t.index = index;
+                failures.push(IntervalFailure {
+                    index,
+                    start,
+                    attempts: t.attempts,
+                    error: IntervalError::Task(t),
+                });
+            }
+        }
     }
-    debug_assert!(intervals_out.windows(2).all(|w| w[0].index < w[1].index));
+    intervals_out.sort_by_key(|m| m.index);
+    failures.sort_by_key(|f| f.index);
+
     let samples: Vec<f64> = intervals_out.iter().map(|m| m.ipc).collect();
-    let ipc = ConfidenceInterval::from_samples(&samples);
+    let ipc = ConfidenceInterval::from_samples(&samples).widened_for_missing(failures.len());
     let timing = SampledTiming {
         functional_secs,
         detail_cpu_secs: detail_nanos.load(Ordering::Relaxed) as f64 / 1e9,
         aggregate_secs: agg_t0.elapsed().as_secs_f64(),
+        journal_secs: journal_setup_secs
+            + journal_tail_secs
+            + journal_encode_secs
+            + journal_nanos.load(Ordering::Relaxed) as f64 / 1e9,
         total_secs: run_t0.elapsed().as_secs_f64(),
     };
     Ok(SampledResult {
@@ -406,17 +785,38 @@ pub fn run_sampled_prepared(
         intervals: intervals_out,
         checkpoint_bytes,
         timing,
+        failures,
+        planned_intervals: intervals,
+        resumed_intervals,
+        journal_error,
     })
+}
+
+/// A completed interval buffered for the end-of-run journal drain. The
+/// checkpoint's encoded bytes ride along as a shared handle — cloning them
+/// out of the job is a refcount bump, not a machine-state copy.
+struct PendingRecord {
+    index: usize,
+    start: u64,
+    weight: u64,
+    instructions: u64,
+    cycles: u64,
+    snap_bytes: Arc<Vec<u8>>,
 }
 
 /// One interval's unit of work flowing through the streaming queue: the
 /// in-memory checkpoint plus where it sits in the trace and what it should
-/// cost.
+/// cost. When the run is journaled, `snap_bytes` carries the checkpoint
+/// already encoded — the producer encodes it the moment it is captured,
+/// while its machine state is still hot in cache; encoding the same
+/// snapshot at drain time costs 2-4x more because by then every line of it
+/// has been evicted.
 #[derive(Debug)]
 struct IntervalJob {
     index: usize,
     start: u64,
-    snap: Snapshot,
+    snap: Arc<Snapshot>,
+    snap_bytes: Option<Arc<Vec<u8>>>,
     weight: u64,
 }
 
@@ -509,7 +909,8 @@ pub fn run_sampled_two_phase_on(
         jobs.push(IntervalJob {
             index: i,
             start,
-            snap,
+            snap: Arc::new(snap),
+            snap_bytes: None,
             weight,
         });
     }
@@ -542,6 +943,7 @@ pub fn run_sampled_two_phase_on(
         functional_secs,
         detail_cpu_secs: detail_nanos.load(Ordering::Relaxed) as f64 / 1e9,
         aggregate_secs: agg_t0.elapsed().as_secs_f64(),
+        journal_secs: 0.0,
         total_secs: run_t0.elapsed().as_secs_f64(),
     };
     Ok(SampledResult {
@@ -552,9 +954,13 @@ pub fn run_sampled_two_phase_on(
             .map(|m| m.instructions + warm_eff)
             .sum(),
         total_insts: total,
+        planned_intervals: intervals_out.len(),
         intervals: intervals_out,
         checkpoint_bytes,
         timing,
+        failures: Vec::new(),
+        resumed_intervals: 0,
+        journal_error: None,
     })
 }
 
@@ -592,12 +998,56 @@ fn full_detail_ipc(
     Ok(r.instructions as f64 / r.cycles.max(1) as f64)
 }
 
+/// Experiment-level fault-tolerance controls for the `sample` experiment,
+/// fanned out to every point's [`SampleControl`].
+#[derive(Debug, Clone, Default)]
+pub struct SampleRunControl {
+    /// Retry policy for every point; `None` means
+    /// [`RetryPolicy::default_sampled`].
+    pub retry: Option<RetryPolicy>,
+    /// Deterministic fault plan injected into every point.
+    pub faults: FaultPlan,
+    /// Directory for per-point journals ([`journal::journal_path`] names the
+    /// files); enables journaling when set.
+    pub journal_dir: Option<PathBuf>,
+    /// Replay matching journals from `journal_dir` before simulating.
+    pub resume: bool,
+}
+
+/// What happened across the points of one `sample` experiment run — the
+/// basis for the binary's exit code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleRunStatus {
+    /// Points that completed degraded (lost intervals, flagged PARTIAL).
+    pub partial_points: usize,
+    /// Points that failed outright.
+    pub error_points: usize,
+}
+
 /// Runs the `sample` experiment: Figure-1-style points simulated both ways,
 /// with IPC error, confidence interval and wall-clock speed-up per point.
 #[must_use]
 pub fn run(opts: &RunOptions) -> String {
+    run_with_control(opts, &SampleRunControl::default()).0
+}
+
+/// [`run`] with explicit fault-tolerance controls, reporting the run status
+/// alongside the report text (the binary maps it to distinct exit codes).
+#[must_use]
+pub fn run_with_control(
+    opts: &RunOptions,
+    control: &SampleRunControl,
+) -> (String, SampleRunStatus) {
     let spec = SampleSpec::from_options(opts);
     let kinds = WorkloadKind::ALL;
+    let mut status = SampleRunStatus::default();
+    let retry = control.retry.unwrap_or_else(RetryPolicy::default_sampled);
+    // A deterministic digest over every measured interval: two runs that
+    // recover to the same measurements print the same digest, so the CI
+    // canary can compare a fault-injected run against a fault-free one
+    // without parsing the table.
+    let mut digest_buf = String::new();
+    let mut notes: Vec<String> = Vec::new();
 
     let mut out = String::new();
     out.push_str("Sampled simulation vs full detail (Figure-1 configurations)\n");
@@ -630,6 +1080,9 @@ pub fn run(opts: &RunOptions) -> String {
     let mut detail_cpu_secs = 0.0f64;
     let mut detailed_insts = 0u64;
     let mut aggregate_secs = 0.0f64;
+    let mut journal_secs = 0.0f64;
+    let mut resumed_intervals = 0usize;
+    let mut planned_intervals = 0usize;
 
     for kind in kinds {
         // Trace generation (and its decoded-event form) is identical
@@ -649,6 +1102,7 @@ pub fn run(opts: &RunOptions) -> String {
             let full = match full_detail_ipc(cfg, kind, &detail, oracle.as_ref(), &spec) {
                 Ok(ipc) => ipc,
                 Err(e) => {
+                    status.error_points += 1;
                     table.add_row(vec![
                         kind.name().to_string(),
                         label.to_string(),
@@ -664,25 +1118,72 @@ pub fn run(opts: &RunOptions) -> String {
             };
             let full_secs = t0.elapsed().as_secs_f64();
 
+            let point_control = SampleControl {
+                retry,
+                faults: control.faults.clone(),
+                journal: control
+                    .journal_dir
+                    .as_deref()
+                    .map(|dir| journal::journal_path(dir, kind.name(), label)),
+                resume: control.resume,
+                config_label: label.to_string(),
+            };
             let t1 = std::time::Instant::now();
-            let sampled =
-                match run_sampled_prepared(cfg, kind, &detail, &dec, oracle.as_ref(), &spec) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        table.add_row(vec![
-                            kind.name().to_string(),
-                            label.to_string(),
-                            format!("{full:.4}"),
-                            format!("error: {e}"),
-                            String::new(),
-                            String::new(),
-                            String::new(),
-                            String::new(),
-                        ]);
-                        continue;
-                    }
-                };
+            let sampled = match run_sampled_controlled(
+                cfg,
+                kind,
+                &detail,
+                &dec,
+                oracle.as_ref(),
+                &spec,
+                &point_control,
+            ) {
+                Ok(s) => s,
+                Err(e) => {
+                    status.error_points += 1;
+                    table.add_row(vec![
+                        kind.name().to_string(),
+                        label.to_string(),
+                        format!("{full:.4}"),
+                        format!("error: {e}"),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                    ]);
+                    continue;
+                }
+            };
             let sampled_secs = t1.elapsed().as_secs_f64();
+            // The fault plan's journal-corruption directives fire after the
+            // point has written its journal, so a subsequent --resume run
+            // exercises the checksum recovery end to end.
+            if let Some(path) = point_control.journal.as_deref() {
+                if !control.faults.corrupted_records().is_empty() {
+                    let _ =
+                        journal::corrupt_journal_records(path, control.faults.corrupted_records());
+                }
+            }
+            if sampled.is_partial() {
+                status.partial_points += 1;
+                for f in &sampled.failures {
+                    notes.push(format!("{}/{label}: {f}", kind.name()));
+                }
+            }
+            if let Some(e) = &sampled.journal_error {
+                notes.push(format!("{}/{label}: journal disabled: {e}", kind.name()));
+            }
+            for m in &sampled.intervals {
+                use std::fmt::Write as _;
+                let _ = writeln!(
+                    digest_buf,
+                    "{}|{label}|{}|{}|{}",
+                    kind.name(),
+                    m.index,
+                    m.instructions,
+                    m.cycles
+                );
+            }
 
             let estimate = sampled.weighted_ipc();
             let err = (estimate - full).abs() / full * 100.0;
@@ -694,13 +1195,25 @@ pub fn run(opts: &RunOptions) -> String {
             detail_cpu_secs += sampled.timing.detail_cpu_secs;
             detailed_insts += sampled.detailed_insts;
             aggregate_secs += sampled.timing.aggregate_secs;
+            journal_secs += sampled.timing.journal_secs;
+            resumed_intervals += sampled.resumed_intervals;
+            planned_intervals += sampled.planned_intervals;
             checkpoint_bytes = checkpoint_bytes.max(sampled.checkpoint_bytes);
+            let partial_mark = if sampled.is_partial() {
+                format!(
+                    " [PARTIAL {}/{}]",
+                    sampled.intervals.len(),
+                    sampled.planned_intervals
+                )
+            } else {
+                String::new()
+            };
             table.add_row(vec![
                 kind.name().to_string(),
                 label.to_string(),
                 format!("{full:.4}"),
                 format!(
-                    "{:.4} ± {:.4} (±{:.2}%)",
+                    "{:.4} ± {:.4} (±{:.2}%){partial_mark}",
                     sampled.ipc.mean,
                     sampled.ipc.half_width,
                     sampled.ipc.relative_percent()
@@ -722,10 +1235,18 @@ pub fn run(opts: &RunOptions) -> String {
     ));
     let functional_rate = functional_insts as f64 / functional_secs.max(1e-9);
     let detailed_rate = detailed_insts as f64 / detail_cpu_secs.max(1e-9);
+    let journal_part = if control.journal_dir.is_some() {
+        format!(
+            ", journaling {journal_secs:.3}s ({:.2}% of sampled wall-clock)",
+            journal_secs / total_sampled_secs.max(1e-9) * 100.0
+        )
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
         "timing breakdown (all sampled points): functional pass {functional_secs:.2}s, \
          detailed intervals {detail_cpu_secs:.2} cpu-s (overlapped with the functional \
-         pass), aggregation {aggregate_secs:.3}s\n"
+         pass), aggregation {aggregate_secs:.3}s{journal_part}\n"
     ));
     out.push_str(&format!(
         "throughput: functional {} insts/s, detailed {} insts/s\n",
@@ -736,7 +1257,26 @@ pub fn run(opts: &RunOptions) -> String {
          online-LPT parallel detailed intervals; full side = 1 serial full-detail run \
          per point)\n",
     );
-    out
+    if control.resume {
+        out.push_str(&format!(
+            "resume: {resumed_intervals}/{planned_intervals} intervals replayed from journals\n"
+        ));
+    }
+    if status.partial_points > 0 || status.error_points > 0 {
+        out.push_str(&format!(
+            "DEGRADED RUN: {} partial point(s), {} failed point(s) — partial CIs are \
+             widened for the missing intervals\n",
+            status.partial_points, status.error_points
+        ));
+    }
+    for note in &notes {
+        out.push_str(&format!("  {note}\n"));
+    }
+    out.push_str(&format!(
+        "result digest: {:#018x} (FNV-1a over every measured interval)\n",
+        ltp_snapshot::fnv1a64(digest_buf.as_bytes())
+    ));
+    (out, status)
 }
 
 #[cfg(test)]

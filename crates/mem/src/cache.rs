@@ -81,6 +81,14 @@ pub struct Cache {
     set_mask: u64,
     lru_clock: u64,
     stats: CacheStats,
+    /// One bit per set, raised when the set may have left its
+    /// just-constructed state. Purely an encode accelerator: a short run
+    /// touches a small fraction of a large cache, and the snapshot encoder
+    /// skips scanning the ways of never-touched sets (they encode as the
+    /// same single empty-bitmap byte a scan would produce). Marking is
+    /// conservative — a demand miss raises the bit without mutating the
+    /// set — which costs a redundant scan, never a wrong byte.
+    touched: Vec<u64>,
 }
 
 impl Cache {
@@ -95,6 +103,7 @@ impl Cache {
             set_mask: (num_sets as u64) - 1,
             lru_clock: 0,
             stats: CacheStats::default(),
+            touched: vec![0; num_sets.div_ceil(64)],
         }
     }
 
@@ -132,6 +141,7 @@ impl Cache {
         let set = self.set_index(addr);
         let tag = self.tag(addr);
         let stamp = self.tick();
+        self.touched[set >> 6] |= 1 << (set & 63);
         let line = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag);
         match line {
             Some(l) => {
@@ -171,6 +181,7 @@ impl Cache {
         let set = self.set_index(addr);
         let tag = self.tag(addr);
         let stamp = self.tick();
+        self.touched[set >> 6] |= 1 << (set & 63);
 
         // If the line is already present (e.g. a prefetch raced a demand fill)
         // just refresh it.
@@ -229,6 +240,7 @@ impl Cache {
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let set = self.set_index(addr);
         let tag = self.tag(addr);
+        self.touched[set >> 6] |= 1 << (set & 63);
         for l in &mut self.sets[set] {
             if l.valid && l.tag == tag {
                 l.valid = false;
@@ -248,6 +260,10 @@ impl Cache {
     }
 }
 
+/// Widest associativity the sparse per-set snapshot layout covers with its
+/// one-`u64` way bitmap; wider geometries use the dense layout.
+const SPARSE_MAX_WAYS: usize = 63;
+
 /// Plain-data mirror of one cache line for the snapshot codec.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct LineSnap {
@@ -259,26 +275,159 @@ pub(crate) struct LineSnap {
 }
 
 impl Cache {
-    /// Exports the full cache state for the snapshot codec. Way order inside
-    /// each set is preserved verbatim: it decides which invalid way a fill
-    /// picks, so it is part of the timing-visible state.
-    pub(crate) fn snap_parts(&self) -> (CacheConfig, Vec<Vec<LineSnap>>, u64, CacheStats) {
-        let sets = self
-            .sets
-            .iter()
-            .map(|set| {
-                set.iter()
-                    .map(|l| LineSnap {
-                        tag: l.tag,
-                        valid: l.valid,
-                        dirty: l.dirty,
-                        prefetched: l.prefetched,
-                        lru: l.lru,
-                    })
-                    .collect()
-            })
-            .collect();
-        (self.cfg, sets, self.lru_clock, self.stats)
+    /// Streams the per-set line state straight into a snapshot writer.
+    ///
+    /// The byte layout is exactly what encoding a `Vec<Vec<LineSnap>>` field
+    /// by field would produce — decode still goes through
+    /// [`Cache::from_snap_parts`] — but without materialising one `Vec` per
+    /// set: snapshots are encoded per journaled interval, and the thousands
+    /// of small allocations dominated the encode cost. Way order inside each
+    /// set is preserved verbatim: it decides which invalid way a fill picks,
+    /// so it is part of the timing-visible state.
+    pub(crate) fn snap_write_sets(&self, w: &mut ltp_snapshot::Writer) {
+        // LEB128, identical to `Writer::varint`, but into a stack buffer.
+        #[inline]
+        fn put_varint(buf: &mut [u8], mut pos: usize, mut v: u64) -> usize {
+            loop {
+                let mut b = (v & 0x7f) as u8;
+                v >>= 7;
+                if v != 0 {
+                    b |= 0x80;
+                }
+                buf[pos] = b;
+                pos += 1;
+                if v == 0 {
+                    return pos;
+                }
+            }
+        }
+        w.varint(self.sets.len() as u64);
+        if self.cfg.ways <= SPARSE_MAX_WAYS {
+            // Sparse per-set layout: a bitmap of non-default ways, then only
+            // those ways' fields (tag, packed flags, lru). A short run warms
+            // a small fraction of a large cache, so most sets collapse to
+            // one zero byte — the journal streams one snapshot per sampled
+            // interval, and both the encode and the bytes it emits have to
+            // stay cheap. Each set goes through a stack buffer and lands in
+            // one `bytes` call (per-`Writer`-call overhead dominated the
+            // dense encoding of ~30k lines).
+            // Single pass over the lines: the set body is encoded into the
+            // buffer starting past a maximum-width bitmap slot while the
+            // bitmap accumulates, then the bitmap's varint is placed flush
+            // against the body. (A bitmap-first layout would need a second
+            // scan of every line; this encode runs once per journaled
+            // interval over every set of three caches.)
+            let mut buf = [0u8; 10 + SPARSE_MAX_WAYS * 21];
+            for (s, set) in self.sets.iter().enumerate() {
+                if self.touched[s >> 6] & (1 << (s & 63)) == 0 {
+                    // Never-touched set: all ways are still default, which
+                    // encodes as the empty bitmap without scanning them.
+                    w.byte(0);
+                    continue;
+                }
+                let mut bitmap = 0u64;
+                let mut pos = 10;
+                for (i, l) in set.iter().enumerate() {
+                    if l.tag != 0 || l.valid || l.dirty || l.prefetched || l.lru != 0 {
+                        bitmap |= 1 << i;
+                        pos = put_varint(&mut buf, pos, l.tag);
+                        buf[pos] = u8::from(l.valid)
+                            | u8::from(l.dirty) << 1
+                            | u8::from(l.prefetched) << 2;
+                        pos += 1;
+                        pos = put_varint(&mut buf, pos, l.lru);
+                    }
+                }
+                let mut tmp = [0u8; 10];
+                let blen = put_varint(&mut tmp, 0, bitmap);
+                let start = 10 - blen;
+                buf[start..10].copy_from_slice(&tmp[..blen]);
+                w.bytes(&buf[start..pos]);
+            }
+        } else {
+            // Dense fallback for geometries whose way count outgrows the
+            // bitmap; the decoder picks the same branch from the config.
+            for set in &self.sets {
+                w.varint(set.len() as u64);
+                for l in set {
+                    w.varint(l.tag);
+                    w.byte(u8::from(l.valid));
+                    w.byte(u8::from(l.dirty));
+                    w.byte(u8::from(l.prefetched));
+                    w.varint(l.lru);
+                }
+            }
+        }
+    }
+
+    /// Decodes the per-set line state written by [`Cache::snap_write_sets`].
+    /// `cfg` is the already-decoded geometry: the sparse layout derives each
+    /// set's way count (and the sparse-vs-dense branch) from it.
+    pub(crate) fn snap_read_sets(
+        r: &mut ltp_snapshot::Reader<'_>,
+        cfg: &CacheConfig,
+    ) -> Result<Vec<Vec<LineSnap>>, ltp_snapshot::SnapError> {
+        use ltp_snapshot::{Codec, SnapError};
+        let n = usize::read(r)?;
+        // Every set consumes at least one byte (its bitmap or length
+        // varint), so a count beyond the remaining input is corruption —
+        // reject it before sizing any allocation from it.
+        if n > r.remaining() {
+            return Err(SnapError::Truncated);
+        }
+        let mut sets = Vec::with_capacity(n);
+        if cfg.ways <= SPARSE_MAX_WAYS {
+            // The sparse layout sizes each decoded set from the config, so
+            // pin the set count to the config's geometry before allocating
+            // (the dense path's per-set length prefixes are input-bounded on
+            // their own; `from_snap_parts` re-validates either way).
+            let expected = cfg
+                .num_sets_checked()
+                .ok_or(SnapError::Invalid("cache geometry"))?;
+            if n != expected {
+                return Err(SnapError::Invalid("cache set count"));
+            }
+            for _ in 0..n {
+                let bitmap = r.varint()?;
+                if cfg.ways < 64 && bitmap >> cfg.ways != 0 {
+                    return Err(SnapError::Invalid("cache way bitmap"));
+                }
+                let mut set = vec![
+                    LineSnap {
+                        tag: 0,
+                        valid: false,
+                        dirty: false,
+                        prefetched: false,
+                        lru: 0,
+                    };
+                    cfg.ways
+                ];
+                for (i, l) in set.iter_mut().enumerate() {
+                    if bitmap & (1 << i) != 0 {
+                        l.tag = r.varint()?;
+                        let flags = r.byte()?;
+                        if flags > 0b111 {
+                            return Err(SnapError::Invalid("cache line flags"));
+                        }
+                        l.valid = flags & 1 != 0;
+                        l.dirty = flags & 2 != 0;
+                        l.prefetched = flags & 4 != 0;
+                        l.lru = r.varint()?;
+                    }
+                }
+                sets.push(set);
+            }
+        } else {
+            for _ in 0..n {
+                sets.push(Vec::<LineSnap>::read(r)?);
+            }
+        }
+        Ok(sets)
+    }
+
+    /// The LRU clock, exported for the snapshot codec.
+    pub(crate) fn snap_lru_clock(&self) -> u64 {
+        self.lru_clock
     }
 
     /// Rebuilds a cache from exported state, validating the geometry.
@@ -288,14 +437,22 @@ impl Cache {
         lru_clock: u64,
         stats: CacheStats,
     ) -> Result<Cache, ltp_snapshot::SnapError> {
-        let mut cache = Cache::new(cfg);
-        if sets.len() != cache.sets.len() {
+        // Validate the geometry against the *decoded* data before building
+        // the cache: `Cache::new` sizes its allocation from the config, so a
+        // corrupted config must be rejected while the cost of doing so is
+        // still proportional to the decoded input, and an inconsistent
+        // geometry must be a typed error rather than `num_sets`'s panic.
+        let num_sets = cfg
+            .num_sets_checked()
+            .ok_or(ltp_snapshot::SnapError::Invalid("cache geometry"))?;
+        if sets.len() != num_sets {
             return Err(ltp_snapshot::SnapError::Invalid("cache set count"));
         }
+        if sets.iter().any(|s| s.len() != cfg.ways) {
+            return Err(ltp_snapshot::SnapError::Invalid("cache way count"));
+        }
+        let mut cache = Cache::new(cfg);
         for (dst, src) in cache.sets.iter_mut().zip(sets) {
-            if src.len() != dst.len() {
-                return Err(ltp_snapshot::SnapError::Invalid("cache way count"));
-            }
             for (d, s) in dst.iter_mut().zip(src) {
                 *d = Line {
                     tag: s.tag,
@@ -308,6 +465,17 @@ impl Cache {
         }
         cache.lru_clock = lru_clock;
         cache.stats = stats;
+        // Rebuild the touched bitmap from the decoded content, so a decoded
+        // cache re-encodes to byte-identical output (a set restored with any
+        // non-default way must not take the untouched shortcut).
+        for (s, set) in cache.sets.iter().enumerate() {
+            if set
+                .iter()
+                .any(|l| l.tag != 0 || l.valid || l.dirty || l.prefetched || l.lru != 0)
+            {
+                cache.touched[s >> 6] |= 1 << (s & 63);
+            }
+        }
         Ok(cache)
     }
 }

@@ -26,21 +26,27 @@ impl CacheConfig {
     /// capacity, line size and associativity are inconsistent.
     #[must_use]
     pub fn num_sets(&self) -> usize {
-        assert!(
-            self.line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
-        assert!(
-            self.size_bytes
-                .is_multiple_of(self.line_bytes * self.ways as u64),
-            "cache size must be divisible by line size * ways"
-        );
-        let sets = self.size_bytes / (self.line_bytes * self.ways as u64);
-        assert!(
-            sets.is_power_of_two(),
-            "number of sets must be a power of two"
-        );
-        sets as usize
+        self.num_sets_checked()
+            .expect("invalid cache geometry (line size, ways and capacity must be consistent powers of two)")
+    }
+
+    /// Like [`CacheConfig::num_sets`], but reports an inconsistent geometry
+    /// as `None` instead of panicking. Decode paths use this so a corrupted
+    /// snapshot is a typed error, never a panic or an absurd allocation.
+    #[must_use]
+    pub fn num_sets_checked(&self) -> Option<usize> {
+        if !self.line_bytes.is_power_of_two() || self.ways == 0 {
+            return None;
+        }
+        let row = self.line_bytes.checked_mul(self.ways as u64)?;
+        if row == 0 || !self.size_bytes.is_multiple_of(row) {
+            return None;
+        }
+        let sets = self.size_bytes / row;
+        if !sets.is_power_of_two() {
+            return None;
+        }
+        usize::try_from(sets).ok()
     }
 
     /// The paper's 32 kB, 8-way, 4-cycle L1 data cache.
@@ -232,7 +238,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "divisible")]
+    #[should_panic(expected = "invalid cache geometry")]
     fn inconsistent_geometry_panics() {
         let bad = CacheConfig {
             size_bytes: 1000,
@@ -242,6 +248,40 @@ mod tests {
             tag_to_data: 0,
         };
         let _ = bad.num_sets();
+    }
+
+    #[test]
+    fn checked_geometry_rejects_without_panicking() {
+        // The decode-path variant: every inconsistency is a `None`, never a
+        // panic or an overflow, and a consistent geometry matches `num_sets`.
+        let good = CacheConfig::l1d_baseline();
+        assert_eq!(good.num_sets_checked(), Some(good.num_sets()));
+        let cases = [
+            ("non-pow2 line", 1024, 63, 4),
+            ("zero line", 1024, 0, 4),
+            ("zero ways", 1024, 64, 0),
+            ("indivisible", 1000, 64, 3),
+            ("non-pow2 sets", 64 * 4 * 3, 64, 4),
+        ];
+        for (what, size_bytes, line_bytes, ways) in cases {
+            let bad = CacheConfig {
+                size_bytes,
+                line_bytes,
+                ways,
+                latency: 1,
+                tag_to_data: 0,
+            };
+            assert_eq!(bad.num_sets_checked(), None, "{what}");
+        }
+        // Overflow in line_bytes * ways is a rejection, not a panic.
+        let huge = CacheConfig {
+            size_bytes: u64::MAX,
+            line_bytes: 1 << 62,
+            ways: usize::MAX,
+            latency: 1,
+            tag_to_data: 0,
+        };
+        assert_eq!(huge.num_sets_checked(), None);
     }
 
     #[test]

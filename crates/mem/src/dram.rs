@@ -123,10 +123,13 @@ impl DramModel {
         banks: Vec<(Option<u64>, Cycle)>,
         stats: DramStats,
     ) -> Result<DramModel, ltp_snapshot::SnapError> {
-        let mut model = DramModel::new(cfg);
-        if banks.len() != model.banks.len() {
+        // Check the decoded bank list against the config *before* building
+        // the model: `DramModel::new` allocates `cfg.banks` entries, so a
+        // corrupted bank count must be rejected first.
+        if banks.len() != cfg.banks {
             return Err(ltp_snapshot::SnapError::Invalid("DRAM bank count"));
         }
+        let mut model = DramModel::new(cfg);
         for (dst, (open_row, busy_until)) in model.banks.iter_mut().zip(banks) {
             dst.open_row = open_row;
             dst.busy_until = busy_until;

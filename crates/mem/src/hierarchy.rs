@@ -502,17 +502,31 @@ pub(crate) struct HierarchySnap {
     pub(crate) stats: MemoryStats,
 }
 
+/// Borrowed view of the hierarchy for the snapshot *encoder*: cloning the
+/// caches (thousands of per-set `Vec`s) on every encode dominated the cost
+/// of journaling a snapshot per sampled interval.
+pub(crate) struct HierarchySnapRef<'a> {
+    pub(crate) cfg: &'a MemoryConfig,
+    pub(crate) l1d: &'a Cache,
+    pub(crate) l2: &'a Cache,
+    pub(crate) l3: &'a Cache,
+    pub(crate) dram: &'a DramModel,
+    pub(crate) mshrs: &'a MshrFile,
+    pub(crate) prefetcher: &'a StridePrefetcher,
+    pub(crate) stats: &'a MemoryStats,
+}
+
 impl MemoryHierarchy {
-    pub(crate) fn snap_parts(&self) -> HierarchySnap {
-        HierarchySnap {
-            cfg: self.cfg,
-            l1d: self.l1d.clone(),
-            l2: self.l2.clone(),
-            l3: self.l3.clone(),
-            dram: self.dram.clone(),
-            mshrs: self.mshrs.clone(),
-            prefetcher: self.prefetcher.clone(),
-            stats: self.stats,
+    pub(crate) fn snap_parts_ref(&self) -> HierarchySnapRef<'_> {
+        HierarchySnapRef {
+            cfg: &self.cfg,
+            l1d: &self.l1d,
+            l2: &self.l2,
+            l3: &self.l3,
+            dram: &self.dram,
+            mshrs: &self.mshrs,
+            prefetcher: &self.prefetcher,
+            stats: &self.stats,
         }
     }
 

@@ -175,10 +175,13 @@ impl StridePrefetcher {
         table: Vec<StrideSnap>,
         issued: u64,
     ) -> Result<StridePrefetcher, ltp_snapshot::SnapError> {
-        let mut pf = StridePrefetcher::new(cfg);
-        if table.len() != pf.table.len() {
+        // Check the decoded table against the config *before* building the
+        // prefetcher: `StridePrefetcher::new` allocates `cfg.table_entries`
+        // slots, so a corrupted entry count must be rejected first.
+        if table.len() != cfg.table_entries {
             return Err(ltp_snapshot::SnapError::Invalid("prefetcher table size"));
         }
+        let mut pf = StridePrefetcher::new(cfg);
         for (dst, s) in pf.table.iter_mut().zip(table) {
             *dst = StrideEntry {
                 pc_tag: s.pc_tag,

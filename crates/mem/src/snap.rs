@@ -62,22 +62,17 @@ impl_codec!(crate::cache::LineSnap {
 
 impl Codec for Cache {
     fn write(&self, w: &mut Writer) {
-        let (cfg, sets, lru_clock, stats) = self.snap_parts();
-        cfg.write(w);
-        w.varint(sets.len() as u64);
-        for set in sets {
-            set.write(w);
-        }
-        lru_clock.write(w);
-        stats.write(w);
+        self.config().write(w);
+        // Sets stream straight from the live cache (no per-set `Vec`
+        // materialisation); the byte layout is the same `Vec<Vec<LineSnap>>`
+        // shape `read` decodes below.
+        self.snap_write_sets(w);
+        self.snap_lru_clock().write(w);
+        self.stats().write(w);
     }
     fn read(r: &mut Reader<'_>) -> Result<Self, SnapError> {
         let cfg = CacheConfig::read(r)?;
-        let n = usize::read(r)?;
-        let mut sets = Vec::with_capacity(n);
-        for _ in 0..n {
-            sets.push(Vec::<crate::cache::LineSnap>::read(r)?);
-        }
+        let sets = Cache::snap_read_sets(r, &cfg)?;
         let lru_clock = u64::read(r)?;
         let stats = CacheStats::read(r)?;
         Cache::from_snap_parts(cfg, sets, lru_clock, stats)
@@ -95,8 +90,14 @@ impl Codec for MshrFile {
         p.full_stall_cycles.write(w);
     }
     fn read(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        // Any capacity value is safe to restore: it is only compared against
+        // the live occupancy (the limit study legitimately stores
+        // `usize::MAX` for its unlimited file), and the constructor clamps
+        // the hash-map pre-size it derives from it, so a corrupted value
+        // cannot turn into a giant allocation.
+        let capacity = usize::read(r)?;
         Ok(MshrFile::from_snap_parts(crate::mshr::MshrSnap {
-            capacity: usize::read(r)?,
+            capacity,
             outstanding: Codec::read(r)?,
             peak_occupancy: usize::read(r)?,
             total_allocations: u64::read(r)?,
@@ -177,7 +178,8 @@ impl_codec!(MemoryStats {
 
 impl Codec for MemoryHierarchy {
     fn write(&self, w: &mut Writer) {
-        let p = self.snap_parts();
+        // Borrow, don't clone: this runs once per journaled interval.
+        let p = self.snap_parts_ref();
         p.cfg.write(w);
         p.l1d.write(w);
         p.l2.write(w);

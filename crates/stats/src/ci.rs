@@ -87,6 +87,26 @@ impl ConfidenceInterval {
         }
     }
 
+    /// Widens the interval to account for `missing` planned-but-failed
+    /// samples: the achieved samples are treated as a smaller random sample
+    /// of the planned design, inflating the half-width by
+    /// `sqrt(planned / achieved)` = `sqrt(1 + missing / n)`. This is a
+    /// first-order honesty adjustment for degraded (partial) sampled runs —
+    /// the failed intervals' IPC is unknown, so the error bar must not
+    /// pretend they were observed. Exact identity when `missing` is zero, so
+    /// fault-free results are bit-identical with or without the adjustment.
+    #[must_use]
+    pub fn widened_for_missing(&self, missing: usize) -> ConfidenceInterval {
+        if missing == 0 || self.n == 0 {
+            return *self;
+        }
+        let factor = (1.0 + missing as f64 / self.n as f64).sqrt();
+        ConfidenceInterval {
+            half_width: self.half_width * factor,
+            ..*self
+        }
+    }
+
     /// Half-width as a percentage of the mean (zero when the mean is zero).
     #[must_use]
     pub fn relative_percent(&self) -> f64 {
@@ -168,6 +188,23 @@ mod tests {
         let expected = 2.776 * 2.5f64.sqrt() / 5f64.sqrt();
         assert!((ci.half_width - expected).abs() < 1e-9);
         assert!(ci.render().contains('±'));
+    }
+
+    #[test]
+    fn widening_for_missing_samples() {
+        let ci = ConfidenceInterval::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        // Zero missing is the exact identity (bit-for-bit).
+        let same = ci.widened_for_missing(0);
+        assert_eq!(same.half_width.to_bits(), ci.half_width.to_bits());
+        assert_eq!(same.mean.to_bits(), ci.mean.to_bits());
+        // 5 achieved + 5 missing doubles the variance -> sqrt(2) half-width.
+        let wide = ci.widened_for_missing(5);
+        assert!((wide.half_width - ci.half_width * 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(wide.mean, ci.mean);
+        assert_eq!(wide.n, ci.n);
+        // Degenerate: widening an empty interval stays well-defined.
+        let empty = ConfidenceInterval::from_samples(&[]).widened_for_missing(3);
+        assert_eq!(empty.half_width, 0.0);
     }
 
     #[test]

@@ -14,6 +14,51 @@ use ltp_pipeline::{PipelineConfig, RunResult, Snapshot};
 use ltp_workloads::{replay_slice, WorkloadKind};
 use proptest::prelude::*;
 
+// A guard against OOM-scale allocations while decoding hostile snapshot
+// bytes: the tracking allocator records the largest single allocation
+// request ever made by this test binary. The counting shim needs `unsafe
+// impl GlobalAlloc`; the workspace otherwise denies unsafe code, so the
+// exemption is scoped to this module (same pattern as
+// `tests/hot_loop_alloc.rs`).
+#[allow(unsafe_code)]
+mod peak_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Largest single allocation request seen so far, in bytes.
+    pub static PEAK_REQUEST: AtomicUsize = AtomicUsize::new(0);
+
+    fn record(size: usize) {
+        PEAK_REQUEST.fetch_max(size, Ordering::Relaxed);
+    }
+
+    pub struct PeakAlloc;
+
+    unsafe impl GlobalAlloc for PeakAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            record(layout.size());
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            record(new_size);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            record(layout.size());
+            unsafe { System.alloc_zeroed(layout) }
+        }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: peak_alloc::PeakAlloc = peak_alloc::PeakAlloc;
+
 /// The golden-run options (`tests/golden_stats.rs`).
 fn opts() -> RunOptions {
     RunOptions {
@@ -184,5 +229,86 @@ proptest! {
             .run(replay_slice(kind.name(), &detail), o.detail_insts)
             .expect("resumed run");
         prop_assert_eq!(fingerprint(&resumed), fingerprint(&full));
+    }
+}
+
+/// One valid encoded snapshot, captured once and shared by every mutation
+/// case (capturing it is the expensive part).
+fn valid_snapshot_bytes() -> &'static [u8] {
+    use std::sync::OnceLock;
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let o = RunOptions {
+            detail_insts: 4_500,
+            warm_insts: 1_000,
+            seed: 2015,
+        };
+        let builder =
+            SimBuilder::new(realistic(LtpMode::Both), WorkloadKind::IndirectStream).options(&o);
+        let detail = builder.detail_trace();
+        let mut cpu = builder.build();
+        cpu.run_to_snapshot(replay_slice("indirect_stream", &detail), 2_000)
+            .expect("checkpoint")
+            .to_bytes()
+    })
+}
+
+/// Decoding hostile bytes must fail *gracefully*: a typed error (or, for
+/// mutations the checksums cannot distinguish from valid data, a decoded
+/// snapshot) — never a panic, and never an allocation sized by attacker-
+/// controlled length fields. The 64 MiB ceiling is ~300× a real encoding,
+/// far below what a length-lying varint (terabytes) would request, and
+/// comfortably above every legitimate allocation this test binary makes.
+const ALLOC_CEILING: usize = 64 << 20;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single byte overwritten anywhere in a valid encoding (covers header,
+    /// length prefixes, payload and checksum bytes).
+    #[test]
+    fn mutated_snapshot_bytes_never_panic_or_overallocate(
+        pos_seed in 0usize..1 << 30,
+        byte in 0u32..256,
+    ) {
+        let mut bytes = valid_snapshot_bytes().to_vec();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] = byte as u8;
+        let _ = Snapshot::from_bytes(&bytes);
+        prop_assert!(
+            peak_alloc::PEAK_REQUEST.load(std::sync::atomic::Ordering::Relaxed) < ALLOC_CEILING,
+            "an allocation crossed the {ALLOC_CEILING}-byte ceiling"
+        );
+    }
+
+    /// Truncation to an arbitrary prefix (a torn write): every cut point
+    /// must produce a typed error, not a panic or an overallocation.
+    #[test]
+    fn truncated_snapshot_bytes_never_panic_or_overallocate(len_seed in 0usize..1 << 30) {
+        let bytes = valid_snapshot_bytes();
+        let len = len_seed % bytes.len();
+        prop_assert!(Snapshot::from_bytes(&bytes[..len]).is_err(), "truncated decode succeeded");
+        prop_assert!(
+            peak_alloc::PEAK_REQUEST.load(std::sync::atomic::Ordering::Relaxed) < ALLOC_CEILING,
+            "an allocation crossed the {ALLOC_CEILING}-byte ceiling"
+        );
+    }
+
+    /// A burst of 0xFF bytes spliced over the encoding — the worst case for
+    /// LEB128 length fields, which this turns into huge claimed lengths.
+    #[test]
+    fn length_lying_snapshot_bytes_never_panic_or_overallocate(
+        pos_seed in 0usize..1 << 30,
+        burst in 1usize..16,
+    ) {
+        let mut bytes = valid_snapshot_bytes().to_vec();
+        let pos = pos_seed % bytes.len();
+        let end = (pos + burst).min(bytes.len());
+        bytes[pos..end].fill(0xFF);
+        let _ = Snapshot::from_bytes(&bytes);
+        prop_assert!(
+            peak_alloc::PEAK_REQUEST.load(std::sync::atomic::Ordering::Relaxed) < ALLOC_CEILING,
+            "an allocation crossed the {ALLOC_CEILING}-byte ceiling"
+        );
     }
 }
