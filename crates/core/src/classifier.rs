@@ -214,6 +214,24 @@ impl ClassifierKind {
         self == ClassifierKind::Oracle
     }
 
+    /// Whether functional warm-up trains this kind's classifier state.
+    ///
+    /// [`ClassifierKind::Uit`] and [`ClassifierKind::Oracle`] both
+    /// [`build`](ClassifierKind::build) a [`UitClassifier`] whose UIT and
+    /// hit/miss predictor learn from every
+    /// [`on_load_outcome`](CriticalityClassifier::on_load_outcome) during
+    /// warm-up (the oracle replaces it only when attached, after any
+    /// warm-up). The remaining kinds have a no-op `on_load_outcome`
+    /// ([`ClassifierKind::Random`]'s stream only advances in
+    /// [`assess`](CriticalityClassifier::assess)), so a freshly built
+    /// classifier is bit-identical to a warmed one. Checkpoint caching keys
+    /// on this: warm state captured under one detail configuration can be
+    /// restored under another exactly when both sides train the same way.
+    #[must_use]
+    pub fn trains_during_warmup(self) -> bool {
+        matches!(self, ClassifierKind::Uit | ClassifierKind::Oracle)
+    }
+
     /// Label used in reports.
     #[must_use]
     pub fn label(self) -> &'static str {

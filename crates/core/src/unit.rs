@@ -229,6 +229,40 @@ impl LtpUnit {
         self.classifier_attached
     }
 
+    /// Exports the serialisable state of the current classifier, or `None`
+    /// when the classifier does not support snapshotting. Used (with
+    /// [`LtpUnit::monitor_state`]) to capture the warm half of a functional
+    /// fast-forward: everything warm-up trains inside this unit.
+    #[must_use]
+    pub fn classifier_state(&self) -> Option<crate::ClassifierState> {
+        self.classifier.snapshot_state()
+    }
+
+    /// Restores previously captured classifier state *without* marking the
+    /// classifier as externally attached (unlike [`LtpUnit::set_classifier`]).
+    /// The restored unit is indistinguishable from one whose
+    /// configuration-built classifier observed the same outcome stream, so
+    /// an Oracle-configured unit still demands
+    /// [`LtpUnit::set_oracle`] before a detailed run.
+    pub fn restore_classifier_state(&mut self, state: crate::ClassifierState) {
+        self.classifier = state.into_classifier();
+    }
+
+    /// The on/off monitor's current state (timer arm, accumulated enabled
+    /// cycles) — the other half of what functional warm-up trains here.
+    #[must_use]
+    pub fn monitor_state(&self) -> DramTimerMonitor {
+        self.monitor.clone()
+    }
+
+    /// Restores previously captured monitor state. The monitor's timeout is
+    /// derived from the DRAM latency of the memory geometry, so restoring
+    /// across configurations is only exact when the memory configuration
+    /// matches the one the state was captured under.
+    pub fn restore_monitor_state(&mut self, monitor: DramTimerMonitor) {
+        self.monitor = monitor;
+    }
+
     /// The configuration of this unit.
     #[must_use]
     pub fn config(&self) -> &LtpConfig {

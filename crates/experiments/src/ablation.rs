@@ -18,25 +18,41 @@
 //!    park-everything upper bound. Separates "parking the right
 //!    instructions" from "parking at all".
 
+use crate::cache::CheckpointCache;
 use crate::parallel::par_map;
-use crate::runner::{run_point, RunOptions};
+use crate::runner::{run_point_cached, RunOptions};
 use ltp_core::{ClassifierKind, LtpConfig};
 use ltp_pipeline::PipelineConfig;
 use ltp_stats::TextTable;
 use ltp_workloads::WorkloadKind;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Runs all four ablations and renders the report.
 #[must_use]
 pub fn run(opts: &RunOptions) -> String {
+    run_cached(opts, None)
+}
+
+/// [`run`] with an optional checkpoint cache shared with the other sweeps.
+/// Ablations 2-4 vary only detail-half dimensions (monitor, reserve,
+/// classifier kind), so all of their points share warmed memory state;
+/// ablation 1 adds one extra warm half (prefetcher off).
+#[must_use]
+pub fn run_cached(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> String {
     let mut out = String::new();
-    out.push_str(&prefetcher_ablation(opts));
+    out.push_str(&prefetcher_ablation(opts, cache));
     out.push('\n');
-    out.push_str(&monitor_ablation(opts));
+    out.push_str(&monitor_ablation(opts, cache));
     out.push('\n');
-    out.push_str(&reserve_ablation(opts));
+    out.push_str(&reserve_ablation(opts, cache));
     out.push('\n');
-    out.push_str(&classifier_ablation(opts));
+    out.push_str(&classifier_ablation(opts, cache));
+    if let Some(cache) = cache {
+        out.push('\n');
+        out.push_str(&cache.stats().summary_line());
+        out.push('\n');
+    }
     out
 }
 
@@ -49,7 +65,7 @@ pub fn classifier_dimension() -> Vec<ClassifierKind> {
     kinds
 }
 
-fn classifier_ablation(opts: &RunOptions) -> String {
+fn classifier_ablation(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> String {
     let kinds = [
         WorkloadKind::IndirectStream,
         WorkloadKind::GatherFp,
@@ -61,10 +77,11 @@ fn classifier_ablation(opts: &RunOptions) -> String {
         .flat_map(|&c| kinds.iter().map(move |&k| (c, k)))
         .collect();
     let results = par_map(jobs.clone(), |&(classifier, kind)| {
-        run_point(
+        run_point_cached(
             kind,
             PipelineConfig::ltp_proposed().with_classifier(classifier),
             opts,
+            cache,
         )
     });
     let by_job: HashMap<(ClassifierKind, WorkloadKind), ltp_pipeline::RunResult> =
@@ -104,7 +121,7 @@ fn classifier_ablation(opts: &RunOptions) -> String {
     out
 }
 
-fn prefetcher_ablation(opts: &RunOptions) -> String {
+fn prefetcher_ablation(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> String {
     let l2_latency = PipelineConfig::micro2015_baseline().mem.l2.latency;
     let mut configs = Vec::new();
     for with_pf in [true, false] {
@@ -122,7 +139,7 @@ fn prefetcher_ablation(opts: &RunOptions) -> String {
         .flat_map(|&(pf, iq, cfg)| WorkloadKind::ALL.iter().map(move |&k| (pf, iq, cfg, k)))
         .collect();
     let results = par_map(jobs.clone(), |&(_, _, cfg, kind)| {
-        run_point(kind, cfg, opts)
+        run_point_cached(kind, cfg, opts, cache)
     });
     let by_job: HashMap<(bool, usize, WorkloadKind), ltp_pipeline::RunResult> = jobs
         .into_iter()
@@ -170,7 +187,7 @@ fn prefetcher_ablation(opts: &RunOptions) -> String {
     out
 }
 
-fn monitor_ablation(opts: &RunOptions) -> String {
+fn monitor_ablation(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> String {
     let with_monitor = PipelineConfig::ltp_proposed();
     let without_monitor =
         PipelineConfig::ltp_proposed().with_ltp(LtpConfig::nu_only_128x4().with_monitor(false));
@@ -191,7 +208,7 @@ fn monitor_ablation(opts: &RunOptions) -> String {
         } else {
             without_monitor
         };
-        run_point(kind, cfg, opts)
+        run_point_cached(kind, cfg, opts, cache)
     });
     let by_job: HashMap<(bool, WorkloadKind), ltp_pipeline::RunResult> =
         jobs.into_iter().zip(results).collect();
@@ -227,7 +244,7 @@ fn monitor_ablation(opts: &RunOptions) -> String {
     out
 }
 
-fn reserve_ablation(opts: &RunOptions) -> String {
+fn reserve_ablation(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> String {
     let reserves = [2usize, 8, 16, 32];
     let jobs: Vec<(usize, WorkloadKind)> = reserves
         .iter()
@@ -240,7 +257,7 @@ fn reserve_ablation(opts: &RunOptions) -> String {
     let results = par_map(jobs.clone(), |&(reserve, kind)| {
         let mut cfg = PipelineConfig::ltp_proposed();
         cfg.ltp_reserve = reserve;
-        run_point(kind, cfg, opts).cpi()
+        run_point_cached(kind, cfg, opts, cache).cpi()
     });
     let by_job: HashMap<(usize, WorkloadKind), f64> = jobs.into_iter().zip(results).collect();
 

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! experiments [EXPERIMENT ...] [--quick] [--insts N] [--seed S] [--out DIR]
-//!             [--journal DIR] [--resume DIR] [--inject SPEC] [--retries N]
+//!             [--cache DIR] [--journal DIR] [--resume DIR] [--inject SPEC]
+//!             [--retries N]
 //!
 //! EXPERIMENT: all | table1 | fig1 | fig2 | fig6 | fig7 | fig10 | fig11 | uit
 //!           | ablation | fig_smt | sample
@@ -11,6 +12,13 @@
 //! Reports are printed to stdout and written to `<out>/<experiment>.txt`
 //! (default `results/`). Run with `--release`; the debug build is an order of
 //! magnitude slower.
+//!
+//! `--cache DIR` opens a content-addressed checkpoint cache shared by every
+//! experiment of the invocation (and by later invocations pointing at the
+//! same directory): sweeps serve their cache-warming from it and the sampled
+//! runner its functional fast-forward warm states, so repeated runs pay each
+//! functional warm-up once per distinct (trace, warm configuration). The
+//! reports gain a cache-stats line when it is active.
 //!
 //! The fault-tolerance flags apply to the `sample` experiment: `--journal DIR`
 //! appends completed intervals to per-point journals under `DIR`, `--resume
@@ -26,7 +34,7 @@
 
 use ltp_experiments::fault::FaultPlan;
 use ltp_experiments::sampled::{SampleRunControl, SampleRunStatus};
-use ltp_experiments::{sampled, Experiment, RunOptions};
+use ltp_experiments::{sampled, CheckpointCache, Experiment, RunOptions};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -83,7 +91,7 @@ impl CliError {
 
 const USAGE: &str = "usage: experiments \
 [all|table1|fig1|fig2|fig6|fig7|fig10|fig11|uit|ablation|fig_smt|sample ...] \
-[--quick] [--insts N] [--seed S] [--out DIR] \
+[--quick] [--insts N] [--seed S] [--out DIR] [--cache DIR] \
 [--journal DIR] [--resume DIR] [--inject SPEC] [--retries N]";
 
 fn run() -> Result<SampleRunStatus, CliError> {
@@ -91,6 +99,7 @@ fn run() -> Result<SampleRunStatus, CliError> {
     let mut experiments: Vec<Experiment> = Vec::new();
     let mut opts = RunOptions::default();
     let mut out_dir = String::from("results");
+    let mut cache_dir: Option<PathBuf> = None;
     let mut control = SampleRunControl::default();
 
     let mut i = 0;
@@ -111,6 +120,14 @@ fn run() -> Result<SampleRunStatus, CliError> {
                     .get(i)
                     .cloned()
                     .ok_or_else(|| CliError::config("--out needs a path"))?;
+            }
+            "--cache" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| CliError::config("--cache needs a directory"))?;
+                cache_dir = Some(PathBuf::from(dir));
             }
             "--journal" => {
                 i += 1;
@@ -170,6 +187,23 @@ fn run() -> Result<SampleRunStatus, CliError> {
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| CliError::io("cannot create the output directory", &out_dir, &e))?;
 
+    // One cache instance is shared by every experiment of the invocation, so
+    // e.g. `experiments fig1 uit --cache DIR` warms each workload once.
+    let cache: Option<std::sync::Arc<CheckpointCache>> = match &cache_dir {
+        Some(dir) => {
+            let c = CheckpointCache::open(dir).map_err(|e| {
+                CliError::io(
+                    "cannot open the checkpoint cache",
+                    &dir.display().to_string(),
+                    &e,
+                )
+            })?;
+            Some(std::sync::Arc::new(c))
+        }
+        None => None,
+    };
+    control.cache_dir = cache_dir;
+
     let mut status = SampleRunStatus::default();
     for experiment in experiments {
         let started = std::time::Instant::now();
@@ -182,7 +216,7 @@ fn run() -> Result<SampleRunStatus, CliError> {
             status.error_points += run_status.error_points;
             report
         } else {
-            experiment.run(&opts)
+            experiment.run_cached(&opts, cache.as_ref())
         };
         let elapsed = started.elapsed();
         println!("{report}");

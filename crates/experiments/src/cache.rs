@@ -1,0 +1,652 @@
+//! On-disk content-addressed checkpoint cache shared across sweeps.
+//!
+//! Functional warm-up state depends only on the trace and the warm half of
+//! the configuration ([`WarmupConfig`]: memory geometry, predictor
+//! geometry, classifier training projection) — never on ROB/IQ/PRF sizes,
+//! LTP mode or SMT policy. Sweeps therefore pay warm-up once per
+//! *(trace, geometry)* instead of once per configuration by storing warm
+//! state here keyed by an FNV-1a fingerprint of exactly those inputs.
+//!
+//! Two entry families share one directory, separated by a key-domain tag:
+//!
+//! * **Sampled warm entries** ([`SampledWarmEntry`]): every interval
+//!   boundary's [`FunctionalWarmState`] plus its LLC-miss LPT weight, for
+//!   one (workload trace, warm config, interval geometry). A hit bypasses
+//!   the functional fast-forward pass entirely — per-interval checkpoints
+//!   are rebuilt from the cached state under the *requesting* detail
+//!   configuration, bit-identical to what a cold pass would emit.
+//! * **Warm-memory entries** ([`CheckpointCache::load_warm_mem`]): the
+//!   cache hierarchy after pre-run cache warming, shared by the
+//!   full-detail sweep drivers (`fig1`, `ablation`, `uit_sweep`) across
+//!   their config grids.
+//!
+//! Storage discipline (the parts a cache must get right):
+//!
+//! * **Content addressing.** The key is the FNV-1a fingerprint of the
+//!   canonical encoding of every input that can change the payload,
+//!   including the trace *content* fingerprint and the snapshot format
+//!   version. There is no invalidation protocol — a changed input is a
+//!   different key.
+//! * **Corruption is a miss.** Entries are wrapped in the journal's
+//!   checksummed framing ([`ltp_snapshot::frame_record`]); a bit flip, a
+//!   short read, or a length-lying header all fail the frame or codec
+//!   check, and the entry is deleted and regenerated. The cache never
+//!   returns bytes it could not fully validate.
+//! * **LRU byte budget.** Each store evicts least-recently-*used* entries
+//!   (file mtime, refreshed on hit) until the directory fits the budget.
+//!   Whole entries are evicted — a partial entry is not a thing.
+//! * **Atomic publish.** Entries are written to a temp file and renamed
+//!   into place, so concurrent writers of the same key race benignly and a
+//!   torn write is never visible under the final name.
+
+use ltp_mem::MemoryHierarchy;
+use ltp_pipeline::{FunctionalWarmState, WarmupConfig};
+use ltp_snapshot::{
+    encode_value, fnv1a64, frame_record, Codec, Reader, RecordIter, SnapError, Writer,
+};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version of the cache entry layout. Bumping it orphans (never misreads)
+/// existing entries: the version participates in every key.
+pub const CACHE_VERSION: u64 = 1;
+
+/// Default byte budget: generous for sweep-sized working sets (a sampled
+/// warm entry is a few hundred kilobytes) while bounded on shared machines.
+pub const DEFAULT_BUDGET_BYTES: u64 = 512 * 1024 * 1024;
+
+const ENTRY_SUFFIX: &str = ".ckpt";
+
+/// Key-domain tags keeping the entry families' key spaces disjoint.
+#[derive(Debug, Clone, Copy)]
+enum KeyDomain {
+    SampledWarm = 1,
+    WarmMem = 2,
+}
+
+/// Counters exported by [`CheckpointCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a validated entry.
+    pub hits: u64,
+    /// Lookups that found nothing usable (including corrupt entries).
+    pub misses: u64,
+    /// Corrupt or truncated entries discarded during lookups (each also
+    /// counts as a miss).
+    pub corrupt: u64,
+    /// Entries written.
+    pub stores: u64,
+    /// Entries deleted by the LRU byte-budget evictor.
+    pub evictions: u64,
+    /// Payload bytes read by hits.
+    pub bytes_read: u64,
+    /// Payload bytes written by stores.
+    pub bytes_written: u64,
+}
+
+impl CacheStats {
+    /// One-line report format: the satellite `hits/misses/bytes/evictions`
+    /// summary printed next to the wall-clock breakdown.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "checkpoint cache: {} hit{}, {} miss{} ({} corrupt), {} bytes written, {} bytes read, {} eviction{}",
+            self.hits,
+            if self.hits == 1 { "" } else { "s" },
+            self.misses,
+            if self.misses == 1 { "" } else { "es" },
+            self.corrupt,
+            self.bytes_written,
+            self.bytes_read,
+            self.evictions,
+            if self.evictions == 1 { "" } else { "s" },
+        )
+    }
+}
+
+/// The on-disk cache. Cheap to share (`&self` everywhere, atomic counters);
+/// sweeps wrap it in an [`std::sync::Arc`] and hand clones to workers.
+#[derive(Debug)]
+pub struct CheckpointCache {
+    dir: PathBuf,
+    budget_bytes: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl CheckpointCache {
+    /// Opens (creating if needed) a cache directory with the default byte
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<CheckpointCache> {
+        CheckpointCache::with_budget(dir, DEFAULT_BUDGET_BYTES)
+    }
+
+    /// Opens a cache with an explicit byte budget (tests use tiny budgets
+    /// to exercise eviction).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be created.
+    pub fn with_budget(dir: impl Into<PathBuf>, budget_bytes: u64) -> io::Result<CheckpointCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointCache {
+            dir,
+            budget_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}{ENTRY_SUFFIX}"))
+    }
+
+    /// Looks up `key`, returning the validated payload or `None`. A
+    /// present-but-invalid entry (torn write, bit rot, truncation, a header
+    /// lying about its length) is deleted and reported as a miss.
+    fn load_raw(&self, key: u64) -> Option<Vec<u8>> {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let payload = validate_entry(&bytes, key);
+        match payload {
+            Some(p) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.bytes_read.fetch_add(p.len() as u64, Ordering::Relaxed);
+                // Refresh recency for the LRU evictor; failure to touch only
+                // degrades eviction order, never correctness.
+                if let Ok(f) = fs::File::open(&path) {
+                    let _ = f.set_modified(std::time::SystemTime::now());
+                }
+                Some(p)
+            }
+            None => {
+                // Corrupt-entry-is-a-miss: drop it so the regenerated entry
+                // takes its place.
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Stores `payload` under `key` (atomic publish), then enforces the
+    /// byte budget. Best-effort: storage failures are swallowed — a cache
+    /// that cannot write behaves like a cache that always misses.
+    fn store_raw(&self, key: u64, payload: &[u8]) {
+        let entry = encode_entry(payload, key);
+        let path = self.entry_path(key);
+        let tmp = self
+            .dir
+            .join(format!(".{key:016x}.{}.tmp", std::process::id()));
+        let published = fs::write(&tmp, &entry).is_ok() && fs::rename(&tmp, &path).is_ok();
+        if !published {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.evict_over_budget(&path);
+    }
+
+    /// Deletes least-recently-used entries until the directory fits the
+    /// budget. The just-written entry is exempt — a single oversized entry
+    /// must not evict itself into a store/evict loop.
+    fn evict_over_budget(&self, just_written: &Path) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, u64, PathBuf)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let path = e.path();
+                let name = path.file_name()?.to_str()?;
+                if !name.ends_with(ENTRY_SUFFIX) {
+                    return None;
+                }
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((mtime, meta.len(), path))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
+        if total <= self.budget_bytes {
+            return;
+        }
+        files.sort_by_key(|(mtime, _, _)| *mtime);
+        for (_, len, path) in files {
+            if total <= self.budget_bytes {
+                break;
+            }
+            if path == just_written {
+                continue;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // --- typed entry families -----------------------------------------------
+
+    /// Looks up the sampled warm entry for `key` (from
+    /// [`sampled_warm_key`]). Decode failures of a frame-valid payload are
+    /// also treated as corrupt misses.
+    #[must_use]
+    pub fn load_sampled_warm(&self, key: u64) -> Option<SampledWarmEntry> {
+        let payload = self.load_raw(key)?;
+        match decode_payload::<SampledWarmEntry>(&payload) {
+            Ok(entry) => Some(entry),
+            Err(_) => {
+                self.note_decode_corruption(key);
+                None
+            }
+        }
+    }
+
+    /// Stores a sampled warm entry.
+    pub fn store_sampled_warm(&self, key: u64, entry: &SampledWarmEntry) {
+        self.store_raw(key, &encode_value(entry));
+    }
+
+    /// Looks up a warmed memory hierarchy (from [`warm_mem_key`]).
+    #[must_use]
+    pub fn load_warm_mem(&self, key: u64) -> Option<MemoryHierarchy> {
+        let payload = self.load_raw(key)?;
+        match decode_payload::<MemoryHierarchy>(&payload) {
+            Ok(mem) => Some(mem),
+            Err(_) => {
+                self.note_decode_corruption(key);
+                None
+            }
+        }
+    }
+
+    /// Stores a warmed memory hierarchy.
+    pub fn store_warm_mem(&self, key: u64, mem: &MemoryHierarchy) {
+        self.store_raw(key, &encode_value(mem));
+    }
+
+    /// Reclassifies an already-counted hit as a corrupt miss after a typed
+    /// decode failed, and deletes the offending entry.
+    fn note_decode_corruption(&self, key: u64) {
+        self.hits.fetch_sub(1, Ordering::Relaxed);
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let _ = fs::remove_file(self.entry_path(key));
+    }
+}
+
+/// Wraps a payload in the on-disk entry envelope: one checksummed frame
+/// whose payload is `(CACHE_VERSION, key, payload bytes)`. The embedded key
+/// rejects a validly framed entry that was renamed (or hash-collided) into
+/// the wrong slot.
+fn encode_entry(payload: &[u8], key: u64) -> Vec<u8> {
+    let mut w = Writer::with_capacity(payload.len() + 32);
+    CACHE_VERSION.write(&mut w);
+    key.write(&mut w);
+    (payload.len() as u64).write(&mut w);
+    w.bytes(payload);
+    frame_record(&w.into_bytes())
+}
+
+/// Validates the frame + envelope, returning the inner payload.
+fn validate_entry(bytes: &[u8], key: u64) -> Option<Vec<u8>> {
+    let mut records = RecordIter::new(bytes);
+    let payload = match records.next() {
+        Some(Ok(p)) => p,
+        Some(Err(_)) | None => return None,
+    };
+    // Exactly one frame; trailing bytes mean the file is not what we wrote.
+    if records.next().is_some() {
+        return None;
+    }
+    let mut r = Reader::new(payload);
+    let version = u64::read(&mut r).ok()?;
+    let stored_key = u64::read(&mut r).ok()?;
+    let len = u64::read(&mut r).ok()?;
+    if version != CACHE_VERSION || stored_key != key {
+        return None;
+    }
+    let len = usize::try_from(len).ok()?;
+    if len != r.remaining() {
+        return None;
+    }
+    r.bytes(len).ok().map(<[u8]>::to_vec)
+}
+
+/// Decodes a typed payload, demanding every byte is consumed.
+fn decode_payload<T: Codec>(payload: &[u8]) -> Result<T, SnapError> {
+    let mut r = Reader::new(payload);
+    let value = T::read(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(SnapError::TrailingBytes(r.remaining()));
+    }
+    Ok(value)
+}
+
+// --- keys --------------------------------------------------------------------
+
+fn key_writer(domain: KeyDomain) -> Writer {
+    let mut w = Writer::new();
+    CACHE_VERSION.write(&mut w);
+    u64::from(ltp_snapshot::FORMAT_VERSION).write(&mut w);
+    w.byte(domain as u8);
+    w
+}
+
+/// The geometry of a sampled run that shapes where interval boundaries
+/// fall — every input of `SampleSpec::interval_starts` plus the functional
+/// pre-warm length. Part of [`sampled_warm_key`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalGeometry {
+    /// Total instructions sampled over.
+    pub total_insts: u64,
+    /// Number of detailed intervals.
+    pub intervals: u64,
+    /// Detailed warm-up instructions per interval.
+    pub detail_warm: u64,
+    /// Measured instructions per interval.
+    pub detail_measure: u64,
+    /// Placement seed.
+    pub seed: u64,
+    /// Functional cache pre-warm instructions.
+    pub warm_insts: u64,
+}
+
+/// Key of a sampled warm entry: trace identity (workload name, seed,
+/// content fingerprint), the warm half of the configuration, and the
+/// interval geometry.
+#[must_use]
+pub fn sampled_warm_key(
+    workload: &str,
+    trace_fnv: u64,
+    warm: &WarmupConfig,
+    geometry: &IntervalGeometry,
+) -> u64 {
+    let mut w = key_writer(KeyDomain::SampledWarm);
+    workload.as_bytes().to_vec().write(&mut w);
+    trace_fnv.write(&mut w);
+    warm.write(&mut w);
+    geometry.total_insts.write(&mut w);
+    geometry.intervals.write(&mut w);
+    geometry.detail_warm.write(&mut w);
+    geometry.detail_measure.write(&mut w);
+    geometry.seed.write(&mut w);
+    geometry.warm_insts.write(&mut w);
+    fnv1a64(&w.into_bytes())
+}
+
+/// Key of a warmed-memory entry: trace identity of the warming trace plus
+/// the warm half of the configuration. (The predictor geometry and
+/// classifier training in the warm half are inert here — cache warming
+/// touches only the hierarchy — but sharing [`WarmupConfig`] keeps one key
+/// derivation for both families.)
+#[must_use]
+pub fn warm_mem_key(
+    workload: &str,
+    warm_trace_fnv: u64,
+    warm_insts: u64,
+    warm: &WarmupConfig,
+) -> u64 {
+    let mut w = key_writer(KeyDomain::WarmMem);
+    workload.as_bytes().to_vec().write(&mut w);
+    warm_trace_fnv.write(&mut w);
+    warm_insts.write(&mut w);
+    warm.write(&mut w);
+    fnv1a64(&w.into_bytes())
+}
+
+// --- sampled warm entries ----------------------------------------------------
+
+/// One interval boundary's cached warm state.
+#[derive(Debug, Clone)]
+pub struct CachedInterval {
+    /// Absolute trace position of the interval start.
+    pub start: u64,
+    /// Functional LLC misses across the interval span (the LPT cost weight
+    /// the streaming scheduler orders intervals by).
+    pub weight: u64,
+    /// Warm state at `start`.
+    pub state: FunctionalWarmState,
+}
+
+/// A whole sampled run's warm states: one [`CachedInterval`] per interval,
+/// in interval order. Hits bypass the functional pass for the entire run.
+#[derive(Debug, Clone, Default)]
+pub struct SampledWarmEntry {
+    /// Per-interval warm states, index-aligned with the run's interval
+    /// starts.
+    pub intervals: Vec<CachedInterval>,
+}
+
+impl Codec for CachedInterval {
+    fn write(&self, w: &mut Writer) {
+        self.start.write(w);
+        self.weight.write(w);
+        self.state.write(w);
+    }
+
+    fn read(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(CachedInterval {
+            start: u64::read(r)?,
+            weight: u64::read(r)?,
+            state: FunctionalWarmState::read(r)?,
+        })
+    }
+}
+
+impl Codec for SampledWarmEntry {
+    fn write(&self, w: &mut Writer) {
+        self.intervals.write(w);
+    }
+
+    fn read(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(SampledWarmEntry {
+            intervals: Vec::read(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltp_pipeline::PipelineConfig;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ltp-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_mem() -> MemoryHierarchy {
+        use ltp_mem::{AccessKind, MemoryConfig, MemoryRequest};
+        let mut mem = MemoryHierarchy::new(MemoryConfig::micro2015_baseline());
+        for i in 0..256u64 {
+            mem.warm(&MemoryRequest::new(
+                ltp_isa::Pc(0x1000 + i * 4),
+                i * 64,
+                AccessKind::Load,
+            ));
+        }
+        mem
+    }
+
+    #[test]
+    fn warm_mem_roundtrip_and_stats() {
+        let dir = tmp_dir("roundtrip");
+        let cache = CheckpointCache::open(&dir).expect("open");
+        let warm = PipelineConfig::micro2015_baseline().warmup_config();
+        let key = warm_mem_key("w", 0xfeed, 1000, &warm);
+        assert!(cache.load_warm_mem(key).is_none(), "empty cache misses");
+        let mem = sample_mem();
+        cache.store_warm_mem(key, &mem);
+        let back = cache.load_warm_mem(key).expect("hit after store");
+        assert_eq!(encode_value(&back), encode_value(&mem), "bit-exact payload");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.stores, s.corrupt), (1, 1, 1, 0));
+        assert!(s.bytes_written > 0 && s.bytes_read == s.bytes_written);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_classes_are_misses() {
+        // Every corruption class from the satellite: bit flip, short read
+        // (truncation), and a length-lying header. Each must be a miss that
+        // deletes the entry, and a re-store must regenerate it.
+        let dir = tmp_dir("corrupt");
+        let cache = CheckpointCache::open(&dir).expect("open");
+        let warm = PipelineConfig::micro2015_baseline().warmup_config();
+        let mem = sample_mem();
+        let key = warm_mem_key("w", 1, 1000, &warm);
+        cache.store_warm_mem(key, &mem);
+        let path = cache.entry_path(key);
+        let pristine = fs::read(&path).expect("entry exists");
+
+        // Bit flip in the middle of the payload.
+        let mut flipped = pristine.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        fs::write(&path, &flipped).expect("write corrupted");
+        assert!(cache.load_warm_mem(key).is_none(), "bit flip must miss");
+        assert!(!path.exists(), "corrupt entry deleted");
+
+        // Short read: the tail of the frame is missing.
+        cache.store_warm_mem(key, &mem);
+        fs::write(&path, &pristine[..pristine.len() - 7]).expect("truncate");
+        assert!(cache.load_warm_mem(key).is_none(), "truncation must miss");
+
+        // Length-lying header: the frame's varint length points past EOF.
+        cache.store_warm_mem(key, &mem);
+        let mut lying = pristine.clone();
+        // frame_record layout: varint(len) first; force a huge length.
+        lying[0] = 0xff;
+        lying[1] = 0xff;
+        lying[2] = 0x7f;
+        fs::write(&path, &lying).expect("write lying header");
+        assert!(cache.load_warm_mem(key).is_none(), "lying length must miss");
+
+        // A wrong-slot entry (valid frame, mismatched embedded key).
+        cache.store_warm_mem(key, &mem);
+        let other = warm_mem_key("w", 2, 1000, &warm);
+        fs::copy(&path, cache.entry_path(other)).expect("copy to wrong slot");
+        assert!(
+            cache.load_warm_mem(other).is_none(),
+            "entry in the wrong slot must miss"
+        );
+
+        // Regeneration works after every class.
+        cache.store_warm_mem(key, &mem);
+        assert!(cache.load_warm_mem(key).is_some());
+        let s = cache.stats();
+        assert_eq!(s.corrupt, 4, "each corruption class counted");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        let dir = tmp_dir("lru");
+        let mem = sample_mem();
+        let entry_len = {
+            // Measure one entry's on-disk size to size the budget at ~2.5
+            // entries.
+            let probe = CheckpointCache::open(dir.join("probe")).expect("open");
+            let warm = PipelineConfig::micro2015_baseline().warmup_config();
+            probe.store_warm_mem(warm_mem_key("w", 0, 0, &warm), &mem);
+            let path = probe.entry_path(warm_mem_key("w", 0, 0, &warm));
+            fs::metadata(path).expect("probe entry").len()
+        };
+        let cache =
+            CheckpointCache::with_budget(dir.join("real"), entry_len * 5 / 2).expect("open");
+        let warm = PipelineConfig::micro2015_baseline().warmup_config();
+        let keys: Vec<u64> = (0..3).map(|i| warm_mem_key("w", i, 1000, &warm)).collect();
+        cache.store_warm_mem(keys[0], &mem);
+        // Ensure distinct mtimes even on coarse filesystem clocks.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.store_warm_mem(keys[1], &mem);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Touch key 0 (a hit refreshes recency) so key 1 is now the LRU.
+        assert!(cache.load_warm_mem(keys[0]).is_some());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.store_warm_mem(keys[2], &mem);
+        assert_eq!(cache.stats().evictions, 1, "one entry over budget");
+        assert!(
+            cache.load_warm_mem(keys[1]).is_none(),
+            "least-recently-used entry evicted"
+        );
+        assert!(cache.load_warm_mem(keys[0]).is_some(), "recent hit kept");
+        assert!(cache.load_warm_mem(keys[2]).is_some(), "new entry kept");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_domains_and_inputs_separate() {
+        let warm = PipelineConfig::micro2015_baseline().warmup_config();
+        let geo = IntervalGeometry {
+            total_insts: 240_000,
+            intervals: 12,
+            detail_warm: 1_000,
+            detail_measure: 2_000,
+            seed: 2015,
+            warm_insts: 4_000,
+        };
+        let base = sampled_warm_key("w", 7, &warm, &geo);
+        assert_ne!(
+            base,
+            warm_mem_key("w", 7, geo.warm_insts, &warm),
+            "key domains are disjoint"
+        );
+        assert_ne!(base, sampled_warm_key("x", 7, &warm, &geo), "workload");
+        assert_ne!(base, sampled_warm_key("w", 8, &warm, &geo), "trace content");
+        let mut geo2 = geo;
+        geo2.intervals = 13;
+        assert_ne!(base, sampled_warm_key("w", 7, &warm, &geo2), "geometry");
+        let warm2 = PipelineConfig::limit_study_unlimited().warmup_config();
+        assert_ne!(base, sampled_warm_key("w", 7, &warm2, &geo), "warm config");
+    }
+}

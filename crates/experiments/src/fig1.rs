@@ -11,8 +11,9 @@
 //! * (c) the average resources in use per cycle for the IQ:256 configuration
 //!   (RF, IQ, LQ, SQ).
 
+use crate::cache::CheckpointCache;
 use crate::parallel::par_map;
-use crate::runner::{group_mean, limit_study_config, run_point, RunOptions};
+use crate::runner::{group_mean, limit_study_config, run_point_cached, RunOptions};
 use ltp_core::LtpMode;
 use ltp_pipeline::{PipelineConfig, RunResult};
 use ltp_stats::TextTable;
@@ -50,13 +51,21 @@ impl Fig1Config {
 /// Runs the Figure 1 experiment and renders the report.
 #[must_use]
 pub fn run(opts: &RunOptions) -> String {
+    run_cached(opts, None)
+}
+
+/// [`run`] with an optional checkpoint cache shared with the other sweeps:
+/// the two limit-study warm halves of this figure (prefetcher on, classifier
+/// trained or not) are warmed once each instead of once per point.
+#[must_use]
+pub fn run_cached(opts: &RunOptions, cache: Option<&std::sync::Arc<CheckpointCache>>) -> String {
     // All (workload, config) points are independent: run them in parallel.
     let points: Vec<(WorkloadKind, Fig1Config)> = WorkloadKind::ALL
         .iter()
         .flat_map(|&k| Fig1Config::ALL.iter().map(move |&c| (k, c)))
         .collect();
     let results = par_map(points.clone(), |&(kind, cfg)| {
-        run_point(kind, cfg.pipeline(), opts)
+        run_point_cached(kind, cfg.pipeline(), opts, cache)
     });
     let by_point: HashMap<(WorkloadKind, Fig1Config), RunResult> =
         points.into_iter().zip(results).collect();
@@ -183,6 +192,11 @@ pub fn run(opts: &RunOptions) -> String {
              (paper: LTP recovers about half of the IQ256 gain)\n",
             mlp32, mlp_ltp, mlp256
         ));
+    }
+    if let Some(cache) = cache {
+        out.push('\n');
+        out.push_str(&cache.stats().summary_line());
+        out.push('\n');
     }
     out
 }

@@ -15,6 +15,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
+pub mod cache;
 pub mod classification;
 pub mod fault;
 pub mod fig1;
@@ -31,7 +32,8 @@ pub mod sim;
 pub mod table1;
 pub mod uit_sweep;
 
-pub use runner::{run_point, try_run_point, MlpGrouping, RunOptions};
+pub use cache::CheckpointCache;
+pub use runner::{run_point, run_point_cached, try_run_point, MlpGrouping, RunOptions};
 pub use sim::{CoRunBuilder, SimBuilder};
 
 /// The experiments that can be run from the command line.
@@ -104,18 +106,37 @@ impl Experiment {
     /// Runs the experiment and returns its report.
     #[must_use]
     pub fn run(self, opts: &RunOptions) -> String {
+        self.run_cached(opts, None)
+    }
+
+    /// Runs the experiment with an optional checkpoint cache shared across
+    /// experiments. Sweep-shaped experiments (fig1, uit, ablation) and the
+    /// sampled run use it to pay each functional warm-up once per distinct
+    /// warm configuration; the remaining experiments ignore it.
+    #[must_use]
+    pub fn run_cached(
+        self,
+        opts: &RunOptions,
+        cache: Option<&std::sync::Arc<CheckpointCache>>,
+    ) -> String {
         match self {
             Experiment::Table1 => table1::run(),
-            Experiment::Fig1 => fig1::run(opts),
+            Experiment::Fig1 => fig1::run_cached(opts, cache),
             Experiment::Classification => classification::run(opts),
             Experiment::Fig6 => fig6::run(opts),
             Experiment::Fig7 => fig7::run(opts),
             Experiment::Fig10 => fig10::run(opts),
             Experiment::Fig11 => fig11::run(opts),
-            Experiment::UitSweep => uit_sweep::run(opts),
-            Experiment::Ablation => ablation::run(opts),
+            Experiment::UitSweep => uit_sweep::run_cached(opts, cache),
+            Experiment::Ablation => ablation::run_cached(opts, cache),
             Experiment::FigSmt => fig_smt::run(opts),
-            Experiment::Sample => sampled::run(opts),
+            Experiment::Sample => {
+                let control = sampled::SampleRunControl {
+                    cache_dir: cache.map(|c| c.dir().to_path_buf()),
+                    ..sampled::SampleRunControl::default()
+                };
+                sampled::run_with_control(opts, &control).0
+            }
         }
     }
 }

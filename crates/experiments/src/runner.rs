@@ -67,6 +67,28 @@ pub fn try_run_point(
     SimBuilder::new(cfg, kind).options(opts).run()
 }
 
+/// [`run_point`] with an optional checkpoint cache: cache warming is served
+/// from (and stored to) the cache's warm-memory domain, so a sweep that runs
+/// the same workload under many detail configurations replays the warm
+/// trace once instead of once per point.
+///
+/// # Panics
+///
+/// Panics when the run fails, like [`run_point`].
+#[must_use]
+pub fn run_point_cached(
+    kind: WorkloadKind,
+    cfg: PipelineConfig,
+    opts: &RunOptions,
+    cache: Option<&std::sync::Arc<crate::cache::CheckpointCache>>,
+) -> RunResult {
+    SimBuilder::new(cfg, kind)
+        .options(opts)
+        .warm_cache(cache.cloned())
+        .run()
+        .unwrap_or_else(|e| panic!("simulation of {} failed: {e}", kind.name()))
+}
+
 /// Runs one workload on one configuration, optionally with the oracle
 /// classifier (required by the limit study).
 ///
@@ -97,19 +119,31 @@ impl MlpGrouping {
     /// memory latency above the L2 latency.
     #[must_use]
     pub fn derive(opts: &RunOptions) -> MlpGrouping {
+        MlpGrouping::derive_cached(opts, None)
+    }
+
+    /// [`MlpGrouping::derive`] with an optional checkpoint cache for the
+    /// warm-up replays (both criterion machines share one warm half).
+    #[must_use]
+    pub fn derive_cached(
+        opts: &RunOptions,
+        cache: Option<&std::sync::Arc<crate::cache::CheckpointCache>>,
+    ) -> MlpGrouping {
         let mut sensitive = Vec::new();
         let mut insensitive = Vec::new();
         let l2_latency = PipelineConfig::micro2015_baseline().mem.l2.latency;
         for kind in WorkloadKind::ALL {
-            let small = run_point(
+            let small = run_point_cached(
                 kind,
                 PipelineConfig::limit_study_unlimited().with_iq(32),
                 opts,
+                cache,
             );
-            let large = run_point(
+            let large = run_point_cached(
                 kind,
                 PipelineConfig::limit_study_unlimited().with_iq(256),
                 opts,
+                cache,
             );
             if large.is_mlp_sensitive_vs(&small, l2_latency) {
                 sensitive.push(kind);

@@ -37,6 +37,7 @@
 //! the full-detail run of the same trace, reporting the IPC error and the
 //! speed-up per simulation point.
 
+use crate::cache::{sampled_warm_key, CachedInterval, IntervalGeometry, SampledWarmEntry};
 use crate::fault::FaultPlan;
 use crate::journal::{self, JournalHeader, JournalRecord, JournalWriter};
 use crate::parallel::{par_map_lpt, stream_map_lpt_ft, RetryPolicy, TaskFailure, TaskOutcome};
@@ -263,6 +264,17 @@ pub struct SampleControl {
     /// Configuration label recorded in (and checked against) the journal
     /// header.
     pub config_label: String,
+    /// Checkpoint cache consulted before the functional pass. A hit
+    /// rebuilds every interval checkpoint from the cached warm state —
+    /// bypassing fast-forward entirely — bit-identical to what the cold
+    /// pass would emit; a miss runs the pass and stores its warm states
+    /// for every later run sharing the (trace, warm-config, geometry) key.
+    pub cache: Option<Arc<crate::cache::CheckpointCache>>,
+    /// Pre-computed content fingerprint of the detailed trace
+    /// ([`ltp_isa::trace_fingerprint`]). Sweeps running several
+    /// configurations over one workload fingerprint once and share it;
+    /// when absent (and a cache is set) it is computed here.
+    pub trace_fnv: Option<u64>,
 }
 
 impl Default for SampleControl {
@@ -273,6 +285,8 @@ impl Default for SampleControl {
             journal: None,
             resume: false,
             config_label: String::new(),
+            cache: None,
+            trace_fnv: None,
         }
     }
 }
@@ -550,18 +564,110 @@ pub fn run_sampled_controlled(
         Vec::new()
     } else {
         let func_t0 = Instant::now();
-        let mut ff = FunctionalFastForward::new(cfg);
-        if spec.warm_insts > 0 {
-            let warm = trace(kind, spec.seed, spec.warm_insts as usize);
-            ff.warm_caches(&warm);
-        }
-        stream_map_lpt_ft(
-            intervals - resumed_intervals,
-            control.retry,
-            |queue| {
-                for (i, &start) in starts.iter().enumerate() {
-                    ff.advance_on(dec, start);
-                    if !done.contains(&i) {
+        // The worker body is shared by the cold and cache-hit producers.
+        let worker = |job: &IntervalJob, attempt: u32| {
+            control.faults.inject(job.index, attempt);
+            let t0 = Instant::now();
+            let m = simulate_interval(job, oracle, name, detail, warm_eff, measure_eff);
+            detail_nanos.fetch_add(
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                Ordering::Relaxed,
+            );
+            if let (Ok(m), Some(bytes)) = (&m, &job.snap_bytes) {
+                let j0 = Instant::now();
+                let pending = PendingRecord {
+                    index: job.index,
+                    start: job.start,
+                    weight: job.weight,
+                    instructions: m.instructions,
+                    cycles: m.cycles,
+                    snap_bytes: bytes.clone(),
+                };
+                journal_pending
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(pending);
+                journal_nanos.fetch_add(
+                    u64::try_from(j0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    Ordering::Relaxed,
+                );
+            }
+            m
+        };
+        // Encodes a captured checkpoint for the journal right away, while
+        // its machine state is still hot in cache — deferring the encode to
+        // the drain costs 2-4x more once the state has been evicted.
+        let encode_for_journal = |snap: &Snapshot| {
+            if !journal_on {
+                return None;
+            }
+            let j0 = Instant::now();
+            let bytes = Arc::new(snap.to_bytes());
+            journal_encode_ns
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(u64::try_from(j0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            Some(bytes)
+        };
+
+        // Checkpoint cache: key over the trace identity (name + content
+        // fingerprint), the warm half of the configuration, and the
+        // interval geometry — exactly the inputs the functional pass can
+        // observe, so detail-only sweep dimensions (ROB/IQ/PRF, classifier
+        // kind, LTP mode) share one entry.
+        let cache_key = control.cache.as_deref().map(|cache| {
+            let trace_fnv = control
+                .trace_fnv
+                .unwrap_or_else(|| ltp_isa::trace_fingerprint(detail));
+            let geometry = IntervalGeometry {
+                total_insts: total,
+                intervals: spec.intervals as u64,
+                detail_warm: spec.detail_warm,
+                detail_measure: spec.detail_measure,
+                seed: spec.seed,
+                warm_insts: spec.warm_insts,
+            };
+            (
+                cache,
+                sampled_warm_key(name, trace_fnv, &cfg.warmup_config(), &geometry),
+            )
+        });
+        let wants_classifier = matches!(
+            ltp_pipeline::ClassifierTraining::of(&cfg.ltp),
+            ltp_pipeline::ClassifierTraining::Trained { .. }
+        );
+        let cached: Option<SampledWarmEntry> = cache_key.as_ref().and_then(|(cache, key)| {
+            // Beyond the codec checks, demand the entry's shape matches this
+            // run (a 64-bit key collision must degrade to a miss, not a
+            // panic in the restore path).
+            cache.load_sampled_warm(*key).filter(|e| {
+                e.intervals.len() == starts.len()
+                    && e.intervals
+                        .iter()
+                        .zip(&starts)
+                        .all(|(ci, &s)| ci.start == s && ci.state.consumed() == s)
+                    && e.intervals
+                        .iter()
+                        .all(|ci| ci.state.has_classifier_state() == wants_classifier)
+            })
+        });
+
+        if let Some(entry) = cached {
+            // Cache hit: the functional pass is bypassed entirely. Each
+            // interval's checkpoint is rebuilt from the cached warm state
+            // under *this* configuration — byte-identical to what the cold
+            // fast-forward would have captured, per the warm-key contract.
+            stream_map_lpt_ft(
+                intervals - resumed_intervals,
+                control.retry,
+                |queue| {
+                    for (i, (cached_iv, &start)) in
+                        entry.intervals.into_iter().zip(&starts).enumerate()
+                    {
+                        if done.contains(&i) {
+                            continue;
+                        }
+                        let ff = FunctionalFastForward::from_warm_state(cfg, cached_iv.state);
                         let snap = match ff.checkpoint() {
                             Ok(snap) => snap,
                             Err(e) => {
@@ -569,82 +675,113 @@ pub fn run_sampled_controlled(
                                 break;
                             }
                         };
-                        // Journaled runs encode the checkpoint here, right
-                        // after capture, while its machine state is still
-                        // hot in cache — deferring the encode to the drain
-                        // costs 2-4x more once the state has been evicted.
-                        let snap_bytes = if journal_on {
-                            let j0 = Instant::now();
-                            let bytes = Arc::new(snap.to_bytes());
-                            journal_encode_ns
-                                .lock()
-                                .unwrap_or_else(|p| p.into_inner())
-                                .push(u64::try_from(j0.elapsed().as_nanos()).unwrap_or(u64::MAX));
-                            Some(bytes)
-                        } else {
-                            None
-                        };
+                        let snap_bytes = encode_for_journal(&snap);
                         if i == 0 {
-                            // Report what persisting a checkpoint costs;
-                            // reuse the journal encoding when there is one.
                             checkpoint_bytes = snap_bytes
                                 .as_ref()
                                 .map_or_else(|| snap.to_bytes().len(), |b| b.len());
                         }
-                        let end = starts.get(i + 1).copied().unwrap_or(total);
-                        ff.advance_on(dec, end);
-                        let weight = ff.take_llc_misses();
-                        // LPT cost: the detailed window length is constant,
-                        // so the miss weight is the differentiating term; +1
-                        // keeps zero-miss intervals schedulable.
                         queue.push(
-                            weight + 1,
+                            cached_iv.weight + 1,
                             IntervalJob {
                                 index: i,
                                 start,
                                 snap: Arc::new(snap),
                                 snap_bytes,
-                                weight,
+                                weight: cached_iv.weight,
                             },
                         );
-                    } else {
+                    }
+                    functional_secs = func_t0.elapsed().as_secs_f64();
+                },
+                worker,
+            )
+        } else {
+            let mut ff = FunctionalFastForward::new(cfg);
+            if spec.warm_insts > 0 {
+                let warm = trace(kind, spec.seed, spec.warm_insts as usize);
+                ff.warm_caches(&warm);
+            }
+            stream_map_lpt_ft(
+                intervals - resumed_intervals,
+                control.retry,
+                |queue| {
+                    // On a miss with a cache attached, capture every interval
+                    // boundary's warm state (replayed intervals included —
+                    // the entry must be whole to serve future runs). A
+                    // capture failure abandons the store, never the run.
+                    let mut captured: Option<Vec<CachedInterval>> = cache_key
+                        .is_some()
+                        .then(|| Vec::with_capacity(starts.len()));
+                    for (i, &start) in starts.iter().enumerate() {
+                        ff.advance_on(dec, start);
+                        if let Some(cap) = captured.as_mut() {
+                            match ff.warm_state() {
+                                Ok(state) => cap.push(CachedInterval {
+                                    start,
+                                    weight: 0,
+                                    state,
+                                }),
+                                Err(_) => captured = None,
+                            }
+                        }
+                        let job_snap = if done.contains(&i) {
+                            None
+                        } else {
+                            let snap = match ff.checkpoint() {
+                                Ok(snap) => snap,
+                                Err(e) => {
+                                    producer_err =
+                                        Some(RunError::SnapshotUnsupported(e.to_string()));
+                                    break;
+                                }
+                            };
+                            let snap_bytes = encode_for_journal(&snap);
+                            if i == 0 {
+                                // Report what persisting a checkpoint costs;
+                                // reuse the journal encoding when there is
+                                // one.
+                                checkpoint_bytes = snap_bytes
+                                    .as_ref()
+                                    .map_or_else(|| snap.to_bytes().len(), |b| b.len());
+                            }
+                            Some((snap, snap_bytes))
+                        };
                         let end = starts.get(i + 1).copied().unwrap_or(total);
                         ff.advance_on(dec, end);
-                        let _ = ff.take_llc_misses();
+                        let weight = ff.take_llc_misses();
+                        if let Some(cap) = captured.as_mut() {
+                            if let Some(last) = cap.last_mut() {
+                                last.weight = weight;
+                            }
+                        }
+                        if let Some((snap, snap_bytes)) = job_snap {
+                            // LPT cost: the detailed window length is
+                            // constant, so the miss weight is the
+                            // differentiating term; +1 keeps zero-miss
+                            // intervals schedulable.
+                            queue.push(
+                                weight + 1,
+                                IntervalJob {
+                                    index: i,
+                                    start,
+                                    snap: Arc::new(snap),
+                                    snap_bytes,
+                                    weight,
+                                },
+                            );
+                        }
                     }
-                }
-                functional_secs = func_t0.elapsed().as_secs_f64();
-            },
-            |job, attempt| {
-                control.faults.inject(job.index, attempt);
-                let t0 = Instant::now();
-                let m = simulate_interval(job, oracle, name, detail, warm_eff, measure_eff);
-                detail_nanos.fetch_add(
-                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                    Ordering::Relaxed,
-                );
-                if let (Ok(m), Some(bytes)) = (&m, &job.snap_bytes) {
-                    let j0 = Instant::now();
-                    let pending = PendingRecord {
-                        index: job.index,
-                        start: job.start,
-                        weight: job.weight,
-                        instructions: m.instructions,
-                        cycles: m.cycles,
-                        snap_bytes: bytes.clone(),
-                    };
-                    journal_pending
-                        .lock()
-                        .unwrap_or_else(|p| p.into_inner())
-                        .push(pending);
-                    journal_nanos.fetch_add(
-                        u64::try_from(j0.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                        Ordering::Relaxed,
-                    );
-                }
-                m
-            },
-        )
+                    if let (Some(cap), Some((cache, key))) = (captured, cache_key.as_ref()) {
+                        if cap.len() == starts.len() {
+                            cache.store_sampled_warm(*key, &SampledWarmEntry { intervals: cap });
+                        }
+                    }
+                    functional_secs = func_t0.elapsed().as_secs_f64();
+                },
+                worker,
+            )
+        }
     };
     // Single-threaded journal drain: the parallel stream is over, so this
     // runs with the machine to itself and its elapsed time is the true
@@ -1012,6 +1149,9 @@ pub struct SampleRunControl {
     pub journal_dir: Option<PathBuf>,
     /// Replay matching journals from `journal_dir` before simulating.
     pub resume: bool,
+    /// Checkpoint-cache directory shared across points (and across runs);
+    /// enables the content-addressed warm-state cache when set.
+    pub cache_dir: Option<PathBuf>,
 }
 
 /// What happened across the points of one `sample` experiment run — the
@@ -1048,6 +1188,18 @@ pub fn run_with_control(
     // without parsing the table.
     let mut digest_buf = String::new();
     let mut notes: Vec<String> = Vec::new();
+    let cache: Option<Arc<crate::cache::CheckpointCache>> = control
+        .cache_dir
+        .as_deref()
+        .map(|dir| match crate::cache::CheckpointCache::open(dir) {
+            Ok(c) => Ok(Arc::new(c)),
+            Err(e) => Err(e),
+        })
+        .transpose()
+        .unwrap_or_else(|e| {
+            notes.push(format!("checkpoint cache disabled: {e}"));
+            None
+        });
 
     let mut out = String::new();
     out.push_str("Sampled simulation vs full detail (Figure-1 configurations)\n");
@@ -1090,6 +1242,9 @@ pub fn run_with_control(
         // it happens once per workload outside the timed regions.
         let detail = trace(kind, spec.seed.wrapping_add(1), spec.total_insts as usize);
         let dec = DecodedTrace::from_insts(&detail);
+        // The trace fingerprint is part of every cache key for this
+        // workload; hash it once here rather than once per configuration.
+        let trace_fnv = cache.as_ref().map(|_| ltp_isa::trace_fingerprint(&detail));
         for (label, cfg) in fig1_configs() {
             // The oracle analysis is likewise a pure function of
             // (configuration, trace), consumed identically by both sides —
@@ -1127,6 +1282,8 @@ pub fn run_with_control(
                     .map(|dir| journal::journal_path(dir, kind.name(), label)),
                 resume: control.resume,
                 config_label: label.to_string(),
+                cache: cache.clone(),
+                trace_fnv,
             };
             let t1 = std::time::Instant::now();
             let sampled = match run_sampled_controlled(
@@ -1252,6 +1409,10 @@ pub fn run_with_control(
         "throughput: functional {} insts/s, detailed {} insts/s\n",
         functional_rate as u64, detailed_rate as u64
     ));
+    if let Some(cache) = &cache {
+        out.push_str(&cache.stats().summary_line());
+        out.push('\n');
+    }
     out.push_str(
         "(sampled side = 1 streamed decode-once functional pass overlapped with \
          online-LPT parallel detailed intervals; full side = 1 serial full-detail run \
@@ -1443,5 +1604,150 @@ mod tests {
         let r = run_sampled(cfg, WorkloadKind::IndirectStream, &spec).expect("oracle sampled run");
         assert_eq!(r.intervals.len(), 4);
         assert!(r.ipc.mean > 0.0);
+    }
+
+    fn cache_spec() -> SampleSpec {
+        SampleSpec {
+            total_insts: 60_000,
+            intervals: 6,
+            detail_warm: 500,
+            detail_measure: 1_000,
+            seed: 11,
+            warm_insts: 2_000,
+        }
+    }
+
+    fn cache_tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ltp-sampled-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn run_against_cache(
+        cache: Option<Arc<crate::cache::CheckpointCache>>,
+        spec: &SampleSpec,
+    ) -> SampledResult {
+        let kind = WorkloadKind::IndirectStream;
+        let cfg = PipelineConfig::ltp_proposed();
+        let detail = trace(kind, spec.seed.wrapping_add(1), spec.total_insts as usize);
+        let dec = DecodedTrace::from_insts(&detail);
+        let control = SampleControl {
+            cache,
+            ..SampleControl::default()
+        };
+        run_sampled_controlled(cfg, kind, &detail, &dec, None, spec, &control).expect("sampled run")
+    }
+
+    fn assert_results_bit_identical(a: &SampledResult, b: &SampledResult) {
+        assert_eq!(a.ipc.mean.to_bits(), b.ipc.mean.to_bits());
+        assert_eq!(a.ipc.half_width.to_bits(), b.ipc.half_width.to_bits());
+        assert_eq!(a.intervals.len(), b.intervals.len());
+        for (x, y) in a.intervals.iter().zip(&b.intervals) {
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.instructions, y.instructions);
+            assert_eq!(x.cycles, y.cycles);
+            assert_eq!(x.weight, y.weight);
+        }
+        assert_eq!(a.checkpoint_bytes, b.checkpoint_bytes);
+    }
+
+    /// A cache-hit run bypasses the functional pass yet reproduces the cold
+    /// run's per-interval measurements, IPC mean and confidence interval
+    /// bit-for-bit.
+    #[test]
+    fn cache_hit_run_is_bit_identical_to_cold_run() {
+        let spec = cache_spec();
+        let dir = cache_tmp_dir("hit");
+        let baseline = run_against_cache(None, &spec);
+
+        let cache = Arc::new(crate::cache::CheckpointCache::open(&dir).expect("open"));
+        let cold = run_against_cache(Some(cache.clone()), &spec);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.stores, 1);
+        assert_results_bit_identical(&baseline, &cold);
+
+        // A fresh cache handle on the same directory, as a later sweep
+        // invocation would open.
+        let cache2 = Arc::new(crate::cache::CheckpointCache::open(&dir).expect("reopen"));
+        let warm = run_against_cache(Some(cache2.clone()), &spec);
+        let stats = cache2.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 0);
+        assert_results_bit_identical(&baseline, &warm);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A corrupted cache entry is a miss: the run regenerates (and re-stores)
+    /// it instead of failing or producing different numbers.
+    #[test]
+    fn corrupted_cache_entry_is_regenerated() {
+        let spec = cache_spec();
+        let dir = cache_tmp_dir("corrupt");
+        let cache = Arc::new(crate::cache::CheckpointCache::open(&dir).expect("open"));
+        let cold = run_against_cache(Some(cache.clone()), &spec);
+        assert_eq!(cache.stats().stores, 1);
+
+        // Flip a byte in the middle of the stored entry.
+        let entry = std::fs::read_dir(&dir)
+            .expect("cache dir")
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "ckpt"))
+            .expect("one entry file");
+        let mut bytes = std::fs::read(&entry).expect("read entry");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&entry, &bytes).expect("write corruption");
+
+        let cache2 = Arc::new(crate::cache::CheckpointCache::open(&dir).expect("reopen"));
+        let recovered = run_against_cache(Some(cache2.clone()), &spec);
+        let stats = cache2.stats();
+        assert_eq!(stats.hits, 0, "corrupt entry must not count as a hit");
+        assert!(stats.corrupt >= 1);
+        assert_eq!(stats.stores, 1, "the entry is regenerated");
+        assert_results_bit_identical(&cold, &recovered);
+
+        // And the regenerated entry serves the next run.
+        let cache3 = Arc::new(crate::cache::CheckpointCache::open(&dir).expect("reopen2"));
+        let warm = run_against_cache(Some(cache3.clone()), &spec);
+        assert_eq!(cache3.stats().hits, 1);
+        assert_results_bit_identical(&cold, &warm);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Detail-only configuration changes share one cache entry; a different
+    /// warm half (classifier-training projection) takes its own.
+    #[test]
+    fn cache_entries_are_shared_across_detail_configs_only() {
+        let spec = cache_spec();
+        let dir = cache_tmp_dir("share");
+        let kind = WorkloadKind::IndirectStream;
+        let detail = trace(kind, spec.seed.wrapping_add(1), spec.total_insts as usize);
+        let dec = DecodedTrace::from_insts(&detail);
+        let cache = Arc::new(crate::cache::CheckpointCache::open(&dir).expect("open"));
+        let control = SampleControl {
+            cache: Some(cache.clone()),
+            ..SampleControl::default()
+        };
+        let run = |cfg: PipelineConfig| {
+            run_sampled_controlled(cfg, kind, &detail, &dec, None, &spec, &control)
+                .expect("sampled run")
+        };
+        let _ = run(PipelineConfig::ltp_proposed());
+        let _ = run(PipelineConfig::ltp_proposed().with_iq(256).with_regs(128));
+        let _ =
+            run(PipelineConfig::ltp_proposed()
+                .with_classifier(ltp_core::ClassifierKind::AlwaysReady));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1, "IQ:256 shares the proposed design's entry");
+        assert_eq!(stats.misses, 2, "the inert classifier needs its own");
+        assert_eq!(stats.stores, 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

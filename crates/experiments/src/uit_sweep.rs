@@ -6,13 +6,15 @@
 //! more. This experiment sweeps the UIT size on the proposed design for the
 //! MLP-sensitive group.
 
+use crate::cache::CheckpointCache;
 use crate::parallel::par_map;
-use crate::runner::{group_mean, run_point, MlpGrouping, RunOptions};
+use crate::runner::{group_mean, run_point_cached, MlpGrouping, RunOptions};
 use ltp_core::LtpConfig;
 use ltp_pipeline::{PipelineConfig, RunResult};
 use ltp_stats::TextTable;
 use ltp_workloads::WorkloadKind;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// UIT sizes swept (the `usize::MAX` point is the unlimited UIT).
 const UIT_SIZES: [usize; 5] = [usize::MAX, 512, 256, 128, 64];
@@ -20,7 +22,15 @@ const UIT_SIZES: [usize; 5] = [usize::MAX, 512, 256, 128, 64];
 /// Runs the UIT sweep and renders the report.
 #[must_use]
 pub fn run(opts: &RunOptions) -> String {
-    let grouping = MlpGrouping::derive(opts);
+    run_cached(opts, None)
+}
+
+/// [`run`] with an optional checkpoint cache shared with the other sweeps.
+/// Every swept point is a detail-half variation (UIT size, baseline widths),
+/// so the whole sweep warms each workload's memory state exactly once.
+#[must_use]
+pub fn run_cached(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> String {
+    let grouping = MlpGrouping::derive_cached(opts, cache);
 
     let mut points: Vec<(Option<usize>, WorkloadKind)> = Vec::new();
     for kind in WorkloadKind::ALL {
@@ -35,7 +45,7 @@ pub fn run(opts: &RunOptions) -> String {
             Some(size) => PipelineConfig::ltp_proposed()
                 .with_ltp(LtpConfig::nu_only_128x4().with_uit_entries(size)),
         };
-        run_point(kind, cfg, opts)
+        run_point_cached(kind, cfg, opts, cache)
     });
     let by_point: HashMap<(Option<usize>, WorkloadKind), RunResult> =
         points.into_iter().zip(results).collect();
@@ -71,5 +81,10 @@ pub fn run(opts: &RunOptions) -> String {
         "Paper reference: UIT 256 performs well; 128 entries give up ~4 percentage points;\n\
          an unlimited UIT gains only ~2 points over 256.\n",
     );
+    if let Some(cache) = cache {
+        out.push('\n');
+        out.push_str(&cache.stats().summary_line());
+        out.push('\n');
+    }
     out
 }

@@ -9,6 +9,43 @@
 
 use ltp_isa::Pc;
 
+/// Geometry of the gshare predictor: table entries and global history bits.
+///
+/// The pipeline always builds [`BranchPredictor::default_sized`] today, but
+/// the geometry is part of the *warm-up* half of the configuration split
+/// ([`crate::WarmupConfig`]): functional fast-forward trains a predictor of
+/// this shape, so checkpoint-cache keys must change whenever it does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorGeometry {
+    /// Number of 2-bit counters (non-zero power of two).
+    pub table_entries: usize,
+    /// Global history length in bits (at most 24).
+    pub history_bits: u32,
+}
+
+impl PredictorGeometry {
+    /// The geometry of [`BranchPredictor::default_sized`].
+    #[must_use]
+    pub fn default_sized() -> PredictorGeometry {
+        PredictorGeometry {
+            table_entries: 4096,
+            history_bits: 12,
+        }
+    }
+
+    /// Builds a fresh (untrained) predictor of this geometry.
+    #[must_use]
+    pub fn build(self) -> BranchPredictor {
+        BranchPredictor::new(self.table_entries, self.history_bits)
+    }
+}
+
+impl Default for PredictorGeometry {
+    fn default() -> Self {
+        PredictorGeometry::default_sized()
+    }
+}
+
 /// A gshare branch direction predictor.
 #[derive(Debug, Clone)]
 pub struct BranchPredictor {
@@ -49,7 +86,16 @@ impl BranchPredictor {
     /// core front end.
     #[must_use]
     pub fn default_sized() -> BranchPredictor {
-        BranchPredictor::new(4096, 12)
+        PredictorGeometry::default_sized().build()
+    }
+
+    /// The geometry this predictor was built with.
+    #[must_use]
+    pub fn geometry(&self) -> PredictorGeometry {
+        PredictorGeometry {
+            table_entries: self.counters.len(),
+            history_bits: self.history_bits,
+        }
     }
 
     fn index(&self, pc: Pc) -> usize {

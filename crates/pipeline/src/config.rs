@@ -1,5 +1,26 @@
 //! Pipeline configuration (Table 1 of the paper).
+//!
+//! The configuration splits into two halves along what functional warm-up
+//! can observe:
+//!
+//! * [`WarmupConfig`] — memory-hierarchy geometry (caches, prefetcher,
+//!   DRAM, MSHRs), branch-predictor geometry, and the classifier *training*
+//!   projection. This is everything
+//!   [`FunctionalFastForward::advance_on`](crate::FunctionalFastForward)
+//!   reads or trains, so warm state captured under one configuration is
+//!   bit-exactly reusable under any other with the same `WarmupConfig`.
+//! * [`DetailConfig`] — widths, ROB/IQ/LQ/SQ/PRF sizes, latency penalties,
+//!   the full LTP configuration, SMT policy, and detailed-warm-up length.
+//!   None of these are visible to the functional pass.
+//!
+//! [`PipelineConfig`] stays the flat struct every call site (and the
+//! snapshot wire format) uses; [`PipelineConfig::split`] and
+//! [`PipelineConfig::compose`] convert between the flat form and the two
+//! halves. Both are written with exhaustive destructuring so adding a field
+//! to `PipelineConfig` refuses to compile until it is assigned to a half —
+//! the checkpoint-cache key stays principled by construction.
 
+use crate::branch::PredictorGeometry;
 use ltp_core::{ClassifierKind, LtpConfig};
 use ltp_mem::MemoryConfig;
 
@@ -98,6 +119,98 @@ impl SmtConfig {
     pub fn is_smt(&self) -> bool {
         self.threads > 1
     }
+}
+
+/// How functional warm-up trains the criticality classifier under a given
+/// [`LtpConfig`] — the projection of the classifier choice onto the warm-up
+/// half of the configuration.
+///
+/// [`ClassifierKind::Uit`] and [`ClassifierKind::Oracle`] both start as a
+/// UIT classifier of `uit_entries` entries that learns from every load
+/// outcome the fast-forward feeds it, so they project to
+/// [`ClassifierTraining::Trained`]; the control classifiers (Random,
+/// AlwaysReady, ParkEverything) ignore load outcomes entirely and project
+/// to [`ClassifierTraining::Inert`]. Two configurations whose projections
+/// agree produce bit-identical classifier state from the same warm-up
+/// stream — which is exactly the condition the checkpoint cache needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassifierTraining {
+    /// Warm-up is a no-op on the classifier: a fresh build is bit-identical
+    /// to a warmed one.
+    Inert,
+    /// Warm-up trains a UIT + hit/miss predictor of this size.
+    Trained {
+        /// Number of UIT entries being trained.
+        uit_entries: usize,
+    },
+}
+
+impl ClassifierTraining {
+    /// The training projection of an LTP configuration.
+    #[must_use]
+    pub fn of(ltp: &LtpConfig) -> ClassifierTraining {
+        if ltp.classifier.trains_during_warmup() {
+            ClassifierTraining::Trained {
+                uit_entries: ltp.uit_entries,
+            }
+        } else {
+            ClassifierTraining::Inert
+        }
+    }
+}
+
+/// The warm-up half of a [`PipelineConfig`]: everything the functional
+/// fast-forward observes or trains. Configurations with equal `WarmupConfig`
+/// halves can share cached warm state bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmupConfig {
+    /// Memory hierarchy geometry (caches, prefetcher, DRAM, MSHRs).
+    pub mem: MemoryConfig,
+    /// Branch predictor geometry trained by the functional pass.
+    pub predictor: PredictorGeometry,
+    /// How warm-up trains the criticality classifier.
+    pub training: ClassifierTraining,
+}
+
+/// The detail half of a [`PipelineConfig`]: everything the detailed
+/// pipeline needs that the functional fast-forward cannot observe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetailConfig {
+    /// Front-end width.
+    pub front_width: usize,
+    /// Issue width.
+    pub issue_width: usize,
+    /// Commit width.
+    pub commit_width: usize,
+    /// Reorder buffer entries.
+    pub rob_size: usize,
+    /// Instruction queue entries.
+    pub iq_size: usize,
+    /// Load queue entries.
+    pub lq_size: usize,
+    /// Store queue entries.
+    pub sq_size: usize,
+    /// Available integer physical registers.
+    pub int_regs: usize,
+    /// Available floating point registers.
+    pub fp_regs: usize,
+    /// Registers/LQ/SQ entries reserved for LTP release.
+    pub ltp_reserve: usize,
+    /// Front-end depth in cycles.
+    pub frontend_delay: u64,
+    /// Branch misprediction redirect penalty.
+    pub mispredict_penalty: u64,
+    /// Functional unit mix.
+    pub fu: FuCounts,
+    /// Whether LQ/SQ allocation is delayed for parked instructions.
+    pub delay_lsq_alloc: bool,
+    /// Full LTP configuration (mode, sizes, classifier choice). Only its
+    /// [`ClassifierTraining`] projection leaks into the warm-up half.
+    pub ltp: LtpConfig,
+    /// Detailed pipeline-warming instructions before statistics.
+    pub warmup_insts: u64,
+    /// SMT configuration.
+    pub smt: SmtConfig,
 }
 
 /// Full configuration of the out-of-order core.
@@ -310,6 +423,139 @@ impl PipelineConfig {
         self
     }
 
+    /// Splits the configuration into its warm-up and detail halves.
+    ///
+    /// The destructuring is exhaustive on purpose: a field added to
+    /// `PipelineConfig` fails to compile here until it is assigned to one
+    /// half, keeping the checkpoint-cache key honest.
+    #[must_use]
+    pub fn split(&self) -> (WarmupConfig, DetailConfig) {
+        let PipelineConfig {
+            front_width,
+            issue_width,
+            commit_width,
+            rob_size,
+            iq_size,
+            lq_size,
+            sq_size,
+            int_regs,
+            fp_regs,
+            ltp_reserve,
+            frontend_delay,
+            mispredict_penalty,
+            fu,
+            delay_lsq_alloc,
+            mem,
+            ltp,
+            warmup_insts,
+            smt,
+        } = *self;
+        (
+            WarmupConfig {
+                mem,
+                // The pipeline builds the default-sized predictor for every
+                // configuration today; the geometry still travels in the
+                // warm half so the cache key changes if that ever changes.
+                predictor: PredictorGeometry::default_sized(),
+                training: ClassifierTraining::of(&ltp),
+            },
+            DetailConfig {
+                front_width,
+                issue_width,
+                commit_width,
+                rob_size,
+                iq_size,
+                lq_size,
+                sq_size,
+                int_regs,
+                fp_regs,
+                ltp_reserve,
+                frontend_delay,
+                mispredict_penalty,
+                fu,
+                delay_lsq_alloc,
+                ltp,
+                warmup_insts,
+                smt,
+            },
+        )
+    }
+
+    /// The warm-up half alone (what checkpoint-cache keys are derived from).
+    #[must_use]
+    pub fn warmup_config(&self) -> WarmupConfig {
+        self.split().0
+    }
+
+    /// Recomposes a configuration from its two halves — the inverse of
+    /// [`PipelineConfig::split`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the halves are inconsistent: the warm half's classifier
+    /// training projection must match the detail half's LTP configuration,
+    /// and the predictor geometry must be the (only supported) default.
+    /// Composing mismatched halves would silently produce a configuration
+    /// whose warm state is *not* interchangeable with either input, which is
+    /// exactly the bug the split exists to prevent.
+    #[must_use]
+    pub fn compose(warm: WarmupConfig, detail: DetailConfig) -> PipelineConfig {
+        let WarmupConfig {
+            mem,
+            predictor,
+            training,
+        } = warm;
+        assert_eq!(
+            predictor,
+            PredictorGeometry::default_sized(),
+            "the pipeline only builds the default-sized branch predictor"
+        );
+        assert_eq!(
+            training,
+            ClassifierTraining::of(&detail.ltp),
+            "warm half trains the classifier differently than the detail half's LTP config"
+        );
+        let DetailConfig {
+            front_width,
+            issue_width,
+            commit_width,
+            rob_size,
+            iq_size,
+            lq_size,
+            sq_size,
+            int_regs,
+            fp_regs,
+            ltp_reserve,
+            frontend_delay,
+            mispredict_penalty,
+            fu,
+            delay_lsq_alloc,
+            ltp,
+            warmup_insts,
+            smt,
+        } = detail;
+        PipelineConfig {
+            front_width,
+            issue_width,
+            commit_width,
+            rob_size,
+            iq_size,
+            lq_size,
+            sq_size,
+            int_regs,
+            fp_regs,
+            ltp_reserve,
+            frontend_delay,
+            mispredict_penalty,
+            fu,
+            delay_lsq_alloc,
+            mem,
+            ltp,
+            warmup_insts,
+            smt,
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
@@ -450,5 +696,177 @@ mod tests {
     fn total_phys_regs_adds_architectural() {
         let c = PipelineConfig::micro2015_baseline();
         assert_eq!(c.total_int_phys_regs(), 128 + ltp_isa::NUM_ARCH_INT_REGS);
+    }
+
+    #[test]
+    fn split_compose_round_trips_named_configs() {
+        for cfg in [
+            PipelineConfig::micro2015_baseline(),
+            PipelineConfig::ltp_proposed(),
+            PipelineConfig::small_no_ltp(),
+            PipelineConfig::limit_study_unlimited(),
+            PipelineConfig::micro2015_baseline().smt(SharePolicy::Icount),
+            PipelineConfig::ltp_proposed().with_classifier(ClassifierKind::AlwaysReady),
+        ] {
+            let (warm, detail) = cfg.split();
+            assert_eq!(PipelineConfig::compose(warm, detail), cfg);
+            assert_eq!(cfg.warmup_config(), warm);
+        }
+    }
+
+    #[test]
+    fn training_projection_follows_classifier_kind() {
+        let trained = PipelineConfig::ltp_proposed();
+        assert_eq!(
+            ClassifierTraining::of(&trained.ltp),
+            ClassifierTraining::Trained {
+                uit_entries: trained.ltp.uit_entries
+            }
+        );
+        let inert = trained.with_classifier(ClassifierKind::AlwaysReady);
+        assert_eq!(
+            ClassifierTraining::of(&inert.ltp),
+            ClassifierTraining::Inert
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "trains the classifier differently")]
+    fn compose_rejects_training_mismatch() {
+        let (warm, _) = PipelineConfig::ltp_proposed().split();
+        let (_, detail) = PipelineConfig::ltp_proposed()
+            .with_classifier(ClassifierKind::AlwaysReady)
+            .split();
+        let _ = PipelineConfig::compose(warm, detail);
+    }
+
+    #[test]
+    #[should_panic(expected = "default-sized branch predictor")]
+    fn compose_rejects_predictor_mismatch() {
+        let (mut warm, detail) = PipelineConfig::ltp_proposed().split();
+        warm.predictor = crate::branch::PredictorGeometry {
+            table_entries: 8192,
+            history_bits: 14,
+        };
+        let _ = PipelineConfig::compose(warm, detail);
+    }
+
+    mod warm_key {
+        use super::*;
+        use ltp_core::LtpMode;
+        use proptest::prelude::*;
+
+        /// Applies a random *detail-only* mutation set to a configuration:
+        /// nothing here may leak into the warm-up half.
+        #[allow(clippy::too_many_arguments)]
+        fn mutate_detail(
+            mut cfg: PipelineConfig,
+            rob: usize,
+            iq: usize,
+            lq: usize,
+            sq: usize,
+            regs: usize,
+            reserve: usize,
+            mode_sel: u8,
+            monitor: bool,
+            entries: usize,
+            tickets: usize,
+            swap_trained_kind: bool,
+        ) -> PipelineConfig {
+            cfg.rob_size = rob;
+            cfg.iq_size = iq;
+            cfg.lq_size = lq;
+            cfg.sq_size = sq;
+            cfg.int_regs = regs;
+            cfg.fp_regs = regs;
+            cfg.ltp_reserve = reserve;
+            cfg.ltp.mode = match mode_sel % 4 {
+                0 => LtpMode::Off,
+                1 => LtpMode::NonUrgentOnly,
+                2 => LtpMode::NonReadyOnly,
+                _ => LtpMode::Both,
+            };
+            cfg.ltp.use_monitor = monitor;
+            cfg.ltp.entries = entries;
+            cfg.ltp.num_tickets = tickets;
+            if swap_trained_kind {
+                // Uit <-> Oracle both train the same UIT during warm-up, so
+                // the swap is a detail-only change by construction.
+                cfg.ltp.classifier = match cfg.ltp.classifier {
+                    ClassifierKind::Uit => ClassifierKind::Oracle,
+                    other => other,
+                };
+            }
+            cfg
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// The warm-up key is invariant under every detail-only
+            /// dimension the sweeps vary: ROB/IQ/LQ/SQ/PRF sizes, the LTP
+            /// reserve, LTP mode/entries/tickets/monitor, and classifier
+            /// swaps within the same training projection.
+            #[test]
+            fn detail_changes_keep_warm_key(
+                rob in 16usize..512,
+                iq in 4usize..256,
+                lq in 4usize..128,
+                sq in 4usize..64,
+                regs in 32usize..256,
+                reserve in 1usize..16,
+                mode_sel in 0u8..4,
+                monitor in any::<bool>(),
+                entries in 1usize..512,
+                tickets in 1usize..128,
+                swap in any::<bool>(),
+            ) {
+                let base = PipelineConfig::ltp_proposed();
+                let mutated = mutate_detail(
+                    base, rob, iq, lq, sq, regs, reserve, mode_sel, monitor,
+                    entries, tickets, swap,
+                );
+                prop_assert_eq!(
+                    mutated.warmup_config().fingerprint(),
+                    base.warmup_config().fingerprint()
+                );
+            }
+
+            /// Anything the functional pass *can* observe moves the key:
+            /// memory geometry (prefetcher, MSHRs), predictor geometry, the
+            /// trained UIT size, and the training projection itself.
+            #[test]
+            fn warm_changes_move_warm_key(
+                mshrs in 1usize..64,
+                uit in 1usize..1024,
+                table_shift in 1u32..4,
+            ) {
+                let base = PipelineConfig::ltp_proposed();
+                let key0 = base.warmup_config().fingerprint();
+
+                let mut no_pf = base;
+                no_pf.mem = no_pf.mem.without_prefetcher();
+                prop_assert_ne!(no_pf.warmup_config().fingerprint(), key0);
+
+                if mshrs != base.mem.mshrs {
+                    let mut small_mshrs = base;
+                    small_mshrs.mem.mshrs = mshrs;
+                    prop_assert_ne!(small_mshrs.warmup_config().fingerprint(), key0);
+                }
+
+                if uit != base.ltp.uit_entries {
+                    let mut other_uit = base;
+                    other_uit.ltp = other_uit.ltp.with_uit_entries(uit);
+                    prop_assert_ne!(other_uit.warmup_config().fingerprint(), key0);
+                }
+
+                let inert = base.with_classifier(ClassifierKind::AlwaysReady);
+                prop_assert_ne!(inert.warmup_config().fingerprint(), key0);
+
+                let mut warm = base.warmup_config();
+                warm.predictor.table_entries <<= table_shift;
+                prop_assert_ne!(warm.fingerprint(), key0);
+            }
+        }
     }
 }

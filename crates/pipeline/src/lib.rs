@@ -60,8 +60,11 @@ mod state;
 #[cfg(test)]
 mod tests;
 
-pub use branch::BranchPredictor;
-pub use config::{FuCounts, PipelineConfig, SharePolicy, SmtConfig};
+pub use branch::{BranchPredictor, PredictorGeometry};
+pub use config::{
+    ClassifierTraining, DetailConfig, FuCounts, PipelineConfig, SharePolicy, SmtConfig,
+    WarmupConfig,
+};
 pub use core::{CycleView, Processor, RegFileSnapshot};
 pub use free_list::FreeList;
 pub use frontend::{FrontEnd, FrontEndState};
@@ -73,6 +76,6 @@ pub use result::{
     ActivityCounters, DeadlockSnapshot, OccupancyReport, RunError, RunResult, SmtRunResult,
 };
 pub use rob::{Rob, RobEntry, RobState};
-pub use sampling::FunctionalFastForward;
+pub use sampling::{FunctionalFastForward, FunctionalWarmState};
 pub use snapshot::{ResumedRun, Snapshot, SnapshotError};
 pub use stages::{CommitSlot, StageBus, TimingWheel};

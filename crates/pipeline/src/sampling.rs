@@ -20,7 +20,7 @@
 //! within a couple of percent on the bundled kernels.
 
 use crate::branch::BranchPredictor;
-use crate::config::PipelineConfig;
+use crate::config::{ClassifierTraining, PipelineConfig};
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::Processor;
 use ltp_core::LoadOutcome;
@@ -243,6 +243,108 @@ impl FunctionalFastForward {
         // window further with `ResumedRun::run_measured_from`.
         Snapshot::capture(&cpu, frontend, None, Some((now, self.consumed)))
     }
+
+    /// Captures the **detail-independent** warm state at the current trace
+    /// position: everything the functional pass has trained — cache
+    /// hierarchy, branch predictor, classifier learning and the on/off
+    /// monitor — plus the trace position itself. Unlike
+    /// [`FunctionalFastForward::checkpoint`], the result embeds no
+    /// [`PipelineConfig`]: it can be restored under *any* configuration
+    /// whose [`WarmupConfig`](crate::WarmupConfig) half equals this
+    /// machine's, and [`FunctionalFastForward::from_warm_state`] then
+    /// rebuilds a fast-forward whose checkpoints are byte-identical to ones
+    /// a cold fast-forward of that configuration would have produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::ClassifierUnsupported`] when the
+    /// configuration trains a classifier that cannot export its state.
+    pub fn warm_state(&self) -> Result<FunctionalWarmState, SnapshotError> {
+        let ltp = &self.cpu.state.thread.ltp;
+        let classifier = match ClassifierTraining::of(&self.cpu.state.cfg.ltp) {
+            ClassifierTraining::Trained { .. } => Some(
+                ltp.classifier_state()
+                    .ok_or(SnapshotError::ClassifierUnsupported)?,
+            ),
+            ClassifierTraining::Inert => None,
+        };
+        Ok(FunctionalWarmState {
+            consumed: self.consumed,
+            mem: self.cpu.state.mem.clone(),
+            predictor: self.predictor.clone(),
+            monitor: ltp.monitor_state(),
+            classifier,
+        })
+    }
+
+    /// Rebuilds a functional machine for `cfg` positioned at a previously
+    /// captured warm state, bypassing the trace replay entirely. The caller
+    /// guarantees the state was captured under a configuration with the same
+    /// [`WarmupConfig`](crate::WarmupConfig) half (checkpoint caches key on
+    /// exactly that); the classifier payload is checked here.
+    ///
+    /// The per-interval LLC-miss counter restarts at zero — a cache-hit
+    /// path gets interval weights from wherever it got the warm state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is SMT-configured or if the state's classifier
+    /// payload does not match `cfg`'s training projection (present for an
+    /// inert configuration or missing for a training one).
+    #[must_use]
+    pub fn from_warm_state(
+        cfg: PipelineConfig,
+        state: FunctionalWarmState,
+    ) -> FunctionalFastForward {
+        let mut ff = FunctionalFastForward::new(cfg);
+        ff.cpu.state.mem = state.mem;
+        ff.cpu.state.thread.ltp.restore_monitor_state(state.monitor);
+        match (ClassifierTraining::of(&cfg.ltp), state.classifier) {
+            (ClassifierTraining::Trained { .. }, Some(cs)) => {
+                ff.cpu.state.thread.ltp.restore_classifier_state(cs);
+            }
+            (ClassifierTraining::Inert, None) => {}
+            (ClassifierTraining::Trained { .. }, None) => {
+                panic!("warm state has no classifier payload but the configuration trains one")
+            }
+            (ClassifierTraining::Inert, Some(_)) => {
+                panic!("warm state carries classifier training the configuration cannot use")
+            }
+        }
+        ff.predictor = state.predictor.clone();
+        ff.consumed = state.consumed;
+        ff
+    }
+}
+
+/// Detail-independent functional warm state: what
+/// [`FunctionalFastForward::warm_state`] captures and
+/// [`FunctionalFastForward::from_warm_state`] restores. Serialisable with
+/// the snapshot codec (the checkpoint cache's entry payload).
+#[derive(Debug, Clone)]
+pub struct FunctionalWarmState {
+    pub(crate) consumed: u64,
+    pub(crate) mem: ltp_mem::MemoryHierarchy,
+    pub(crate) predictor: BranchPredictor,
+    pub(crate) monitor: ltp_core::DramTimerMonitor,
+    pub(crate) classifier: Option<ltp_core::ClassifierState>,
+}
+
+impl FunctionalWarmState {
+    /// Trace position of the captured state.
+    #[must_use]
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Whether the state carries trained-classifier payload. Restoring under
+    /// a configuration whose [`ClassifierTraining`] projection disagrees
+    /// panics, so cache consumers check this before calling
+    /// [`FunctionalFastForward::from_warm_state`].
+    #[must_use]
+    pub fn has_classifier_state(&self) -> bool {
+        self.classifier.is_some()
+    }
 }
 
 #[cfg(test)]
@@ -414,6 +516,104 @@ mod tests {
             result.instructions <= 1_500 && result.instructions >= 1_500 - commit_width,
             "measured {} instructions",
             result.instructions
+        );
+    }
+
+    /// The warm-key contract, end to end: warm state captured under one
+    /// configuration, restored under a *different* configuration with the
+    /// same warm half, yields byte-identical checkpoints to a cold
+    /// fast-forward of the second configuration.
+    #[test]
+    fn warm_state_restores_bit_identically_across_detail_configs() {
+        let trace = mixed_trace(6_000);
+        let dec = DecodedTrace::from_insts(&trace);
+        // Same warm half (mem geometry, Trained{256}); detail halves differ
+        // in IQ/registers and even classifier kind (Uit vs Oracle).
+        let cfg_a = PipelineConfig::ltp_proposed();
+        let cfg_b = PipelineConfig::ltp_proposed()
+            .with_iq(256)
+            .with_regs(128)
+            .with_oracle(true);
+        assert_eq!(cfg_a.warmup_config(), cfg_b.warmup_config());
+
+        let mut donor = FunctionalFastForward::new(cfg_a);
+        let mut cold = FunctionalFastForward::new(cfg_b);
+        for b in [1_024u64, 4_099, 6_000] {
+            donor.advance_on(&dec, b);
+            cold.advance_on(&dec, b);
+            let state = donor.warm_state().expect("warm state");
+            assert_eq!(state.consumed(), b);
+            assert!(state.has_classifier_state());
+            let restored = FunctionalFastForward::from_warm_state(cfg_b, state);
+            assert_eq!(
+                restored.checkpoint().expect("restored").to_bytes(),
+                cold.checkpoint().expect("cold").to_bytes(),
+                "restored checkpoint diverged at boundary {b}"
+            );
+        }
+    }
+
+    /// Inert classifiers (here AlwaysReady) carry no classifier payload and
+    /// restore bit-identically too.
+    #[test]
+    fn warm_state_round_trips_inert_classifiers() {
+        let trace = mixed_trace(3_000);
+        let dec = DecodedTrace::from_insts(&trace);
+        let cfg =
+            PipelineConfig::ltp_proposed().with_classifier(ltp_core::ClassifierKind::AlwaysReady);
+        let mut donor = FunctionalFastForward::new(cfg);
+        let mut cold = FunctionalFastForward::new(cfg);
+        donor.advance_on(&dec, 3_000);
+        cold.advance_on(&dec, 3_000);
+        let state = donor.warm_state().expect("warm state");
+        assert!(!state.has_classifier_state());
+        let restored = FunctionalFastForward::from_warm_state(cfg, state);
+        assert_eq!(
+            restored.checkpoint().expect("restored").to_bytes(),
+            cold.checkpoint().expect("cold").to_bytes()
+        );
+    }
+
+    /// Restoring under a configuration whose training projection disagrees
+    /// with the captured state is a hard error, not silent corruption.
+    #[test]
+    #[should_panic(expected = "classifier")]
+    fn warm_state_rejects_training_mismatch() {
+        let trace = mixed_trace(256);
+        let dec = DecodedTrace::from_insts(&trace);
+        let trained = PipelineConfig::ltp_proposed();
+        let mut ff = FunctionalFastForward::new(trained);
+        ff.advance_on(&dec, 256);
+        let state = ff.warm_state().expect("warm state");
+        let inert = trained.with_classifier(ltp_core::ClassifierKind::AlwaysReady);
+        let _ = FunctionalFastForward::from_warm_state(inert, state);
+    }
+
+    /// The warm state itself survives the snapshot codec byte-exactly: a
+    /// decode of its encoding restores the same checkpoints (this is the
+    /// path cache entries take through disk).
+    #[test]
+    fn warm_state_codec_round_trip_preserves_checkpoints() {
+        use ltp_snapshot::{encode_value, Codec, Reader};
+        let trace = mixed_trace(2_000);
+        let dec = DecodedTrace::from_insts(&trace);
+        let cfg = PipelineConfig::ltp_proposed();
+        let mut ff = FunctionalFastForward::new(cfg);
+        ff.advance_on(&dec, 2_000);
+        let state = ff.warm_state().expect("warm state");
+        let bytes = encode_value(&state);
+        let mut r = Reader::new(&bytes);
+        let decoded = FunctionalWarmState::read(&mut r).expect("decodes");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(
+            FunctionalFastForward::from_warm_state(cfg, decoded)
+                .checkpoint()
+                .expect("decoded")
+                .to_bytes(),
+            FunctionalFastForward::from_warm_state(cfg, state)
+                .checkpoint()
+                .expect("original")
+                .to_bytes()
         );
     }
 }

@@ -78,6 +78,58 @@ impl_codec!(PipelineConfig {
     smt,
 });
 
+impl_codec!(crate::branch::PredictorGeometry {
+    table_entries,
+    history_bits,
+});
+
+impl Codec for crate::config::ClassifierTraining {
+    fn write(&self, w: &mut Writer) {
+        match self {
+            crate::config::ClassifierTraining::Inert => w.byte(0),
+            crate::config::ClassifierTraining::Trained { uit_entries } => {
+                w.byte(1);
+                uit_entries.write(w);
+            }
+        }
+    }
+
+    fn read(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        match r.byte()? {
+            0 => Ok(crate::config::ClassifierTraining::Inert),
+            1 => Ok(crate::config::ClassifierTraining::Trained {
+                uit_entries: usize::read(r)?,
+            }),
+            t => Err(SnapError::BadTag(u32::from(t))),
+        }
+    }
+}
+
+impl_codec!(crate::config::WarmupConfig {
+    mem,
+    predictor,
+    training,
+});
+
+impl crate::config::WarmupConfig {
+    /// FNV-1a fingerprint of the canonical encoding of this warm half —
+    /// the configuration-projection component of checkpoint-cache keys.
+    /// Equal warm halves (and only those) hash equal, modulo the usual
+    /// 64-bit collision caveat.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        ltp_snapshot::fnv1a64(&ltp_snapshot::encode_value(self))
+    }
+}
+
+impl_codec!(crate::sampling::FunctionalWarmState {
+    consumed,
+    mem,
+    predictor,
+    monitor,
+    classifier,
+});
+
 impl Codec for RegSource {
     fn write(&self, w: &mut Writer) {
         match self {

@@ -141,6 +141,16 @@ pub fn trace(kind: WorkloadKind, seed: u64, n: usize) -> Vec<DynInst> {
     out
 }
 
+/// Stable identity of the first `n` instructions of a workload: the content
+/// fingerprint ([`ltp_isa::trace_fingerprint`]) of the generated trace.
+/// Checkpoint-cache keys use this instead of trusting (name, seed, length)
+/// alone, so a workload-generator change can never alias a stale cache
+/// entry.
+#[must_use]
+pub fn trace_identity(kind: WorkloadKind, seed: u64, n: usize) -> u64 {
+    ltp_isa::trace_fingerprint(&trace(kind, seed, n))
+}
+
 /// Byte stride separating the address spaces of SMT co-runners. Large
 /// enough that two kernels never touch the same lines, while preserving the
 /// low (set-index) bits so the threads still contend for cache capacity the
