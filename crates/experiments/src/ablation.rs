@@ -18,42 +18,34 @@
 //!    park-everything upper bound. Separates "parking the right
 //!    instructions" from "parking at all".
 
-use crate::cache::CheckpointCache;
 use crate::parallel::par_map;
-use crate::runner::{run_point_cached, RunOptions};
+use crate::report::Report;
+use crate::runner::run_point_cached;
+use crate::ExperimentCtx;
 use ltp_core::{ClassifierKind, LtpConfig};
 use ltp_pipeline::PipelineConfig;
-use ltp_stats::TextTable;
 use ltp_workloads::WorkloadKind;
 use std::collections::HashMap;
-use std::sync::Arc;
 
-/// Runs all four ablations and renders the report.
+/// Runs all four ablations. The context's checkpoint cache (when set) is
+/// shared with the other sweeps: ablations 2-4 vary only detail-half
+/// dimensions (monitor, reserve, classifier kind), so all of their points
+/// share warmed memory state; ablation 1 adds one extra warm half
+/// (prefetcher off).
 #[must_use]
-pub fn run(opts: &RunOptions) -> String {
-    run_cached(opts, None)
-}
-
-/// [`run`] with an optional checkpoint cache shared with the other sweeps.
-/// Ablations 2-4 vary only detail-half dimensions (monitor, reserve,
-/// classifier kind), so all of their points share warmed memory state;
-/// ablation 1 adds one extra warm half (prefetcher off).
-#[must_use]
-pub fn run_cached(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> String {
-    let mut out = String::new();
-    out.push_str(&prefetcher_ablation(opts, cache));
-    out.push('\n');
-    out.push_str(&monitor_ablation(opts, cache));
-    out.push('\n');
-    out.push_str(&reserve_ablation(opts, cache));
-    out.push('\n');
-    out.push_str(&classifier_ablation(opts, cache));
-    if let Some(cache) = cache {
-        out.push('\n');
-        out.push_str(&cache.stats().summary_line());
-        out.push('\n');
+pub fn run(ctx: &ExperimentCtx<'_>) -> Report {
+    let mut report = Report::new("ablation");
+    prefetcher_ablation(ctx, &mut report);
+    report.push_text("\n");
+    monitor_ablation(ctx, &mut report);
+    report.push_text("\n");
+    reserve_ablation(ctx, &mut report);
+    report.push_text("\n");
+    classifier_ablation(ctx, &mut report);
+    if let Some(cache) = ctx.cache {
+        report.push_text(format!("\n{}\n", cache.stats().summary_line()));
     }
-    out
+    report
 }
 
 /// The classifier kinds the ablation sweeps: every self-contained kind plus
@@ -65,7 +57,8 @@ pub fn classifier_dimension() -> Vec<ClassifierKind> {
     kinds
 }
 
-fn classifier_ablation(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> String {
+fn classifier_ablation(ctx: &ExperimentCtx<'_>, report: &mut Report) {
+    let (opts, cache) = (ctx.opts, ctx.cache);
     let kinds = [
         WorkloadKind::IndirectStream,
         WorkloadKind::GatherFp,
@@ -87,17 +80,10 @@ fn classifier_ablation(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) 
     let by_job: HashMap<(ClassifierKind, WorkloadKind), ltp_pipeline::RunResult> =
         jobs.into_iter().zip(results).collect();
 
-    let mut table = TextTable::with_columns(&[
-        "classifier",
-        "indirect CPI",
-        "gather CPI",
-        "compute CPI",
-        "indirect parked %",
-        "indirect forced rel",
-    ]);
+    let mut rows = Vec::new();
     for classifier in classifiers {
         let i = &by_job[&(classifier, WorkloadKind::IndirectStream)];
-        table.add_row(vec![
+        rows.push(vec![
             classifier.label().to_string(),
             format!("{:.3}", i.cpi()),
             format!("{:.3}", by_job[&(classifier, WorkloadKind::GatherFp)].cpi()),
@@ -109,19 +95,30 @@ fn classifier_ablation(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) 
             i.ltp.force_released.to_string(),
         ]);
     }
-    let mut out = String::new();
-    out.push_str("Ablation 4: criticality classifier (proposed design, classifier swept)\n");
-    out.push_str(&table.render());
-    out.push_str(
+    report.push_text("Ablation 4: criticality classifier (proposed design, classifier swept)\n");
+    report.push_table(
+        [
+            "classifier",
+            "indirect CPI",
+            "gather CPI",
+            "compute CPI",
+            "indirect parked %",
+            "indirect forced rel",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    );
+    report.push_text(
         "Expectation: oracle <= uit < random on memory-bound kernels (informed parking wins);\n\
          always-ready tracks the no-LTP small core, park-everything survives on the forced\n\
          release path but pays for it. Compute-bound code barely distinguishes them because\n\
          the monitor keeps LTP off.\n",
     );
-    out
 }
 
-fn prefetcher_ablation(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> String {
+fn prefetcher_ablation(ctx: &ExperimentCtx<'_>, report: &mut Report) {
+    let (opts, cache) = (ctx.opts, ctx.cache);
     let l2_latency = PipelineConfig::micro2015_baseline().mem.l2.latency;
     let mut configs = Vec::new();
     for with_pf in [true, false] {
@@ -147,20 +144,14 @@ fn prefetcher_ablation(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) 
         .zip(results)
         .collect();
 
-    let mut table = TextTable::with_columns(&[
-        "workload",
-        "CPI pf-on IQ32",
-        "CPI pf-off IQ32",
-        "MLP-sensitive (pf on)",
-        "MLP-sensitive (pf off)",
-    ]);
+    let mut rows = Vec::new();
     for kind in WorkloadKind::ALL {
         let sens = |pf: bool| {
             let small = &by_job[&(pf, 32, kind)];
             let large = &by_job[&(pf, 256, kind)];
             large.is_mlp_sensitive_vs(small, l2_latency)
         };
-        table.add_row(vec![
+        rows.push(vec![
             kind.name().to_string(),
             format!("{:.3}", by_job[&(true, 32, kind)].cpi()),
             format!("{:.3}", by_job[&(false, 32, kind)].cpi()),
@@ -176,18 +167,28 @@ fn prefetcher_ablation(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) 
             },
         ]);
     }
-    let mut out = String::new();
-    out.push_str("Ablation 1: L2 stride prefetcher on/off (limit-study machine)\n");
-    out.push_str(&table.render());
-    out.push_str(
+    report.push_text("Ablation 1: L2 stride prefetcher on/off (limit-study machine)\n");
+    report.push_table(
+        [
+            "workload",
+            "CPI pf-on IQ32",
+            "CPI pf-off IQ32",
+            "MLP-sensitive (pf on)",
+            "MLP-sensitive (pf off)",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    );
+    report.push_text(
         "Expectation: regular (streaming) kernels slow down and may become MLP-sensitive\n\
          once the prefetcher no longer hides their misses, which is why the paper keeps the\n\
          prefetcher on for all classification.\n",
     );
-    out
 }
 
-fn monitor_ablation(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> String {
+fn monitor_ablation(ctx: &ExperimentCtx<'_>, report: &mut Report) {
+    let (opts, cache) = (ctx.opts, ctx.cache);
     let with_monitor = PipelineConfig::ltp_proposed();
     let without_monitor =
         PipelineConfig::ltp_proposed().with_ltp(LtpConfig::nu_only_128x4().with_monitor(false));
@@ -213,18 +214,11 @@ fn monitor_ablation(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> 
     let by_job: HashMap<(bool, WorkloadKind), ltp_pipeline::RunResult> =
         jobs.into_iter().zip(results).collect();
 
-    let mut table = TextTable::with_columns(&[
-        "workload",
-        "CPI monitor",
-        "CPI always-on",
-        "parked % monitor",
-        "parked % always-on",
-        "enabled % monitor",
-    ]);
+    let mut rows = Vec::new();
     for kind in kinds {
         let m = &by_job[&(true, kind)];
         let a = &by_job[&(false, kind)];
-        table.add_row(vec![
+        rows.push(vec![
             kind.name().to_string(),
             format!("{:.3}", m.cpi()),
             format!("{:.3}", a.cpi()),
@@ -233,18 +227,29 @@ fn monitor_ablation(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> 
             format!("{:.0}", m.ltp_enabled_fraction * 100.0),
         ]);
     }
-    let mut out = String::new();
-    out.push_str("Ablation 2: DRAM-timer monitor (§5.2) vs. always-on LTP (proposed design)\n");
-    out.push_str(&table.render());
-    out.push_str(
+    report.push_text("Ablation 2: DRAM-timer monitor (§5.2) vs. always-on LTP (proposed design)\n");
+    report.push_table(
+        [
+            "workload",
+            "CPI monitor",
+            "CPI always-on",
+            "parked % monitor",
+            "parked % always-on",
+            "enabled % monitor",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    );
+    report.push_text(
         "Expectation: performance barely changes, but without the monitor compute-bound code\n\
          parks nearly every instruction for no benefit (wasting LTP energy), which is exactly\n\
          why the monitor exists.\n",
     );
-    out
 }
 
-fn reserve_ablation(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> String {
+fn reserve_ablation(ctx: &ExperimentCtx<'_>, report: &mut Report) {
+    let (opts, cache) = (ctx.opts, ctx.cache);
     let reserves = [2usize, 8, 16, 32];
     let jobs: Vec<(usize, WorkloadKind)> = reserves
         .iter()
@@ -261,20 +266,23 @@ fn reserve_ablation(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> 
     });
     let by_job: HashMap<(usize, WorkloadKind), f64> = jobs.into_iter().zip(results).collect();
 
-    let mut table = TextTable::with_columns(&["reserve", "indirect_stream CPI", "gather_fp CPI"]);
+    let mut rows = Vec::new();
     for r in reserves {
-        table.add_row(vec![
+        rows.push(vec![
             r.to_string(),
             format!("{:.3}", by_job[&(r, WorkloadKind::IndirectStream)]),
             format!("{:.3}", by_job[&(r, WorkloadKind::GatherFp)]),
         ]);
     }
-    let mut out = String::new();
-    out.push_str("Ablation 3: size of the §5.4 release reserve (proposed design)\n");
-    out.push_str(&table.render());
-    out.push_str(
+    report.push_text("Ablation 3: size of the §5.4 release reserve (proposed design)\n");
+    report.push_table(
+        ["reserve", "indirect_stream CPI", "gather_fp CPI"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    );
+    report.push_text(
         "Expectation: a small reserve is enough; very large reserves start to steal dispatch\n\
          capacity from the front end.\n",
     );
-    out
 }

@@ -11,12 +11,12 @@
 //! * (c) the average resources in use per cycle for the IQ:256 configuration
 //!   (RF, IQ, LQ, SQ).
 
-use crate::cache::CheckpointCache;
 use crate::parallel::par_map;
-use crate::runner::{group_mean, limit_study_config, run_point_cached, RunOptions};
+use crate::report::Report;
+use crate::runner::{group_mean, limit_study_config, run_point_cached};
+use crate::ExperimentCtx;
 use ltp_core::LtpMode;
 use ltp_pipeline::{PipelineConfig, RunResult};
-use ltp_stats::TextTable;
 use ltp_workloads::WorkloadKind;
 use std::collections::HashMap;
 
@@ -48,17 +48,13 @@ impl Fig1Config {
     }
 }
 
-/// Runs the Figure 1 experiment and renders the report.
+/// Runs the Figure 1 experiment. The context's checkpoint cache (when set)
+/// is shared with the other sweeps: the two limit-study warm halves of this
+/// figure (prefetcher on, classifier trained or not) are warmed once each
+/// instead of once per point.
 #[must_use]
-pub fn run(opts: &RunOptions) -> String {
-    run_cached(opts, None)
-}
-
-/// [`run`] with an optional checkpoint cache shared with the other sweeps:
-/// the two limit-study warm halves of this figure (prefetcher on, classifier
-/// trained or not) are warmed once each instead of once per point.
-#[must_use]
-pub fn run_cached(opts: &RunOptions, cache: Option<&std::sync::Arc<CheckpointCache>>) -> String {
+pub fn run(ctx: &ExperimentCtx<'_>) -> Report {
+    let (opts, cache) = (ctx.opts, ctx.cache);
     // All (workload, config) points are independent: run them in parallel.
     let points: Vec<(WorkloadKind, Fig1Config)> = WorkloadKind::ALL
         .iter()
@@ -85,6 +81,7 @@ pub fn run_cached(opts: &RunOptions, cache: Option<&std::sync::Arc<CheckpointCac
         }
     }
 
+    let mut report = Report::new("fig1");
     let mut out = String::new();
     out.push_str("Figure 1: impact of IQ size on MLP-sensitive and MLP-insensitive execution\n");
     out.push_str(&format!(
@@ -103,9 +100,11 @@ pub fn run_cached(opts: &RunOptions, cache: Option<&std::sync::Arc<CheckpointCac
             .collect::<Vec<_>>()
             .join(", ")
     ));
+    out.push_str("(a) CPI and (b) average outstanding memory requests\n");
+    report.push_text(out);
 
     // (a) CPI and (b) outstanding requests per group and configuration.
-    let mut table = TextTable::with_columns(&["group", "config", "CPI", "avg outstanding reqs"]);
+    let mut rows = Vec::new();
     for (group_name, group) in [
         ("mlp_sensitive", &sensitive),
         ("mlp_insensitive", &insensitive),
@@ -117,7 +116,7 @@ pub fn run_cached(opts: &RunOptions, cache: Option<&std::sync::Arc<CheckpointCac
             };
             let mlp = group_mean(group, |k| by_point[&(k, cfg)].avg_outstanding_misses())
                 .expect("group is non-empty");
-            table.add_row(vec![
+            rows.push(vec![
                 group_name.to_string(),
                 cfg.label().to_string(),
                 format!("{cpi:.3}"),
@@ -125,12 +124,16 @@ pub fn run_cached(opts: &RunOptions, cache: Option<&std::sync::Arc<CheckpointCac
             ]);
         }
     }
-    out.push_str("(a) CPI and (b) average outstanding memory requests\n");
-    out.push_str(&table.render());
-    out.push('\n');
+    report.push_table(
+        ["group", "config", "CPI", "avg outstanding reqs"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    );
+    report.push_text("\n(c) average resources in use per cycle (IQ:256 configuration)\n");
 
     // (c) average resources in use per cycle at IQ:256.
-    let mut res_table = TextTable::with_columns(&["group", "RF", "IQ", "LQ", "SQ"]);
+    let mut res_rows = Vec::new();
     for (group_name, group) in [
         ("mlp_sensitive", &sensitive),
         ("mlp_insensitive", &insensitive),
@@ -152,7 +155,7 @@ pub fn run_cached(opts: &RunOptions, cache: Option<&std::sync::Arc<CheckpointCac
             by_point[&(k, Fig1Config::Iq256)].occupancy.sq.mean()
         })
         .expect("group is non-empty");
-        res_table.add_row(vec![
+        res_rows.push(vec![
             group_name.to_string(),
             format!("{rf:.1}"),
             format!("{iq:.1}"),
@@ -160,12 +163,15 @@ pub fn run_cached(opts: &RunOptions, cache: Option<&std::sync::Arc<CheckpointCac
             format!("{sq:.1}"),
         ]);
     }
-    out.push_str("(c) average resources in use per cycle (IQ:256 configuration)\n");
-    out.push_str(&res_table.render());
+    report.push_table(
+        ["group", "RF", "IQ", "LQ", "SQ"].map(String::from).to_vec(),
+        res_rows,
+    );
 
     // Headline deltas corresponding to the paper's prose ("the MLP-sensitive
     // applications speed up by 18%", "Adding LTP to a 32-entry IQ increases
     // MLP by 19%").
+    let mut out = String::new();
     if !sensitive.is_empty() {
         let cpi32 =
             group_mean(&sensitive, |k| by_point[&(k, Fig1Config::Iq32)].cpi()).expect("non-empty");
@@ -198,5 +204,6 @@ pub fn run_cached(opts: &RunOptions, cache: Option<&std::sync::Arc<CheckpointCac
         out.push_str(&cache.stats().summary_line());
         out.push('\n');
     }
-    out
+    report.push_text(out);
+    report
 }

@@ -4,11 +4,12 @@
 //! paper's evaluation (see `DESIGN.md` §5 for the experiment index and
 //! `EXPERIMENTS.md` for paper-vs-measured numbers).
 //!
-//! Each figure module exposes a `run(&RunOptions) -> String` function that
-//! performs the simulations (fanning independent simulation points out over
-//! the available cores) and renders an aligned text report. The
-//! `experiments` binary dispatches on the experiment name and also writes
-//! the reports under `results/`.
+//! Each figure module exposes a `run` function that performs the simulations
+//! (fanning independent simulation points out over the available cores) and
+//! returns a structured [`Report`]. [`Experiment::run`] dispatches on the
+//! experiment name over an [`ExperimentCtx`] (options + optional shared
+//! checkpoint cache); the `experiments` binary renders reports as text under
+//! `results/`, the `ltp-service` job server ships the same values as JSON.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +27,7 @@ pub mod fig7;
 pub mod fig_smt;
 pub mod journal;
 pub mod parallel;
+pub mod report;
 pub mod runner;
 pub mod sampled;
 pub mod sim;
@@ -33,8 +35,40 @@ pub mod table1;
 pub mod uit_sweep;
 
 pub use cache::CheckpointCache;
+pub use report::{Block, Report};
 pub use runner::{run_point, run_point_cached, try_run_point, MlpGrouping, RunOptions};
 pub use sim::{CoRunBuilder, SimBuilder};
+
+/// Everything an experiment invocation needs besides its identity: the
+/// simulation sizing options and the optional checkpoint cache shared across
+/// experiments. Sweep-shaped experiments (fig1, uit, ablation) and the
+/// sampled run use the cache to pay each functional warm-up once per
+/// distinct warm configuration; the remaining experiments ignore it.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentCtx<'a> {
+    /// Simulation sizing options.
+    pub opts: &'a RunOptions,
+    /// Checkpoint cache shared across the experiments of one invocation.
+    pub cache: Option<&'a std::sync::Arc<CheckpointCache>>,
+}
+
+impl<'a> ExperimentCtx<'a> {
+    /// A context over `opts` with no checkpoint cache.
+    #[must_use]
+    pub fn new(opts: &'a RunOptions) -> ExperimentCtx<'a> {
+        ExperimentCtx { opts, cache: None }
+    }
+
+    /// Attaches a shared checkpoint cache.
+    #[must_use]
+    pub fn with_cache(
+        mut self,
+        cache: Option<&'a std::sync::Arc<CheckpointCache>>,
+    ) -> ExperimentCtx<'a> {
+        self.cache = cache;
+        self
+    }
+}
 
 /// The experiments that can be run from the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,36 +137,26 @@ impl Experiment {
         Experiment::ALL.iter().copied().find(|e| e.name() == name)
     }
 
-    /// Runs the experiment and returns its report.
+    /// Runs the experiment over `ctx` and returns its structured [`Report`].
+    /// The CLI renders it with [`Report::render_text`]; the service ships
+    /// [`Report::to_json`] — one value, two renderings.
     #[must_use]
-    pub fn run(self, opts: &RunOptions) -> String {
-        self.run_cached(opts, None)
-    }
-
-    /// Runs the experiment with an optional checkpoint cache shared across
-    /// experiments. Sweep-shaped experiments (fig1, uit, ablation) and the
-    /// sampled run use it to pay each functional warm-up once per distinct
-    /// warm configuration; the remaining experiments ignore it.
-    #[must_use]
-    pub fn run_cached(
-        self,
-        opts: &RunOptions,
-        cache: Option<&std::sync::Arc<CheckpointCache>>,
-    ) -> String {
+    pub fn run(self, ctx: &ExperimentCtx<'_>) -> Report {
+        let opts = ctx.opts;
         match self {
-            Experiment::Table1 => table1::run(),
-            Experiment::Fig1 => fig1::run_cached(opts, cache),
-            Experiment::Classification => classification::run(opts),
-            Experiment::Fig6 => fig6::run(opts),
-            Experiment::Fig7 => fig7::run(opts),
-            Experiment::Fig10 => fig10::run(opts),
-            Experiment::Fig11 => fig11::run(opts),
-            Experiment::UitSweep => uit_sweep::run_cached(opts, cache),
-            Experiment::Ablation => ablation::run_cached(opts, cache),
-            Experiment::FigSmt => fig_smt::run(opts),
+            Experiment::Table1 => Report::from_text(self.name(), table1::run()),
+            Experiment::Fig1 => fig1::run(ctx),
+            Experiment::Classification => Report::from_text(self.name(), classification::run(opts)),
+            Experiment::Fig6 => Report::from_text(self.name(), fig6::run(opts)),
+            Experiment::Fig7 => Report::from_text(self.name(), fig7::run(opts)),
+            Experiment::Fig10 => Report::from_text(self.name(), fig10::run(opts)),
+            Experiment::Fig11 => Report::from_text(self.name(), fig11::run(opts)),
+            Experiment::UitSweep => uit_sweep::run(ctx),
+            Experiment::Ablation => ablation::run(ctx),
+            Experiment::FigSmt => Report::from_text(self.name(), fig_smt::run(opts)),
             Experiment::Sample => {
                 let control = sampled::SampleRunControl {
-                    cache_dir: cache.map(|c| c.dir().to_path_buf()),
+                    cache_dir: ctx.cache.map(|c| c.dir().to_path_buf()),
                     ..sampled::SampleRunControl::default()
                 };
                 sampled::run_with_control(opts, &control).0
@@ -155,7 +179,10 @@ mod tests {
 
     #[test]
     fn table1_runs_without_simulation() {
-        let report = Experiment::Table1.run(&RunOptions::quick());
-        assert!(report.contains("Table 1"));
+        let opts = RunOptions::quick();
+        let report = Experiment::Table1.run(&ExperimentCtx::new(&opts));
+        assert_eq!(report.name(), "table1");
+        assert!(report.render_text().contains("Table 1"));
+        assert!(report.to_json().starts_with("{\"experiment\":\"table1\""));
     }
 }

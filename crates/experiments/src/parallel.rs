@@ -24,9 +24,16 @@
 
 use std::time::{Duration, Instant};
 
-/// Number of worker threads: the `LTP_THREADS` override when set and valid,
-/// otherwise the machine's available parallelism, clamped to `[1, n]`.
-fn thread_count(n: usize) -> usize {
+/// Number of worker threads for a pool processing up to `n` jobs: the
+/// `LTP_THREADS` override when set and valid, otherwise the machine's
+/// available parallelism, clamped to `[1, n]`.
+///
+/// This is the single pool-sizing policy shared by every distributor in this
+/// module *and* by external schedulers (the `ltp-service` job server sizes
+/// its interval-execution permits with `worker_threads(usize::MAX)`), so a
+/// `--workers N` / `LTP_THREADS=N` override applies consistently everywhere.
+#[must_use]
+pub fn worker_threads(n: usize) -> usize {
     let configured = std::env::var("LTP_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -37,6 +44,11 @@ fn thread_count(n: usize) -> usize {
             .unwrap_or(4)
     });
     threads.min(n).max(1)
+}
+
+/// Internal alias kept for the distributors' historical name.
+fn thread_count(n: usize) -> usize {
+    worker_threads(n)
 }
 
 /// Applies `f` to every item, in parallel, preserving order.
@@ -657,6 +669,129 @@ where
     )
 }
 
+/// A cross-pool execution governor: at most `permits` sections run at once,
+/// and when several are waiting the **heaviest** (by its declared LPT weight)
+/// is admitted first.
+///
+/// The streaming distributors above balance load *within* one
+/// [`stream_map_lpt_ft`] call; the governor extends the same
+/// heaviest-first discipline *across* independent calls. The `ltp-service`
+/// job server runs one sampled request per active job, each with its own
+/// worker pool, and wraps every interval simulation in
+/// [`LptGovernor::run`] — so globally at most `permits` intervals simulate
+/// concurrently and the scheduler always picks the heaviest pending interval
+/// across **all** active jobs, preserving the Graham-bound behaviour the
+/// per-job pools have locally.
+///
+/// Ties are broken towards the longest-waiting section (FIFO among equal
+/// weights), so the admission order is deterministic for a fixed arrival
+/// order and no waiter starves: a waiter is only ever overtaken by strictly
+/// heavier arrivals, and each admitted section holds its permit for one
+/// bounded interval simulation.
+#[derive(Debug)]
+pub struct LptGovernor {
+    state: std::sync::Mutex<GovernorState>,
+    changed: std::sync::Condvar,
+    permits: usize,
+}
+
+#[derive(Debug)]
+struct GovernorState {
+    /// Sections currently holding a permit.
+    running: usize,
+    /// Waiting sections as `(weight, arrival sequence)` tickets.
+    waiters: Vec<(u64, u64)>,
+    next_seq: u64,
+}
+
+impl LptGovernor {
+    /// Creates a governor admitting at most `permits` concurrent sections
+    /// (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(permits: usize) -> LptGovernor {
+        LptGovernor {
+            state: std::sync::Mutex::new(GovernorState {
+                running: 0,
+                waiters: Vec::new(),
+                next_seq: 0,
+            }),
+            changed: std::sync::Condvar::new(),
+            permits: permits.max(1),
+        }
+    }
+
+    /// Maximum number of concurrently admitted sections.
+    #[must_use]
+    pub fn permits(&self) -> usize {
+        self.permits
+    }
+
+    /// Number of sections currently waiting for a permit.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        lock_recover(&self.state).waiters.len()
+    }
+
+    /// Number of sections currently holding a permit.
+    #[must_use]
+    pub fn running(&self) -> usize {
+        lock_recover(&self.state).running
+    }
+
+    /// Runs `f` under a permit: blocks until a permit is free *and* no
+    /// strictly-heavier (or equally heavy but earlier-arrived) section is
+    /// still waiting, then executes `f` and releases the permit. The permit
+    /// is released even if `f` unwinds.
+    pub fn run<R>(&self, weight: u64, f: impl FnOnce() -> R) -> R {
+        self.acquire(weight);
+        // Release on unwind too: a panicking interval simulation must not
+        // leak its permit or every other job wedges behind it.
+        struct Release<'a>(&'a LptGovernor);
+        impl Drop for Release<'_> {
+            fn drop(&mut self) {
+                let mut st = lock_recover(&self.0.state);
+                st.running -= 1;
+                drop(st);
+                self.0.changed.notify_all();
+            }
+        }
+        let _release = Release(self);
+        f()
+    }
+
+    fn acquire(&self, weight: u64) {
+        let mut st = lock_recover(&self.state);
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.waiters.push((weight, seq));
+        loop {
+            let eligible = st.running < self.permits && {
+                // Admit only when no waiter outranks us: heavier first,
+                // ties to the earlier arrival.
+                let me = (std::cmp::Reverse(weight), seq);
+                st.waiters
+                    .iter()
+                    .all(|&(w, s)| (std::cmp::Reverse(w), s) >= me)
+            };
+            if eligible {
+                let pos = st
+                    .waiters
+                    .iter()
+                    .position(|&(_, s)| s == seq)
+                    .expect("own ticket present");
+                st.waiters.swap_remove(pos);
+                st.running += 1;
+                drop(st);
+                // Peers blocked only on priority (not on a free permit) must
+                // re-evaluate now that this ticket left the queue.
+                self.changed.notify_all();
+                return;
+            }
+            st = wait_recover(&self.changed, st);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -999,5 +1134,94 @@ mod tests {
         }
         let empty: Vec<u64> = par_map_lpt(Vec::<u64>::new(), |_| 1, |&x| x);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn governor_bounds_concurrency() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let gov = LptGovernor::new(2);
+        let active = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for i in 0..16u64 {
+                let gov = &gov;
+                let active = &active;
+                let peak = &peak;
+                scope.spawn(move || {
+                    gov.run(i, || {
+                        let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(2));
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "permit bound violated");
+        assert_eq!(gov.running(), 0);
+        assert_eq!(gov.queue_depth(), 0);
+    }
+
+    #[test]
+    fn governor_admits_heaviest_waiter_first() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Mutex;
+        let gov = std::sync::Arc::new(LptGovernor::new(1));
+        let order = std::sync::Arc::new(Mutex::new(Vec::<u64>::new()));
+        let hold = std::sync::Arc::new(AtomicBool::new(true));
+        // Occupy the single permit, queue weights 1..=4 behind it, then
+        // release: admissions must come back heaviest-first.
+        let g = std::sync::Arc::clone(&gov);
+        let h = std::sync::Arc::clone(&hold);
+        let blocker = std::thread::spawn(move || {
+            g.run(100, || {
+                while h.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        });
+        while gov.running() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let waiters: Vec<_> = [1u64, 2, 3, 4]
+            .into_iter()
+            .map(|w| {
+                let g = std::sync::Arc::clone(&gov);
+                let order = std::sync::Arc::clone(&order);
+                let t = std::thread::spawn(move || {
+                    g.run(w, || order.lock().expect("order lock").push(w));
+                });
+                // Serialise arrival so all four are queued before release.
+                while gov.queue_depth() < w as usize {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                t
+            })
+            .collect();
+        hold.store(false, Ordering::SeqCst);
+        blocker.join().expect("blocker");
+        for t in waiters {
+            t.join().expect("waiter");
+        }
+        assert_eq!(*order.lock().expect("order lock"), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn governor_releases_permit_when_section_panics() {
+        let gov = LptGovernor::new(1);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gov.run(1, || panic!("section dies"));
+        }));
+        assert!(caught.is_err());
+        assert_eq!(gov.running(), 0);
+        // The permit must still be grantable afterwards.
+        assert_eq!(gov.run(1, || 42), 42);
+    }
+
+    #[test]
+    fn worker_threads_is_clamped() {
+        assert_eq!(worker_threads(1), 1);
+        assert!(worker_threads(usize::MAX) >= 1);
+        assert_eq!(worker_threads(0), 1);
     }
 }

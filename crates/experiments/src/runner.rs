@@ -196,6 +196,27 @@ pub fn limit_study_config(mode: LtpMode) -> PipelineConfig {
     }
 }
 
+/// The machine configurations addressable by name — the shared vocabulary of
+/// the `ltp-service` job requests and the CLI.
+pub const NAMED_CONFIGS: [&str; 4] = [
+    "micro2015_baseline",
+    "ltp_proposed",
+    "small_no_ltp",
+    "limit_study_unlimited",
+];
+
+/// Resolves one of the [`NAMED_CONFIGS`] to its [`PipelineConfig`].
+#[must_use]
+pub fn named_config(name: &str) -> Option<PipelineConfig> {
+    match name {
+        "micro2015_baseline" => Some(PipelineConfig::micro2015_baseline()),
+        "ltp_proposed" => Some(PipelineConfig::ltp_proposed()),
+        "small_no_ltp" => Some(PipelineConfig::small_no_ltp()),
+        "limit_study_unlimited" => Some(PipelineConfig::limit_study_unlimited()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -40,15 +40,18 @@
 use crate::cache::{sampled_warm_key, CachedInterval, IntervalGeometry, SampledWarmEntry};
 use crate::fault::FaultPlan;
 use crate::journal::{self, JournalHeader, JournalRecord, JournalWriter};
-use crate::parallel::{par_map_lpt, stream_map_lpt_ft, RetryPolicy, TaskFailure, TaskOutcome};
+use crate::parallel::{
+    par_map_lpt, stream_map_lpt_ft, LptGovernor, RetryPolicy, TaskFailure, TaskOutcome,
+};
+use crate::report::Report;
 use crate::runner::{limit_study_config, RunOptions};
 use ltp_core::{LtpMode, OracleClassifier};
 use ltp_isa::{DecodedTrace, DynInst};
 use ltp_pipeline::{FunctionalFastForward, PipelineConfig, RunError, Snapshot};
-use ltp_stats::{ConfidenceInterval, TextTable};
+use ltp_stats::ConfidenceInterval;
 use ltp_workloads::{replay_slice, trace, WorkloadKind};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -208,6 +211,10 @@ pub enum IntervalError {
     /// The fault-tolerance layer abandoned the interval after exhausting its
     /// retry budget (worker panics and/or deadline overruns).
     Task(TaskFailure),
+    /// The run was cancelled ([`SampleControl::cancel`]) before this interval
+    /// was simulated. Cancelled intervals are not errors of the interval
+    /// itself; they simply mark what the partial result is missing.
+    Cancelled,
 }
 
 impl std::fmt::Display for IntervalError {
@@ -215,6 +222,7 @@ impl std::fmt::Display for IntervalError {
         match self {
             IntervalError::Run(e) => write!(f, "simulation error: {e}"),
             IntervalError::Task(t) => write!(f, "{t}"),
+            IntervalError::Cancelled => write!(f, "cancelled before simulation"),
         }
     }
 }
@@ -247,8 +255,17 @@ impl std::fmt::Display for IntervalFailure {
     }
 }
 
+/// A streaming observer for completed interval measurements: invoked from
+/// worker threads the moment an interval's measurement exists (and once per
+/// journal-replayed interval at setup). The `ltp-service` job server uses it
+/// to stream per-interval results to HTTP clients while the run is still in
+/// flight. Consumers must key on [`IntervalMeasurement::index`]: under a
+/// retry policy with a deadline, a discarded over-deadline attempt may emit
+/// the same (deterministic) measurement twice.
+pub type ProgressSink = Arc<dyn Fn(&IntervalMeasurement) + Send + Sync>;
+
 /// Fault-tolerance and persistence controls for one sampled point.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SampleControl {
     /// Retry discipline for interval simulation attempts.
     pub retry: RetryPolicy,
@@ -275,6 +292,20 @@ pub struct SampleControl {
     /// configurations over one workload fingerprint once and share it;
     /// when absent (and a cache is set) it is computed here.
     pub trace_fnv: Option<u64>,
+    /// Streaming per-interval observer (see [`ProgressSink`]).
+    pub progress: Option<ProgressSink>,
+    /// Cooperative cancellation flag. Once set, the producer stops emitting
+    /// checkpoints and queued workers skip their simulations; already-running
+    /// intervals finish. Unsimulated intervals surface as
+    /// [`IntervalError::Cancelled`] failures on a partial result, so a
+    /// cancelled run still reports everything it measured.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Cross-run execution governor: when set, every interval simulation
+    /// runs under [`LptGovernor::run`] keyed by the interval's LPT weight,
+    /// so concurrent sampled runs (the service's active jobs) share one
+    /// global heaviest-first permit pool instead of oversubscribing the
+    /// machine with independent worker pools.
+    pub governor: Option<Arc<LptGovernor>>,
 }
 
 impl Default for SampleControl {
@@ -287,7 +318,27 @@ impl Default for SampleControl {
             config_label: String::new(),
             cache: None,
             trace_fnv: None,
+            progress: None,
+            cancel: None,
+            governor: None,
         }
+    }
+}
+
+impl std::fmt::Debug for SampleControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SampleControl")
+            .field("retry", &self.retry)
+            .field("faults", &self.faults)
+            .field("journal", &self.journal)
+            .field("resume", &self.resume)
+            .field("config_label", &self.config_label)
+            .field("cache", &self.cache.is_some())
+            .field("trace_fnv", &self.trace_fnv)
+            .field("progress", &self.progress.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .field("governor", &self.governor.is_some())
+            .finish()
     }
 }
 
@@ -345,6 +396,253 @@ impl SampledResult {
     }
 }
 
+/// One sampled-simulation request: the single entry point to the sampled
+/// runner, replacing the historical `run_sampled` / `run_sampled_on` /
+/// `run_sampled_prepared` / `run_sampled_controlled` /
+/// `run_sampled_two_phase_on` family.
+///
+/// A request names the configuration, workload and [`SampleSpec`]; everything
+/// else — trace source, pre-decoded trace, shared oracle analysis,
+/// [`SampleControl`] (retry/faults/journal/cache/progress/cancel/governor)
+/// and the two-phase reference schedule — is opt-in through builder methods.
+/// Both the CLI and the `ltp-service` job server construct their runs through
+/// this type, so there is exactly one path into the runner.
+///
+/// ```no_run
+/// use ltp_experiments::sampled::{SampleSpec, SampledRequest};
+/// use ltp_experiments::RunOptions;
+/// use ltp_pipeline::PipelineConfig;
+/// use ltp_workloads::WorkloadKind;
+///
+/// let spec = SampleSpec::from_options(&RunOptions::quick());
+/// let result = SampledRequest::new(
+///     PipelineConfig::ltp_proposed(),
+///     WorkloadKind::IndirectStream,
+///     spec,
+/// )
+/// .run()
+/// .expect("sampled run");
+/// assert_eq!(result.intervals.len(), result.planned_intervals);
+/// ```
+pub struct SampledRequest<'a> {
+    cfg: PipelineConfig,
+    kind: WorkloadKind,
+    spec: SampleSpec,
+    trace: Option<&'a [DynInst]>,
+    owned_trace: Option<Vec<DynInst>>,
+    dec: Option<&'a DecodedTrace>,
+    oracle: Option<&'a OracleClassifier>,
+    control: SampleControl,
+    two_phase: bool,
+}
+
+impl std::fmt::Debug for SampledRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SampledRequest")
+            .field("kind", &self.kind.name())
+            .field("spec", &self.spec)
+            .field("trace", &self.trace.map(<[DynInst]>::len))
+            .field("owned_trace", &self.owned_trace.as_ref().map(Vec::len))
+            .field("dec", &self.dec.is_some())
+            .field("oracle", &self.oracle.is_some())
+            .field("control", &self.control)
+            .field("two_phase", &self.two_phase)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SampledRequest<'a> {
+    /// Starts a request for one `(configuration, workload, spec)` point with
+    /// default controls: the trace is generated from the spec's seed, no
+    /// retries, no journal, no cache.
+    #[must_use]
+    pub fn new(cfg: PipelineConfig, kind: WorkloadKind, spec: SampleSpec) -> SampledRequest<'a> {
+        SampledRequest {
+            cfg,
+            kind,
+            spec,
+            trace: None,
+            owned_trace: None,
+            dec: None,
+            oracle: None,
+            control: SampleControl::default(),
+            two_phase: false,
+        }
+    }
+
+    /// Uses a caller-provided detailed trace (which must be the one the spec
+    /// would generate for the oracle analysis to be sound). Callers comparing
+    /// sampled against full detail share one trace allocation this way.
+    #[must_use]
+    pub fn trace(mut self, detail: &'a [DynInst]) -> SampledRequest<'a> {
+        self.trace = Some(detail);
+        self.owned_trace = None;
+        self
+    }
+
+    /// Uses an owned detailed trace — e.g. one decoded off the wire by the
+    /// service's inline-trace job submissions.
+    #[must_use]
+    pub fn owned_trace(mut self, detail: Vec<DynInst>) -> SampledRequest<'a> {
+        self.owned_trace = Some(detail);
+        self.trace = None;
+        self
+    }
+
+    /// Shares a pre-decoded form of the trace (a pure function of the trace;
+    /// sweeps decode once). Must match the request's trace.
+    #[must_use]
+    pub fn decoded(mut self, dec: &'a DecodedTrace) -> SampledRequest<'a> {
+        self.dec = Some(dec);
+        self
+    }
+
+    /// Shares a pre-computed oracle analysis (a pure function of
+    /// `(configuration, trace)`); when absent and the configuration needs
+    /// one, it is analysed inside [`SampledRequest::run`].
+    #[must_use]
+    pub fn oracle(mut self, oracle: &'a OracleClassifier) -> SampledRequest<'a> {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// Replaces the whole [`SampleControl`] at once.
+    #[must_use]
+    pub fn control(mut self, control: SampleControl) -> SampledRequest<'a> {
+        self.control = control;
+        self
+    }
+
+    /// Sets the retry discipline for interval attempts.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> SampledRequest<'a> {
+        self.control.retry = retry;
+        self
+    }
+
+    /// Sets the deterministic fault plan injected into interval attempts.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> SampledRequest<'a> {
+        self.control.faults = faults;
+        self
+    }
+
+    /// Journals completed intervals to `path`; with `resume` they replay.
+    #[must_use]
+    pub fn journal(mut self, path: PathBuf) -> SampledRequest<'a> {
+        self.control.journal = Some(path);
+        self
+    }
+
+    /// Replays completed intervals from the journal before simulating.
+    #[must_use]
+    pub fn resume(mut self, resume: bool) -> SampledRequest<'a> {
+        self.control.resume = resume;
+        self
+    }
+
+    /// Sets the configuration label recorded in the journal header.
+    #[must_use]
+    pub fn config_label(mut self, label: impl Into<String>) -> SampledRequest<'a> {
+        self.control.config_label = label.into();
+        self
+    }
+
+    /// Consults (and populates) a shared checkpoint cache.
+    #[must_use]
+    pub fn cache(mut self, cache: Arc<crate::cache::CheckpointCache>) -> SampledRequest<'a> {
+        self.control.cache = Some(cache);
+        self
+    }
+
+    /// Shares a pre-computed trace fingerprint for the cache key.
+    #[must_use]
+    pub fn trace_fnv(mut self, fnv: u64) -> SampledRequest<'a> {
+        self.control.trace_fnv = Some(fnv);
+        self
+    }
+
+    /// Streams completed interval measurements to `sink` as they land.
+    #[must_use]
+    pub fn progress(mut self, sink: ProgressSink) -> SampledRequest<'a> {
+        self.control.progress = Some(sink);
+        self
+    }
+
+    /// Makes the run cooperatively cancellable through `flag`.
+    #[must_use]
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> SampledRequest<'a> {
+        self.control.cancel = Some(flag);
+        self
+    }
+
+    /// Runs every interval simulation under a shared cross-run governor.
+    #[must_use]
+    pub fn governor(mut self, governor: Arc<LptGovernor>) -> SampledRequest<'a> {
+        self.control.governor = Some(governor);
+        self
+    }
+
+    /// Switches to the two-phase reference schedule: checkpoint **all**
+    /// intervals with the per-instruction functional interpreter, then
+    /// simulate them all (offline LPT). The differential reference the
+    /// streaming pipeline is tested against — measurements are bit-identical,
+    /// only the schedule (and wall-clock) differs. Two-phase runs ignore the
+    /// fault-tolerance and persistence controls.
+    #[must_use]
+    pub fn two_phase(mut self) -> SampledRequest<'a> {
+        self.two_phase = true;
+        self
+    }
+
+    /// Runs the request (see the module docs for the pipeline).
+    ///
+    /// Per-interval failures (worker panics past the retry budget,
+    /// deterministic interval errors, cancellation) come back *inside* the
+    /// result as [`SampledResult::failures`], degrading it to a clearly
+    /// flagged partial result — not as `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Whole-run failures only: the snapshot errors of unsupported
+    /// configurations as [`RunError::SnapshotUnsupported`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is inconsistent (zero intervals) or if a shared
+    /// decoded trace does not match the trace.
+    pub fn run(&self) -> Result<SampledResult, RunError> {
+        let generated: Option<Vec<DynInst>> = match (self.trace, &self.owned_trace) {
+            (None, None) => Some(trace(
+                self.kind,
+                self.spec.seed.wrapping_add(1),
+                self.spec.total_insts as usize,
+            )),
+            _ => None,
+        };
+        let detail: &[DynInst] = self
+            .trace
+            .or(self.owned_trace.as_deref())
+            .or(generated.as_deref())
+            .expect("a trace source is always present");
+        if self.two_phase {
+            return run_two_phase(self.cfg, self.kind, detail, &self.spec);
+        }
+        let decoded: Option<DecodedTrace> =
+            self.dec.is_none().then(|| DecodedTrace::from_insts(detail));
+        let dec = self.dec.or(decoded.as_ref()).expect("decoded trace");
+        run_controlled(
+            self.cfg,
+            self.kind,
+            detail,
+            dec,
+            self.oracle,
+            &self.spec,
+            &self.control,
+        )
+    }
+}
+
 /// Runs one workload through sampled simulation (see the module docs).
 ///
 /// # Errors
@@ -357,19 +655,16 @@ impl SampledResult {
 ///
 /// Panics if `spec` is inconsistent (zero intervals, detailed window larger
 /// than the interval stride).
+#[deprecated(note = "construct a `SampledRequest` and call `run()`")]
 pub fn run_sampled(
     cfg: PipelineConfig,
     kind: WorkloadKind,
     spec: &SampleSpec,
 ) -> Result<SampledResult, RunError> {
-    let detail = trace(kind, spec.seed.wrapping_add(1), spec.total_insts as usize);
-    run_sampled_on(cfg, kind, &detail, spec)
+    reraise_first_failure(SampledRequest::new(cfg, kind, *spec).run())
 }
 
-/// Like [`run_sampled`], over a caller-provided trace (which must be the one
-/// [`run_sampled`] would generate for the oracle analysis to be sound).
-/// Callers comparing sampled against full detail share one trace allocation
-/// this way.
+/// Like [`run_sampled`], over a caller-provided trace.
 ///
 /// # Errors
 ///
@@ -378,23 +673,18 @@ pub fn run_sampled(
 /// # Panics
 ///
 /// Same as [`run_sampled`].
+#[deprecated(note = "construct a `SampledRequest` with `.trace(..)` and call `run()`")]
 pub fn run_sampled_on(
     cfg: PipelineConfig,
     kind: WorkloadKind,
     detail: &[DynInst],
     spec: &SampleSpec,
 ) -> Result<SampledResult, RunError> {
-    let dec = DecodedTrace::from_insts(detail);
-    run_sampled_prepared(cfg, kind, detail, &dec, None, spec)
+    reraise_first_failure(SampledRequest::new(cfg, kind, *spec).trace(detail).run())
 }
 
-/// The streaming runner over caller-prepared inputs: a pre-decoded trace and,
-/// optionally, a pre-computed oracle analysis. Both are pure functions of
-/// `(cfg, detail)`, so callers sweeping several configurations over one
-/// workload (the `sample` experiment runs three) decode once and share the
-/// analysis with the full-detail reference instead of re-deriving them per
-/// run. When `oracle` is `None` and the configuration needs one, it is
-/// analysed here — passing `None` is always correct, just not always shared.
+/// The streaming runner over caller-prepared inputs (pre-decoded trace and
+/// optional shared oracle analysis).
 ///
 /// # Errors
 ///
@@ -403,6 +693,9 @@ pub fn run_sampled_on(
 /// # Panics
 ///
 /// Same as [`run_sampled`], plus if `dec` was not decoded from `detail`.
+#[deprecated(
+    note = "construct a `SampledRequest` with `.trace(..).decoded(..).oracle(..)` and call `run()`"
+)]
 pub fn run_sampled_prepared(
     cfg: PipelineConfig,
     kind: WorkloadKind,
@@ -411,23 +704,27 @@ pub fn run_sampled_prepared(
     oracle: Option<&OracleClassifier>,
     spec: &SampleSpec,
 ) -> Result<SampledResult, RunError> {
-    let mut r = run_sampled_controlled(
-        cfg,
-        kind,
-        detail,
-        dec,
-        oracle,
-        spec,
-        &SampleControl::default(),
-    )?;
-    // This entry point predates partial results: a lost interval keeps the
-    // historical contract — deterministic errors propagate, anything else
-    // (a genuine bug panic, since no faults are injected here) resurfaces.
+    let mut req = SampledRequest::new(cfg, kind, *spec)
+        .trace(detail)
+        .decoded(dec);
+    if let Some(oracle) = oracle {
+        req = req.oracle(oracle);
+    }
+    reraise_first_failure(req.run())
+}
+
+/// The historical strict contract of the pre-`SampledRequest` entry points:
+/// a lost interval re-raises — deterministic errors propagate as `Err`,
+/// anything else (a genuine bug panic, since no faults are injected on these
+/// paths) resurfaces as a panic.
+fn reraise_first_failure(r: Result<SampledResult, RunError>) -> Result<SampledResult, RunError> {
+    let mut r = r?;
     if !r.failures.is_empty() {
         let first = r.failures.remove(0);
         return match first.error {
             IntervalError::Run(e) => Err(e),
             IntervalError::Task(t) => panic!("{t}"),
+            IntervalError::Cancelled => unreachable!("legacy entry points cannot be cancelled"),
         };
     }
     Ok(r)
@@ -459,7 +756,23 @@ pub fn run_sampled_prepared(
 /// # Panics
 ///
 /// Same as [`run_sampled`].
+#[deprecated(
+    note = "construct a `SampledRequest` with `.trace(..).decoded(..).control(..)` and call `run()`"
+)]
 pub fn run_sampled_controlled(
+    cfg: PipelineConfig,
+    kind: WorkloadKind,
+    detail: &[DynInst],
+    dec: &DecodedTrace,
+    oracle: Option<&OracleClassifier>,
+    spec: &SampleSpec,
+    control: &SampleControl,
+) -> Result<SampledResult, RunError> {
+    run_controlled(cfg, kind, detail, dec, oracle, spec, control)
+}
+
+/// The streaming runner body behind [`SampledRequest::run`].
+fn run_controlled(
     cfg: PipelineConfig,
     kind: WorkloadKind,
     detail: &[DynInst],
@@ -516,6 +829,19 @@ pub fn run_sampled_controlled(
     let done: std::collections::HashSet<usize> = replayed.iter().map(|(m, _)| m.index).collect();
     let resumed_intervals = done.len();
     let all_done = resumed_intervals == intervals;
+    // Replayed intervals stream to the progress sink too: a resumed job's
+    // observers see every measurement exactly as a fresh run's would.
+    if let Some(sink) = &control.progress {
+        for (m, _) in &replayed {
+            sink(m);
+        }
+    }
+    let cancel_requested = || {
+        control
+            .cancel
+            .as_deref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    };
 
     let journal_setup_secs = journal_t0.elapsed().as_secs_f64();
     let journal_nanos = AtomicU64::new(0);
@@ -554,25 +880,43 @@ pub fn run_sampled_controlled(
     // first interval boundary. Replayed intervals are fast-forwarded over
     // without checkpointing; when everything replayed, the pass is skipped.
     let mut producer_err: Option<RunError> = None;
+    // Trace-order indices actually pushed into the stream: normally every
+    // non-replayed interval, but cancellation stops production early and the
+    // outcome mapping below must know exactly what was emitted.
+    let mut pushed_log: Vec<usize> = Vec::new();
     let mut functional_secs = 0.0f64;
     let mut checkpoint_bytes = replayed
         .iter()
         .find(|(m, _)| m.index == 0)
         .map_or(0, |(_, bytes)| bytes.len());
     let detail_nanos = AtomicU64::new(0);
-    let outcomes: Vec<TaskOutcome<Result<IntervalMeasurement, RunError>>> = if all_done {
+    let outcomes: Vec<TaskOutcome<Result<IntervalMeasurement, WorkerErr>>> = if all_done {
         Vec::new()
     } else {
         let func_t0 = Instant::now();
         // The worker body is shared by the cold and cache-hit producers.
         let worker = |job: &IntervalJob, attempt: u32| {
+            // A queued interval observed after cancellation is skipped, not
+            // simulated — the cheapest way to drain the stream fast.
+            if cancel_requested() {
+                return Err(WorkerErr::Cancelled);
+            }
             control.faults.inject(job.index, attempt);
-            let t0 = Instant::now();
-            let m = simulate_interval(job, oracle, name, detail, warm_eff, measure_eff);
-            detail_nanos.fetch_add(
-                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                Ordering::Relaxed,
-            );
+            let simulate = || {
+                let t0 = Instant::now();
+                let m = simulate_interval(job, oracle, name, detail, warm_eff, measure_eff);
+                detail_nanos.fetch_add(
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    Ordering::Relaxed,
+                );
+                m
+            };
+            // Under a governor the permit wait happens here, outside the
+            // detail timer, so `detail_cpu_secs` stays a work measurement.
+            let m = match control.governor.as_deref() {
+                Some(gov) => gov.run(job.weight + 1, simulate),
+                None => simulate(),
+            };
             if let (Ok(m), Some(bytes)) = (&m, &job.snap_bytes) {
                 let j0 = Instant::now();
                 let pending = PendingRecord {
@@ -592,7 +936,12 @@ pub fn run_sampled_controlled(
                     Ordering::Relaxed,
                 );
             }
-            m
+            if let Ok(m) = &m {
+                if let Some(sink) = &control.progress {
+                    sink(m);
+                }
+            }
+            m.map_err(WorkerErr::Run)
         };
         // Encodes a captured checkpoint for the journal right away, while
         // its machine state is still hot in cache — deferring the encode to
@@ -667,6 +1016,9 @@ pub fn run_sampled_controlled(
                         if done.contains(&i) {
                             continue;
                         }
+                        if cancel_requested() {
+                            break;
+                        }
                         let ff = FunctionalFastForward::from_warm_state(cfg, cached_iv.state);
                         let snap = match ff.checkpoint() {
                             Ok(snap) => snap,
@@ -681,6 +1033,7 @@ pub fn run_sampled_controlled(
                                 .as_ref()
                                 .map_or_else(|| snap.to_bytes().len(), |b| b.len());
                         }
+                        pushed_log.push(i);
                         queue.push(
                             cached_iv.weight + 1,
                             IntervalJob {
@@ -714,6 +1067,12 @@ pub fn run_sampled_controlled(
                         .is_some()
                         .then(|| Vec::with_capacity(starts.len()));
                     for (i, &start) in starts.iter().enumerate() {
+                        if cancel_requested() {
+                            // Stop producing checkpoints; the incomplete
+                            // capture set is discarded below, never stored.
+                            captured = None;
+                            break;
+                        }
                         ff.advance_on(dec, start);
                         if let Some(cap) = captured.as_mut() {
                             match ff.warm_state() {
@@ -760,6 +1119,7 @@ pub fn run_sampled_controlled(
                             // constant, so the miss weight is the
                             // differentiating term; +1 keeps zero-miss
                             // intervals schedulable.
+                            pushed_log.push(i);
                             queue.push(
                                 weight + 1,
                                 IntervalJob {
@@ -862,27 +1222,37 @@ pub fn run_sampled_controlled(
     }
 
     let agg_t0 = Instant::now();
-    // Jobs were pushed in trace order for exactly the non-replayed
-    // intervals, and `stream_map_lpt_ft` returns outcomes in push order —
-    // map them back to interval indices.
-    let pushed: Vec<usize> = (0..intervals).filter(|i| !done.contains(i)).collect();
-    debug_assert_eq!(outcomes.len(), pushed.len());
+    // `stream_map_lpt_ft` returns outcomes in push order and `pushed_log`
+    // recorded exactly which trace-order intervals were pushed — map them
+    // back. Intervals never pushed (production stopped by cancellation)
+    // surface as `Cancelled` failures so the partial result accounts for
+    // every planned interval.
+    debug_assert_eq!(outcomes.len(), pushed_log.len());
     let mut intervals_out: Vec<IntervalMeasurement> =
         replayed.into_iter().map(|(m, _)| m).collect();
     let mut failures: Vec<IntervalFailure> = Vec::new();
     for (k, outcome) in outcomes.into_iter().enumerate() {
-        let index = pushed[k];
+        let index = pushed_log[k];
         let start = starts[index];
         match outcome {
             TaskOutcome::Done { value: Ok(m), .. } => intervals_out.push(m),
             TaskOutcome::Done {
-                value: Err(e),
+                value: Err(WorkerErr::Run(e)),
                 attempts,
             } => failures.push(IntervalFailure {
                 index,
                 start,
                 attempts,
                 error: IntervalError::Run(e),
+            }),
+            TaskOutcome::Done {
+                value: Err(WorkerErr::Cancelled),
+                attempts,
+            } => failures.push(IntervalFailure {
+                index,
+                start,
+                attempts,
+                error: IntervalError::Cancelled,
             }),
             TaskOutcome::Failed(mut t) => {
                 // The task layer knows only push indices; report trace ones.
@@ -895,6 +1265,15 @@ pub fn run_sampled_controlled(
                 });
             }
         }
+    }
+    let pushed_set: std::collections::HashSet<usize> = pushed_log.into_iter().collect();
+    for index in (0..intervals).filter(|i| !done.contains(i) && !pushed_set.contains(i)) {
+        failures.push(IntervalFailure {
+            index,
+            start: starts[index],
+            attempts: 0,
+            error: IntervalError::Cancelled,
+        });
     }
     intervals_out.sort_by_key(|m| m.index);
     failures.sort_by_key(|f| f.index);
@@ -927,6 +1306,15 @@ pub fn run_sampled_controlled(
         resumed_intervals,
         journal_error,
     })
+}
+
+/// Why one worker attempt produced no measurement (internal to the stream).
+enum WorkerErr {
+    /// Deterministic simulation error: not retried, reported as
+    /// [`IntervalError::Run`].
+    Run(RunError),
+    /// The run was cancelled before this interval simulated.
+    Cancelled,
 }
 
 /// A completed interval buffered for the end-of-run journal drain. The
@@ -1001,7 +1389,18 @@ fn simulate_interval(
 /// # Panics
 ///
 /// Same as [`run_sampled`].
+#[deprecated(note = "construct a `SampledRequest` with `.trace(..).two_phase()` and call `run()`")]
 pub fn run_sampled_two_phase_on(
+    cfg: PipelineConfig,
+    kind: WorkloadKind,
+    detail: &[DynInst],
+    spec: &SampleSpec,
+) -> Result<SampledResult, RunError> {
+    run_two_phase(cfg, kind, detail, spec)
+}
+
+/// The two-phase runner body behind [`SampledRequest::two_phase`].
+fn run_two_phase(
     cfg: PipelineConfig,
     kind: WorkloadKind,
     detail: &[DynInst],
@@ -1135,9 +1534,28 @@ fn full_detail_ipc(
     Ok(r.instructions as f64 / r.cycles.max(1) as f64)
 }
 
+/// One line of the run digest, per measured interval. Two runs (over any
+/// transport: in-process, CLI, HTTP job) that measure the same intervals
+/// produce the same lines — and therefore the same [`result_digest`] — so
+/// bit-identity can be asserted by comparing one hex number.
+#[must_use]
+pub fn digest_line(workload: &str, label: &str, m: &IntervalMeasurement) -> String {
+    format!(
+        "{workload}|{label}|{}|{}|{}\n",
+        m.index, m.instructions, m.cycles
+    )
+}
+
+/// FNV-1a digest over concatenated [`digest_line`]s, rendered exactly as the
+/// reports print it (`{:#018x}`).
+#[must_use]
+pub fn result_digest(lines: &str) -> String {
+    format!("{:#018x}", ltp_snapshot::fnv1a64(lines.as_bytes()))
+}
+
 /// Experiment-level fault-tolerance controls for the `sample` experiment,
 /// fanned out to every point's [`SampleControl`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct SampleRunControl {
     /// Retry policy for every point; `None` means
     /// [`RetryPolicy::default_sampled`].
@@ -1152,6 +1570,28 @@ pub struct SampleRunControl {
     /// Checkpoint-cache directory shared across points (and across runs);
     /// enables the content-addressed warm-state cache when set.
     pub cache_dir: Option<PathBuf>,
+    /// Streaming per-interval observer fanned out to every point.
+    pub progress: Option<ProgressSink>,
+    /// Cooperative cancellation flag fanned out to every point; points not
+    /// yet started when it trips are skipped entirely.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Cross-run execution governor fanned out to every point.
+    pub governor: Option<Arc<LptGovernor>>,
+}
+
+impl std::fmt::Debug for SampleRunControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SampleRunControl")
+            .field("retry", &self.retry)
+            .field("faults", &self.faults)
+            .field("journal_dir", &self.journal_dir)
+            .field("resume", &self.resume)
+            .field("cache_dir", &self.cache_dir)
+            .field("progress", &self.progress.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .field("governor", &self.governor.is_some())
+            .finish()
+    }
 }
 
 /// What happened across the points of one `sample` experiment run — the
@@ -1167,17 +1607,17 @@ pub struct SampleRunStatus {
 /// Runs the `sample` experiment: Figure-1-style points simulated both ways,
 /// with IPC error, confidence interval and wall-clock speed-up per point.
 #[must_use]
-pub fn run(opts: &RunOptions) -> String {
+pub fn run(opts: &RunOptions) -> Report {
     run_with_control(opts, &SampleRunControl::default()).0
 }
 
 /// [`run`] with explicit fault-tolerance controls, reporting the run status
-/// alongside the report text (the binary maps it to distinct exit codes).
+/// alongside the report (the binary maps it to distinct exit codes).
 #[must_use]
 pub fn run_with_control(
     opts: &RunOptions,
     control: &SampleRunControl,
-) -> (String, SampleRunStatus) {
+) -> (Report, SampleRunStatus) {
     let spec = SampleSpec::from_options(opts);
     let kinds = WorkloadKind::ALL;
     let mut status = SampleRunStatus::default();
@@ -1201,10 +1641,10 @@ pub fn run_with_control(
             None
         });
 
-    let mut out = String::new();
-    out.push_str("Sampled simulation vs full detail (Figure-1 configurations)\n");
-    out.push_str(&format!(
-        "trace {} insts, {} intervals x ({} warm + {} measured) detailed \
+    let mut report = Report::new("sample");
+    report.push_text(format!(
+        "Sampled simulation vs full detail (Figure-1 configurations)\n\
+         trace {} insts, {} intervals x ({} warm + {} measured) detailed \
          ({:.1}% detail fraction), functional fast-forward between intervals\n\n",
         spec.total_insts,
         spec.intervals,
@@ -1213,7 +1653,7 @@ pub fn run_with_control(
         spec.detail_fraction() * 100.0
     ));
 
-    let mut table = TextTable::with_columns(&[
+    let columns: Vec<String> = [
         "workload",
         "config",
         "full IPC",
@@ -1222,7 +1662,11 @@ pub fn run_with_control(
         "full s",
         "sampled s",
         "speedup",
-    ]);
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
     let mut total_full_secs = 0.0;
     let mut total_sampled_secs = 0.0;
     let mut worst_err = 0.0f64;
@@ -1236,7 +1680,7 @@ pub fn run_with_control(
     let mut resumed_intervals = 0usize;
     let mut planned_intervals = 0usize;
 
-    for kind in kinds {
+    'points: for kind in kinds {
         // Trace generation (and its decoded-event form) is identical
         // preparation for both methodologies and for every configuration, so
         // it happens once per workload outside the timed regions.
@@ -1246,6 +1690,14 @@ pub fn run_with_control(
         // workload; hash it once here rather than once per configuration.
         let trace_fnv = cache.as_ref().map(|_| ltp_isa::trace_fingerprint(&detail));
         for (label, cfg) in fig1_configs() {
+            if control
+                .cancel
+                .as_deref()
+                .is_some_and(|c| c.load(Ordering::Relaxed))
+            {
+                notes.push("run cancelled: remaining points skipped".to_string());
+                break 'points;
+            }
             // The oracle analysis is likewise a pure function of
             // (configuration, trace), consumed identically by both sides —
             // analyse once per point and share it, so the timed columns
@@ -1258,7 +1710,7 @@ pub fn run_with_control(
                 Ok(ipc) => ipc,
                 Err(e) => {
                     status.error_points += 1;
-                    table.add_row(vec![
+                    rows.push(vec![
                         kind.name().to_string(),
                         label.to_string(),
                         format!("error: {e}"),
@@ -1284,9 +1736,12 @@ pub fn run_with_control(
                 config_label: label.to_string(),
                 cache: cache.clone(),
                 trace_fnv,
+                progress: control.progress.clone(),
+                cancel: control.cancel.clone(),
+                governor: control.governor.clone(),
             };
             let t1 = std::time::Instant::now();
-            let sampled = match run_sampled_controlled(
+            let sampled = match run_controlled(
                 cfg,
                 kind,
                 &detail,
@@ -1298,7 +1753,7 @@ pub fn run_with_control(
                 Ok(s) => s,
                 Err(e) => {
                     status.error_points += 1;
-                    table.add_row(vec![
+                    rows.push(vec![
                         kind.name().to_string(),
                         label.to_string(),
                         format!("{full:.4}"),
@@ -1331,15 +1786,7 @@ pub fn run_with_control(
                 notes.push(format!("{}/{label}: journal disabled: {e}", kind.name()));
             }
             for m in &sampled.intervals {
-                use std::fmt::Write as _;
-                let _ = writeln!(
-                    digest_buf,
-                    "{}|{label}|{}|{}|{}",
-                    kind.name(),
-                    m.index,
-                    m.instructions,
-                    m.cycles
-                );
+                digest_buf.push_str(&digest_line(kind.name(), label, m));
             }
 
             let estimate = sampled.weighted_ipc();
@@ -1365,7 +1812,7 @@ pub fn run_with_control(
             } else {
                 String::new()
             };
-            table.add_row(vec![
+            rows.push(vec![
                 kind.name().to_string(),
                 label.to_string(),
                 format!("{full:.4}"),
@@ -1383,7 +1830,8 @@ pub fn run_with_control(
         }
     }
 
-    out.push_str(&table.render());
+    report.push_table(columns, rows);
+    let mut out = String::new();
     out.push_str(&format!(
         "\ntotal wall-clock: full {total_full_secs:.2}s, sampled {total_sampled_secs:.2}s \
          -> {:.2}x speedup; worst per-point IPC error {worst_err:.2}%; \
@@ -1433,11 +1881,24 @@ pub fn run_with_control(
     for note in &notes {
         out.push_str(&format!("  {note}\n"));
     }
+    let digest = result_digest(&digest_buf);
     out.push_str(&format!(
-        "result digest: {:#018x} (FNV-1a over every measured interval)\n",
-        ltp_snapshot::fnv1a64(digest_buf.as_bytes())
+        "result digest: {digest} (FNV-1a over every measured interval)\n"
     ));
-    (out, status)
+    report.push_text(out);
+    report.push_meta("digest", digest);
+    report.push_meta("partial_points", status.partial_points.to_string());
+    report.push_meta("error_points", status.error_points.to_string());
+    report.push_meta("resumed_intervals", resumed_intervals.to_string());
+    report.push_meta("planned_intervals", planned_intervals.to_string());
+    if let Some(cache) = &cache {
+        // Machine-readable cache counters alongside the summary text — the
+        // job server folds these into its /metrics aggregates.
+        let stats = cache.stats();
+        report.push_meta("cache_hits", stats.hits.to_string());
+        report.push_meta("cache_misses", stats.misses.to_string());
+    }
+    (report, status)
 }
 
 #[cfg(test)]
@@ -1463,12 +1924,14 @@ mod tests {
     #[test]
     fn sampled_run_reports_interval_and_ci() {
         let spec = quick_spec();
-        let r = run_sampled(
+        let r = SampledRequest::new(
             PipelineConfig::ltp_proposed(),
             WorkloadKind::IndirectStream,
-            &spec,
+            spec,
         )
+        .run()
         .expect("no deadlock");
+        assert!(r.failures.is_empty());
         assert_eq!(r.intervals.len(), 12);
         assert_eq!(r.ipc.n, 12);
         assert!(r.ipc.mean > 0.0);
@@ -1495,7 +1958,10 @@ mod tests {
             let detail = trace(kind, spec.seed.wrapping_add(1), spec.total_insts as usize);
             for (label, cfg) in fig1_configs() {
                 let full = full_detail_ipc(cfg, kind, &detail, None, &spec).expect("no deadlock");
-                let sampled = run_sampled_on(cfg, kind, &detail, &spec).expect("no deadlock");
+                let sampled = SampledRequest::new(cfg, kind, spec)
+                    .trace(&detail)
+                    .run()
+                    .expect("no deadlock");
                 let err = (sampled.weighted_ipc() - full).abs() / full * 100.0;
                 assert!(
                     err <= 2.0,
@@ -1518,8 +1984,15 @@ mod tests {
         let kind = WorkloadKind::IndirectStream;
         let detail = trace(kind, spec.seed.wrapping_add(1), spec.total_insts as usize);
         for (label, cfg) in fig1_configs() {
-            let streamed = run_sampled_on(cfg, kind, &detail, &spec).expect("streamed");
-            let two_phase = run_sampled_two_phase_on(cfg, kind, &detail, &spec).expect("2-phase");
+            let streamed = SampledRequest::new(cfg, kind, spec)
+                .trace(&detail)
+                .run()
+                .expect("streamed");
+            let two_phase = SampledRequest::new(cfg, kind, spec)
+                .trace(&detail)
+                .two_phase()
+                .run()
+                .expect("2-phase");
             assert_eq!(
                 streamed.intervals.len(),
                 two_phase.intervals.len(),
@@ -1548,11 +2021,12 @@ mod tests {
     #[test]
     fn timing_breakdown_is_populated() {
         let spec = quick_spec();
-        let r = run_sampled(
+        let r = SampledRequest::new(
             PipelineConfig::ltp_proposed(),
             WorkloadKind::ComputeBound,
-            &spec,
+            spec,
         )
+        .run()
         .expect("no deadlock");
         assert!(r.timing.functional_secs > 0.0);
         assert!(r.timing.detail_cpu_secs > 0.0);
@@ -1577,11 +2051,12 @@ mod tests {
         let (warm, measure) = spec.effective_window(1_000);
         assert_eq!(warm, 999);
         assert_eq!(measure, 1);
-        let r = run_sampled(
+        let r = SampledRequest::new(
             PipelineConfig::ltp_proposed(),
             WorkloadKind::IndirectStream,
-            &spec,
+            spec,
         )
+        .run()
         .expect("clamped run");
         assert_eq!(r.intervals.len(), 6);
         for w in r.intervals.windows(2) {
@@ -1601,7 +2076,9 @@ mod tests {
             warm_insts: 2_000,
         };
         let cfg = limit_study_config(LtpMode::NonUrgentOnly).with_iq(32);
-        let r = run_sampled(cfg, WorkloadKind::IndirectStream, &spec).expect("oracle sampled run");
+        let r = SampledRequest::new(cfg, WorkloadKind::IndirectStream, spec)
+            .run()
+            .expect("oracle sampled run");
         assert_eq!(r.intervals.len(), 4);
         assert!(r.ipc.mean > 0.0);
     }
@@ -1636,7 +2113,12 @@ mod tests {
             cache,
             ..SampleControl::default()
         };
-        run_sampled_controlled(cfg, kind, &detail, &dec, None, spec, &control).expect("sampled run")
+        SampledRequest::new(cfg, kind, *spec)
+            .trace(&detail)
+            .decoded(&dec)
+            .control(control)
+            .run()
+            .expect("sampled run")
     }
 
     fn assert_results_bit_identical(a: &SampledResult, b: &SampledResult) {
@@ -1735,7 +2217,11 @@ mod tests {
             ..SampleControl::default()
         };
         let run = |cfg: PipelineConfig| {
-            run_sampled_controlled(cfg, kind, &detail, &dec, None, &spec, &control)
+            SampledRequest::new(cfg, kind, spec)
+                .trace(&detail)
+                .decoded(&dec)
+                .control(control.clone())
+                .run()
                 .expect("sampled run")
         };
         let _ = run(PipelineConfig::ltp_proposed());
@@ -1749,5 +2235,96 @@ mod tests {
         assert_eq!(stats.stores, 2);
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The deprecated wrappers still produce the same numbers as the
+    /// [`SampledRequest`] builder they delegate to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_builder() {
+        let spec = cache_spec();
+        let cfg = PipelineConfig::ltp_proposed();
+        let legacy = run_sampled(cfg, WorkloadKind::IndirectStream, &spec).expect("legacy run");
+        let modern = SampledRequest::new(cfg, WorkloadKind::IndirectStream, spec)
+            .run()
+            .expect("builder run");
+        assert_eq!(legacy.ipc.mean.to_bits(), modern.ipc.mean.to_bits());
+        assert_eq!(
+            legacy.ipc.half_width.to_bits(),
+            modern.ipc.half_width.to_bits()
+        );
+        assert_eq!(legacy.intervals.len(), modern.intervals.len());
+    }
+
+    /// A pre-set cancel flag cancels every interval: the run is partial with
+    /// all failures tagged [`IntervalError::Cancelled`], not an error.
+    #[test]
+    fn preset_cancel_flag_cancels_all_intervals() {
+        let spec = cache_spec();
+        let cancel = Arc::new(AtomicBool::new(true));
+        let r = SampledRequest::new(
+            PipelineConfig::ltp_proposed(),
+            WorkloadKind::IndirectStream,
+            spec,
+        )
+        .cancel_flag(cancel)
+        .run()
+        .expect("cancelled run is not an error");
+        assert!(r.is_partial(), "all intervals cancelled => partial");
+        assert_eq!(r.failures.len(), spec.intervals);
+        for f in &r.failures {
+            assert!(
+                matches!(f.error, IntervalError::Cancelled),
+                "unexpected failure: {:?}",
+                f.error
+            );
+            assert_eq!(f.attempts, 0, "cancelled intervals are never attempted");
+        }
+    }
+
+    /// The progress sink observes every measured interval exactly the set the
+    /// final result reports.
+    #[test]
+    fn progress_sink_sees_every_measured_interval() {
+        let spec = cache_spec();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let r = SampledRequest::new(
+            PipelineConfig::ltp_proposed(),
+            WorkloadKind::IndirectStream,
+            spec,
+        )
+        .progress(Arc::new(move |m: &IntervalMeasurement| {
+            sink.lock().expect("sink lock").push((m.index, m.cycles));
+        }))
+        .run()
+        .expect("sampled run");
+        let mut seen = seen.lock().expect("sink lock").clone();
+        seen.sort_unstable();
+        let mut expect: Vec<(usize, u64)> =
+            r.intervals.iter().map(|m| (m.index, m.cycles)).collect();
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
+    }
+
+    /// The digest helpers are stable: same measurements, same digest string.
+    #[test]
+    fn digest_helpers_are_deterministic() {
+        let m = IntervalMeasurement {
+            index: 3,
+            start: 1_000,
+            instructions: 2_000,
+            cycles: 2_500,
+            ipc: 0.8,
+            weight: 7,
+        };
+        let line = digest_line("indirect_stream", "ltp_proposed", &m);
+        assert_eq!(line, "indirect_stream|ltp_proposed|3|2000|2500\n");
+        let d1 = result_digest(&line);
+        let d2 = result_digest(&line);
+        assert_eq!(d1, d2);
+        assert!(d1.starts_with("0x"), "digest renders as 0x-prefixed hex");
+        assert_eq!(d1.len(), 18, "{{:#018x}} formatting");
+        assert_ne!(d1, result_digest("other\n"));
     }
 }

@@ -6,30 +6,25 @@
 //! more. This experiment sweeps the UIT size on the proposed design for the
 //! MLP-sensitive group.
 
-use crate::cache::CheckpointCache;
 use crate::parallel::par_map;
-use crate::runner::{group_mean, run_point_cached, MlpGrouping, RunOptions};
+use crate::report::Report;
+use crate::runner::{group_mean, run_point_cached, MlpGrouping};
+use crate::ExperimentCtx;
 use ltp_core::LtpConfig;
 use ltp_pipeline::{PipelineConfig, RunResult};
-use ltp_stats::TextTable;
 use ltp_workloads::WorkloadKind;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// UIT sizes swept (the `usize::MAX` point is the unlimited UIT).
 const UIT_SIZES: [usize; 5] = [usize::MAX, 512, 256, 128, 64];
 
-/// Runs the UIT sweep and renders the report.
+/// Runs the UIT sweep. The context's checkpoint cache (when set) is shared
+/// with the other sweeps; every swept point is a detail-half variation (UIT
+/// size, baseline widths), so the whole sweep warms each workload's memory
+/// state exactly once.
 #[must_use]
-pub fn run(opts: &RunOptions) -> String {
-    run_cached(opts, None)
-}
-
-/// [`run`] with an optional checkpoint cache shared with the other sweeps.
-/// Every swept point is a detail-half variation (UIT size, baseline widths),
-/// so the whole sweep warms each workload's memory state exactly once.
-#[must_use]
-pub fn run_cached(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> String {
+pub fn run(ctx: &ExperimentCtx<'_>) -> Report {
+    let (opts, cache) = (ctx.opts, ctx.cache);
     let grouping = MlpGrouping::derive_cached(opts, cache);
 
     let mut points: Vec<(Option<usize>, WorkloadKind)> = Vec::new();
@@ -50,8 +45,9 @@ pub fn run_cached(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> St
     let by_point: HashMap<(Option<usize>, WorkloadKind), RunResult> =
         points.into_iter().zip(results).collect();
 
-    let mut out = String::new();
-    out.push_str("UIT size sensitivity (§5.6): proposed design vs. IQ 64 / RF 128 baseline\n\n");
+    let mut report = Report::new("uit");
+    report
+        .push_text("UIT size sensitivity (§5.6): proposed design vs. IQ 64 / RF 128 baseline\n\n");
     for (label, group) in [
         ("mlp_sensitive", &grouping.sensitive),
         ("mlp_insensitive", &grouping.insensitive),
@@ -60,11 +56,11 @@ pub fn run_cached(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> St
             continue;
         }
         let base = group_mean(group, |k| by_point[&(None, k)].cpi()).expect("group is non-empty");
-        let mut table = TextTable::with_columns(&["UIT entries", "perf vs base %"]);
+        let mut rows = Vec::new();
         for size in UIT_SIZES {
             let cpi = group_mean(group, |k| by_point[&(Some(size), k)].cpi())
                 .expect("group is non-empty");
-            table.add_row(vec![
+            rows.push(vec![
                 if size == usize::MAX {
                     "inf".into()
                 } else {
@@ -73,10 +69,14 @@ pub fn run_cached(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> St
                 format!("{:+.1}", (base / cpi - 1.0) * 100.0),
             ]);
         }
-        out.push_str(&format!("--- {label} ---\n"));
-        out.push_str(&table.render());
-        out.push('\n');
+        report.push_text(format!("--- {label} ---\n"));
+        report.push_table(
+            ["UIT entries", "perf vs base %"].map(String::from).to_vec(),
+            rows,
+        );
+        report.push_text("\n");
     }
+    let mut out = String::new();
     out.push_str(
         "Paper reference: UIT 256 performs well; 128 entries give up ~4 percentage points;\n\
          an unlimited UIT gains only ~2 points over 256.\n",
@@ -86,5 +86,6 @@ pub fn run_cached(opts: &RunOptions, cache: Option<&Arc<CheckpointCache>>) -> St
         out.push_str(&cache.stats().summary_line());
         out.push('\n');
     }
-    out
+    report.push_text(out);
+    report
 }

@@ -25,7 +25,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 OUT="${1:-cache-canary}"
-BIN=(cargo run --release -q -p ltp-experiments --bin experiments --)
+BIN=(cargo run --release -q -p ltp --bin experiments --)
 rm -rf "$OUT"
 mkdir -p "$OUT"
 

@@ -4,6 +4,8 @@
 //! experiments [EXPERIMENT ...] [--quick] [--insts N] [--seed S] [--out DIR]
 //!             [--cache DIR] [--journal DIR] [--resume DIR] [--inject SPEC]
 //!             [--retries N]
+//! experiments serve [--bind ADDR] [--workers N] [--max-jobs N]
+//!             [--cache DIR] [--journal DIR] [--resume DIR]
 //!
 //! EXPERIMENT: all | table1 | fig1 | fig2 | fig6 | fig7 | fig10 | fig11 | uit
 //!           | ablation | fig_smt | sample
@@ -28,13 +30,22 @@
 //! deterministic fault plan — see `ltp_experiments::fault::FaultPlan::parse`
 //! for the grammar.
 //!
+//! `serve` starts the `ltp-service` HTTP job server on `--bind` (default
+//! `127.0.0.1:8080`) and runs until killed. `--workers N` sizes the
+//! cross-job interval-execution permit pool *and* exports `LTP_THREADS=N` so
+//! every in-process worker pool agrees with it; `--max-jobs` caps concurrent
+//! jobs (submissions beyond it get HTTP 429); `--cache`/`--journal` share the
+//! CLI's checkpoint-cache and journal formats, and `--resume DIR` re-submits
+//! jobs a killed server left unfinished under `DIR`, replaying their
+//! journals bit-identically.
+//!
 //! Exit codes: 0 success, 2 usage/configuration error, 3 a simulation failed
 //! outright, 4 everything ran but at least one sampled point is partial
 //! (lost intervals, flagged in the report).
 
 use ltp_experiments::fault::FaultPlan;
 use ltp_experiments::sampled::{SampleRunControl, SampleRunStatus};
-use ltp_experiments::{sampled, CheckpointCache, Experiment, RunOptions};
+use ltp_experiments::{sampled, CheckpointCache, Experiment, ExperimentCtx, RunOptions};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -92,10 +103,15 @@ impl CliError {
 const USAGE: &str = "usage: experiments \
 [all|table1|fig1|fig2|fig6|fig7|fig10|fig11|uit|ablation|fig_smt|sample ...] \
 [--quick] [--insts N] [--seed S] [--out DIR] [--cache DIR] \
-[--journal DIR] [--resume DIR] [--inject SPEC] [--retries N]";
+[--journal DIR] [--resume DIR] [--inject SPEC] [--retries N]\n\
+       experiments serve [--bind ADDR] [--workers N] [--max-jobs N] \
+[--cache DIR] [--journal DIR] [--resume DIR]";
 
 fn run() -> Result<SampleRunStatus, CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve(&args[1..]).map(|()| SampleRunStatus::default());
+    }
     let mut experiments: Vec<Experiment> = Vec::new();
     let mut opts = RunOptions::default();
     let mut out_dir = String::from("results");
@@ -216,10 +232,11 @@ fn run() -> Result<SampleRunStatus, CliError> {
             status.error_points += run_status.error_points;
             report
         } else {
-            experiment.run_cached(&opts, cache.as_ref())
+            experiment.run(&ExperimentCtx::new(&opts).with_cache(cache.as_ref()))
         };
         let elapsed = started.elapsed();
-        println!("{report}");
+        let rendered = report.render_text();
+        println!("{rendered}");
         println!(
             "[{} finished in {:.1}s]\n",
             experiment.name(),
@@ -228,10 +245,115 @@ fn run() -> Result<SampleRunStatus, CliError> {
         let path = format!("{out_dir}/{}.txt", experiment.name());
         let mut file = std::fs::File::create(&path)
             .map_err(|e| CliError::io("cannot create the report file", &path, &e))?;
-        file.write_all(report.as_bytes())
+        file.write_all(rendered.as_bytes())
             .map_err(|e| CliError::io("cannot write the report file", &path, &e))?;
     }
     Ok(status)
+}
+
+/// The `serve` subcommand: parse flags, start the job server, run until
+/// killed.
+fn serve(args: &[String]) -> Result<(), CliError> {
+    let mut config = ltp_service::ServiceConfig {
+        bind: "127.0.0.1:8080".to_string(),
+        ..ltp_service::ServiceConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bind" => {
+                i += 1;
+                config.bind = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| CliError::config("--bind needs host:port"))?;
+            }
+            "--workers" => {
+                i += 1;
+                let n: usize = parse_flag_value(args, i, "--workers", "a number")?;
+                if n == 0 {
+                    return Err(CliError::config("--workers must be at least 1"));
+                }
+                config.workers = n;
+                // Export the worker budget so every in-process pool
+                // (`worker_threads` consults LTP_THREADS) agrees with the
+                // governor's permit count. Done here, before any thread is
+                // spawned.
+                std::env::set_var("LTP_THREADS", n.to_string());
+            }
+            "--max-jobs" => {
+                i += 1;
+                let n: usize = parse_flag_value(args, i, "--max-jobs", "a number")?;
+                if n == 0 {
+                    return Err(CliError::config("--max-jobs must be at least 1"));
+                }
+                config.max_jobs = n;
+            }
+            "--cache" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| CliError::config("--cache needs a directory"))?;
+                config.cache_dir = Some(PathBuf::from(dir));
+            }
+            "--journal" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| CliError::config("--journal needs a directory"))?;
+                config.journal_dir = Some(PathBuf::from(dir));
+            }
+            "--resume" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| CliError::config("--resume needs a directory"))?;
+                config.journal_dir = Some(PathBuf::from(dir));
+                config.resume = true;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            flag => return Err(CliError::config(format!("unknown serve flag '{flag}'"))),
+        }
+        i += 1;
+    }
+
+    let server = ltp_service::Server::start(&config).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::AddrInUse {
+            CliError::config(format!(
+                "cannot bind `{}`: the port is already in use \
+                 (is another serve instance running? pick a different --bind)",
+                config.bind
+            ))
+        } else {
+            CliError::config(format!("cannot bind `{}`: {e}", config.bind))
+        }
+    })?;
+    println!("listening on http://{}", server.addr());
+    println!(
+        "workers: {} permits, admission cap: {} jobs, cache: {}, journal: {}",
+        server.registry().governor().permits(),
+        config.max_jobs,
+        config
+            .cache_dir
+            .as_deref()
+            .map_or_else(|| "off".to_string(), |d| d.display().to_string()),
+        config
+            .journal_dir
+            .as_deref()
+            .map_or_else(|| "off".to_string(), |d| d.display().to_string()),
+    );
+    std::io::stdout().flush().ok();
+    // The accept loop lives on its own thread; the server runs until the
+    // process is killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
 }
 
 /// Parses the value following a flag, with a usage error naming the flag.

@@ -23,7 +23,7 @@
 use ltp_experiments::fault::FaultPlan;
 use ltp_experiments::parallel::{FailureKind, RetryPolicy};
 use ltp_experiments::sampled::{
-    run_sampled_controlled, IntervalError, SampleControl, SampleSpec, SampledResult,
+    IntervalError, SampleControl, SampleSpec, SampledRequest, SampledResult,
 };
 use ltp_experiments::{journal, sampled};
 use ltp_isa::{DecodedTrace, DynInst};
@@ -55,19 +55,15 @@ fn workload() -> (WorkloadKind, Vec<DynInst>, DecodedTrace) {
     (kind, detail, dec)
 }
 
-/// Runs the controlled runner over the shared workload with `control`.
+/// Runs the sampled runner over the shared workload with `control`.
 fn run_controlled(control: &SampleControl) -> SampledResult {
     let (kind, detail, dec) = workload();
-    run_sampled_controlled(
-        PipelineConfig::ltp_proposed(),
-        kind,
-        &detail,
-        &dec,
-        None,
-        &spec(),
-        control,
-    )
-    .expect("whole-run failure")
+    SampledRequest::new(PipelineConfig::ltp_proposed(), kind, spec())
+        .trace(&detail)
+        .decoded(&dec)
+        .control(control.clone())
+        .run()
+        .expect("whole-run failure")
 }
 
 /// The fault-free reference result every recovery scenario must reproduce.
@@ -240,19 +236,12 @@ fn deadlock_surfaces_as_interval_failure_with_snapshot() {
     let (kind, detail, dec) = workload();
     let mut cfg = PipelineConfig::ltp_proposed();
     cfg.frontend_delay = 10_000_000;
-    let r = run_sampled_controlled(
-        cfg,
-        kind,
-        &detail,
-        &dec,
-        None,
-        &spec(),
-        &SampleControl {
-            retry: retrying(),
-            ..SampleControl::default()
-        },
-    )
-    .expect("deadlock is a per-interval failure, not a whole-run error");
+    let r = SampledRequest::new(cfg, kind, spec())
+        .trace(&detail)
+        .decoded(&dec)
+        .retry(retrying())
+        .run()
+        .expect("deadlock is a per-interval failure, not a whole-run error");
     assert!(r.is_partial());
     assert_eq!(r.failures.len(), spec().intervals);
     assert!(r.intervals.is_empty());
@@ -401,21 +390,27 @@ fn experiment_report_flags_partial_points_and_keeps_digest_deterministic() {
         warm_insts: 1_000,
         seed: 2015,
     };
-    let digest_of = |report: &str| {
-        report
+    // The digest is carried both as machine-readable report meta and in the
+    // rendered text; they must agree.
+    let digest_of = |report: &ltp_experiments::Report| {
+        let meta = report.meta("digest").expect("digest meta").to_string();
+        let text_digest = report
+            .render_text()
             .lines()
             .find_map(|l| l.strip_prefix("result digest: "))
             .expect("digest line")
             .split_whitespace()
             .next()
             .expect("digest value")
-            .to_string()
+            .to_string();
+        assert_eq!(meta, text_digest, "meta and rendered digests must agree");
+        meta
     };
 
     let (clean_report, clean_status) =
         sampled::run_with_control(&opts, &sampled::SampleRunControl::default());
     assert_eq!(clean_status, sampled::SampleRunStatus::default());
-    assert!(!clean_report.contains("DEGRADED RUN"));
+    assert!(!clean_report.render_text().contains("DEGRADED RUN"));
 
     // One injected panic, recovered by the default retry policy: same
     // digest, clean status.
@@ -447,6 +442,7 @@ fn experiment_report_flags_partial_points_and_keeps_digest_deterministic() {
     );
     assert!(partial_status.partial_points > 0);
     assert_eq!(partial_status.error_points, 0);
-    assert!(partial_report.contains("DEGRADED RUN"));
-    assert!(partial_report.contains("[PARTIAL"));
+    let partial_text = partial_report.render_text();
+    assert!(partial_text.contains("DEGRADED RUN"));
+    assert!(partial_text.contains("[PARTIAL"));
 }

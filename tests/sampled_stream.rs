@@ -16,7 +16,7 @@
 //!    shorter than the requested warm+measure window, single-interval
 //!    traces.
 
-use ltp_experiments::sampled::{run_sampled_on, run_sampled_two_phase_on, SampleSpec};
+use ltp_experiments::sampled::{SampleSpec, SampledRequest};
 use ltp_isa::DecodedTrace;
 use ltp_pipeline::{FunctionalFastForward, PipelineConfig};
 use ltp_workloads::{trace, WorkloadKind};
@@ -94,8 +94,15 @@ fn assert_same_sampled_results(
     let kind = WorkloadKind::IndirectStream;
     let detail = trace(kind, spec.seed.wrapping_add(1), spec.total_insts as usize);
     let cfg = PipelineConfig::ltp_proposed();
-    let streamed = run_sampled_on(cfg, kind, &detail, &spec).expect("streamed runner");
-    let two_phase = run_sampled_two_phase_on(cfg, kind, &detail, &spec).expect("two-phase runner");
+    let streamed = SampledRequest::new(cfg, kind, spec)
+        .trace(&detail)
+        .run()
+        .expect("streamed runner");
+    let two_phase = SampledRequest::new(cfg, kind, spec)
+        .trace(&detail)
+        .two_phase()
+        .run()
+        .expect("two-phase runner");
 
     prop_assert_eq!(streamed.intervals.len(), two_phase.intervals.len());
     for (s, t) in streamed.intervals.iter().zip(&two_phase.intervals) {
